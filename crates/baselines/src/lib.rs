@@ -1,0 +1,35 @@
+//! The comparison algorithms of the MESSI paper (§IV-A).
+//!
+//! Every competitor the paper evaluates, implemented from scratch on the
+//! same substrates as MESSI so the comparisons isolate the *algorithmic*
+//! differences:
+//!
+//! * [`paris`] — the in-memory version of **ParIS** (Peng, Palpanas,
+//!   Fatourou; IEEE BigData 2018), the state-of-the-art modern-hardware
+//!   index MESSI is measured against: index construction with one
+//!   lock-protected receiving buffer per root subtree and a global SAX
+//!   array, and SIMS-style query answering (approximate answer, then a
+//!   lower-bound scan over *every* summary, then parallel real distances
+//!   over the candidate list). Includes the **ParIS-SISD** (no-SIMD)
+//!   configuration of Fig. 18 and the **ParIS-no-synch** build variant of
+//!   Fig. 5.
+//! * [`paris::ts`] — **ParIS-TS**, the paper's "traditional tree-based
+//!   exact search" extension: a single shared priority queue holding
+//!   inner nodes *and* leaves, with insertions and pops running
+//!   concurrently and no second filtering.
+//! * [`ucr`] — **UCR Suite-P**, the parallel SIMD serial-scan with early
+//!   abandoning (ED and DTW), plus the serial UCR Suite used as the
+//!   Fig. 19 reference.
+//!
+//! All query functions return the same `(QueryAnswer, QueryStats)` pair
+//! as `messi_core`, so the bench harness treats every algorithm
+//! uniformly — and the integration tests assert they all give exactly
+//! the brute-force answer.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod paris;
+pub mod ucr;
+
+pub use paris::{ParisBuildVariant, ParisIndex};

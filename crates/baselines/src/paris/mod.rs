@@ -1,0 +1,64 @@
+//! The in-memory ParIS index (the paper's principal competitor).
+//!
+//! ParIS (§II-B, Fig. 1d) uses the same iSAX tree as MESSI but differs in
+//! *how* it is built and queried:
+//!
+//! * **Build**: bulk-loading workers operate on fixed contiguous slices
+//!   of the raw array ("split to as many chunks as the workers" — no
+//!   chunked load balancing), write each summary into a global **SAX
+//!   array** indexed by position, and append the position into the
+//!   **receiving buffer** of its root subtree, each buffer protected by a
+//!   lock (the synchronization MESSI eliminates). Index-construction
+//!   workers then build each subtree from its receiving buffer.
+//! * **Query** ([`query`]): the SIMS strategy — an approximate answer
+//!   from the tree, then a full scan computing the lower bound of *every*
+//!   series in the SAX array, collecting unpruned candidates, then
+//!   parallel real distances over the candidate list. "ParIS uses the
+//!   index tree only for computing this approximate answer."
+//! * **ParIS-TS** ([`ts`]): the tree-based exact-search extension.
+
+pub mod build;
+pub mod query;
+pub mod ts;
+
+use messi_core::node::Node;
+use messi_core::{IndexConfig, MessiIndex};
+use messi_sax::word::SaxWord;
+use messi_series::Dataset;
+use std::sync::Arc;
+
+pub use build::{build_paris, ParisBuildVariant};
+
+/// The in-memory ParIS index: MESSI's tree structure plus the global SAX
+/// array that SIMS query answering scans.
+#[derive(Debug)]
+pub struct ParisIndex {
+    /// The iSAX tree (same node types as MESSI; assembled by ParIS's own
+    /// build algorithm).
+    pub tree: MessiIndex,
+    /// Full-cardinality summary of every series, indexed by position —
+    /// the "SAX array" ParIS's lower-bound workers scan.
+    pub sax_array: Vec<SaxWord>,
+}
+
+impl ParisIndex {
+    /// Builds an in-memory ParIS index (see [`build::build_paris`]).
+    pub fn build(dataset: Arc<Dataset>, config: &IndexConfig) -> (Self, messi_core::BuildStats) {
+        build::build_paris(dataset, config, ParisBuildVariant::Locked)
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        self.tree.dataset()
+    }
+
+    /// Number of indexed series.
+    pub fn num_series(&self) -> usize {
+        self.sax_array.len()
+    }
+
+    /// The subtree for a root key, if any (used by ParIS-TS).
+    pub fn root(&self, key: usize) -> Option<&Node> {
+        self.tree.root(key)
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for index construction: MESSI vs ParIS (Fig. 9's
+//! comparison as a micro-benchmark) and the buffer-design ablation
+//! (per-worker parts vs locked receiving buffers — DESIGN.md decision 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use messi_baselines::paris::{build_paris, ParisBuildVariant};
+use messi_core::{IndexConfig, MessiIndex};
+use messi_series::gen::{generate, DatasetKind};
+use std::sync::Arc;
+
+const SIZES: [usize; 2] = [20_000, 50_000];
+
+fn bench_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    for &n in &SIZES {
+        let data = Arc::new(generate(DatasetKind::RandomWalk, n, 7));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("messi", n), &data, |b, data| {
+            b.iter(|| MessiIndex::build(Arc::clone(data), &IndexConfig::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("paris_locked", n), &data, |b, data| {
+            b.iter(|| {
+                build_paris(
+                    Arc::clone(data),
+                    &IndexConfig::default(),
+                    ParisBuildVariant::Locked,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("paris_no_synch", n), &data, |b, data| {
+            b.iter(|| {
+                build_paris(
+                    Arc::clone(data),
+                    &IndexConfig::default(),
+                    ParisBuildVariant::NoSynch,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: worker-count scaling of the MESSI build (Fig. 9's x-axis as
+/// a micro-benchmark).
+fn bench_worker_scaling(c: &mut Criterion) {
+    let data = Arc::new(generate(DatasetKind::RandomWalk, 30_000, 8));
+    let mut g = c.benchmark_group("index_build_workers");
+    g.sample_size(10);
+    for workers in [1usize, 4, 12, 24] {
+        let config = IndexConfig {
+            num_workers: workers,
+            ..IndexConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &config, |b, config| {
+            b.iter(|| MessiIndex::build(Arc::clone(&data), config))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(index_build, bench_builds, bench_worker_scaling);
+criterion_main!(index_build);

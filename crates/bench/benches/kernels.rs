@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the hot distance kernels: the SIMD vs
+//! SISD comparisons underlying Fig. 18, and the per-query table trick
+//! behind MESSI's lower bounds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use messi_sax::convert::{sax_word, SaxConfig};
+use messi_sax::mindist::{mindist_sq_leaf_scalar, segment_scales, MindistTable};
+use messi_series::distance::dtw::{dtw_sq, dtw_sq_early_abandon, DtwParams};
+use messi_series::distance::euclidean::{ed_sq_early_abandon_with, ed_sq_scalar, ed_sq_with};
+use messi_series::distance::lb_keogh::{lb_keogh_sq, Envelope};
+use messi_series::distance::Kernel;
+use messi_series::gen::{generate, queries::generate_queries, DatasetKind};
+use messi_series::paa::{paa, paa_into};
+
+fn bench_euclidean(c: &mut Criterion) {
+    let data = generate(DatasetKind::RandomWalk, 2, 1);
+    let (a, b) = (data.series(0), data.series(1));
+    let mut g = c.benchmark_group("euclidean_256");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("scalar", |bch| {
+        bch.iter(|| ed_sq_scalar(black_box(a), black_box(b)))
+    });
+    g.bench_function("simd", |bch| {
+        bch.iter(|| ed_sq_with(Kernel::Simd, black_box(a), black_box(b)))
+    });
+    let exact = ed_sq_scalar(a, b);
+    g.bench_function("simd_early_abandon_tight", |bch| {
+        bch.iter(|| {
+            ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact / 8.0)
+        })
+    });
+    g.bench_function("simd_early_abandon_loose", |bch| {
+        bch.iter(|| {
+            ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact * 2.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let config = SaxConfig::new(16, 256);
+    let data = generate(DatasetKind::RandomWalk, 64, 2);
+    let queries = generate_queries(DatasetKind::RandomWalk, 1, 2);
+    let qp = paa(queries.series(0), 16);
+    let scales = segment_scales(config);
+    let words: Vec<_> = data.iter().map(|s| sax_word(s, config)).collect();
+    let table = MindistTable::new(&qp, config);
+    let mut g = c.benchmark_group("mindist_leaf");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("branchy_scalar", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for w in &words {
+                acc += mindist_sq_leaf_scalar(black_box(&qp), &scales, w);
+            }
+            acc
+        })
+    });
+    g.bench_function("table_scalar", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for w in &words {
+                acc += table.mindist_sq_scalar(black_box(w));
+            }
+            acc
+        })
+    });
+    g.bench_function("table_simd_gather", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for w in &words {
+                acc += table.mindist_sq(black_box(w));
+            }
+            acc
+        })
+    });
+    g.finish();
+    c.bench_function("mindist_table_build", |bch| {
+        bch.iter(|| MindistTable::new(black_box(&qp), config))
+    });
+}
+
+fn bench_paa_and_sax(c: &mut Criterion) {
+    let data = generate(DatasetKind::RandomWalk, 1, 3);
+    let series = data.series(0);
+    let mut out = vec![0.0f32; 16];
+    c.bench_function("paa_256_to_16", |bch| {
+        bch.iter(|| paa_into(black_box(series), &mut out))
+    });
+    let config = SaxConfig::new(16, 256);
+    let mut conv = messi_sax::convert::SaxConverter::new(config);
+    c.bench_function("convert_to_isax_256", |bch| {
+        bch.iter(|| conv.convert(black_box(series)))
+    });
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let data = generate(DatasetKind::RandomWalk, 2, 4);
+    let (a, b) = (data.series(0), data.series(1));
+    let params = DtwParams::paper_default(256);
+    let mut g = c.benchmark_group("dtw_256_w25");
+    g.bench_function("full", |bch| {
+        bch.iter(|| dtw_sq(black_box(a), black_box(b), params))
+    });
+    let exact = dtw_sq(a, b, params);
+    g.bench_function("early_abandon_tight", |bch| {
+        bch.iter(|| dtw_sq_early_abandon(black_box(a), black_box(b), params, exact / 8.0))
+    });
+    g.finish();
+    let env = Envelope::new(a, params);
+    c.bench_function("lb_keogh_256", |bch| {
+        bch.iter(|| lb_keogh_sq(black_box(&env), black_box(b)))
+    });
+    c.bench_function("envelope_build_256", |bch| {
+        bch.iter(|| Envelope::new(black_box(a), params))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(60);
+    targets = bench_euclidean, bench_mindist, bench_paa_and_sax, bench_dtw
+}
+criterion_main!(kernels);

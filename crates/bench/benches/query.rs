@@ -1,0 +1,96 @@
+//! Criterion benchmarks for exact query answering: the five competitors
+//! of Fig. 11/18 at a fixed size, plus ablations the paper discusses in
+//! prose (BSF policy, SIMD kernel, breakdown-collection overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use messi_baselines::paris::query::sims_search;
+use messi_baselines::paris::ts::ts_search;
+use messi_baselines::paris::{build_paris, ParisBuildVariant};
+use messi_baselines::ucr;
+use messi_core::{BsfPolicy, IndexConfig, MessiIndex, QueryConfig};
+use messi_series::distance::Kernel;
+use messi_series::gen::{generate, queries::generate_queries, DatasetKind};
+use std::sync::Arc;
+
+const N: usize = 50_000;
+
+fn bench_competitors(c: &mut Criterion) {
+    let data = Arc::new(generate(DatasetKind::RandomWalk, N, 9));
+    let (messi, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let (paris, _) = build_paris(
+        Arc::clone(&data),
+        &IndexConfig::default(),
+        ParisBuildVariant::Locked,
+    );
+    let queries = generate_queries(DatasetKind::RandomWalk, 8, 9);
+    let qc = QueryConfig::default();
+    let sq = QueryConfig {
+        num_queues: 1,
+        ..QueryConfig::default()
+    };
+    let q = queries.series(0);
+
+    let mut g = c.benchmark_group("query_50k");
+    g.sample_size(20);
+    g.bench_function("messi_mq", |b| b.iter(|| messi.search(q, &qc)));
+    g.bench_function("messi_sq", |b| b.iter(|| messi.search(q, &sq)));
+    g.bench_function("paris", |b| b.iter(|| sims_search(&paris, q, &qc)));
+    g.bench_function("paris_ts", |b| b.iter(|| ts_search(&paris, q, &qc)));
+    g.bench_function("ucr_suite_p", |b| b.iter(|| ucr::ucr_parallel(&data, q, &qc)));
+    g.finish();
+}
+
+/// Ablations: BSF policy (locked vs atomic), kernel (SIMD vs SISD), and
+/// the overhead of collecting the Fig. 13 breakdown.
+fn bench_ablations(c: &mut Criterion) {
+    let data = Arc::new(generate(DatasetKind::RandomWalk, N, 10));
+    let (messi, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let queries = generate_queries(DatasetKind::RandomWalk, 4, 10);
+    let q = queries.series(0);
+
+    let mut g = c.benchmark_group("query_ablations");
+    g.sample_size(20);
+    for (name, config) in [
+        (
+            "bsf_atomic",
+            QueryConfig {
+                bsf: BsfPolicy::Atomic,
+                ..QueryConfig::default()
+            },
+        ),
+        (
+            "bsf_locked",
+            QueryConfig {
+                bsf: BsfPolicy::Locked,
+                ..QueryConfig::default()
+            },
+        ),
+        (
+            "kernel_simd",
+            QueryConfig {
+                kernel: Kernel::Simd,
+                ..QueryConfig::default()
+            },
+        ),
+        (
+            "kernel_sisd",
+            QueryConfig {
+                kernel: Kernel::Scalar,
+                ..QueryConfig::default()
+            },
+        ),
+        (
+            "breakdown_on",
+            QueryConfig {
+                collect_breakdown: true,
+                ..QueryConfig::default()
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| b.iter(|| messi.search(q, &config)));
+    }
+    g.finish();
+}
+
+criterion_group!(query, bench_competitors, bench_ablations);
+criterion_main!(query);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the coordination substrate: priority queues
+//! (the SQ-vs-MQ contention Fig. 13 explains), dispensers, barriers, and
+//! the two BSF implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use messi_sync::{
+    AtomicBsf, BestSoFar, ConcurrentMinQueue, Dispenser, LockedBsf, QueueSet, SenseBarrier,
+    WorkerPool,
+};
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("pq_push_pop_single_thread", |b| {
+        let q = ConcurrentMinQueue::new();
+        b.iter(|| {
+            for i in 0..64u32 {
+                q.push((i % 13) as f32, i);
+            }
+            while q.pop_min().is_some() {}
+        })
+    });
+
+    // Contention: 24 pool workers hammering 1 queue vs 24 queues — the
+    // micro version of MESSI-sq vs MESSI-mq.
+    let pool = WorkerPool::global();
+    let mut g = c.benchmark_group("pq_contention_24workers");
+    g.sample_size(20);
+    for nq in [1usize, 4, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(nq), &nq, |b, &nq| {
+            b.iter(|| {
+                let set: QueueSet<u32> = QueueSet::new(nq);
+                pool.run(24, &|pid| {
+                    let mut cursor = pid % nq;
+                    for i in 0..200u32 {
+                        set.push_round_robin(&mut cursor, (i % 17) as f32, i);
+                    }
+                    let mut q = pid % nq;
+                    loop {
+                        while set.queue(q).pop_min().is_some() {}
+                        set.queue(q).mark_finished();
+                        match set.next_unfinished(q + 1) {
+                            Some(n) => q = n,
+                            None => break,
+                        }
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispenser_and_barrier(c: &mut Criterion) {
+    let pool = WorkerPool::global();
+    c.bench_function("dispenser_1M_over_8_workers", |b| {
+        b.iter(|| {
+            let d = Dispenser::new(1_000_000);
+            pool.run(8, &|_| while d.next().is_some() {});
+        })
+    });
+    c.bench_function("barrier_100_episodes_8_workers", |b| {
+        b.iter(|| {
+            let bar = SenseBarrier::new(8);
+            pool.run(8, &|_| {
+                for _ in 0..100 {
+                    bar.wait();
+                }
+            });
+        })
+    });
+}
+
+fn bench_bsf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsf_load_update");
+    g.bench_function("atomic", |b| {
+        let bsf = AtomicBsf::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            bsf.update_min(1e9 / (i as f32 + 1.0), i);
+            bsf.load()
+        })
+    });
+    g.bench_function("locked", |b| {
+        let bsf = LockedBsf::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            bsf.update_min(1e9 / (i as f32 + 1.0), i);
+            bsf.load()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(queues, bench_queue_ops, bench_dispenser_and_barrier, bench_bsf);
+criterion_main!(queues);

@@ -1,0 +1,13 @@
+//! Runs every figure of the paper's evaluation in sequence, printing each
+//! table and writing CSVs under `target/bench-results/`.
+fn main() {
+    let scale = messi_bench::Scale::from_env();
+    eprintln!(
+        "scale: {} series per paper-100GB, {} queries per point (override with \
+         MESSI_BENCH_SERIES / MESSI_BENCH_QUERIES)\n",
+        scale.series_per_100gb, scale.queries
+    );
+    for table in messi_bench::figures::run_all(&scale) {
+        table.emit();
+    }
+}

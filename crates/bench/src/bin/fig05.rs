@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 of the paper: index creation time vs chunk size.
+fn main() {
+    messi_bench::figures::build_tuning::fig05(&messi_bench::Scale::from_env()).emit();
+}

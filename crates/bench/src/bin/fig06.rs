@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 of the paper: index creation time vs leaf size.
+fn main() {
+    messi_bench::figures::build_tuning::fig06(&messi_bench::Scale::from_env()).emit();
+}

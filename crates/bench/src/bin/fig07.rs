@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 of the paper: query answering vs leaf size.
+fn main() {
+    messi_bench::figures::query_tuning::fig07(&messi_bench::Scale::from_env()).emit();
+}

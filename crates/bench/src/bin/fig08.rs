@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 of the paper: index creation vs initial buffer size.
+fn main() {
+    messi_bench::figures::build_tuning::fig08(&messi_bench::Scale::from_env()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 of the paper: index creation vs number of cores.
+fn main() {
+    messi_bench::figures::build_scaling::fig09(&messi_bench::Scale::from_env()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10 of the paper: index creation vs dataset size.
+fn main() {
+    messi_bench::figures::build_scaling::fig10(&messi_bench::Scale::from_env()).emit();
+}

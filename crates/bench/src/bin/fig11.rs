@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 of the paper: query answering vs number of cores.
+fn main() {
+    messi_bench::figures::query_scaling::fig11(&messi_bench::Scale::from_env()).emit();
+}

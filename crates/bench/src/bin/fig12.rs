@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 of the paper: query answering vs dataset size.
+fn main() {
+    messi_bench::figures::query_scaling::fig12(&messi_bench::Scale::from_env()).emit();
+}

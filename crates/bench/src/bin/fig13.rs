@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13 of the paper: query time breakdown, SQ vs MQ.
+fn main() {
+    messi_bench::figures::query_tuning::fig13(&messi_bench::Scale::from_env()).emit();
+}

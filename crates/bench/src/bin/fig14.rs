@@ -1,0 +1,4 @@
+//! Regenerates Fig. 14 of the paper: query answering vs number of queues.
+fn main() {
+    messi_bench::figures::query_tuning::fig14(&messi_bench::Scale::from_env()).emit();
+}

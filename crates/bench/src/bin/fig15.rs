@@ -1,0 +1,4 @@
+//! Regenerates Fig. 15 of the paper: index creation on real datasets.
+fn main() {
+    messi_bench::figures::build_scaling::fig15(&messi_bench::Scale::from_env()).emit();
+}

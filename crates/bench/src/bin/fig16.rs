@@ -1,0 +1,4 @@
+//! Regenerates Fig. 16 of the paper: query answering on real datasets.
+fn main() {
+    messi_bench::figures::query_scaling::fig16(&messi_bench::Scale::from_env()).emit();
+}

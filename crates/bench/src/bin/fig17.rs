@@ -1,0 +1,7 @@
+//! Regenerates Fig. 17 of the paper: lower-bound and real distance
+//! calculation counts (ParIS vs MESSI).
+fn main() {
+    let scale = messi_bench::Scale::from_env();
+    messi_bench::figures::counts::fig17a(&scale).emit();
+    messi_bench::figures::counts::fig17b(&scale).emit();
+}

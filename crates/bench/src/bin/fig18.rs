@@ -1,0 +1,4 @@
+//! Regenerates Fig. 18 of the paper: query answering benefit breakdown.
+fn main() {
+    messi_bench::figures::query_scaling::fig18(&messi_bench::Scale::from_env()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 19 of the paper: DTW query answering vs dataset size.
+fn main() {
+    messi_bench::figures::dtw::fig19(&messi_bench::Scale::from_env()).emit();
+}

@@ -1,0 +1,78 @@
+//! Dataset construction and in-process caching for the figure binaries.
+//!
+//! The `all` binary runs every figure in one process; caching datasets by
+//! `(kind, count)` avoids regenerating the same collection a dozen times.
+
+use messi_series::gen::{self, DatasetKind};
+use messi_series::Dataset;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Seed shared by all benchmark datasets (fixed for reproducibility).
+pub const BENCH_SEED: u64 = 0xC0FFEE;
+
+type Cache = Mutex<HashMap<(DatasetKind, usize), Arc<Dataset>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns (and caches) `count` series of `kind` at its paper length.
+pub fn dataset(kind: DatasetKind, count: usize) -> Arc<Dataset> {
+    if let Some(ds) = cache().lock().get(&(kind, count)) {
+        return Arc::clone(ds);
+    }
+    let ds = Arc::new(gen::generate(kind, count, BENCH_SEED));
+    cache().lock().insert((kind, count), Arc::clone(&ds));
+    ds
+}
+
+/// Returns the standard query workload for `kind`, against `data`.
+///
+/// Matches the paper's protocol: synthetic (random-walk) queries come
+/// from the generator; for the real datasets "we used as queries 100
+/// series out of the datasets" — here dataset members perturbed with
+/// mild noise, so a query resembles (but rarely equals) collection
+/// members.
+pub fn queries_for(kind: DatasetKind, data: &Dataset, count: usize) -> Dataset {
+    match kind {
+        DatasetKind::RandomWalk => gen::queries::generate_queries(kind, count, BENCH_SEED),
+        DatasetKind::Seismic | DatasetKind::Sald => {
+            gen::queries::noisy_queries_from_dataset(data, count, 0.1, BENCH_SEED)
+        }
+    }
+}
+
+/// Drops all cached datasets (frees memory between large figures).
+pub fn clear_cache() {
+    cache().lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_the_same_arc() {
+        clear_cache();
+        let a = dataset(DatasetKind::RandomWalk, 50);
+        let b = dataset(DatasetKind::RandomWalk, 50);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = dataset(DatasetKind::RandomWalk, 60);
+        assert!(!Arc::ptr_eq(&a, &c));
+        clear_cache();
+    }
+
+    #[test]
+    fn queries_have_requested_shape() {
+        let data = dataset(DatasetKind::Sald, 20);
+        let q = queries_for(DatasetKind::Sald, &data, 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.series_len(), 128);
+        let data = dataset(DatasetKind::RandomWalk, 20);
+        let q = queries_for(DatasetKind::RandomWalk, &data, 3);
+        assert_eq!(q.series_len(), 256);
+    }
+}

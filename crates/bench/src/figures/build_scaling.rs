@@ -1,0 +1,114 @@
+//! Figures 9, 10, 15: index-construction scaling (cores, data size, real
+//! datasets) — MESSI vs ParIS.
+
+use crate::datasets::dataset;
+use crate::report::Table;
+use crate::scale::Scale;
+use messi_baselines::paris::{build_paris, ParisBuildVariant};
+use messi_core::{IndexConfig, MessiIndex};
+use messi_series::gen::DatasetKind;
+use std::sync::Arc;
+
+fn config_with_workers(scale: &Scale, count: usize, workers: usize) -> IndexConfig {
+    IndexConfig {
+        num_workers: workers,
+        ..scale.index_config(count)
+    }
+}
+
+/// Fig. 9 — index creation vs number of cores, with the stacked
+/// summarization/tree-construction split, ParIS vs MESSI.
+///
+/// Paper: "MESSI is 3.5x faster than ParIS … the performance improvement
+/// that both algorithms exhibit decreases as the number of cores
+/// increases; this trend is more prominent in ParIS."
+pub fn fig09(scale: &Scale) -> Table {
+    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let mut table = Table::new(
+        "fig09",
+        "index creation vs cores, stacked phases (random, 100GB-equiv)",
+        "MESSI ~3.5x faster than ParIS at 24 cores; both curves flatten, ParIS sooner",
+        &[
+            "cores",
+            "paris_sax",
+            "paris_tree",
+            "paris_total",
+            "messi_sax",
+            "messi_tree",
+            "messi_total",
+        ],
+    );
+    for &cores in &[2usize, 4, 6, 8, 10, 12, 18, 24] {
+        let config = config_with_workers(scale, data.len(), cores);
+        let (_, p) = build_paris(Arc::clone(&data), &config, ParisBuildVariant::Locked);
+        let (_, m) = MessiIndex::build(Arc::clone(&data), &config);
+        table.row(vec![
+            cores.into(),
+            p.summarize_time.into(),
+            p.tree_time.into(),
+            p.total_time.into(),
+            m.summarize_time.into(),
+            m.tree_time.into(),
+            m.total_time.into(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 10 — index creation vs dataset size (ParIS vs MESSI).
+///
+/// Paper: "MESSI performs up to 4.2x faster than ParIS (for the 200GB
+/// dataset), with the improvement becoming larger with the dataset size."
+pub fn fig10(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig10",
+        "index creation vs dataset size (random)",
+        "MESSI 3.5–4.2x faster; gap grows with size",
+        &["paper_gb", "series", "paris", "messi", "speedup"],
+    );
+    for &gb in &[50.0f64, 100.0, 150.0, 200.0] {
+        let count = scale.series_for_gb(DatasetKind::RandomWalk, gb);
+        let data = dataset(DatasetKind::RandomWalk, count);
+        let config = scale.index_config(count);
+        let (_, p) = build_paris(Arc::clone(&data), &config, ParisBuildVariant::Locked);
+        let (_, m) = MessiIndex::build(Arc::clone(&data), &config);
+        let speedup = p.total_time.as_secs_f64() / m.total_time.as_secs_f64().max(1e-12);
+        table.row(vec![
+            (gb as u64).into(),
+            count.into(),
+            p.total_time.into(),
+            m.total_time.into(),
+            speedup.into(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 15 — index creation on the real datasets (ParIS vs MESSI).
+///
+/// Paper: "MESSI is 3.6x faster than ParIS on SALD and 3.7x faster than
+/// ParIS on Seismic, for a 100GB dataset."
+pub fn fig15(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig15",
+        "index creation on real datasets (100GB-equiv)",
+        "MESSI ~3.6–3.7x faster than ParIS on SALD and Seismic",
+        &["dataset", "series", "paris", "messi", "speedup"],
+    );
+    for kind in [DatasetKind::Sald, DatasetKind::Seismic] {
+        let count = scale.default_series(kind);
+        let data = dataset(kind, count);
+        let config = scale.index_config(count);
+        let (_, p) = build_paris(Arc::clone(&data), &config, ParisBuildVariant::Locked);
+        let (_, m) = MessiIndex::build(Arc::clone(&data), &config);
+        let speedup = p.total_time.as_secs_f64() / m.total_time.as_secs_f64().max(1e-12);
+        table.row(vec![
+            kind.name().into(),
+            count.into(),
+            p.total_time.into(),
+            m.total_time.into(),
+            speedup.into(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,100 @@
+//! Figures 5, 6, 8: index-construction parameter tuning.
+
+use crate::datasets::dataset;
+use crate::report::Table;
+use crate::scale::Scale;
+use messi_baselines::paris::{build_paris, ParisBuildVariant};
+use messi_core::{IndexConfig, MessiIndex};
+use messi_series::gen::DatasetKind;
+use std::sync::Arc;
+
+/// Fig. 5 — index creation time vs chunk size (MESSI vs ParIS-no-synch).
+///
+/// Paper: "the required time to build the index decreases when the chunk
+/// size is small and does not have any big influence in performance after
+/// the value of 1K … smaller chunk sizes than 1K result in high
+/// contention when accessing the fetch&increment object."
+pub fn fig05(scale: &Scale) -> Table {
+    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let mut table = Table::new(
+        "fig05",
+        "index creation vs chunk size (random, 100GB-equiv)",
+        "flat after ~1K-series chunks; tiny chunks pay Fetch&Inc contention; \
+         MESSI below ParIS-no-synch at its 20K default",
+        &["chunk_size", "messi", "paris_no_synch"],
+    );
+    // ParIS-no-synch splits the input per worker (no chunking): one value,
+    // repeated as the paper's flat reference line.
+    let paris_time = {
+        let (_, stats) = build_paris(
+            Arc::clone(&data),
+            &scale.index_config(data.len()),
+            ParisBuildVariant::NoSynch,
+        );
+        stats.total_time
+    };
+    for &chunk in &[
+        10usize, 100, 500, 1_000, 10_000, 20_000, 50_000, 100_000, 1_000_000, 2_000_000,
+        4_000_000,
+    ] {
+        let config = IndexConfig {
+            chunk_size: chunk,
+            ..scale.index_config(data.len())
+        };
+        let (_, stats) = MessiIndex::build(Arc::clone(&data), &config);
+        table.row(vec![chunk.into(), stats.total_time.into(), paris_time.into()]);
+        if chunk >= data.len() {
+            break; // larger chunks are all the single-chunk degenerate case
+        }
+    }
+    table
+}
+
+/// Fig. 6 — index creation time vs leaf size.
+///
+/// Paper: "the larger the leaf size is, the faster index creation
+/// becomes. However, once the leaf size becomes 5K or more, this time
+/// improvement is insignificant."
+pub fn fig06(scale: &Scale) -> Table {
+    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let mut table = Table::new(
+        "fig06",
+        "index creation vs leaf size (random, 100GB-equiv)",
+        "build time falls as leaves grow; flat beyond ~5K",
+        &["leaf_size", "messi"],
+    );
+    for &leaf in &[
+        50usize, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    ] {
+        let config = IndexConfig {
+            leaf_capacity: leaf,
+            ..scale.index_config(data.len())
+        };
+        let (_, stats) = MessiIndex::build(Arc::clone(&data), &config);
+        table.row(vec![leaf.into(), stats.total_time.into()]);
+    }
+    table
+}
+
+/// Fig. 8 — index creation time vs initial iSAX buffer (part) capacity.
+///
+/// Paper: "smaller initial sizes for the buffers result in better
+/// performance" (2^w buffers × Nw parts make eager allocation costly).
+pub fn fig08(scale: &Scale) -> Table {
+    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let mut table = Table::new(
+        "fig08",
+        "index creation vs initial iSAX buffer size (random, 100GB-equiv)",
+        "monotonically slower with larger initial allocations",
+        &["initial_buffer", "messi"],
+    );
+    for &init in &[2usize, 5, 10, 20, 50, 100, 200, 500, 1_000] {
+        let config = IndexConfig {
+            initial_buffer_capacity: init,
+            ..scale.index_config(data.len())
+        };
+        let (_, stats) = MessiIndex::build(Arc::clone(&data), &config);
+        table.row(vec![init.into(), stats.total_time.into()]);
+    }
+    table
+}

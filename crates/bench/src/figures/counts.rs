@@ -1,0 +1,80 @@
+//! Figure 17: number of lower-bound and real distance calculations,
+//! ParIS vs MESSI, per dataset family.
+
+use crate::datasets::{dataset, queries_for};
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::measure_queries;
+use messi_baselines::paris::query::sims_search;
+use messi_baselines::paris::{build_paris, ParisBuildVariant};
+use messi_core::{MessiIndex, QueryConfig};
+use messi_series::gen::DatasetKind;
+use std::sync::Arc;
+
+fn gather(scale: &Scale) -> Vec<(&'static str, f64, f64, f64, f64)> {
+    let kinds = [DatasetKind::RandomWalk, DatasetKind::Seismic, DatasetKind::Sald];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let data = dataset(kind, scale.default_series(kind));
+        let config = scale.index_config(data.len());
+        let (messi, _) = MessiIndex::build(Arc::clone(&data), &config);
+        let (paris, _) = build_paris(Arc::clone(&data), &config, ParisBuildVariant::Locked);
+        let qs = queries_for(kind, &data, scale.queries);
+        let qc = QueryConfig::default();
+        let (_, paris_agg) = measure_queries(&|q| sims_search(&paris, q, &qc), &qs, 0);
+        let (_, messi_agg) = measure_queries(&|q| messi.search(q, &qc), &qs, 0);
+        rows.push((
+            kind.name(),
+            paris_agg.mean_lb_calcs(),
+            messi_agg.mean_lb_calcs(),
+            paris_agg.mean_real_calcs(),
+            messi_agg.mean_real_calcs(),
+        ));
+    }
+    rows
+}
+
+/// Fig. 17a — mean lower-bound distance calculations per query.
+///
+/// Paper: "MESSI performs no more than 15% of the lower bound distance
+/// calculations performed by ParIS" (ParIS computes one per series in the
+/// collection).
+pub fn fig17a(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig17a",
+        "lower-bound distance calculations per query (ParIS vs MESSI)",
+        "MESSI ≤ 15% of ParIS on every dataset",
+        &["dataset", "paris_lb", "messi_lb", "messi_over_paris_pct"],
+    );
+    for (name, paris_lb, messi_lb, _, _) in gather(scale) {
+        table.row(vec![
+            name.into(),
+            paris_lb.into(),
+            messi_lb.into(),
+            (100.0 * messi_lb / paris_lb.max(1.0)).into(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 17b — mean real distance calculations per query.
+///
+/// Paper: the priority queues make the BSF converge faster, so MESSI's
+/// candidate set is much smaller than ParIS's on every dataset.
+pub fn fig17b(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig17b",
+        "real distance calculations per query (ParIS vs MESSI)",
+        "MESSI well below ParIS on every dataset",
+        &["dataset", "paris_real", "messi_real", "messi_over_paris_pct"],
+    );
+    for (name, _, _, paris_real, messi_real) in gather(scale) {
+        table.row(vec![
+            name.into(),
+            paris_real.into(),
+            messi_real.into(),
+            (100.0 * messi_real / paris_real.max(1.0)).into(),
+        ]);
+    }
+    table
+}

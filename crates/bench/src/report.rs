@@ -1,0 +1,232 @@
+//! Result tables: aligned text to stdout + CSV files for plotting.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A cell value.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Free-form text.
+    Text(String),
+    /// Integer count.
+    Int(u64),
+    /// Floating-point value, 3 significant decimals.
+    Float(f64),
+    /// A duration, printed in adaptive units.
+    Time(Duration),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.3}"),
+            Cell::Time(d) => format_duration(*d),
+        }
+    }
+
+    fn csv(&self) -> String {
+        match self {
+            Cell::Text(s) => s.replace(',', ";"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v}"),
+            Cell::Time(d) => format!("{}", d.as_secs_f64()),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as u64)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+impl From<Duration> for Cell {
+    fn from(v: Duration) -> Self {
+        Cell::Time(v)
+    }
+}
+
+/// Adaptive duration formatting (`412µs`, `3.2ms`, `1.84s`).
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// A figure's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure id, e.g. `"fig11"` (used for the CSV filename).
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// What the paper reports for this figure (one line).
+    pub paper_expectation: String,
+    header: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Starts a table with the given column names.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_expectation: impl Into<String>,
+        header: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_expectation: paper_expectation.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "paper: {}", self.paper_expectation);
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `target/bench-results/<id>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_csv() {
+            eprintln!("warning: could not write CSV for {}: {e}", self.id);
+        }
+    }
+
+    /// Writes the CSV form; returns the path written.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+        )
+        .join("bench-results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = self.header.join(",");
+        csv.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(Cell::csv).collect();
+            csv.push_str(&line.join(","));
+            csv.push('\n');
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("figX", "demo", "expectation", &["a", "bbbb"]);
+        t.row(vec![1u64.into(), Duration::from_millis(3).into()]);
+        t.row(vec![100u64.into(), "text".into()]);
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("expectation"));
+        assert!(s.contains("3.00ms"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("f", "t", "p", &["a"]);
+        t.row(vec![1u64.into(), 2u64.into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("test_csv_roundtrip", "t", "p", &["x", "y"]);
+        t.row(vec![1u64.into(), 2.5f64.into()]);
+        let path = t.write_csv().expect("csv written");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2.5\n");
+    }
+}

@@ -1,0 +1,158 @@
+//! Batch query execution.
+//!
+//! The paper evaluates queries "in a sequential fashion, one after the
+//! other, in order to simulate an exploratory analysis scenario" — each
+//! query monopolizing all Ns search workers ([`search_batch`]). A
+//! production system also meets the opposite workload: many independent
+//! queries arriving together, where throughput matters more than single
+//! query latency. [`search_batch_interquery`] serves that case by running
+//! the queries concurrently, one single-threaded exact search per pool
+//! worker — no per-query coordination at all, at the cost of each query
+//! running sequentially inside.
+//!
+//! Both return exactly the same answers (every search is exact).
+
+use crate::config::QueryConfig;
+use crate::exact::QueryAnswer;
+use crate::index::MessiIndex;
+use crate::stats::QueryStatsAggregate;
+use messi_series::Dataset;
+use messi_sync::Dispenser;
+use parking_lot::Mutex;
+
+/// Answers all `queries` sequentially (the paper's protocol): each query
+/// uses the full worker complement of `config`.
+///
+/// Returns one answer per query, in query order, plus aggregate stats.
+///
+/// ```
+/// use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+/// use messi_series::gen::{self, DatasetKind};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 4));
+/// let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+/// let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 5, 4);
+///
+/// let (answers, agg) = messi_core::batch::search_batch(&index, &queries, &QueryConfig::for_tests());
+/// assert_eq!(answers.len(), 5);
+/// assert_eq!(agg.queries, 5);
+/// ```
+pub fn search_batch(
+    index: &MessiIndex,
+    queries: &Dataset,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut agg = QueryStatsAggregate::default();
+    for q in queries.iter() {
+        let (ans, stats) = crate::exact::exact_search(index, q, config);
+        agg.add(&stats);
+        answers.push(ans);
+    }
+    (answers, agg)
+}
+
+/// Answers all `queries` concurrently: `parallelism` pool workers each
+/// run single-threaded exact searches, pulling queries via Fetch&Inc.
+///
+/// `config.num_workers` and `num_queues` are ignored (each query runs
+/// with one worker and one queue); kernel/BSF settings apply.
+///
+/// # Panics
+///
+/// Panics if `parallelism == 0` or query lengths mismatch the index.
+pub fn search_batch_interquery(
+    index: &MessiIndex,
+    queries: &Dataset,
+    parallelism: usize,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
+    assert!(parallelism > 0, "parallelism must be positive");
+    let per_query = QueryConfig {
+        num_workers: 1,
+        num_queues: 1,
+        ..config.clone()
+    };
+    let dispenser = Dispenser::new(queries.len());
+    let slots: Vec<Mutex<Option<QueryAnswer>>> =
+        (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    let agg = Mutex::new(QueryStatsAggregate::default());
+    messi_sync::WorkerPool::global().run(parallelism.min(queries.len().max(1)), &|_pid| {
+        let mut local_agg = QueryStatsAggregate::default();
+        while let Some(qi) = dispenser.next() {
+            let (ans, stats) = crate::exact::exact_search(index, queries.series(qi), &per_query);
+            local_agg.add(&stats);
+            *slots[qi].lock() = Some(ans);
+        }
+        let mut shared = agg.lock();
+        shared.queries += local_agg.queries;
+        shared.lb_distance_calcs += local_agg.lb_distance_calcs;
+        shared.real_distance_calcs += local_agg.real_distance_calcs;
+        shared.bsf_updates += local_agg.bsf_updates;
+        shared.total_time += local_agg.total_time;
+    });
+    let answers = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every query answered"))
+        .collect();
+    (answers, agg.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Dataset>, MessiIndex, Dataset) {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 91));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 8, 91);
+        (data, index, queries)
+    }
+
+    #[test]
+    fn sequential_batch_matches_individual_queries() {
+        let (_, index, queries) = setup();
+        let config = QueryConfig::for_tests();
+        let (batch, agg) = search_batch(&index, &queries, &config);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(agg.queries, 8);
+        for (qi, ans) in batch.iter().enumerate() {
+            let (single, _) = index.search(queries.series(qi), &config);
+            assert_eq!(ans.pos, single.pos);
+            assert!((ans.dist_sq - single.dist_sq).abs() <= 1e-4 * single.dist_sq.max(1.0));
+        }
+    }
+
+    #[test]
+    fn interquery_batch_is_exact_and_ordered() {
+        let (data, index, queries) = setup();
+        for parallelism in [1usize, 3, 8, 32] {
+            let (batch, agg) = search_batch_interquery(
+                &index,
+                &queries,
+                parallelism,
+                &QueryConfig::for_tests(),
+            );
+            assert_eq!(batch.len(), 8);
+            assert_eq!(agg.queries, 8);
+            for (qi, ans) in batch.iter().enumerate() {
+                let (_, bf) = data.nearest_neighbor_brute_force(queries.series(qi));
+                assert!(
+                    (ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0),
+                    "parallelism={parallelism} query={qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn rejects_zero_parallelism() {
+        let (_, index, queries) = setup();
+        search_batch_interquery(&index, &queries, 0, &QueryConfig::for_tests());
+    }
+}

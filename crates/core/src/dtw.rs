@@ -1,0 +1,343 @@
+//! Exact DTW 1-NN search via LB_Keogh envelopes (Fig. 19).
+//!
+//! "We note that no changes are required in the index structure; we just
+//! have to build the envelope of the LB_Keogh method around the query
+//! series, and then search the index using this envelope" (§IV). The
+//! search skeleton is identical to [`crate::exact`]; only the bounds
+//! change, forming the classic three-level cascade:
+//!
+//! ```text
+//! mindist_env(envelope PAA, iSAX) ≤ LB_Keogh(query, c) ≤ DTW(query, c)
+//! ```
+//!
+//! Node pruning and queue priorities use the envelope mindist; leaf
+//! entries are filtered by envelope mindist, then LB_Keogh on the raw
+//! candidate, and only survivors pay the full banded-DTW cost (with early
+//! abandoning against the BSF).
+
+use crate::config::QueryConfig;
+use crate::exact::{Bsf, QueryAnswer};
+use crate::index::MessiIndex;
+use crate::node::{LeafNode, Node};
+use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
+use messi_sax::mindist::{mindist_sq_node_env, MindistTable};
+use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
+use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
+use messi_series::paa::paa;
+use messi_sync::{Dispenser, QueueSet, SenseBarrier};
+use std::time::Instant;
+
+/// Exact DTW 1-NN search over `index` with a Sakoe-Chiba band.
+///
+/// Returns the position of the series minimizing the banded DTW distance
+/// to `query`, its squared DTW cost, and query statistics (where
+/// `real_distance_calcs` counts full DTW evaluations and
+/// `lb_distance_calcs` counts mindist *and* LB_Keogh evaluations).
+///
+/// # Panics
+///
+/// Panics if the query length differs from the indexed series length or
+/// the configuration is invalid.
+pub fn exact_search_dtw(
+    index: &MessiIndex,
+    query: &[f32],
+    params: DtwParams,
+    config: &QueryConfig,
+) -> (QueryAnswer, QueryStats) {
+    config.validate();
+    let t_start = Instant::now();
+    let segments = index.sax_config().segments;
+
+    // Envelope and its PAA: the "query summary" of DTW search.
+    let (query_sax, _) = index.summarize_query(query);
+    let env = Envelope::new(query, params);
+    let paa_lower = paa(&env.lower, segments);
+    let paa_upper = paa(&env.upper, segments);
+    let table = MindistTable::from_envelope(&paa_lower, &paa_upper, index.sax_config());
+
+    // Initial BSF: cascade-scan the query's home leaf.
+    let stats = SharedQueryStats::new();
+    let (d0, p0) = seed_bsf(index, query, &query_sax, &env, params, &stats);
+    let bsf = Bsf::new(config.bsf, d0, p0);
+
+    let queues: QueueSet<&LeafNode> = QueueSet::new(config.num_queues);
+    let barrier = SenseBarrier::new(config.num_workers);
+    let dispenser = Dispenser::new(index.touched.len());
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    messi_sync::WorkerPool::global().run(config.num_workers, &|pid| {
+        let nq = queues.len();
+        let mut cursor = pid % nq;
+        let mut local = LocalStats::default();
+        while let Some(i) = dispenser.next() {
+            let key = index.touched[i];
+            let node = index.roots[key].as_deref().expect("touched ⇒ present");
+            traverse_env(
+                index,
+                node,
+                &paa_lower,
+                &paa_upper,
+                &bsf,
+                &queues,
+                &mut cursor,
+                &mut local,
+            );
+        }
+        barrier.wait();
+        let mut q = pid % nq;
+        loop {
+            drain_queue_dtw(
+                index, query, &env, params, &table, &bsf, &queues, q, &mut local,
+            );
+            match queues.next_unfinished(q + 1) {
+                Some(next) => q = next,
+                None => break,
+            }
+        }
+        local.flush(&stats);
+    });
+
+    let (dist_sq, pos) = bsf.load_with_pos();
+    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    (QueryAnswer { pos, dist_sq }, stats)
+}
+
+/// Scans the query's home leaf with the LB_Keogh → DTW cascade to seed
+/// the BSF. Falls back to `+inf` when the home subtree is empty.
+fn seed_bsf(
+    index: &MessiIndex,
+    query: &[f32],
+    query_sax: &messi_sax::word::SaxWord,
+    env: &Envelope,
+    params: DtwParams,
+    stats: &SharedQueryStats,
+) -> (f32, u32) {
+    let key = messi_sax::root_key::root_key(query_sax, index.sax_config().segments);
+    let mut cur = match index.root(key) {
+        Some(n) => n,
+        None => return (f32::INFINITY, u32::MAX),
+    };
+    loop {
+        match cur {
+            Node::Inner(inner) => {
+                let seg = inner.split_segment as usize;
+                cur = if inner.word.child_of(query_sax, seg) {
+                    &inner.right
+                } else {
+                    &inner.left
+                };
+            }
+            Node::Leaf(leaf) => {
+                let mut best = (f32::INFINITY, u32::MAX);
+                for e in &leaf.entries {
+                    let candidate = index.dataset.series(e.pos as usize);
+                    stats.lb_distance_calcs.inc();
+                    if lb_keogh_sq_early_abandon(env, candidate, best.0) >= best.0 {
+                        continue;
+                    }
+                    stats.real_distance_calcs.inc();
+                    let d = dtw_sq_early_abandon(query, candidate, params, best.0);
+                    if d < best.0 {
+                        best = (d, e.pos);
+                    }
+                }
+                return best;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn traverse_env<'a>(
+    index: &'a MessiIndex,
+    node: &'a Node,
+    paa_lower: &[f32],
+    paa_upper: &[f32],
+    bsf: &Bsf,
+    queues: &QueueSet<&'a LeafNode>,
+    cursor: &mut usize,
+    local: &mut LocalStats,
+) {
+    let d = mindist_sq_node_env(paa_lower, paa_upper, &index.scales, node.word());
+    local.lb += 1;
+    if d >= bsf.load() {
+        return;
+    }
+    match node {
+        Node::Leaf(leaf) => {
+            queues.push_round_robin(cursor, d, leaf);
+            local.inserted += 1;
+        }
+        Node::Inner(inner) => {
+            traverse_env(
+                index,
+                &inner.left,
+                paa_lower,
+                paa_upper,
+                bsf,
+                queues,
+                cursor,
+                local,
+            );
+            traverse_env(
+                index,
+                &inner.right,
+                paa_lower,
+                paa_upper,
+                bsf,
+                queues,
+                cursor,
+                local,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_queue_dtw(
+    index: &MessiIndex,
+    query: &[f32],
+    env: &Envelope,
+    params: DtwParams,
+    table: &MindistTable,
+    bsf: &Bsf,
+    queues: &QueueSet<&LeafNode>,
+    q: usize,
+    local: &mut LocalStats,
+) {
+    let queue = queues.queue(q);
+    loop {
+        if queue.is_finished() {
+            return;
+        }
+        match queue.pop_min() {
+            None => {
+                queue.mark_finished();
+                return;
+            }
+            Some((dist, leaf)) => {
+                local.popped += 1;
+                if dist >= bsf.load() {
+                    local.filtered += 1;
+                    queue.mark_finished();
+                    return;
+                }
+                for e in &leaf.entries {
+                    // Level 1: envelope mindist on the iSAX summary.
+                    local.lb += 1;
+                    let bound = bsf.load();
+                    if table.mindist_sq(&e.sax) >= bound {
+                        continue;
+                    }
+                    // Level 2: LB_Keogh on the raw candidate.
+                    let candidate = index.dataset.series(e.pos as usize);
+                    local.lb += 1;
+                    if lb_keogh_sq_early_abandon(env, candidate, bound) >= bound {
+                        continue;
+                    }
+                    // Level 3: full banded DTW.
+                    local.real += 1;
+                    let d = dtw_sq_early_abandon(query, candidate, params, bound);
+                    if d < bound && bsf.update_min(d, e.pos) {
+                        local.bsf_updates += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::distance::dtw::dtw_sq;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn brute_force_dtw(
+        data: &messi_series::Dataset,
+        query: &[f32],
+        params: DtwParams,
+    ) -> (usize, f32) {
+        let mut best = (0usize, f32::INFINITY);
+        for (i, s) in data.iter().enumerate() {
+            let d = dtw_sq(query, s, params);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn dtw_search_matches_brute_force() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 31));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let params = DtwParams::paper_default(256);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 31);
+        for q in queries.iter() {
+            let (ans, stats) = exact_search_dtw(&index, q, params, &QueryConfig::for_tests());
+            let (bf_pos, bf_dist) = brute_force_dtw(&data, q, params);
+            assert!(
+                (ans.dist_sq - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0),
+                "{} vs {bf_dist}",
+                ans.dist_sq
+            );
+            if ans.pos as usize != bf_pos {
+                let d = dtw_sq(q, data.series(ans.pos as usize), params);
+                assert!((d - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0));
+            }
+            assert!(
+                stats.real_distance_calcs < data.len() as u64,
+                "DTW search should prune"
+            );
+        }
+    }
+
+    #[test]
+    fn dtw_search_on_smooth_data() {
+        // SALD-like data warps well; exactness must hold regardless.
+        let data = Arc::new(gen::generate(DatasetKind::Sald, 200, 8));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let params = DtwParams::paper_default(128);
+        let queries = gen::queries::generate_queries(DatasetKind::Sald, 3, 8);
+        for q in queries.iter() {
+            let (ans, _) = exact_search_dtw(&index, q, params, &QueryConfig::for_tests());
+            let (_, bf_dist) = brute_force_dtw(&data, q, params);
+            assert!((ans.dist_sq - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0));
+        }
+    }
+
+    #[test]
+    fn member_query_has_zero_dtw() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 100, 2));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let q = data.series(5).to_vec();
+        let params = DtwParams::paper_default(256);
+        let (ans, _) = exact_search_dtw(&index, &q, params, &QueryConfig::for_tests());
+        assert_eq!(ans.dist_sq, 0.0);
+    }
+
+    #[test]
+    fn zero_window_dtw_equals_euclidean_search() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 150, 3));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 3);
+        for q in queries.iter() {
+            let (dtw_ans, _) = exact_search_dtw(
+                &index,
+                q,
+                DtwParams { window: 0 },
+                &QueryConfig::for_tests(),
+            );
+            let (ed_ans, _) = crate::exact::exact_search(&index, q, &QueryConfig::for_tests());
+            assert!(
+                (dtw_ans.dist_sq - ed_ans.dist_sq).abs() <= 1e-3 * ed_ans.dist_sq.max(1.0),
+                "{} vs {}",
+                dtw_ans.dist_sq,
+                ed_ans.dist_sq
+            );
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The [`MessiIndex`] handle: the finished tree plus approximate search.
+
+use crate::config::IndexConfig;
+use crate::node::{LeafNode, Node};
+use crate::stats::BuildStats;
+use messi_sax::convert::{SaxConfig, SaxConverter};
+use messi_sax::mindist::mindist_sq_node;
+use messi_sax::root_key::root_key;
+use messi_sax::word::SaxWord;
+use messi_series::distance::euclidean::ed_sq_early_abandon_with;
+use messi_series::distance::Kernel;
+use messi_series::Dataset;
+use std::sync::Arc;
+
+/// The MESSI in-memory data-series index.
+///
+/// Holds (an `Arc` to) the raw dataset, the iSAX configuration, and the
+/// index tree: a dense array of up to 2^w root subtrees. Built with
+/// [`MessiIndex::build`]; queried with [`MessiIndex::search`]
+/// (exact 1-NN), [`crate::knn`] (exact k-NN), or [`crate::dtw`] (exact
+/// DTW 1-NN).
+#[derive(Debug)]
+pub struct MessiIndex {
+    pub(crate) dataset: Arc<Dataset>,
+    pub(crate) config: IndexConfig,
+    pub(crate) sax_config: SaxConfig,
+    /// Segment lengths as f32 (mindist scale factors).
+    pub(crate) scales: Vec<f32>,
+    /// Root children, indexed by root key; `None` = empty subtree.
+    pub(crate) roots: Vec<Option<Box<Node>>>,
+    /// Keys of the non-empty root subtrees, ascending.
+    pub(crate) touched: Vec<usize>,
+}
+
+impl MessiIndex {
+    /// Builds the index over `dataset` (Alg. 1–4). Returns the index and
+    /// its construction statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the configuration is invalid for
+    /// its shape.
+    pub fn build(dataset: Arc<Dataset>, config: &IndexConfig) -> (Self, BuildStats) {
+        crate::build::build_index(dataset, config)
+    }
+
+    /// Assembles an index from externally built root subtrees.
+    ///
+    /// This exists for the ParIS baseline (`messi-baselines`), which
+    /// shares the tree *structure* with MESSI but constructs it with its
+    /// own (locked-buffer) algorithm. `roots` must be indexed by root key
+    /// and have length `2^config.segments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a root-array length mismatch or invalid configuration.
+    #[doc(hidden)]
+    pub fn from_parts(
+        dataset: Arc<Dataset>,
+        config: IndexConfig,
+        roots: Vec<Option<Box<Node>>>,
+    ) -> Self {
+        config.validate(dataset.series_len());
+        let sax_config = SaxConfig::new(config.segments, dataset.series_len());
+        assert_eq!(
+            roots.len(),
+            sax_config.num_root_subtrees(),
+            "root array must have 2^segments slots"
+        );
+        let touched = (0..roots.len()).filter(|&k| roots[k].is_some()).collect();
+        Self {
+            scales: messi_sax::mindist::segment_scales(sax_config),
+            dataset,
+            config,
+            sax_config,
+            roots,
+            touched,
+        }
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The iSAX summarization parameters.
+    pub fn sax_config(&self) -> SaxConfig {
+        self.sax_config
+    }
+
+    /// Mindist scale factors (segment lengths), shared with search code.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of indexed series.
+    pub fn num_series(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Keys of non-empty root subtrees.
+    pub fn touched_keys(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// The subtree for `key`, if non-empty.
+    pub fn root(&self, key: usize) -> Option<&Node> {
+        self.roots.get(key).and_then(|n| n.as_deref())
+    }
+
+    /// Total leaves in the index.
+    pub fn num_leaves(&self) -> usize {
+        self.touched
+            .iter()
+            .map(|&k| {
+                self.roots[k]
+                    .as_ref()
+                    .expect("touched ⇒ present")
+                    .num_leaves()
+            })
+            .sum()
+    }
+
+    /// Height of the tallest root subtree.
+    pub fn max_height(&self) -> usize {
+        self.touched
+            .iter()
+            .map(|&k| self.roots[k].as_ref().expect("touched ⇒ present").height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Exact 1-NN search (Alg. 5–9). Returns the answer and per-query
+    /// statistics. See [`crate::exact::exact_search`].
+    pub fn search(
+        &self,
+        query: &[f32],
+        config: &crate::config::QueryConfig,
+    ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
+        crate::exact::exact_search(self, query, config)
+    }
+
+    /// *Approximate* 1-NN search: one descent to the query's home leaf
+    /// and a scan of that leaf only — the operation MESSI uses to seed
+    /// its BSF (Alg. 5 line 3), exposed as a public query mode in the
+    /// tradition of the iSAX family (ADS+ and progressive-search
+    /// front-ends answer from exactly this leaf). Typically within a few
+    /// percent of the exact answer (§III-B: "the initial value of BSF is
+    /// very close to its final value") at a tiny fraction of the cost.
+    pub fn search_approximate(
+        &self,
+        query: &[f32],
+        kernel: Kernel,
+    ) -> crate::exact::QueryAnswer {
+        let (sax, paa) = self.summarize_query(query);
+        let (dist_sq, pos) = self.approximate_search(query, &sax, &paa, kernel);
+        crate::exact::QueryAnswer { pos, dist_sq }
+    }
+
+    /// Converts a query series to `(iSAX word, PAA)` using this index's
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length differs from the indexed series length.
+    pub fn summarize_query(&self, query: &[f32]) -> (SaxWord, Vec<f32>) {
+        assert_eq!(
+            query.len(),
+            self.dataset.series_len(),
+            "query length must match indexed series length"
+        );
+        let mut conv = SaxConverter::new(self.sax_config);
+        let (word, paa) = conv.convert_with_paa(query);
+        (word, paa.to_vec())
+    }
+
+    /// Approximate search (Alg. 5 line 3 / Fig. 4a): descend the tree
+    /// toward the query's own iSAX region and compute real distances over
+    /// one leaf. Returns `(squared distance, position)` — the initial BSF.
+    ///
+    /// When the query's root subtree is empty, falls back to the subtree
+    /// with the smallest node mindist, descending greedily.
+    pub fn approximate_search(
+        &self,
+        query: &[f32],
+        query_sax: &SaxWord,
+        query_paa: &[f32],
+        kernel: Kernel,
+    ) -> (f32, u32) {
+        let key = root_key(query_sax, self.sax_config.segments);
+        let node = match self.root(key) {
+            Some(n) => n,
+            None => {
+                // Empty home subtree: greedy-best entry point instead.
+                let best = self
+                    .touched
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da = mindist_sq_node(
+                            query_paa,
+                            &self.scales,
+                            self.roots[a].as_ref().expect("touched").word(),
+                        );
+                        let db = mindist_sq_node(
+                            query_paa,
+                            &self.scales,
+                            self.roots[b].as_ref().expect("touched").word(),
+                        );
+                        da.total_cmp(&db)
+                    })
+                    .expect("index is never empty");
+                self.roots[*best].as_ref().expect("touched")
+            }
+        };
+        let leaf = self.descend(node, query_sax, query_paa);
+        self.scan_leaf(leaf, query, kernel)
+    }
+
+    /// Descends from `node` to a leaf, following the query's summary bits
+    /// where possible and the smaller-mindist child otherwise.
+    fn descend<'a>(
+        &self,
+        mut node: &'a Node,
+        query_sax: &SaxWord,
+        query_paa: &[f32],
+    ) -> &'a LeafNode {
+        loop {
+            match node {
+                Node::Leaf(leaf) => return leaf,
+                Node::Inner(inner) => {
+                    let seg = inner.split_segment as usize;
+                    node = if inner.word.contains(query_sax, self.sax_config.segments) {
+                        if inner.word.child_of(query_sax, seg) {
+                            &inner.right
+                        } else {
+                            &inner.left
+                        }
+                    } else {
+                        // Off the query's own path (fallback entry): pick
+                        // the closer child by node mindist.
+                        let dl = mindist_sq_node(query_paa, &self.scales, inner.left.word());
+                        let dr = mindist_sq_node(query_paa, &self.scales, inner.right.word());
+                        if dl <= dr {
+                            &inner.left
+                        } else {
+                            &inner.right
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Computes real distances between the query and every series in
+    /// `leaf`, returning the minimum and its position.
+    fn scan_leaf(&self, leaf: &LeafNode, query: &[f32], kernel: Kernel) -> (f32, u32) {
+        let mut best = (f32::INFINITY, u32::MAX);
+        for e in &leaf.entries {
+            let d = ed_sq_early_abandon_with(
+                kernel,
+                query,
+                self.dataset.series(e.pos as usize),
+                best.0,
+            );
+            if d < best.0 {
+                best = (d, e.pos);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+
+    fn small_index() -> MessiIndex {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 11));
+        let (index, _) = MessiIndex::build(data, &IndexConfig::for_tests());
+        index
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let index = small_index();
+        assert_eq!(index.num_series(), 400);
+        assert!(index.num_leaves() >= 1);
+        assert!(index.max_height() >= 1);
+        assert!(!index.touched_keys().is_empty());
+        for &k in index.touched_keys() {
+            assert!(index.root(k).is_some());
+        }
+        assert_eq!(index.sax_config().segments, 8);
+        assert_eq!(index.scales().len(), 8);
+    }
+
+    #[test]
+    fn approximate_search_returns_a_real_series() {
+        let index = small_index();
+        let queries = gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 5, 11, 256);
+        for q in queries.iter() {
+            let (sax, paa) = index.summarize_query(q);
+            let (d, pos) = index.approximate_search(q, &sax, &paa, Kernel::Auto);
+            assert!(pos != u32::MAX && (pos as usize) < index.num_series());
+            // The approximate answer upper-bounds the true NN distance.
+            let (_, true_d) = index.dataset().nearest_neighbor_brute_force(q);
+            assert!(d >= true_d - 1e-4, "approx {d} below exact {true_d}?");
+            // And it equals the distance to the returned series.
+            let check =
+                messi_series::distance::euclidean::ed_sq(q, index.dataset().series(pos as usize));
+            assert!((check - d).abs() <= 1e-3 * check.max(1.0));
+        }
+    }
+
+    #[test]
+    fn public_approximate_search_upper_bounds_exact() {
+        let index = small_index();
+        let queries =
+            gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 4, 12, 256);
+        for q in queries.iter() {
+            let approx = index.search_approximate(q, Kernel::Auto);
+            let (exact, _) = index.search(q, &crate::config::QueryConfig::for_tests());
+            assert!(
+                approx.dist_sq >= exact.dist_sq - 1e-4 * exact.dist_sq.max(1.0),
+                "approximate ({}) must never beat exact ({})",
+                approx.dist_sq,
+                exact.dist_sq
+            );
+            assert!((approx.pos as usize) < index.num_series());
+        }
+    }
+
+    #[test]
+    fn approximate_search_finds_exact_match_for_member_query() {
+        let index = small_index();
+        // A dataset member's approximate search must find distance 0 (its
+        // own leaf contains it).
+        let q = index.dataset().series(7).to_vec();
+        let (sax, paa) = index.summarize_query(&q);
+        let (d, pos) = index.approximate_search(&q, &sax, &paa, Kernel::Auto);
+        assert_eq!(d, 0.0);
+        // Possibly a different position if duplicates exist; distance must
+        // still be exactly zero.
+        let check =
+            messi_series::distance::euclidean::ed_sq(&q, index.dataset().series(pos as usize));
+        assert_eq!(check, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length")]
+    fn rejects_wrong_query_length() {
+        let index = small_index();
+        index.summarize_query(&[0.0; 10]);
+    }
+}

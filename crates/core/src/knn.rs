@@ -1,0 +1,408 @@
+//! Exact k-NN search.
+//!
+//! The paper motivates MESSI with "complex analytics algorithms (e.g.,
+//! k-NN classification)" (§I). Exact k-NN generalizes the 1-NN algorithm
+//! directly: the scalar BSF becomes the set of the k best candidates, and
+//! every bound is checked against the *k-th best* distance (which is
+//! `+inf` until k candidates exist, so nothing is pruned prematurely).
+//!
+//! The candidate set is a small mutex-protected max-heap with a cached
+//! atomic bound, the same trick as the BSF: reads in the hot loop are a
+//! single atomic load; the lock is only taken on candidate insertion,
+//! which (like BSF updates, §III-B) happens a handful of times per query.
+
+use crate::config::QueryConfig;
+use crate::exact::QueryAnswer;
+use crate::index::MessiIndex;
+use crate::node::{LeafNode, Node};
+use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
+use messi_sax::mindist::{mindist_sq_node, MindistTable};
+use messi_series::distance::euclidean::ed_sq_early_abandon_with;
+use messi_series::distance::Kernel;
+use messi_sync::{Dispenser, QueueSet, SenseBarrier};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Max-heap item: the worst current candidate sits on top.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    dist_sq: f32,
+    pos: u32,
+}
+
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist_sq
+            .total_cmp(&other.dist_sq)
+            .then(self.pos.cmp(&other.pos))
+    }
+}
+
+/// Shared k-best set with a cached pruning bound.
+pub(crate) struct KnnSet {
+    k: usize,
+    heap: Mutex<BinaryHeap<Candidate>>,
+    /// Bits of the current k-th best distance (`+inf` until full).
+    bound_bits: AtomicU32,
+}
+
+impl KnnSet {
+    pub(crate) fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: Mutex::new(BinaryHeap::with_capacity(k + 1)),
+            bound_bits: AtomicU32::new(f32::INFINITY.to_bits()),
+        }
+    }
+
+    /// Current pruning bound: the k-th best distance (or `+inf`).
+    /// Non-negative floats order like their bit patterns, so a relaxed
+    /// u32 load suffices.
+    #[inline]
+    pub(crate) fn bound(&self) -> f32 {
+        f32::from_bits(self.bound_bits.load(Ordering::Acquire))
+    }
+
+    /// Offers a candidate; ignores duplicates of an already-present
+    /// position (a leaf may be scanned via the seeding phase *and* the
+    /// queue phase). Returns whether the set changed.
+    pub(crate) fn offer(&self, dist_sq: f32, pos: u32) -> bool {
+        if dist_sq >= self.bound() {
+            return false;
+        }
+        let mut heap = self.heap.lock();
+        if heap.iter().any(|c| c.pos == pos) {
+            return false;
+        }
+        heap.push(Candidate { dist_sq, pos });
+        if heap.len() > self.k {
+            heap.pop();
+        }
+        if heap.len() == self.k {
+            let worst = heap.peek().expect("k > 0").dist_sq;
+            self.bound_bits.store(worst.to_bits(), Ordering::Release);
+        }
+        true
+    }
+
+    /// The final answers, ascending by distance.
+    pub(crate) fn into_sorted(self) -> Vec<QueryAnswer> {
+        let mut v: Vec<Candidate> = self.heap.into_inner().into_vec();
+        v.sort_by(|a, b| a.cmp(b));
+        v.into_iter()
+            .map(|c| QueryAnswer {
+                pos: c.pos,
+                dist_sq: c.dist_sq,
+            })
+            .collect()
+    }
+}
+
+/// Exact k-NN search: the k nearest series, ascending by distance.
+///
+/// Returns fewer than `k` answers only when the dataset holds fewer than
+/// `k` series.
+///
+/// ```
+/// use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+/// use messi_series::gen::{self, DatasetKind};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 500, 1));
+/// let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+/// let query = data.series(3).to_vec();
+///
+/// let (top3, _) = messi_core::knn::exact_knn(&index, &query, 3, &QueryConfig::for_tests());
+/// assert_eq!(top3.len(), 3);
+/// assert_eq!(top3[0].pos, 3, "a member query's nearest neighbor is itself");
+/// assert!(top3[0].dist_sq <= top3[1].dist_sq);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`, the query length mismatches, or the configuration
+/// is invalid.
+pub fn exact_knn(
+    index: &MessiIndex,
+    query: &[f32],
+    k: usize,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    config.validate();
+    assert!(k > 0, "k must be positive");
+    let t_start = Instant::now();
+
+    let (query_sax, query_paa) = index.summarize_query(query);
+    let table = MindistTable::new(&query_paa, index.sax_config());
+    let knn = KnnSet::new(k);
+
+    // Seed: scan the query's home leaf so the bound starts tight, exactly
+    // like 1-NN's approximate search but keeping all k candidates.
+    seed_from_home_leaf(index, query, &query_sax, &knn, config.kernel);
+
+    let queues: QueueSet<&LeafNode> = QueueSet::new(config.num_queues);
+    let barrier = SenseBarrier::new(config.num_workers);
+    let dispenser = Dispenser::new(index.touched.len());
+    let stats = SharedQueryStats::new();
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    messi_sync::WorkerPool::global().run(config.num_workers, &|pid| {
+        let nq = queues.len();
+        let mut cursor = pid % nq;
+        let mut local = LocalStats::default();
+        while let Some(i) = dispenser.next() {
+            let key = index.touched[i];
+            let node = index.roots[key].as_deref().expect("touched ⇒ present");
+            traverse(index, node, &query_paa, &knn, &queues, &mut cursor, &mut local);
+        }
+        barrier.wait();
+        let mut q = pid % nq;
+        loop {
+            drain_queue(
+                index,
+                query,
+                &table,
+                &knn,
+                &queues,
+                q,
+                &mut local,
+                config.kernel,
+            );
+            match queues.next_unfinished(q + 1) {
+                Some(next) => q = next,
+                None => break,
+            }
+        }
+        local.flush(&stats);
+    });
+
+    let answers = knn.into_sorted();
+    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    (answers, stats)
+}
+
+fn seed_from_home_leaf(
+    index: &MessiIndex,
+    query: &[f32],
+    query_sax: &messi_sax::word::SaxWord,
+    knn: &KnnSet,
+    kernel: Kernel,
+) {
+    // Reuse approximate search's entry-point logic by scanning the leaf it
+    // lands on: run it once to find *a* close series, then offer the whole
+    // leaf the 1-NN scan looked at. Simplest faithful variant: offer every
+    // entry of the home leaf.
+    let key = messi_sax::root_key::root_key(query_sax, index.sax_config().segments);
+    let node = match index.root(key) {
+        Some(n) => n,
+        None => return, // bound stays +inf; the main pass does the work
+    };
+    // Descend along the query's bits.
+    let mut cur = node;
+    loop {
+        match cur {
+            Node::Leaf(leaf) => {
+                for e in &leaf.entries {
+                    let bound = knn.bound();
+                    let d = ed_sq_early_abandon_with(
+                        kernel,
+                        query,
+                        index.dataset.series(e.pos as usize),
+                        bound,
+                    );
+                    if d < bound {
+                        knn.offer(d, e.pos);
+                    }
+                }
+                return;
+            }
+            Node::Inner(inner) => {
+                let seg = inner.split_segment as usize;
+                cur = if inner.word.child_of(query_sax, seg) {
+                    &inner.right
+                } else {
+                    &inner.left
+                };
+            }
+        }
+    }
+}
+
+fn traverse<'a>(
+    index: &'a MessiIndex,
+    node: &'a Node,
+    query_paa: &[f32],
+    knn: &KnnSet,
+    queues: &QueueSet<&'a LeafNode>,
+    cursor: &mut usize,
+    local: &mut LocalStats,
+) {
+    let d = mindist_sq_node(query_paa, &index.scales, node.word());
+    local.lb += 1;
+    if d >= knn.bound() {
+        return;
+    }
+    match node {
+        Node::Leaf(leaf) => {
+            queues.push_round_robin(cursor, d, leaf);
+            local.inserted += 1;
+        }
+        Node::Inner(inner) => {
+            traverse(index, &inner.left, query_paa, knn, queues, cursor, local);
+            traverse(index, &inner.right, query_paa, knn, queues, cursor, local);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_queue(
+    index: &MessiIndex,
+    query: &[f32],
+    table: &MindistTable,
+    knn: &KnnSet,
+    queues: &QueueSet<&LeafNode>,
+    q: usize,
+    local: &mut LocalStats,
+    kernel: Kernel,
+) {
+    let queue = queues.queue(q);
+    loop {
+        if queue.is_finished() {
+            return;
+        }
+        match queue.pop_min() {
+            None => {
+                queue.mark_finished();
+                return;
+            }
+            Some((dist, leaf)) => {
+                local.popped += 1;
+                if dist >= knn.bound() {
+                    local.filtered += 1;
+                    queue.mark_finished();
+                    return;
+                }
+                for e in &leaf.entries {
+                    local.lb += 1;
+                    let bound = knn.bound();
+                    if table.mindist_sq(&e.sax) >= bound {
+                        continue;
+                    }
+                    local.real += 1;
+                    let d = ed_sq_early_abandon_with(
+                        kernel,
+                        query,
+                        index.dataset.series(e.pos as usize),
+                        bound,
+                    );
+                    if d < bound && knn.offer(d, e.pos) {
+                        local.bsf_updates += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn brute_force_knn(data: &messi_series::Dataset, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, messi_series::distance::euclidean::ed_sq_scalar(query, s)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 500, 13));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 13);
+        for q in queries.iter() {
+            for k in [1usize, 3, 10, 25] {
+                let (got, _) = exact_knn(&index, q, k, &QueryConfig::for_tests());
+                let expect = brute_force_knn(&data, q, k);
+                assert_eq!(got.len(), k);
+                for (g, (_, ed)) in got.iter().zip(&expect) {
+                    assert!(
+                        (g.dist_sq - ed).abs() <= 1e-3 * ed.max(1.0),
+                        "k={k}: {} vs {ed}",
+                        g.dist_sq
+                    );
+                }
+                // Distances ascending.
+                for w in got.windows(2) {
+                    assert!(w[0].dist_sq <= w[1].dist_sq + 1e-6);
+                }
+                // No duplicate positions.
+                let mut positions: Vec<u32> = got.iter().map(|a| a.pos).collect();
+                positions.sort_unstable();
+                positions.dedup();
+                assert_eq!(positions.len(), k, "duplicate positions in k-NN answer");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 8, 5));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 5);
+        let (got, _) = exact_knn(&index, queries.series(0), 20, &QueryConfig::for_tests());
+        assert_eq!(got.len(), 8);
+    }
+
+    #[test]
+    fn k1_equals_exact_search() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 17));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 17);
+        for q in queries.iter() {
+            let (knn, _) = exact_knn(&index, q, 1, &QueryConfig::for_tests());
+            let (one, _) = crate::exact::exact_search(&index, q, &QueryConfig::for_tests());
+            assert!((knn[0].dist_sq - one.dist_sq).abs() <= 1e-4 * one.dist_sq.max(1.0));
+        }
+    }
+
+    #[test]
+    fn knn_set_semantics() {
+        let set = KnnSet::new(2);
+        assert_eq!(set.bound(), f32::INFINITY);
+        assert!(set.offer(5.0, 1));
+        assert_eq!(set.bound(), f32::INFINITY, "not full yet");
+        assert!(set.offer(3.0, 2));
+        assert_eq!(set.bound(), 5.0);
+        assert!(!set.offer(3.0, 2), "duplicate position rejected");
+        assert!(!set.offer(7.0, 3), "worse than bound rejected");
+        assert!(set.offer(1.0, 4));
+        assert_eq!(set.bound(), 3.0);
+        let answers = set.into_sorted();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].pos, 4);
+        assert_eq!(answers[1].pos, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        KnnSet::new(0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The MESSI in-memory data-series index (Peng, Fatourou, Palpanas;
+//! ICDE 2020).
+//!
+//! MESSI builds an iSAX tree over an in-memory collection of data series
+//! entirely in parallel, and answers *exact* 1-NN (and k-NN) similarity
+//! search queries with a tree-driven algorithm based on concurrent
+//! priority queues — the first index to answer exact queries over
+//! 100 GB collections at interactive (~50 ms) speeds.
+//!
+//! # Quick start
+//!
+//! ```
+//! use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+//! use messi_series::gen::{self, DatasetKind};
+//! use std::sync::Arc;
+//!
+//! // 1000 random-walk series of length 256 (the paper's default shape).
+//! let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 1000, 42));
+//! let queries = messi_series::gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 42);
+//!
+//! let (index, _stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+//! let (answer, _qstats) = index.search(queries.series(0), &QueryConfig::default());
+//!
+//! // The answer is exact: identical to a brute-force scan.
+//! let (bf_pos, bf_dist) = data.nearest_neighbor_brute_force(queries.series(0));
+//! assert_eq!(answer.pos as usize, bf_pos);
+//! assert!((answer.dist_sq - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0));
+//! ```
+//!
+//! # Module map (↔ paper sections)
+//!
+//! * [`config`] — index/query parameters (§IV-B's tuning knobs).
+//! * [`node`] — the index tree: root fan-out ≤ 2^w, binary inner nodes,
+//!   leaves holding `(iSAX summary, position)` pairs (§II-B, Fig. 1d).
+//! * [`build`] — two-phase parallel construction (Alg. 1–4, Fig. 3).
+//! * [`index`] — the [`MessiIndex`] handle and approximate search.
+//! * [`exact`] — exact 1-NN search with concurrent priority queues
+//!   (Alg. 5–9, Fig. 4), in single-queue (SQ) and multi-queue (MQ) modes.
+//! * [`knn`] — exact k-NN search (the paper's k-NN classification
+//!   application, §I).
+//! * [`range`] — exact ε-range search (the companion similarity-search
+//!   primitive of the iSAX index family).
+//! * [`batch`] — batch query execution: the paper's sequential protocol
+//!   and an inter-query parallel mode for throughput workloads.
+//! * [`dtw`] — exact DTW 1-NN search via LB_Keogh envelopes (Fig. 19).
+//! * [`stats`] — build/query statistics: distance-calculation counters
+//!   (Fig. 17) and per-phase time breakdown (Fig. 13).
+//! * [`validate`] — index invariant checker used by the test suite.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod batch;
+pub mod build;
+pub mod config;
+pub mod dtw;
+pub mod exact;
+pub mod index;
+pub mod knn;
+pub mod node;
+pub mod range;
+pub mod stats;
+pub mod validate;
+
+pub use config::{BsfPolicy, BuildVariant, IndexConfig, QueryConfig, QueuePolicy};
+pub use exact::QueryAnswer;
+pub use index::MessiIndex;
+pub use stats::{BuildStats, QueryStats, TimeBreakdown};

@@ -1,0 +1,358 @@
+//! The index tree.
+//!
+//! Three node kinds, as in §II-B / Fig. 1(d): a root with up to 2^w
+//! children (represented in [`crate::index::MessiIndex`] as a dense array
+//! indexed by root key), binary inner nodes carrying a
+//! variable-cardinality iSAX summary, and leaves holding the
+//! full-cardinality `(iSAX summary, position)` pairs of the series below
+//! them. Storing the summaries *in* the leaf (not pointers to a separate
+//! array) keeps queue-driven leaf scans sequential in memory — one of
+//! MESSI's deltas over ParIS (§I).
+
+use messi_sax::split::choose_split;
+use messi_sax::word::{NodeWord, SaxWord};
+
+/// A `(iSAX summary, series position)` pair — the unit the index stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// Full-cardinality iSAX summary of the series.
+    pub sax: SaxWord,
+    /// Position of the raw series in the dataset (`RawData` index).
+    pub pos: u32,
+}
+
+/// A leaf node: the iSAX summaries and positions of its series.
+#[derive(Debug)]
+pub struct LeafNode {
+    /// Variable-cardinality summary covering everything in this leaf.
+    pub word: NodeWord,
+    /// The stored `(summary, position)` pairs.
+    pub entries: Vec<LeafEntry>,
+}
+
+/// An inner (split) node with exactly two children.
+#[derive(Debug)]
+pub struct InnerNode {
+    /// Variable-cardinality summary covering the whole subtree.
+    pub word: NodeWord,
+    /// Which segment the split refined.
+    pub split_segment: u8,
+    /// Child whose refined bit is 0.
+    pub left: Box<Node>,
+    /// Child whose refined bit is 1.
+    pub right: Box<Node>,
+}
+
+/// A node of the index tree.
+#[derive(Debug)]
+pub enum Node {
+    /// Inner node (two children).
+    Inner(InnerNode),
+    /// Leaf node (stored entries).
+    Leaf(LeafNode),
+}
+
+impl Node {
+    /// Creates an empty leaf covering `word`.
+    pub fn empty_leaf(word: NodeWord) -> Self {
+        Node::Leaf(LeafNode {
+            word,
+            entries: Vec::new(),
+        })
+    }
+
+    /// The node's iSAX summary.
+    pub fn word(&self) -> &NodeWord {
+        match self {
+            Node::Inner(n) => &n.word,
+            Node::Leaf(n) => &n.word,
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of series stored in this subtree.
+    pub fn num_entries(&self) -> usize {
+        match self {
+            Node::Inner(n) => n.left.num_entries() + n.right.num_entries(),
+            Node::Leaf(n) => n.entries.len(),
+        }
+    }
+
+    /// Number of leaves in this subtree.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            Node::Inner(n) => n.left.num_leaves() + n.right.num_leaves(),
+            Node::Leaf(_) => 1,
+        }
+    }
+
+    /// Height of this subtree (a lone leaf has height 1).
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Inner(n) => 1 + n.left.height().max(n.right.height()),
+            Node::Leaf(_) => 1,
+        }
+    }
+
+    /// Visits every leaf in the subtree.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a LeafNode)) {
+        match self {
+            Node::Inner(n) => {
+                n.left.for_each_leaf(f);
+                n.right.for_each_leaf(f);
+            }
+            Node::Leaf(l) => f(l),
+        }
+    }
+}
+
+/// Inserts entries into a subtree, splitting overflowing leaves
+/// (Alg. 4 lines 7–11: "while targetLeaf is full do SplitNode").
+///
+/// Splits follow the balanced-segment policy of `messi_sax::split`. When a
+/// leaf's entries cannot be separated (identical summaries, or every
+/// segment at maximum cardinality) the leaf is allowed to overflow —
+/// further splits would loop forever without separating anything.
+#[derive(Debug, Clone, Copy)]
+pub struct SubtreeInserter {
+    /// Number of PAA segments (the paper's w).
+    pub segments: usize,
+    /// Leaf capacity before a split is attempted.
+    pub leaf_capacity: usize,
+}
+
+impl SubtreeInserter {
+    /// Inserts one entry into the subtree rooted at `node`.
+    ///
+    /// Equivalent to the paper's "while targetLeaf is full do SplitNode"
+    /// loop (Alg. 4 lines 8–10), phrased as push-then-rebalance: the entry
+    /// is appended to its leaf, then the leaf is split (repeatedly,
+    /// drilling through non-separating refinements) until every leaf on
+    /// the path is back within capacity or provably inseparable.
+    pub fn insert(&self, node: &mut Node, entry: LeafEntry) {
+        let mut current = node;
+        // Descend to the leaf responsible for this entry.
+        while !current.is_leaf() {
+            match current {
+                Node::Inner(inner) => {
+                    debug_assert!(inner.word.contains(&entry.sax, self.segments));
+                    current = if inner
+                        .word
+                        .child_of(&entry.sax, inner.split_segment as usize)
+                    {
+                        &mut *inner.right
+                    } else {
+                        &mut *inner.left
+                    };
+                }
+                Node::Leaf(_) => unreachable!("guarded by is_leaf"),
+            }
+        }
+        if let Node::Leaf(leaf) = &mut *current {
+            debug_assert!(leaf.word.contains(&entry.sax, self.segments));
+            leaf.entries.push(entry);
+        }
+        self.rebalance(current);
+    }
+
+    /// Splits `node` (and recursively any oversized children the split
+    /// produces) until capacity holds or the entries are inseparable.
+    fn rebalance(&self, node: &mut Node) {
+        let oversized = match &*node {
+            Node::Leaf(l) => l.entries.len() > self.leaf_capacity,
+            Node::Inner(_) => false,
+        };
+        if !oversized || !self.split_leaf(node) {
+            return;
+        }
+        if let Node::Inner(inner) = node {
+            self.rebalance(&mut inner.left);
+            self.rebalance(&mut inner.right);
+        }
+    }
+
+    /// Splits the leaf at `node` in place, turning it into an inner node
+    /// with two leaf children. Returns `false` only when the entries are
+    /// inseparable (identical summaries, or every segment at maximum
+    /// cardinality), in which case the leaf is left untouched.
+    ///
+    /// When no *single-bit* split separates the entries but their
+    /// summaries still differ, a segment whose deeper bits differ is
+    /// refined anyway (one child gets everything) — the paper's
+    /// "while targetLeaf is full do SplitNode" loop drills down until the
+    /// differing bit is reached.
+    fn split_leaf(&self, node: &mut Node) -> bool {
+        let (word, segment) = {
+            let leaf = match &*node {
+                Node::Leaf(l) => l,
+                Node::Inner(_) => panic!("split_leaf on inner node"),
+            };
+            let choice = match choose_split(
+                &leaf.word,
+                self.segments,
+                leaf.entries.iter().map(|e| &e.sax),
+            ) {
+                Some(c) => c,
+                None => return false, // every segment at max cardinality
+            };
+            let segment = if choice.is_separating() {
+                choice.segment
+            } else {
+                // Drill-down fallback: refine a segment whose full
+                // 8-bit symbols actually differ across entries (such a
+                // refinement chain separates within CARD_BITS splits).
+                let first = &leaf.entries[0].sax;
+                match (0..self.segments).find(|&i| {
+                    (leaf.word.bits(i) as usize) < messi_sax::CARD_BITS
+                        && leaf.entries.iter().any(|e| e.sax.symbol(i) != first.symbol(i))
+                }) {
+                    Some(i) => i,
+                    None => return false, // identical summaries: inseparable
+                }
+            };
+            (leaf.word, segment)
+        };
+        let entries = match &mut *node {
+            Node::Leaf(l) => std::mem::take(&mut l.entries),
+            Node::Inner(_) => unreachable!("checked above"),
+        };
+        let (zero_word, one_word) = word.refine(segment);
+        let mut left = LeafNode {
+            word: zero_word,
+            entries: Vec::new(),
+        };
+        let mut right = LeafNode {
+            word: one_word,
+            entries: Vec::new(),
+        };
+        for e in entries {
+            if word.child_of(&e.sax, segment) {
+                right.entries.push(e);
+            } else {
+                left.entries.push(e);
+            }
+        }
+        *node = Node::Inner(InnerNode {
+            word,
+            split_segment: segment as u8,
+            left: Box::new(Node::Leaf(left)),
+            right: Box::new(Node::Leaf(right)),
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use messi_sax::convert::{sax_word, SaxConfig};
+    use messi_sax::root_key::{node_word_for_root_key, root_key};
+
+    fn entry_for(series: &[f32], pos: u32, config: SaxConfig) -> LeafEntry {
+        LeafEntry {
+            sax: sax_word(series, config),
+            pos,
+        }
+    }
+
+    fn series(seed: u32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 + seed as f32 * 13.7) * (0.11 + 0.01 * seed as f32)).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn insert_without_split_accumulates() {
+        let word = NodeWord::root();
+        let mut node = Node::empty_leaf(word);
+        let ins = SubtreeInserter {
+            segments: 4,
+            leaf_capacity: 100,
+        };
+        let config = SaxConfig::new(4, 32);
+        for i in 0..50u32 {
+            ins.insert(&mut node, entry_for(&series(i, 32), i, config));
+        }
+        assert!(node.is_leaf());
+        assert_eq!(node.num_entries(), 50);
+        assert_eq!(node.num_leaves(), 1);
+        assert_eq!(node.height(), 1);
+    }
+
+    #[test]
+    fn overflowing_leaf_splits_and_partitions() {
+        let config = SaxConfig::new(4, 32);
+        // Insert everything under its proper root subtree word so splits
+        // are meaningful.
+        let mut groups: std::collections::HashMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..400u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups.entry(root_key(&e.sax, 4)).or_default().push(e);
+        }
+        let (key, entries) = groups
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("some group");
+        assert!(entries.len() > 8, "need a non-trivial group");
+        let ins = SubtreeInserter {
+            segments: 4,
+            leaf_capacity: 8,
+        };
+        let mut node = Node::empty_leaf(node_word_for_root_key(key, 4));
+        for e in &entries {
+            ins.insert(&mut node, *e);
+        }
+        assert_eq!(node.num_entries(), entries.len());
+        assert!(node.num_leaves() > 1, "should have split");
+        // Every leaf's entries are contained in the leaf's word, and no
+        // leaf (except unsplittable ones) exceeds capacity.
+        let mut seen = 0;
+        node.for_each_leaf(&mut |leaf| {
+            seen += leaf.entries.len();
+            for e in &leaf.entries {
+                assert!(leaf.word.contains(&e.sax, 4));
+            }
+            if leaf.entries.len() > ins.leaf_capacity {
+                // Only allowed when every entry has the same summary.
+                let first = leaf.entries[0].sax;
+                assert!(
+                    leaf.entries.iter().all(|e| e.sax == first),
+                    "oversized leaf with separable entries"
+                );
+            }
+        });
+        assert_eq!(seen, entries.len());
+    }
+
+    #[test]
+    fn identical_summaries_overflow_without_splitting() {
+        let config = SaxConfig::new(4, 32);
+        let s = series(1, 32);
+        let e = entry_for(&s, 0, config);
+        let key = root_key(&e.sax, 4);
+        let ins = SubtreeInserter {
+            segments: 4,
+            leaf_capacity: 4,
+        };
+        let mut node = Node::empty_leaf(node_word_for_root_key(key, 4));
+        for i in 0..20u32 {
+            ins.insert(&mut node, LeafEntry { pos: i, ..e });
+        }
+        assert!(node.is_leaf(), "identical words cannot separate");
+        assert_eq!(node.num_entries(), 20);
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let word = NodeWord::root();
+        let leaf = Node::empty_leaf(word);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.word(), &word);
+        assert_eq!(leaf.num_entries(), 0);
+        assert_eq!(leaf.height(), 1);
+    }
+}

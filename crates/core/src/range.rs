@@ -1,0 +1,264 @@
+//! Exact ε-range search.
+//!
+//! Returns *every* series within distance ε of the query — the other
+//! fundamental similarity-search primitive next to k-NN (the iSAX
+//! lineage the paper builds on supports both). The index algorithm is a
+//! simplification of exact 1-NN search: the pruning bound is the fixed
+//! ε² instead of a shrinking BSF, so no priority order and no barrier
+//! are needed — workers simply traverse root subtrees (Fetch&Inc),
+//! prune by node mindist, and cascade per-entry lower bounds to real
+//! distances, collecting matches.
+
+use crate::config::QueryConfig;
+use crate::exact::QueryAnswer;
+use crate::index::MessiIndex;
+use crate::node::Node;
+use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
+use messi_sax::mindist::{mindist_sq_leaf_scalar, mindist_sq_node, MindistTable};
+use messi_series::distance::euclidean::ed_sq_early_abandon_with;
+use messi_sync::Dispenser;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Exact range search: all series with squared Euclidean distance
+/// `<= epsilon_sq`, sorted ascending by distance (position breaks ties).
+///
+/// `config.num_queues` and `config.bsf` are ignored (no BSF exists —
+/// the bound is the fixed ε²).
+///
+/// ```
+/// use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+/// use messi_series::gen::{self, DatasetKind};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 2));
+/// let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+/// let query = data.series(7).to_vec();
+///
+/// // Radius 0 returns the query's exact duplicates (itself, here).
+/// let (hits, _) = messi_core::range::range_search(&index, &query, 0.0, &QueryConfig::for_tests());
+/// assert!(hits.iter().any(|a| a.pos == 7));
+/// assert!(hits.iter().all(|a| a.dist_sq == 0.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epsilon_sq` is negative or NaN, the query length differs
+/// from the indexed series length, or the configuration is invalid.
+pub fn range_search(
+    index: &MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    config.validate();
+    assert!(
+        epsilon_sq >= 0.0 && !epsilon_sq.is_nan(),
+        "epsilon_sq must be a non-negative number"
+    );
+    let t_start = Instant::now();
+    let (_, query_paa) = index.summarize_query(query);
+    let table = MindistTable::new(&query_paa, index.sax_config());
+    let use_simd = config.kernel.uses_simd();
+    // Early-abandon bound strictly above ε² so a distance of exactly ε²
+    // is still computed exactly (the abandon contract only guarantees
+    // exactness strictly below the bound).
+    let abandon_bound = next_up(epsilon_sq);
+
+    let dispenser = Dispenser::new(index.touched.len());
+    let stats = SharedQueryStats::new();
+    let results: Mutex<Vec<QueryAnswer>> = Mutex::new(Vec::new());
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    messi_sync::WorkerPool::global().run(config.num_workers, &|_pid| {
+        let mut local = LocalStats::default();
+        let mut found: Vec<QueryAnswer> = Vec::new();
+        let mut pending: Vec<&Node> = Vec::new();
+        while let Some(i) = dispenser.next() {
+            let key = index.touched[i];
+            pending.push(index.roots[key].as_deref().expect("touched ⇒ present"));
+            // Explicit stack instead of recursion: range search has no
+            // queue phase, so the traversal is the whole algorithm.
+            while let Some(node) = pending.pop() {
+                let d = mindist_sq_node(&query_paa, &index.scales, node.word());
+                local.lb += 1;
+                if d > epsilon_sq {
+                    continue;
+                }
+                match node {
+                    Node::Inner(inner) => {
+                        pending.push(&inner.left);
+                        pending.push(&inner.right);
+                    }
+                    Node::Leaf(leaf) => {
+                        for e in &leaf.entries {
+                            local.lb += 1;
+                            let lb = if use_simd {
+                                table.mindist_sq(&e.sax)
+                            } else {
+                                mindist_sq_leaf_scalar(&query_paa, &index.scales, &e.sax)
+                            };
+                            if lb > epsilon_sq {
+                                continue;
+                            }
+                            local.real += 1;
+                            let dist = ed_sq_early_abandon_with(
+                                config.kernel,
+                                query,
+                                index.dataset.series(e.pos as usize),
+                                abandon_bound,
+                            );
+                            if dist <= epsilon_sq {
+                                found.push(QueryAnswer {
+                                    pos: e.pos,
+                                    dist_sq: dist,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !found.is_empty() {
+            results.lock().extend(found);
+        }
+        local.flush(&stats);
+    });
+
+    let mut answers = results.into_inner();
+    answers.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.pos.cmp(&b.pos)));
+    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    (answers, stats)
+}
+
+/// Smallest f32 strictly greater than `x` (for non-negative finite `x`).
+#[inline]
+fn next_up(x: f32) -> f32 {
+    if x == 0.0 {
+        f32::MIN_POSITIVE
+    } else {
+        f32::from_bits(x.to_bits() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::distance::euclidean::ed_sq_scalar;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn setup(count: usize, seed: u64) -> (Arc<messi_series::Dataset>, MessiIndex) {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, count, seed));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        (data, index)
+    }
+
+    fn brute_force_range(
+        data: &messi_series::Dataset,
+        query: &[f32],
+        epsilon_sq: f32,
+    ) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, ed_sq_scalar(query, s)))
+            .filter(|(_, d)| *d <= epsilon_sq)
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (data, index) = setup(500, 71);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 71);
+        for q in queries.iter() {
+            // Pick ε around the 1-NN distance so results are non-trivial.
+            // Factors avoid sitting exactly on a member distance: the SIMD
+            // and scalar reductions may disagree by an ulp at the
+            // boundary, which would make equality-at-ε ill-defined.
+            let (_, nn) = data.nearest_neighbor_brute_force(q);
+            for factor in [0.5f32, 1.01, 2.0, 5.0] {
+                let eps = nn * factor;
+                let (got, stats) = range_search(&index, q, eps, &QueryConfig::for_tests());
+                let expect = brute_force_range(&data, q, eps);
+                // Every clearly-inside member must be found …
+                for (pos, d) in &expect {
+                    if *d <= eps * (1.0 - 1e-3) {
+                        assert!(
+                            got.iter().any(|g| g.pos == *pos),
+                            "eps={eps}: missing position {pos} at distance {d}"
+                        );
+                    }
+                }
+                // … and nothing clearly outside may appear.
+                for g in &got {
+                    let d = ed_sq_scalar(q, data.series(g.pos as usize));
+                    assert!(
+                        d <= eps * (1.0 + 1e-3),
+                        "eps={eps}: spurious position {} at distance {d}",
+                        g.pos
+                    );
+                    assert!((g.dist_sq - d).abs() <= 1e-3 * d.max(1.0));
+                }
+                assert!(stats.real_distance_calcs <= 500);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_epsilon_finds_exact_duplicates_only() {
+        let (data, index) = setup(200, 72);
+        // A member query matches itself (and any exact duplicates).
+        let q = data.series(11).to_vec();
+        let (got, _) = range_search(&index, &q, 0.0, &QueryConfig::for_tests());
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|a| a.dist_sq == 0.0));
+        assert!(got.iter().any(|a| a.pos == 11));
+        // A non-member query matches nothing.
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 72);
+        let (got, _) = range_search(&index, queries.series(0), 0.0, &QueryConfig::for_tests());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn huge_epsilon_returns_everything_sorted() {
+        let (_, index) = setup(150, 73);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 73);
+        let (got, _) =
+            range_search(&index, queries.series(0), f32::MAX, &QueryConfig::for_tests());
+        assert_eq!(got.len(), 150);
+        for w in got.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+    }
+
+    #[test]
+    fn range_prunes() {
+        let (_, index) = setup(800, 74);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 74);
+        let (_, stats) = range_search(&index, queries.series(0), 1.0, &QueryConfig::for_tests());
+        assert!(
+            stats.real_distance_calcs < 800 / 4,
+            "tiny ε should prune hard ({} real calcs)",
+            stats.real_distance_calcs
+        );
+    }
+
+    #[test]
+    fn next_up_is_strictly_greater() {
+        for x in [0.0f32, 1.0, 123.456, 1e30] {
+            assert!(next_up(x) > x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_epsilon() {
+        let (_, index) = setup(10, 75);
+        let q = index.dataset().series(0).to_vec();
+        range_search(&index, &q, -1.0, &QueryConfig::for_tests());
+    }
+}

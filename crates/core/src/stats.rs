@@ -1,0 +1,299 @@
+//! Build and query statistics.
+//!
+//! Two of the paper's evaluation figures are *about* these numbers:
+//! Fig. 13 breaks a query's wall time into initialization, tree pass,
+//! queue insertion, queue removal, and distance calculation; Fig. 17
+//! counts lower-bound and real distance calculations per algorithm. The
+//! structures here are shared by MESSI and the baseline implementations
+//! so the harness reports them uniformly.
+
+use messi_sync::Counter;
+use std::time::Duration;
+
+/// Statistics of one index construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildStats {
+    /// Wall time of the iSAX summarization phase (Alg. 3).
+    pub summarize_time: Duration,
+    /// Wall time of the tree-construction phase (Alg. 4).
+    pub tree_time: Duration,
+    /// Total wall time (summarize + barrier + tree).
+    pub total_time: Duration,
+    /// Series indexed.
+    pub num_series: usize,
+    /// Leaves in the finished tree.
+    pub num_leaves: usize,
+    /// Non-empty root subtrees.
+    pub num_root_subtrees: usize,
+    /// Height of the tallest root subtree.
+    pub max_height: usize,
+}
+
+/// Per-phase wall-time breakdown of a query (Fig. 13's stacked bars).
+///
+/// Components are summed across workers and then divided by the worker
+/// count, approximating per-phase elapsed time the way the paper reports
+/// it (the phases of different workers overlap almost perfectly thanks to
+/// the barrier and the balanced queues).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Approximate search + query summarization + queue setup (single
+    /// threaded), in nanoseconds.
+    pub init_ns: u64,
+    /// Index tree traversal (Alg. 7), averaged over workers.
+    pub tree_pass_ns: u64,
+    /// Priority-queue insertions, averaged over workers.
+    pub pq_insert_ns: u64,
+    /// Priority-queue removals, averaged over workers.
+    pub pq_remove_ns: u64,
+    /// Lower-bound + real distance calculations on leaf entries,
+    /// averaged over workers.
+    pub dist_calc_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Total of all components.
+    pub fn total_ns(&self) -> u64 {
+        self.init_ns + self.tree_pass_ns + self.pq_insert_ns + self.pq_remove_ns + self.dist_calc_ns
+    }
+}
+
+/// Statistics of one exact-search query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Lower-bound (mindist) distance calculations performed, counting
+    /// both node mindists during traversal and per-entry mindists during
+    /// queue processing (Fig. 17a).
+    pub lb_distance_calcs: u64,
+    /// Real (Euclidean or DTW) distance calculations performed (Fig. 17b).
+    pub real_distance_calcs: u64,
+    /// Times the shared BSF was improved (§III-B reports 10–12 per query).
+    pub bsf_updates: u64,
+    /// Leaf nodes inserted into priority queues.
+    pub nodes_inserted: u64,
+    /// Entries popped from priority queues.
+    pub nodes_popped: u64,
+    /// Popped entries discarded by the second filtering (bound ≥ BSF).
+    pub nodes_filtered_on_pop: u64,
+    /// Wall time of the whole query.
+    pub total_time: Duration,
+    /// The initial BSF (squared) produced by the approximate search —
+    /// §III-B observes it is "very close to its final value". Zero when
+    /// the algorithm has no approximate-search stage.
+    pub initial_bsf_dist_sq: f32,
+    /// Optional per-phase breakdown (collected when
+    /// `QueryConfig::collect_breakdown` is set).
+    pub breakdown: Option<TimeBreakdown>,
+}
+
+impl QueryStats {
+    /// Ratio `final BSF / initial BSF` in *distance* (not squared) terms —
+    /// 1.0 means the approximate search already found the answer.
+    pub fn approx_quality(&self, final_dist_sq: f32) -> f32 {
+        if self.initial_bsf_dist_sq <= 0.0 {
+            return 1.0;
+        }
+        (final_dist_sq / self.initial_bsf_dist_sq).sqrt()
+    }
+}
+
+/// Per-worker counter block, accumulated in plain registers inside the
+/// hot loops and flushed into the shared atomics once per worker.
+///
+/// Incrementing shared atomics per *event* would bounce their cache line
+/// between all Ns search workers and serialize the distance loops — the
+/// counters exist to measure pruning (Fig. 17), not to throttle it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalStats {
+    /// Lower-bound distance calculations.
+    pub lb: u64,
+    /// Real distance calculations.
+    pub real: u64,
+    /// Successful BSF improvements.
+    pub bsf_updates: u64,
+    /// Leaf nodes inserted into priority queues.
+    pub inserted: u64,
+    /// Entries popped from priority queues.
+    pub popped: u64,
+    /// Popped entries discarded by the second filtering.
+    pub filtered: u64,
+}
+
+impl LocalStats {
+    /// Adds this worker's counts into the shared accumulator.
+    pub fn flush(&self, stats: &SharedQueryStats) {
+        stats.lb_distance_calcs.add(self.lb);
+        stats.real_distance_calcs.add(self.real);
+        stats.bsf_updates.add(self.bsf_updates);
+        stats.nodes_inserted.add(self.inserted);
+        stats.nodes_popped.add(self.popped);
+        stats.nodes_filtered_on_pop.add(self.filtered);
+    }
+}
+
+/// Thread-safe accumulator behind [`QueryStats`], shared by the search
+/// workers of one query.
+#[derive(Debug, Default)]
+pub struct SharedQueryStats {
+    /// See [`QueryStats::lb_distance_calcs`].
+    pub lb_distance_calcs: Counter,
+    /// See [`QueryStats::real_distance_calcs`].
+    pub real_distance_calcs: Counter,
+    /// See [`QueryStats::bsf_updates`].
+    pub bsf_updates: Counter,
+    /// See [`QueryStats::nodes_inserted`].
+    pub nodes_inserted: Counter,
+    /// See [`QueryStats::nodes_popped`].
+    pub nodes_popped: Counter,
+    /// See [`QueryStats::nodes_filtered_on_pop`].
+    pub nodes_filtered_on_pop: Counter,
+    /// Per-worker accumulated phase times (ns).
+    pub tree_pass_ns: Counter,
+    /// See [`TimeBreakdown::pq_insert_ns`].
+    pub pq_insert_ns: Counter,
+    /// See [`TimeBreakdown::pq_remove_ns`].
+    pub pq_remove_ns: Counter,
+    /// See [`TimeBreakdown::dist_calc_ns`].
+    pub dist_calc_ns: Counter,
+}
+
+impl SharedQueryStats {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots into a [`QueryStats`], averaging the per-worker phase
+    /// times over `workers` when `with_breakdown` is set.
+    pub fn finish(
+        &self,
+        total_time: Duration,
+        init_ns: u64,
+        workers: u64,
+        with_breakdown: bool,
+    ) -> QueryStats {
+        QueryStats {
+            lb_distance_calcs: self.lb_distance_calcs.get(),
+            real_distance_calcs: self.real_distance_calcs.get(),
+            bsf_updates: self.bsf_updates.get(),
+            nodes_inserted: self.nodes_inserted.get(),
+            nodes_popped: self.nodes_popped.get(),
+            nodes_filtered_on_pop: self.nodes_filtered_on_pop.get(),
+            total_time,
+            initial_bsf_dist_sq: 0.0,
+            breakdown: with_breakdown.then(|| TimeBreakdown {
+                init_ns,
+                tree_pass_ns: self.tree_pass_ns.get() / workers.max(1),
+                pq_insert_ns: self.pq_insert_ns.get() / workers.max(1),
+                pq_remove_ns: self.pq_remove_ns.get() / workers.max(1),
+                dist_calc_ns: self.dist_calc_ns.get() / workers.max(1),
+            }),
+        }
+    }
+}
+
+/// Accumulates [`QueryStats`] over a batch of queries (the paper reports
+/// averages over 100 queries).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStatsAggregate {
+    /// Number of queries aggregated.
+    pub queries: u64,
+    /// Sum of lower-bound distance calculations.
+    pub lb_distance_calcs: u64,
+    /// Sum of real distance calculations.
+    pub real_distance_calcs: u64,
+    /// Sum of BSF updates.
+    pub bsf_updates: u64,
+    /// Sum of query wall times.
+    pub total_time: Duration,
+}
+
+impl QueryStatsAggregate {
+    /// Folds one query's stats into the aggregate.
+    pub fn add(&mut self, s: &QueryStats) {
+        self.queries += 1;
+        self.lb_distance_calcs += s.lb_distance_calcs;
+        self.real_distance_calcs += s.real_distance_calcs;
+        self.bsf_updates += s.bsf_updates;
+        self.total_time += s.total_time;
+    }
+
+    /// Mean query time.
+    pub fn mean_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+
+    /// Mean lower-bound calculations per query.
+    pub fn mean_lb_calcs(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.lb_distance_calcs as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean real-distance calculations per query.
+    pub fn mean_real_calcs(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.real_distance_calcs as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = TimeBreakdown {
+            init_ns: 1,
+            tree_pass_ns: 2,
+            pq_insert_ns: 3,
+            pq_remove_ns: 4,
+            dist_calc_ns: 5,
+        };
+        assert_eq!(b.total_ns(), 15);
+    }
+
+    #[test]
+    fn shared_stats_snapshot() {
+        let s = SharedQueryStats::new();
+        s.lb_distance_calcs.add(10);
+        s.real_distance_calcs.add(3);
+        s.tree_pass_ns.add(800);
+        let snap = s.finish(Duration::from_millis(5), 100, 4, true);
+        assert_eq!(snap.lb_distance_calcs, 10);
+        assert_eq!(snap.real_distance_calcs, 3);
+        let b = snap.breakdown.expect("requested breakdown");
+        assert_eq!(b.init_ns, 100);
+        assert_eq!(b.tree_pass_ns, 200, "averaged over 4 workers");
+        let snap = s.finish(Duration::from_millis(5), 100, 4, false);
+        assert!(snap.breakdown.is_none());
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mut agg = QueryStatsAggregate::default();
+        assert_eq!(agg.mean_time(), Duration::ZERO);
+        assert_eq!(agg.mean_lb_calcs(), 0.0);
+        for i in 1..=4u64 {
+            agg.add(&QueryStats {
+                lb_distance_calcs: i * 10,
+                real_distance_calcs: i,
+                total_time: Duration::from_millis(i),
+                ..Default::default()
+            });
+        }
+        assert_eq!(agg.queries, 4);
+        assert_eq!(agg.mean_lb_calcs(), 25.0);
+        assert_eq!(agg.mean_real_calcs(), 2.5);
+        assert_eq!(agg.mean_time(), Duration::from_micros(2500));
+    }
+}

@@ -1,0 +1,185 @@
+//! Index invariant validation.
+//!
+//! Used by the test suite (including the cross-crate property tests) to
+//! assert that a built index is structurally sound. Every invariant here
+//! is one the search algorithms silently rely on; a violation would make
+//! "exact" answers wrong rather than slow.
+
+use crate::index::MessiIndex;
+use crate::node::Node;
+use messi_sax::convert::SaxConverter;
+use messi_sax::root_key::root_key;
+
+/// Checks all structural invariants of `index`.
+///
+/// Returns the list of violations (empty = valid). Checked invariants:
+///
+/// 1. **Completeness**: every dataset position appears in exactly one
+///    leaf.
+/// 2. **Summary correctness**: each stored iSAX summary equals the
+///    recomputed summary of its raw series.
+/// 3. **Containment**: every leaf entry's summary is contained in the
+///    leaf's node word, and files under the root key of its subtree.
+/// 4. **Refinement**: each inner node's children carry the two words
+///    produced by refining the parent on its split segment.
+/// 5. **Capacity**: no leaf exceeds the configured capacity unless all
+///    its entries share one summary (the documented overflow case).
+/// 6. **Bookkeeping**: `touched_keys` matches the non-empty root slots,
+///    and no stored subtree is empty.
+pub fn validate(index: &MessiIndex) -> Vec<String> {
+    let mut errors = Vec::new();
+    let segments = index.sax_config().segments;
+    let mut conv = SaxConverter::new(index.sax_config());
+    let mut seen = vec![0u32; index.num_series()];
+
+    // Bookkeeping (6).
+    for (key, slot) in index.roots.iter().enumerate() {
+        let touched = index.touched.binary_search(&key).is_ok();
+        if slot.is_some() != touched {
+            errors.push(format!(
+                "key {key}: touched-list ({touched}) disagrees with root slot ({})",
+                slot.is_some()
+            ));
+        }
+        if let Some(node) = slot {
+            if node.num_entries() == 0 {
+                errors.push(format!("key {key}: empty subtree stored"));
+            }
+        }
+    }
+
+    for &key in &index.touched {
+        let node = match index.root(key) {
+            Some(n) => n,
+            None => continue, // already reported
+        };
+        validate_node(
+            index,
+            node,
+            key,
+            segments,
+            &mut conv,
+            &mut seen,
+            &mut errors,
+        );
+    }
+
+    // Completeness (1).
+    for (pos, &count) in seen.iter().enumerate() {
+        if count != 1 {
+            errors.push(format!("position {pos} appears {count} times"));
+            if errors.len() > 20 {
+                errors.push("… (truncated)".into());
+                break;
+            }
+        }
+    }
+    errors
+}
+
+fn validate_node(
+    index: &MessiIndex,
+    node: &Node,
+    key: usize,
+    segments: usize,
+    conv: &mut SaxConverter,
+    seen: &mut [u32],
+    errors: &mut Vec<String>,
+) {
+    match node {
+        Node::Inner(inner) => {
+            // Refinement (4).
+            let (zero, one) = inner.word.refine(inner.split_segment as usize);
+            if inner.left.word() != &zero {
+                errors.push(format!(
+                    "key {key}: left child word {} ≠ refinement {}",
+                    inner.left.word().display(segments),
+                    zero.display(segments)
+                ));
+            }
+            if inner.right.word() != &one {
+                errors.push(format!(
+                    "key {key}: right child word {} ≠ refinement {}",
+                    inner.right.word().display(segments),
+                    one.display(segments)
+                ));
+            }
+            validate_node(index, &inner.left, key, segments, conv, seen, errors);
+            validate_node(index, &inner.right, key, segments, conv, seen, errors);
+        }
+        Node::Leaf(leaf) => {
+            // Capacity (5).
+            if leaf.entries.len() > index.config.leaf_capacity {
+                let first = leaf.entries.first().map(|e| e.sax);
+                if !leaf.entries.iter().all(|e| Some(e.sax) == first) {
+                    errors.push(format!(
+                        "key {key}: oversized leaf ({} > {}) with separable entries",
+                        leaf.entries.len(),
+                        index.config.leaf_capacity
+                    ));
+                }
+            }
+            for e in &leaf.entries {
+                let pos = e.pos as usize;
+                if pos >= seen.len() {
+                    errors.push(format!("key {key}: position {pos} out of range"));
+                    continue;
+                }
+                seen[pos] += 1;
+                // Containment (3).
+                if !leaf.word.contains(&e.sax, segments) {
+                    errors.push(format!("key {key}: entry {pos} not contained in leaf word"));
+                }
+                if root_key(&e.sax, segments) != key {
+                    errors.push(format!("key {key}: entry {pos} filed under wrong key"));
+                }
+                // Summary correctness (2).
+                let expect = conv.convert(index.dataset.series(pos));
+                if expect != e.sax {
+                    errors.push(format!("key {key}: entry {pos} has stale summary"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_indexes_validate_clean() {
+        for kind in [
+            DatasetKind::RandomWalk,
+            DatasetKind::Seismic,
+            DatasetKind::Sald,
+        ] {
+            let data = Arc::new(gen::generate(kind, 300, 7));
+            let (index, _) = MessiIndex::build(data, &IndexConfig::for_tests());
+            let errors = validate(&index);
+            assert!(errors.is_empty(), "{kind:?}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn paper_config_validates_clean() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 1000, 9));
+        let (index, _) = MessiIndex::build(data, &IndexConfig::default());
+        let errors = validate(&index);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn detects_corrupted_index() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 100, 3));
+        let (mut index, _) = MessiIndex::build(data, &IndexConfig::for_tests());
+        // Sabotage: steal one subtree, breaking completeness + bookkeeping.
+        let key = index.touched[0];
+        index.roots[key] = None;
+        let errors = validate(&index);
+        assert!(!errors.is_empty(), "corruption must be detected");
+    }
+}

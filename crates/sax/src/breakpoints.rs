@@ -1,0 +1,248 @@
+//! N(0,1) breakpoint tables for SAX quantization.
+//!
+//! SAX divides the value axis into `2^k` regions that are equiprobable
+//! under the standard normal distribution (the distribution of values of
+//! z-normalized series). The region boundaries are therefore the normal
+//! quantiles `Φ⁻¹(i / 2^k)`, `i = 1 .. 2^k − 1`.
+//!
+//! Only the finest table (cardinality 256, the paper's maximum) is
+//! computed; coarser tables are *views* of it: the breakpoints of
+//! cardinality `2^k` sit at every `2^(8−k)`-th position of the 256-ary
+//! table. This guarantees bit-prefix consistency: the k-bit symbol of any
+//! value is exactly the top k bits of its 8-bit symbol, the invariant that
+//! makes iSAX node splitting (adding one bit to one segment) meaningful.
+
+use crate::word::CARD_BITS;
+use std::sync::OnceLock;
+
+/// Number of breakpoints at the maximum cardinality (2⁸ − 1).
+pub const NUM_MAX_BREAKPOINTS: usize = (1 << CARD_BITS) - 1;
+
+static TABLE: OnceLock<[f32; NUM_MAX_BREAKPOINTS]> = OnceLock::new();
+
+/// Inverse CDF of the standard normal distribution (Acklam's algorithm,
+/// |relative error| < 1.2e-9 over (0, 1)).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+
+    // Coefficients for the central rational approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    // Coefficients for the tail approximation.
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    // Acklam's raw approximation is accurate to |relative error| < 1.15e-9
+    // across the whole domain — orders of magnitude beyond what the f32
+    // breakpoint tables can represent, so no refinement step is needed.
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail, by symmetry.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The 255 breakpoints of the maximum (256-ary) SAX alphabet:
+/// `table()[j] = Φ⁻¹((j+1) / 256)`, strictly increasing.
+pub fn table() -> &'static [f32; NUM_MAX_BREAKPOINTS] {
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f32; NUM_MAX_BREAKPOINTS];
+        for (j, slot) in t.iter_mut().enumerate() {
+            *slot = inverse_normal_cdf((j + 1) as f64 / (1 << CARD_BITS) as f64) as f32;
+        }
+        t
+    })
+}
+
+/// The breakpoint *below* region `symbol` at cardinality `2^bits`
+/// (`-inf` for the lowest region).
+///
+/// # Panics
+///
+/// Debug-panics if `bits` is 0 or exceeds [`CARD_BITS`], or the symbol is
+/// out of range for the cardinality.
+#[inline]
+pub fn region_lower(symbol: u16, bits: u8) -> f32 {
+    debug_assert!(bits >= 1 && bits as usize <= CARD_BITS);
+    debug_assert!((symbol as usize) < (1usize << bits));
+    if symbol == 0 {
+        f32::NEG_INFINITY
+    } else {
+        // Breakpoint i of the 2^bits alphabet is breakpoint
+        // (i << (CARD_BITS - bits)) - 1 of the 256-ary table (0-indexed).
+        let idx = ((symbol as usize) << (CARD_BITS - bits as usize)) - 1;
+        table()[idx]
+    }
+}
+
+/// The breakpoint *above* region `symbol` at cardinality `2^bits`
+/// (`+inf` for the highest region).
+#[inline]
+pub fn region_upper(symbol: u16, bits: u8) -> f32 {
+    debug_assert!(bits >= 1 && bits as usize <= CARD_BITS);
+    debug_assert!((symbol as usize) < (1usize << bits));
+    if symbol as usize == (1usize << bits) - 1 {
+        f32::INFINITY
+    } else {
+        let idx = (((symbol as usize) + 1) << (CARD_BITS - bits as usize)) - 1;
+        table()[idx]
+    }
+}
+
+/// Quantizes a PAA value to its symbol at the maximum cardinality:
+/// the number of breakpoints `<= v` (so region boundaries belong to the
+/// region above them, matching the authors' convention).
+#[inline]
+pub fn symbol_max_card(v: f32) -> u8 {
+    let t = table();
+    // Binary search: first index with t[idx] > v.
+    t.partition_point(|b| *b <= v) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::MAX_CARDINALITY;
+
+    #[test]
+    fn inverse_normal_known_values() {
+        // Φ⁻¹(0.5) = 0; Φ⁻¹(0.975) ≈ 1.959964; Φ⁻¹(0.84134) ≈ 1.
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.0013499) + 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_normal_symmetry() {
+        for p in [0.01, 0.1, 0.25, 0.4, 0.49] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-9, "p={p}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn table_is_strictly_increasing_and_symmetric() {
+        let t = table();
+        for w in t.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Middle breakpoint (index 127) is Φ⁻¹(128/256) = 0.
+        assert!(t[127].abs() < 1e-6);
+        // Symmetry: t[j] = -t[254 - j].
+        for j in 0..NUM_MAX_BREAKPOINTS {
+            assert!((t[j] + t[254 - j]).abs() < 1e-5, "j={j}");
+        }
+    }
+
+    #[test]
+    fn cardinality_two_splits_at_zero() {
+        assert_eq!(region_lower(0, 1), f32::NEG_INFINITY);
+        assert!(region_upper(0, 1).abs() < 1e-6);
+        assert!(region_lower(1, 1).abs() < 1e-6);
+        assert_eq!(region_upper(1, 1), f32::INFINITY);
+    }
+
+    #[test]
+    fn regions_tile_the_axis_at_every_cardinality() {
+        for bits in 1..=CARD_BITS as u8 {
+            let card = 1u16 << bits;
+            assert_eq!(region_lower(0, bits), f32::NEG_INFINITY);
+            assert_eq!(region_upper(card - 1, bits), f32::INFINITY);
+            for s in 1..card {
+                assert_eq!(
+                    region_upper(s - 1, bits),
+                    region_lower(s, bits),
+                    "bits={bits} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_assignment_respects_regions() {
+        for &v in &[-5.0f32, -1.0, -0.001, 0.0, 0.001, 0.5, 1.0, 5.0] {
+            let s = symbol_max_card(v) as u16;
+            assert!(region_lower(s, CARD_BITS as u8) <= v || s == 0);
+            assert!(v < region_upper(s, CARD_BITS as u8) || v == region_upper(s, CARD_BITS as u8));
+            // The defining property: s = #breakpoints <= v.
+            let count = table().iter().filter(|b| **b <= v).count();
+            assert_eq!(s as usize, count);
+        }
+    }
+
+    #[test]
+    fn symbols_cover_full_range() {
+        assert_eq!(symbol_max_card(-10.0), 0);
+        assert_eq!(symbol_max_card(10.0) as usize, MAX_CARDINALITY - 1);
+    }
+
+    #[test]
+    fn prefix_consistency_across_cardinalities() {
+        // The k-bit symbol region must contain the 8-bit symbol region.
+        for &v in &[-3.2f32, -0.7, 0.0, 0.33, 1.9, 4.0] {
+            let full = symbol_max_card(v) as u16;
+            for bits in 1..=8u8 {
+                let prefix = full >> (8 - bits);
+                assert!(region_lower(prefix, bits) <= region_lower(full, 8).max(-1e30));
+                assert!(region_upper(prefix, bits) >= region_upper(full, 8).min(1e30));
+                // And v itself lies in the prefix region.
+                if prefix > 0 {
+                    assert!(region_lower(prefix, bits) <= v);
+                }
+                if (prefix as usize) < (1usize << bits) - 1 {
+                    assert!(v <= region_upper(prefix, bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn quantile_rejects_out_of_domain() {
+        inverse_normal_cdf(0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Series → iSAX conversion (the paper's `ConvertToiSAX`, Alg. 3 line 7).
+
+use crate::breakpoints::symbol_max_card;
+use crate::word::{SaxWord, MAX_SEGMENTS};
+use messi_series::paa::{paa_into, segment_bounds};
+
+/// Static parameters of an iSAX summarization: how many PAA segments, for
+/// series of what length. Cardinality is fixed at the paper's maximum
+/// (256; see [`crate::word::CARD_BITS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaxConfig {
+    /// Number of PAA segments (the paper's w; at most [`MAX_SEGMENTS`]).
+    pub segments: usize,
+    /// Length of the indexed series.
+    pub series_len: usize,
+}
+
+impl SaxConfig {
+    /// Creates and validates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is 0, exceeds [`MAX_SEGMENTS`], or exceeds
+    /// `series_len`.
+    pub fn new(segments: usize, series_len: usize) -> Self {
+        assert!(segments > 0, "segments must be positive");
+        assert!(
+            segments <= MAX_SEGMENTS,
+            "at most {MAX_SEGMENTS} segments supported"
+        );
+        assert!(
+            segments <= series_len,
+            "cannot split {series_len} points into {segments} segments"
+        );
+        Self {
+            segments,
+            series_len,
+        }
+    }
+
+    /// The paper's default: w = 16 segments.
+    pub fn paper_default(series_len: usize) -> Self {
+        Self::new(MAX_SEGMENTS.min(series_len), series_len)
+    }
+
+    /// Lengths (in points) of each PAA segment.
+    pub fn segment_lengths(&self) -> Vec<usize> {
+        segment_bounds(self.series_len, self.segments)
+            .into_iter()
+            .map(|(s, e)| e - s)
+            .collect()
+    }
+
+    /// Number of possible root subtrees: 2^segments (one per combination
+    /// of first bits).
+    pub fn num_root_subtrees(&self) -> usize {
+        1usize << self.segments
+    }
+}
+
+/// Reusable converter holding the PAA scratch buffer, so the hot index
+/// construction loop performs zero allocations per series.
+#[derive(Debug, Clone)]
+pub struct SaxConverter {
+    config: SaxConfig,
+    paa_buf: Vec<f32>,
+}
+
+impl SaxConverter {
+    /// Creates a converter for the given configuration.
+    pub fn new(config: SaxConfig) -> Self {
+        Self {
+            config,
+            paa_buf: vec![0.0; config.segments],
+        }
+    }
+
+    /// The configuration this converter was built with.
+    pub fn config(&self) -> SaxConfig {
+        self.config
+    }
+
+    /// Converts a series to its full-cardinality iSAX word.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the series has the wrong length.
+    #[inline]
+    pub fn convert(&mut self, series: &[f32]) -> SaxWord {
+        debug_assert_eq!(series.len(), self.config.series_len);
+        paa_into(series, &mut self.paa_buf);
+        let mut word = SaxWord::zeroed();
+        for (i, &v) in self.paa_buf.iter().enumerate() {
+            word.symbols_mut()[i] = symbol_max_card(v);
+        }
+        word
+    }
+
+    /// Converts a series, also exposing the intermediate PAA (used on the
+    /// query side, which needs the PAA for mindist computations).
+    #[inline]
+    pub fn convert_with_paa(&mut self, series: &[f32]) -> (SaxWord, &[f32]) {
+        debug_assert_eq!(series.len(), self.config.series_len);
+        paa_into(series, &mut self.paa_buf);
+        let mut word = SaxWord::zeroed();
+        for (i, &v) in self.paa_buf.iter().enumerate() {
+            word.symbols_mut()[i] = symbol_max_card(v);
+        }
+        (word, &self.paa_buf)
+    }
+}
+
+/// One-shot conversion without a reusable converter.
+pub fn sax_word(series: &[f32], config: SaxConfig) -> SaxWord {
+    SaxConverter::new(config).convert(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::{region_lower, region_upper};
+    use crate::word::CARD_BITS;
+    use messi_series::paa::paa;
+
+    #[test]
+    fn config_validation() {
+        let c = SaxConfig::new(16, 256);
+        assert_eq!(c.num_root_subtrees(), 65536);
+        assert_eq!(c.segment_lengths(), vec![16; 16]);
+        let c = SaxConfig::paper_default(128);
+        assert_eq!(c.segments, 16);
+        let c = SaxConfig::paper_default(8);
+        assert_eq!(c.segments, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn config_rejects_too_many_segments() {
+        SaxConfig::new(17, 256);
+    }
+
+    #[test]
+    fn symbols_bracket_the_paa_values() {
+        let config = SaxConfig::new(8, 64);
+        let series: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 2.0).collect();
+        let p = paa(&series, 8);
+        let w = sax_word(&series, config);
+        for i in 0..8 {
+            let s = w.symbol(i) as u16;
+            let lo = region_lower(s, CARD_BITS as u8);
+            let hi = region_upper(s, CARD_BITS as u8);
+            assert!(
+                lo <= p[i] && p[i] <= hi,
+                "segment {i}: {} ∉ [{lo},{hi}]",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn converter_is_reusable_and_consistent() {
+        let config = SaxConfig::new(16, 256);
+        let mut conv = SaxConverter::new(config);
+        let a: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
+        let b: Vec<f32> = (0..256).map(|i| (i as f32 * 0.02).sin()).collect();
+        let wa1 = conv.convert(&a);
+        let wb = conv.convert(&b);
+        let wa2 = conv.convert(&a);
+        assert_eq!(wa1, wa2, "conversion must not depend on converter state");
+        assert_ne!(wa1, wb);
+        assert_eq!(conv.config(), config);
+    }
+
+    #[test]
+    fn convert_with_paa_exposes_means() {
+        let config = SaxConfig::new(4, 16);
+        let mut conv = SaxConverter::new(config);
+        let series: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let (w, p) = conv.convert_with_paa(&series);
+        assert_eq!(p, paa(&series, 4).as_slice());
+        // Monotone series → non-decreasing symbols.
+        for i in 1..4 {
+            assert!(w.symbol(i) >= w.symbol(i - 1));
+        }
+    }
+
+    #[test]
+    fn extreme_values_map_to_extreme_symbols() {
+        let config = SaxConfig::new(2, 4);
+        let w = sax_word(&[-100.0, -100.0, 100.0, 100.0], config);
+        assert_eq!(w.symbol(0), 0);
+        assert_eq!(w.symbol(1), 255);
+    }
+}

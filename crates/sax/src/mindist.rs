@@ -1,0 +1,464 @@
+//! Lower-bound (mindist) distance kernels.
+//!
+//! The mindist between a query and an iSAX summary lower-bounds the true
+//! Euclidean distance between the query and *every* series whose summary
+//! it is (Shieh & Keogh 2008): per segment, the distance from the query's
+//! PAA value to the summary's breakpoint region, scaled by the segment
+//! length:
+//!
+//! ```text
+//! mindist²(q, S) = Σᵢ lenᵢ · gapᵢ²,
+//! gapᵢ = bl − q   if q < bl      (bl/bu = region bounds of segment i)
+//!        q − bu   if q > bu
+//!        0        otherwise
+//! ```
+//!
+//! MESSI computes mindists in two places with very different volume:
+//!
+//! * **Node mindist** during tree traversal (Alg. 7 line 1) — a few per
+//!   node, variable cardinality: [`mindist_sq_node`].
+//! * **Leaf-entry mindist** when draining priority queues (Alg. 9
+//!   line 2) — one per candidate series, full cardinality, the hot loop.
+//!   For this we precompute a per-query [`MindistTable`] (16 × 256
+//!   contributions), turning each mindist into 16 table lookups; the SIMD
+//!   version performs the lookups with AVX2 gathers. This is the "SIMD
+//!   ... for the computation of the lower bound distances" of §II-A (the
+//!   branches are resolved at table-build time, once per query, instead
+//!   of once per candidate).
+//!
+//! The `*_env` variants take a LB_Keogh envelope instead of a single PAA
+//! vector and lower-bound the *DTW* distance (Fig. 19's MESSI-DTW).
+
+use crate::breakpoints::{region_lower, region_upper};
+use crate::convert::SaxConfig;
+use crate::word::{NodeWord, SaxWord, CARD_BITS, MAX_CARDINALITY};
+
+/// Per-segment gap between a query PAA value and a breakpoint region.
+#[inline]
+fn gap(q: f32, bl: f32, bu: f32) -> f32 {
+    // At most one of the two terms is positive; ±inf bounds collapse to 0
+    // through the max.
+    (bl - q).max(0.0) + (q - bu).max(0.0)
+}
+
+/// Per-segment gap between an envelope `[lo, hi]` and a region `[bl, bu]`:
+/// zero when they overlap, otherwise the separation.
+#[inline]
+fn gap_env(lo: f32, hi: f32, bl: f32, bu: f32) -> f32 {
+    (bl - hi).max(0.0) + (lo - bu).max(0.0)
+}
+
+/// Segment lengths as `f32` scale factors for mindist computations.
+pub fn segment_scales(config: SaxConfig) -> Vec<f32> {
+    config
+        .segment_lengths()
+        .into_iter()
+        .map(|l| l as f32)
+        .collect()
+}
+
+/// Squared mindist between a query PAA and a variable-cardinality node
+/// word. Segments with zero bits contribute nothing (their region is the
+/// whole axis).
+///
+/// # Panics
+///
+/// Debug-panics if `query_paa` and `scales` are shorter than the config's
+/// segment count implied by use.
+#[inline]
+pub fn mindist_sq_node(query_paa: &[f32], scales: &[f32], node: &NodeWord) -> f32 {
+    debug_assert_eq!(query_paa.len(), scales.len());
+    let mut sum = 0.0f32;
+    for i in 0..query_paa.len() {
+        let bits = node.bits(i);
+        if bits == 0 {
+            continue;
+        }
+        let s = node.symbol(i);
+        let g = gap(query_paa[i], region_lower(s, bits), region_upper(s, bits));
+        sum += scales[i] * g * g;
+    }
+    sum
+}
+
+/// Squared mindist between a LB_Keogh envelope (given as the PAAs of its
+/// lower and upper series) and a node word — the DTW-search analogue of
+/// [`mindist_sq_node`].
+#[inline]
+pub fn mindist_sq_node_env(
+    paa_lower: &[f32],
+    paa_upper: &[f32],
+    scales: &[f32],
+    node: &NodeWord,
+) -> f32 {
+    debug_assert_eq!(paa_lower.len(), scales.len());
+    debug_assert_eq!(paa_upper.len(), scales.len());
+    let mut sum = 0.0f32;
+    for i in 0..paa_lower.len() {
+        let bits = node.bits(i);
+        if bits == 0 {
+            continue;
+        }
+        let s = node.symbol(i);
+        let g = gap_env(
+            paa_lower[i],
+            paa_upper[i],
+            region_lower(s, bits),
+            region_upper(s, bits),
+        );
+        sum += scales[i] * g * g;
+    }
+    sum
+}
+
+/// Branchy scalar mindist between a query PAA and a full-cardinality leaf
+/// word — the SISD code path (each segment performs the breakpoint
+/// comparison with data-dependent branches, like the paper's non-SIMD
+/// baseline).
+#[inline]
+pub fn mindist_sq_leaf_scalar(query_paa: &[f32], scales: &[f32], word: &SaxWord) -> f32 {
+    debug_assert_eq!(query_paa.len(), scales.len());
+    let bits = CARD_BITS as u8;
+    let mut sum = 0.0f32;
+    for i in 0..query_paa.len() {
+        let s = word.symbol(i) as u16;
+        let q = query_paa[i];
+        let bl = region_lower(s, bits);
+        let bu = region_upper(s, bits);
+        // Deliberate branches: this is the SISD variant.
+        if q < bl {
+            let g = bl - q;
+            sum += scales[i] * g * g;
+        } else if q > bu {
+            let g = q - bu;
+            sum += scales[i] * g * g;
+        }
+    }
+    sum
+}
+
+/// Per-query lookup table of mindist contributions.
+///
+/// `table[i * 256 + s]` holds `lenᵢ · gap(qᵢ, region(s))²` — the exact
+/// contribution of segment `i` having symbol `s`. A leaf-entry mindist is
+/// then `segments` dependent-free lookups, which the AVX2 kernel performs
+/// as two 8-lane gathers.
+///
+/// ```
+/// use messi_sax::convert::{sax_word, SaxConfig};
+/// use messi_sax::mindist::MindistTable;
+/// use messi_series::paa::paa;
+/// use messi_series::distance::euclidean::ed_sq_scalar;
+/// use messi_series::znorm::znormalized;
+///
+/// let config = SaxConfig::new(16, 256);
+/// let query = znormalized(&(0..256).map(|i| (i as f32 * 0.1).sin()).collect::<Vec<_>>());
+/// let candidate = znormalized(&(0..256).map(|i| (i as f32 * 0.2).cos()).collect::<Vec<_>>());
+///
+/// let table = MindistTable::new(&paa(&query, 16), config);
+/// let lower_bound = table.mindist_sq(&sax_word(&candidate, config));
+/// assert!(lower_bound <= ed_sq_scalar(&query, &candidate));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MindistTable {
+    segments: usize,
+    table: Vec<f32>,
+}
+
+impl MindistTable {
+    /// Builds the table for a query PAA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_paa.len() != config.segments`.
+    pub fn new(query_paa: &[f32], config: SaxConfig) -> Self {
+        assert_eq!(query_paa.len(), config.segments, "PAA length mismatch");
+        Self::build(config, |i, bl, bu| gap(query_paa[i], bl, bu))
+    }
+
+    /// Builds the table for a LB_Keogh envelope (PAA of lower/upper
+    /// envelope series) — lower-bounds DTW instead of ED.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn from_envelope(paa_lower: &[f32], paa_upper: &[f32], config: SaxConfig) -> Self {
+        assert_eq!(paa_lower.len(), config.segments, "PAA length mismatch");
+        assert_eq!(paa_upper.len(), config.segments, "PAA length mismatch");
+        Self::build(config, |i, bl, bu| {
+            gap_env(paa_lower[i], paa_upper[i], bl, bu)
+        })
+    }
+
+    fn build(config: SaxConfig, gap_of: impl Fn(usize, f32, f32) -> f32) -> Self {
+        let scales = segment_scales(config);
+        let bits = CARD_BITS as u8;
+        let mut table = vec![0.0f32; config.segments * MAX_CARDINALITY];
+        for i in 0..config.segments {
+            let row = &mut table[i * MAX_CARDINALITY..(i + 1) * MAX_CARDINALITY];
+            for (s, slot) in row.iter_mut().enumerate() {
+                let g = gap_of(
+                    i,
+                    region_lower(s as u16, bits),
+                    region_upper(s as u16, bits),
+                );
+                *slot = scales[i] * g * g;
+            }
+        }
+        Self {
+            segments: config.segments,
+            table,
+        }
+    }
+
+    /// Number of segments the table covers.
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Scalar table-lookup mindist (used when AVX2 is unavailable or the
+    /// segment count is not 16).
+    #[inline]
+    pub fn mindist_sq_scalar(&self, word: &SaxWord) -> f32 {
+        let mut sum = 0.0f32;
+        for i in 0..self.segments {
+            sum += self.table[i * MAX_CARDINALITY + word.symbol(i) as usize];
+        }
+        sum
+    }
+
+    /// Table-lookup mindist, dispatched to AVX2 gathers when possible.
+    #[inline]
+    pub fn mindist_sq(&self, word: &SaxWord) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        if self.segments == 16 && messi_series::distance::simd::simd_available() {
+            // SAFETY: AVX2 availability checked; table has 16 rows.
+            return unsafe { self.mindist_sq_avx2(word) };
+        }
+        self.mindist_sq_scalar(word)
+    }
+
+    /// AVX2 gather kernel: 16 lookups as two 8-lane gathers.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 on the executing CPU and `self.segments == 16`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mindist_sq_avx2(&self, word: &SaxWord) -> f32 {
+        #[allow(clippy::wildcard_imports)]
+        use core::arch::x86_64::*;
+        debug_assert_eq!(self.segments, 16);
+        // SAFETY (whole block): `word.symbols()` is 16 contiguous bytes;
+        // indices are sym + 256·i < 16·256 = table length.
+        unsafe {
+            let base = self.table.as_ptr();
+            let syms = _mm_loadu_si128(word.symbols().as_ptr() as *const __m128i);
+            let lo = _mm256_cvtepu8_epi32(syms);
+            let hi = _mm256_cvtepu8_epi32(_mm_srli_si128(syms, 8));
+            let off_lo = _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+            let off_hi = _mm256_setr_epi32(2048, 2304, 2560, 2816, 3072, 3328, 3584, 3840);
+            let idx_lo = _mm256_add_epi32(lo, off_lo);
+            let idx_hi = _mm256_add_epi32(hi, off_hi);
+            let v_lo = _mm256_i32gather_ps(base, idx_lo, 4);
+            let v_hi = _mm256_i32gather_ps(base, idx_hi, 4);
+            let sum = _mm256_add_ps(v_lo, v_hi);
+            // Horizontal sum.
+            let hi128 = _mm256_extractf128_ps(sum, 1);
+            let lo128 = _mm256_castps256_ps128(sum);
+            let s4 = _mm_add_ps(lo128, hi128);
+            let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+            let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
+            _mm_cvtss_f32(s1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{sax_word, SaxConfig, SaxConverter};
+    use crate::root_key::node_word_for_root_key;
+    use messi_series::distance::euclidean::ed_sq_scalar;
+    use messi_series::paa::paa;
+    use messi_series::stats::approx_eq;
+    use messi_series::znorm::znormalized;
+
+    fn mk_series(n: usize, seed: u32) -> Vec<f32> {
+        znormalized(
+            &(0..n)
+                .map(|i| ((i as f32 + seed as f32 * 3.1) * (0.05 + seed as f32 * 0.013)).sin())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn mindist_lower_bounds_true_distance_leaf() {
+        let config = SaxConfig::new(16, 256);
+        let scales = segment_scales(config);
+        for qs in 0..6u32 {
+            let q = mk_series(256, qs);
+            let qp = paa(&q, 16);
+            let table = MindistTable::new(&qp, config);
+            for cs in 6..16u32 {
+                let c = mk_series(256, cs);
+                let w = sax_word(&c, config);
+                let true_d = ed_sq_scalar(&q, &c);
+                let lb_table = table.mindist_sq_scalar(&w);
+                let lb_branchy = mindist_sq_leaf_scalar(&qp, &scales, &w);
+                assert!(
+                    lb_table <= true_d + 1e-3,
+                    "q{qs} c{cs}: lb {lb_table} > d {true_d}"
+                );
+                assert!(approx_eq(lb_table, lb_branchy, 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn mindist_lower_bounds_true_distance_node() {
+        let config = SaxConfig::new(8, 64);
+        let scales = segment_scales(config);
+        let mut conv = SaxConverter::new(config);
+        for qs in 0..4u32 {
+            let q = mk_series(64, qs);
+            let qp = paa(&q, 8);
+            for cs in 4..10u32 {
+                let c = mk_series(64, cs);
+                let w = conv.convert(&c);
+                let key = crate::root_key::root_key(&w, 8);
+                let node = node_word_for_root_key(key, 8);
+                let true_d = ed_sq_scalar(&q, &c);
+                let lb = mindist_sq_node(&qp, &scales, &node);
+                assert!(lb <= true_d + 1e-3, "q{qs} c{cs}: {lb} > {true_d}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_mindist_never_exceeds_leaf_mindist() {
+        // Coarser regions ⇒ weaker (smaller) bounds.
+        let config = SaxConfig::new(8, 64);
+        let scales = segment_scales(config);
+        let q = mk_series(64, 1);
+        let qp = paa(&q, 8);
+        let c = mk_series(64, 7);
+        let w = sax_word(&c, config);
+        let leaf_lb = mindist_sq_leaf_scalar(&qp, &scales, &w);
+        let key = crate::root_key::root_key(&w, 8);
+        let node = node_word_for_root_key(key, 8);
+        let node_lb = mindist_sq_node(&qp, &scales, &node);
+        assert!(node_lb <= leaf_lb + 1e-4, "{node_lb} > {leaf_lb}");
+    }
+
+    #[test]
+    fn refinement_strengthens_node_bounds() {
+        let config = SaxConfig::new(4, 32);
+        let scales = segment_scales(config);
+        let q = mk_series(32, 2);
+        let qp = paa(&q, 4);
+        let c = mk_series(32, 9);
+        let w = sax_word(&c, config);
+        let mut node = node_word_for_root_key(crate::root_key::root_key(&w, 4), 4);
+        let mut last = mindist_sq_node(&qp, &scales, &node);
+        for seg in 0..4 {
+            for _ in 1..CARD_BITS {
+                let (zero, one) = node.refine(seg);
+                node = if one.contains(&w, 4) { one } else { zero };
+                let lb = mindist_sq_node(&qp, &scales, &node);
+                assert!(lb >= last - 1e-4, "refinement weakened bound");
+                last = lb;
+            }
+        }
+    }
+
+    #[test]
+    fn simd_mindist_matches_scalar() {
+        let config = SaxConfig::new(16, 256);
+        let q = mk_series(256, 3);
+        let qp = paa(&q, 16);
+        let table = MindistTable::new(&qp, config);
+        for cs in 0..20u32 {
+            let c = mk_series(256, cs + 50);
+            let w = sax_word(&c, config);
+            let scalar = table.mindist_sq_scalar(&w);
+            let dispatched = table.mindist_sq(&w);
+            assert!(
+                approx_eq(scalar, dispatched, 1e-5),
+                "cs={cs}: {scalar} vs {dispatched}"
+            );
+        }
+    }
+
+    #[test]
+    fn mindist_zero_for_own_summary() {
+        // The query's own iSAX region contains its PAA, so mindist = 0.
+        let config = SaxConfig::new(16, 256);
+        let q = mk_series(256, 4);
+        let qp = paa(&q, 16);
+        let w = sax_word(&q, config);
+        let table = MindistTable::new(&qp, config);
+        assert_eq!(table.mindist_sq_scalar(&w), 0.0);
+        assert_eq!(table.segments(), 16);
+    }
+
+    #[test]
+    fn envelope_mindist_lower_bounds_dtw() {
+        use messi_series::distance::dtw::{dtw_sq, DtwParams};
+        use messi_series::distance::lb_keogh::Envelope;
+        let config = SaxConfig::new(16, 128);
+        let scales = segment_scales(config);
+        let params = DtwParams::paper_default(128);
+        for qs in 0..4u32 {
+            let q = mk_series(128, qs);
+            let env = Envelope::new(&q, params);
+            let pl = paa(&env.lower, 16);
+            let pu = paa(&env.upper, 16);
+            let table = MindistTable::from_envelope(&pl, &pu, config);
+            for cs in 10..18u32 {
+                let c = mk_series(128, cs);
+                let w = sax_word(&c, config);
+                let d = dtw_sq(&q, &c, params);
+                let lb_leaf = table.mindist_sq(&w);
+                assert!(lb_leaf <= d + 1e-3, "q{qs} c{cs}: leaf {lb_leaf} > {d}");
+                let key = crate::root_key::root_key(&w, 16);
+                let node = node_word_for_root_key(key, 16);
+                let lb_node = mindist_sq_node_env(&pl, &pu, &scales, &node);
+                assert!(lb_node <= d + 1e-3, "q{qs} c{cs}: node {lb_node} > {d}");
+                assert!(lb_node <= lb_leaf + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_mindist_weaker_than_point_mindist() {
+        // The envelope bound must not exceed the ED bound (envelope
+        // regions are wider than the point query).
+        let config = SaxConfig::new(16, 128);
+        let q = mk_series(128, 5);
+        let qp = paa(&q, 16);
+        use messi_series::distance::dtw::DtwParams;
+        use messi_series::distance::lb_keogh::Envelope;
+        let env = Envelope::new(&q, DtwParams::paper_default(128));
+        let pl = paa(&env.lower, 16);
+        let pu = paa(&env.upper, 16);
+        let t_point = MindistTable::new(&qp, config);
+        let t_env = MindistTable::from_envelope(&pl, &pu, config);
+        for cs in 20..28u32 {
+            let c = mk_series(128, cs);
+            let w = sax_word(&c, config);
+            assert!(t_env.mindist_sq(&w) <= t_point.mindist_sq(&w) + 1e-4);
+        }
+    }
+
+    #[test]
+    fn gap_handles_infinite_bounds() {
+        assert_eq!(gap(0.5, f32::NEG_INFINITY, 1.0), 0.0);
+        assert_eq!(gap(2.0, f32::NEG_INFINITY, 1.0), 1.0);
+        assert_eq!(gap(-3.0, -1.0, f32::INFINITY), 2.0);
+        assert_eq!(gap_env(-0.5, 0.5, f32::NEG_INFINITY, f32::INFINITY), 0.0);
+        assert_eq!(gap_env(1.5, 2.5, f32::NEG_INFINITY, 1.0), 0.5);
+        assert_eq!(gap_env(-2.5, -1.5, -1.0, f32::INFINITY), 0.5);
+    }
+}

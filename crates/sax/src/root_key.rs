@@ -1,0 +1,94 @@
+//! Root-subtree keys.
+//!
+//! The index root has (at most) 2^w children, one for each combination of
+//! the *first* bit of each segment's symbol (§II-B: "the root node points
+//! to several children nodes, 2^w in the worst case"). The iSAX buffers of
+//! the construction phase are indexed by the same key (Alg. 3 line 8:
+//! "find appropriate root subtree where isax must be stored").
+//!
+//! The key packs segment 0's first bit as the most significant bit, so
+//! keys order lexicographically by segment — matching the authors' layout.
+
+use crate::word::{NodeWord, SaxWord, CARD_BITS};
+
+/// Root-subtree key of a full-cardinality word under `segments` segments.
+///
+/// # Panics
+///
+/// Debug-panics if `segments` exceeds [`crate::word::MAX_SEGMENTS`].
+#[inline]
+pub fn root_key(word: &SaxWord, segments: usize) -> usize {
+    debug_assert!(segments <= crate::word::MAX_SEGMENTS);
+    let mut key = 0usize;
+    for i in 0..segments {
+        key = (key << 1) | (word.symbol(i) >> (CARD_BITS - 1)) as usize;
+    }
+    key
+}
+
+/// The [`NodeWord`] of the root child for `key`: every segment refined to
+/// one bit, with the bits spelled out by the key.
+///
+/// # Panics
+///
+/// Panics if `key >= 2^segments`.
+pub fn node_word_for_root_key(key: usize, segments: usize) -> NodeWord {
+    assert!(key < (1usize << segments), "key {key} out of range");
+    let mut symbols = [0u16; crate::word::MAX_SEGMENTS];
+    let mut bits = [0u8; crate::word::MAX_SEGMENTS];
+    for (i, b) in bits.iter_mut().enumerate().take(segments) {
+        *b = 1;
+        symbols[i] = ((key >> (segments - 1 - i)) & 1) as u16;
+    }
+    NodeWord::new(&symbols[..segments], &bits[..segments])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packs_first_bits_in_segment_order() {
+        // Segment symbols: 0b1xxxxxxx, 0b0xxxxxxx, 0b1xxxxxxx → key 0b101.
+        let w = SaxWord::new(&[0x80, 0x7F, 0xFF]);
+        assert_eq!(root_key(&w, 3), 0b101);
+        assert_eq!(root_key(&w, 1), 0b1);
+        assert_eq!(root_key(&w, 2), 0b10);
+    }
+
+    #[test]
+    fn key_range_is_bounded() {
+        let w = SaxWord::new(&[0xFF; 16]);
+        assert_eq!(root_key(&w, 16), (1 << 16) - 1);
+        let w = SaxWord::new(&[0x00; 16]);
+        assert_eq!(root_key(&w, 16), 0);
+    }
+
+    #[test]
+    fn node_word_for_key_contains_exactly_its_words() {
+        let segments = 4;
+        for key in 0..(1usize << segments) {
+            let nw = node_word_for_root_key(key, segments);
+            assert_eq!(nw.total_bits(segments), segments as u32);
+            // A word whose first bits spell the key is contained...
+            let mut symbols = [0u8; 16];
+            for (i, s) in symbols.iter_mut().enumerate().take(segments) {
+                *s = (((key >> (segments - 1 - i)) & 1) as u8) << 7 | 0x2A;
+            }
+            let w = SaxWord::new(&symbols[..segments]);
+            assert!(nw.contains(&w, segments));
+            assert_eq!(root_key(&w, segments), key);
+            // ...and one with a flipped first bit is not.
+            let mut other = symbols;
+            other[0] ^= 0x80;
+            let w2 = SaxWord::new(&other[..segments]);
+            assert!(!nw.contains(&w2, segments));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_key() {
+        node_word_for_root_key(16, 4);
+    }
+}

@@ -1,0 +1,175 @@
+//! Node-split policy.
+//!
+//! When a leaf exceeds its capacity it becomes an inner node and its
+//! contents are redistributed to two new leaves by refining one segment's
+//! cardinality by one bit (§II-B). The segment is chosen to produce "the
+//! most balanced split of the contents of the node to its two new
+//! children" (iSAX 2.0, Camerra et al., KAIS 2014): for each refinable
+//! segment, count how many entries would take the 0-branch vs the
+//! 1-branch and pick the segment minimizing the imbalance. Ties prefer
+//! the segment with the fewest bits (keeping the summary balanced across
+//! segments, which helps mindist tightness), then the lowest index.
+
+use crate::word::{NodeWord, SaxWord, CARD_BITS};
+
+/// Outcome of evaluating a candidate split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitChoice {
+    /// Which segment to refine.
+    pub segment: usize,
+    /// Entries that would go to the 0-child.
+    pub zeros: usize,
+    /// Entries that would go to the 1-child.
+    pub ones: usize,
+}
+
+impl SplitChoice {
+    /// Absolute imbalance of the split.
+    pub fn imbalance(&self) -> usize {
+        self.zeros.abs_diff(self.ones)
+    }
+
+    /// Whether the split actually separates entries (both sides non-empty).
+    pub fn is_separating(&self) -> bool {
+        self.zeros > 0 && self.ones > 0
+    }
+}
+
+/// Chooses the most balanced split segment for `entries` under `node`.
+///
+/// Returns `None` when every segment is already at maximum cardinality
+/// (the node cannot split — with 16 segments × 8 bits this needs > 2^128
+/// colliding summaries, i.e. only identical words, which the index caps
+/// with an overflow leaf).
+pub fn choose_split<'a, I>(node: &NodeWord, segments: usize, entries: I) -> Option<SplitChoice>
+where
+    I: IntoIterator<Item = &'a SaxWord>,
+    I::IntoIter: Clone,
+{
+    let iter = entries.into_iter();
+    let mut best: Option<SplitChoice> = None;
+    for segment in 0..segments {
+        if node.bits(segment) as usize >= CARD_BITS {
+            continue;
+        }
+        let mut zeros = 0usize;
+        let mut ones = 0usize;
+        for w in iter.clone() {
+            if node.child_of(w, segment) {
+                ones += 1;
+            } else {
+                zeros += 1;
+            }
+        }
+        let cand = SplitChoice {
+            segment,
+            zeros,
+            ones,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let (ci, bi) = (cand.imbalance(), b.imbalance());
+                ci < bi || ci == bi && node.bits(segment) < node.bits(b.segment)
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{sax_word, SaxConfig};
+    use crate::root_key::{node_word_for_root_key, root_key};
+
+    #[test]
+    fn picks_the_separating_segment() {
+        // Words identical in segment 0's next bit, differing in segment 1's.
+        let node = NodeWord::new(&[0b1, 0b0], &[1, 1]);
+        let words = vec![
+            SaxWord::new(&[0b1000_0000, 0b0000_0000]),
+            SaxWord::new(&[0b1000_0001, 0b0100_0000]),
+            SaxWord::new(&[0b1000_0010, 0b0000_0001]),
+            SaxWord::new(&[0b1000_0011, 0b0100_0001]),
+        ];
+        let choice = choose_split(&node, 2, words.iter()).unwrap();
+        assert_eq!(
+            choice.segment, 1,
+            "segment 1 splits 2/2, segment 0 splits 4/0"
+        );
+        assert_eq!(choice.zeros, 2);
+        assert_eq!(choice.ones, 2);
+        assert!(choice.is_separating());
+        assert_eq!(choice.imbalance(), 0);
+    }
+
+    #[test]
+    fn tie_break_prefers_fewer_bits() {
+        // Both segments split 1/1; segment 1 has fewer bits → preferred.
+        let node = NodeWord::new(&[0b10, 0b0], &[2, 1]);
+        let words = vec![
+            SaxWord::new(&[0b1000_0000, 0b0000_0000]),
+            SaxWord::new(&[0b1010_0000, 0b0100_0000]),
+        ];
+        let choice = choose_split(&node, 2, words.iter()).unwrap();
+        assert_eq!(choice.segment, 1);
+    }
+
+    #[test]
+    fn identical_words_cannot_separate() {
+        let node = NodeWord::new(&[0b1], &[1]);
+        let words = vec![SaxWord::new(&[0b1010_1010]); 5];
+        let choice = choose_split(&node, 1, words.iter()).unwrap();
+        assert!(!choice.is_separating());
+        assert_eq!(choice.zeros + choice.ones, 5);
+    }
+
+    #[test]
+    fn none_when_everything_at_max_cardinality() {
+        let node = NodeWord::new(&[0xAB, 0x12], &[8, 8]);
+        let words = vec![SaxWord::new(&[0xAB, 0x12])];
+        assert!(choose_split(&node, 2, words.iter()).is_none());
+    }
+
+    #[test]
+    fn split_children_partition_real_words() {
+        // End to end: derive words from series, split a root child, check
+        // every word lands in exactly one child.
+        let config = SaxConfig::new(4, 32);
+        let words: Vec<SaxWord> = (0..40u32)
+            .map(|s| {
+                let series: Vec<f32> = (0..32)
+                    .map(|i| ((i as f32 + s as f32) * 0.37).sin() * 1.5)
+                    .collect();
+                sax_word(&series, config)
+            })
+            .collect();
+        // Group by root key; split the fullest group.
+        let mut by_key: std::collections::HashMap<usize, Vec<SaxWord>> = Default::default();
+        for w in &words {
+            by_key.entry(root_key(w, 4)).or_default().push(*w);
+        }
+        let (key, group) = by_key
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("non-empty");
+        let node = node_word_for_root_key(*key, 4);
+        let choice = choose_split(&node, 4, group.iter()).unwrap();
+        let (zero, one) = node.refine(choice.segment);
+        let mut zeros = 0;
+        let mut ones = 0;
+        for w in group {
+            match (zero.contains(w, 4), one.contains(w, 4)) {
+                (true, false) => zeros += 1,
+                (false, true) => ones += 1,
+                other => panic!("word in {other:?} children"),
+            }
+        }
+        assert_eq!(zeros, choice.zeros);
+        assert_eq!(ones, choice.ones);
+    }
+}

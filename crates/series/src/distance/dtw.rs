@@ -1,0 +1,277 @@
+//! Dynamic Time Warping with a Sakoe-Chiba band.
+//!
+//! The paper's final experiment (Fig. 19) shows MESSI accelerating exact
+//! DTW similarity search: the index is searched with LB_Keogh envelope
+//! lower bounds, and only unpruned candidates pay the full DTW cost. The
+//! kernels here implement banded DTW in O(n·(2r+1)) time and O(r) space,
+//! with early abandoning on the running row minimum (as in the UCR Suite).
+//!
+//! All costs are squared point differences, so `dtw_sq` is comparable with
+//! the squared Euclidean distances used everywhere else; with a warping
+//! window of 0 it degenerates to exactly the squared Euclidean distance.
+
+/// Parameters for banded DTW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtwParams {
+    /// Sakoe-Chiba band radius in points: cell `(i, j)` is admissible iff
+    /// `|i - j| <= window`.
+    pub window: usize,
+}
+
+impl DtwParams {
+    /// The paper's setting: a warping window of 10% of the series length
+    /// ("we use a warping window size of 10% of the query series length,
+    /// which is commonly used in practice").
+    pub fn paper_default(series_len: usize) -> Self {
+        Self {
+            window: (series_len / 10).max(1),
+        }
+    }
+
+    /// Clamps the window to the maximal useful value (`n - 1`).
+    pub fn clamped(self, series_len: usize) -> Self {
+        Self {
+            window: self.window.min(series_len.saturating_sub(1)),
+        }
+    }
+}
+
+/// Full banded DTW squared distance between equal-length series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are zero.
+pub fn dtw_sq(a: &[f32], b: &[f32], params: DtwParams) -> f32 {
+    dtw_sq_early_abandon(a, b, params, f32::INFINITY)
+}
+
+/// Early-abandoning banded DTW.
+///
+/// Returns the exact squared DTW distance if it is `< bound`, otherwise
+/// some value `>= bound` (computation stops as soon as every cell of a DP
+/// row is already `>= bound`, since row minima are non-decreasing along
+/// admissible warping paths).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are zero.
+pub fn dtw_sq_early_abandon(a: &[f32], b: &[f32], params: DtwParams, bound: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "DTW requires equal-length series");
+    let n = a.len();
+    assert!(n > 0, "DTW of empty series is undefined");
+    let w = params.clamped(n).window;
+
+    // Two-row DP over the band. Row i covers columns [i-w, i+w] ∩ [0, n).
+    // We store rows at full width for simplicity of indexing; cells
+    // outside the band hold +inf. For the series lengths used here
+    // (128–256 points) the full-width row is small and cache-resident.
+    let mut prev = vec![f32::INFINITY; n];
+    let mut curr = vec![f32::INFINITY; n];
+
+    // Row 0.
+    {
+        let hi = w.min(n - 1);
+        let d0 = a[0] - b[0];
+        prev[0] = d0 * d0;
+        for j in 1..=hi {
+            let d = a[0] - b[j];
+            prev[j] = prev[j - 1] + d * d;
+        }
+        let row_min = prev[..=hi].iter().copied().fold(f32::INFINITY, f32::min);
+        if row_min >= bound && n > 1 {
+            return row_min;
+        }
+    }
+
+    for i in 1..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        // Band of the previous row: cells of `prev` outside it are stale
+        // values from two rows ago and must be treated as +inf.
+        let prev_lo = (i - 1).saturating_sub(w);
+        let prev_hi = (i - 1 + w).min(n - 1);
+        let mut row_min = f32::INFINITY;
+        for j in lo..=hi {
+            let d = a[i] - b[j];
+            let cost = d * d;
+            // Admissible predecessors: (i-1, j), (i-1, j-1), (i, j-1) —
+            // each only if it lies inside its row's band.
+            let mut best = f32::INFINITY;
+            if (prev_lo..=prev_hi).contains(&j) {
+                best = prev[j]; // vertical
+            }
+            if j > 0 && (prev_lo..=prev_hi).contains(&(j - 1)) {
+                best = best.min(prev[j - 1]); // diagonal
+            }
+            if j > lo {
+                best = best.min(curr[j - 1]); // horizontal
+            }
+            let v = if best == f32::INFINITY {
+                f32::INFINITY
+            } else {
+                best + cost
+            };
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        if row_min >= bound {
+            return row_min;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n - 1]
+}
+
+/// Reference O(n²)-space DTW used by the tests to validate the banded
+/// kernel. Exposed (documented, but niche) so property tests in other
+/// crates can use it too.
+pub fn dtw_sq_reference(a: &[f32], b: &[f32], params: DtwParams) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n > 0);
+    let w = params.clamped(n).window;
+    let mut dp = vec![vec![f32::INFINITY; n]; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        for j in lo..=hi {
+            let d = a[i] - b[j];
+            let cost = d * d;
+            dp[i][j] = if i == 0 && j == 0 {
+                cost
+            } else {
+                let mut best = f32::INFINITY;
+                if i > 0 {
+                    best = best.min(dp[i - 1][j]);
+                    if j > 0 {
+                        best = best.min(dp[i - 1][j - 1]);
+                    }
+                }
+                if j > 0 {
+                    best = best.min(dp[i][j - 1]);
+                }
+                best + cost
+            };
+        }
+    }
+    dp[n - 1][n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean::ed_sq_scalar;
+    use crate::stats::approx_eq;
+
+    fn series(n: usize, f: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * f).sin()).collect()
+    }
+
+    #[test]
+    fn zero_window_equals_euclidean() {
+        let a = series(64, 0.3);
+        let b = series(64, 0.7);
+        let d = dtw_sq(&a, &b, DtwParams { window: 0 });
+        assert!(approx_eq(d, ed_sq_scalar(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn dtw_is_zero_on_identical_series() {
+        let a = series(100, 0.2);
+        for w in [0usize, 1, 5, 10, 99] {
+            assert_eq!(dtw_sq(&a, &a, DtwParams { window: w }), 0.0);
+        }
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean() {
+        // The identity alignment is always admissible, so DTW ≤ ED².
+        for seed in 0..5u32 {
+            let a = series(128, 0.1 + seed as f32 * 0.13);
+            let b = series(128, 0.45 + seed as f32 * 0.07);
+            let ed = ed_sq_scalar(&a, &b);
+            for w in [1usize, 4, 12] {
+                let d = dtw_sq(&a, &b, DtwParams { window: w });
+                assert!(d <= ed + 1e-3, "w={w}: dtw={d} ed={ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_windows_never_increase_distance() {
+        let a = series(96, 0.21);
+        let b = series(96, 0.83);
+        let mut last = f32::INFINITY;
+        for w in [0usize, 1, 2, 4, 8, 16, 32, 95] {
+            let d = dtw_sq(&a, &b, DtwParams { window: w });
+            assert!(d <= last + 1e-3, "w={w}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn banded_matches_reference() {
+        for n in [1usize, 2, 7, 33, 64] {
+            let a = series(n, 0.37);
+            let b: Vec<f32> = series(n, 0.59).iter().map(|v| v + 0.2).collect();
+            for w in [0usize, 1, 3, n / 2, n] {
+                let fast = dtw_sq(&a, &b, DtwParams { window: w });
+                let slow = dtw_sq_reference(&a, &b, DtwParams { window: w });
+                assert!(
+                    approx_eq(fast, slow, 1e-4),
+                    "n={n} w={w}: fast={fast} slow={slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_aligns_shifted_series() {
+        // A sine and the same sine shifted by 3 samples: DTW with a window
+        // ≥ 3 should be much smaller than the Euclidean distance.
+        let n = 128;
+        let a: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((i as f32 + 3.0) * 0.3).sin()).collect();
+        let ed = ed_sq_scalar(&a, &b);
+        let d = dtw_sq(&a, &b, DtwParams { window: 6 });
+        assert!(d < ed * 0.2, "dtw={d} should be far below ed={ed}");
+    }
+
+    #[test]
+    fn early_abandon_is_exact_below_bound() {
+        let a = series(128, 0.29);
+        let b = series(128, 0.61);
+        let p = DtwParams::paper_default(128);
+        let exact = dtw_sq(&a, &b, p);
+        let d = dtw_sq_early_abandon(&a, &b, p, exact * 2.0 + 1.0);
+        assert!(approx_eq(d, exact, 1e-4));
+    }
+
+    #[test]
+    fn early_abandon_crosses_bound() {
+        let a = vec![0.0f32; 128];
+        let b = vec![2.0f32; 128];
+        let p = DtwParams::paper_default(128);
+        let d = dtw_sq_early_abandon(&a, &b, p, 1.0);
+        assert!(d >= 1.0);
+    }
+
+    #[test]
+    fn paper_default_window_is_ten_percent() {
+        assert_eq!(DtwParams::paper_default(256).window, 25);
+        assert_eq!(DtwParams::paper_default(128).window, 12);
+        assert_eq!(DtwParams::paper_default(5).window, 1);
+    }
+
+    #[test]
+    fn single_point_series() {
+        let d = dtw_sq(&[3.0], &[5.0], DtwParams { window: 2 });
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_unequal_lengths() {
+        dtw_sq(&[1.0], &[1.0, 2.0], DtwParams { window: 1 });
+    }
+}

@@ -1,0 +1,243 @@
+//! LB_Keogh: the envelope lower bound for DTW.
+//!
+//! For DTW search (Fig. 19), the paper builds "the envelope of the
+//! LB_Keogh method around the query series" and searches the index with
+//! it. The envelope of a query `q` under warping window `r` is
+//! `U[i] = max(q[i-r..=i+r])`, `L[i] = min(q[i-r..=i+r])`. For any
+//! candidate `c`,
+//!
+//! ```text
+//! LB_Keogh(q, c) = Σᵢ  (c[i] − U[i])²  if c[i] > U[i]
+//!                     (L[i] − c[i])²  if c[i] < L[i]
+//!                     0               otherwise
+//! ```
+//!
+//! is a lower bound on the banded DTW distance (Keogh & Ratanamahatana,
+//! KAIS 2005). The envelope construction uses the monotonic-deque sliding
+//! window algorithm (O(n) instead of O(n·r)).
+
+use super::dtw::DtwParams;
+use std::collections::VecDeque;
+
+/// Upper/lower envelope of a series under a warping window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Pointwise sliding-window maximum of the enclosed series.
+    pub upper: Vec<f32>,
+    /// Pointwise sliding-window minimum of the enclosed series.
+    pub lower: Vec<f32>,
+}
+
+impl Envelope {
+    /// Builds the LB_Keogh envelope of `series` for the given DTW window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty.
+    pub fn new(series: &[f32], params: DtwParams) -> Self {
+        assert!(!series.is_empty(), "cannot build envelope of empty series");
+        let n = series.len();
+        let r = params.clamped(n).window;
+        let mut upper = vec![0.0f32; n];
+        let mut lower = vec![0.0f32; n];
+
+        // Sliding window max/min over [i-r, i+r] via monotonic deques.
+        // Deques hold indices; fronts are the current extrema.
+        let mut max_dq: VecDeque<usize> = VecDeque::with_capacity(2 * r + 2);
+        let mut min_dq: VecDeque<usize> = VecDeque::with_capacity(2 * r + 2);
+        for j in 0..n + r {
+            if j < n {
+                // Push index j, maintaining monotonicity.
+                while let Some(&back) = max_dq.back() {
+                    if series[back] <= series[j] {
+                        max_dq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                max_dq.push_back(j);
+                while let Some(&back) = min_dq.back() {
+                    if series[back] >= series[j] {
+                        min_dq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                min_dq.push_back(j);
+            }
+            // Window for output position i = j - r covers [i-r, i+r] = [j-2r, j].
+            if j >= r {
+                let i = j - r;
+                // Expire indices left of the window.
+                let left = i.saturating_sub(r);
+                while let Some(&front) = max_dq.front() {
+                    if front < left {
+                        max_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(&front) = min_dq.front() {
+                    if front < left {
+                        min_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                upper[i] = series[*max_dq.front().expect("window never empty")];
+                lower[i] = series[*min_dq.front().expect("window never empty")];
+            }
+        }
+        Self { upper, lower }
+    }
+
+    /// Naive O(n·r) envelope, kept as the test oracle for the deque version.
+    pub fn new_naive(series: &[f32], params: DtwParams) -> Self {
+        assert!(!series.is_empty());
+        let n = series.len();
+        let r = params.clamped(n).window;
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(r);
+            let hi = (i + r).min(n - 1);
+            let win = &series[lo..=hi];
+            upper.push(win.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            lower.push(win.iter().copied().fold(f32::INFINITY, f32::min));
+        }
+        Self { upper, lower }
+    }
+
+    /// Number of points in the envelope.
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Whether the envelope is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+}
+
+/// Squared LB_Keogh lower bound of the DTW distance between the enveloped
+/// query and `candidate`.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn lb_keogh_sq(env: &Envelope, candidate: &[f32]) -> f32 {
+    lb_keogh_sq_early_abandon(env, candidate, f32::INFINITY)
+}
+
+/// Early-abandoning squared LB_Keogh: exact if `< bound`, otherwise some
+/// value `>= bound`.
+#[inline]
+pub fn lb_keogh_sq_early_abandon(env: &Envelope, candidate: &[f32], bound: f32) -> f32 {
+    debug_assert_eq!(env.upper.len(), candidate.len());
+    let mut sum = 0.0f32;
+    // Branchless body: out-of-envelope excursion clamped to 0.
+    // max(0, c-U) + max(0, L-c): at most one term is non-zero.
+    for i in 0..candidate.len() {
+        let c = candidate[i];
+        let above = (c - env.upper[i]).max(0.0);
+        let below = (env.lower[i] - c).max(0.0);
+        let d = above + below;
+        sum += d * d;
+        if sum >= bound {
+            return sum;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::dtw::dtw_sq;
+    use crate::stats::approx_eq;
+
+    fn series(n: usize, f: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * f).sin() + (i as f32 * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn envelope_brackets_the_series() {
+        let s = series(128, 0.37);
+        for w in [0usize, 1, 5, 12, 127] {
+            let env = Envelope::new(&s, DtwParams { window: w });
+            for i in 0..s.len() {
+                assert!(env.lower[i] <= s[i] && s[i] <= env.upper[i], "i={i} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn deque_envelope_matches_naive() {
+        for n in [1usize, 2, 5, 64, 129] {
+            let s = series(n, 0.53);
+            for w in [0usize, 1, 3, n / 2, n] {
+                let fast = Envelope::new(&s, DtwParams { window: w });
+                let slow = Envelope::new_naive(&s, DtwParams { window: w });
+                assert_eq!(fast.upper, slow.upper, "upper n={n} w={w}");
+                assert_eq!(fast.lower, slow.lower, "lower n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_envelope_is_the_series() {
+        let s = series(50, 0.7);
+        let env = Envelope::new(&s, DtwParams { window: 0 });
+        assert_eq!(env.upper, s);
+        assert_eq!(env.lower, s);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw() {
+        for seed in 0..8u32 {
+            let q = series(128, 0.11 + seed as f32 * 0.07);
+            let c: Vec<f32> = series(128, 0.41 + seed as f32 * 0.05)
+                .iter()
+                .map(|v| v * 1.2 - 0.3)
+                .collect();
+            for w in [1usize, 6, 12] {
+                let p = DtwParams { window: w };
+                let env = Envelope::new(&q, p);
+                let lb = lb_keogh_sq(&env, &c);
+                let d = dtw_sq(&q, &c, p);
+                assert!(lb <= d + 1e-3, "seed={seed} w={w}: lb={lb} dtw={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_of_series_inside_envelope_is_zero() {
+        let q = series(64, 0.4);
+        let env = Envelope::new(&q, DtwParams { window: 5 });
+        assert_eq!(lb_keogh_sq(&env, &q), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_contract() {
+        let q = series(128, 0.23);
+        let c: Vec<f32> = q.iter().map(|v| v + 3.0).collect();
+        let env = Envelope::new(&q, DtwParams { window: 12 });
+        let exact = lb_keogh_sq(&env, &c);
+        assert!(exact > 0.0);
+        let d = lb_keogh_sq_early_abandon(&env, &c, exact / 10.0);
+        assert!(d >= exact / 10.0);
+        let d = lb_keogh_sq_early_abandon(&env, &c, exact * 2.0);
+        assert!(approx_eq(d, exact, 1e-4));
+    }
+
+    #[test]
+    fn envelope_len_accessors() {
+        let s = series(32, 0.2);
+        let env = Envelope::new(&s, DtwParams { window: 3 });
+        assert_eq!(env.len(), 32);
+        assert!(!env.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Distance kernels.
+//!
+//! The paper relies on three distance computations, all provided here:
+//!
+//! * **Real (squared Euclidean) distance** between two raw series —
+//!   [`euclidean`], in scalar (*SISD*) and AVX2 SIMD variants with early
+//!   abandoning, exactly the kernels ParIS/MESSI run with SIMD (§II-A,
+//!   Fig. 18 ablates SIMD vs SISD).
+//! * **Dynamic Time Warping** with a Sakoe-Chiba band — [`dtw`] (Fig. 19).
+//! * **LB_Keogh** envelope lower bound for DTW — [`lb_keogh`] (Fig. 19;
+//!   "we just have to build the envelope of the LB_Keogh method around the
+//!   query series, and then search the index using this envelope").
+//!
+//! The iSAX *lower-bound* distance (mindist) lives in `messi-sax` because
+//! it needs the breakpoint tables.
+
+pub mod dtw;
+pub mod euclidean;
+pub mod lb_keogh;
+pub mod simd;
+
+/// Selects how distance kernels are executed.
+///
+/// `Auto` resolves to SIMD when the CPU supports AVX2+FMA and to scalar
+/// otherwise. `Scalar` forces the SISD code path — this is what the
+/// ParIS-SISD bar of Fig. 18 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Use SIMD when available, scalar otherwise.
+    #[default]
+    Auto,
+    /// Force the SIMD (AVX2+FMA) kernels; falls back to scalar if the CPU
+    /// lacks them (so results are always produced).
+    Simd,
+    /// Force the scalar (SISD) kernels.
+    Scalar,
+}
+
+impl Kernel {
+    /// Whether this kernel selection resolves to the SIMD code path on the
+    /// current CPU.
+    #[inline]
+    pub fn uses_simd(self) -> bool {
+        match self {
+            Kernel::Scalar => false,
+            Kernel::Auto | Kernel::Simd => simd::simd_available(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_kernel_never_uses_simd() {
+        assert!(!Kernel::Scalar.uses_simd());
+    }
+
+    #[test]
+    fn auto_matches_detection() {
+        assert_eq!(Kernel::Auto.uses_simd(), simd::simd_available());
+        assert_eq!(Kernel::Simd.uses_simd(), simd::simd_available());
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(Kernel::default(), Kernel::Auto);
+    }
+}

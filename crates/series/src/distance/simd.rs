@@ -1,0 +1,249 @@
+//! AVX2+FMA SIMD kernels for squared Euclidean distance.
+//!
+//! The paper uses 256-bit SIMD for "the computation of the Euclidean
+//! distance functions, as well as ... the conditional branch calculations
+//! during the computation of the lower bound distances" (§II-A). These are
+//! the real-distance kernels; the branchless SIMD lower-bound kernel lives
+//! in `messi-sax` next to the breakpoint tables.
+//!
+//! All kernels here have scalar equivalents in [`super::euclidean`]; the
+//! dispatchers there pick between the two based on runtime CPU detection
+//! (cached after the first query). On non-x86_64 targets this module
+//! reports SIMD as unavailable and the dispatchers always run scalar code.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Cached result of CPU feature detection: 0 = unknown, 1 = no, 2 = yes.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the AVX2+FMA kernels can run on this CPU (detection is cached).
+#[inline]
+pub fn simd_available() -> bool {
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let avail = detect();
+            SIMD_STATE.store(if avail { 2 } else { 1 }, Ordering::Relaxed);
+            avail
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> bool {
+    false
+}
+
+/// How many points each early-abandon check covers: the SIMD kernels test
+/// the accumulated distance against the bound once per this many points.
+/// 32 points = 4 AVX vectors, amortizing the horizontal sum.
+pub const ABANDON_STRIDE: usize = 32;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx {
+    //! The actual AVX2 kernels. Callers must check [`super::simd_available`]
+    //! first; the functions are `unsafe` because they compile with
+    //! `target_feature` enabled.
+
+    use super::ABANDON_STRIDE;
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of an AVX 8-lane f32 vector.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX on the executing CPU.
+    #[inline]
+    #[target_feature(enable = "avx")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        // Register-only intrinsics are safe inside a matching
+        // #[target_feature] context (no memory access).
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let sum4 = _mm_add_ps(lo, hi);
+        let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+        let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0b01));
+        _mm_cvtss_f32(sum1)
+    }
+
+    /// Squared Euclidean distance, 8 lanes at a time with FMA.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA on the executing CPU. `a` and `b` must have equal
+    /// lengths (checked by a debug assertion).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn ed_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let lanes = n / 8 * 8;
+        // SAFETY: pointer arithmetic stays within the slices; loadu allows
+        // unaligned access.
+        unsafe {
+            let mut acc = _mm256_setzero_ps();
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            let mut i = 0;
+            while i < lanes {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                let d = _mm256_sub_ps(va, vb);
+                acc = _mm256_fmadd_ps(d, d, acc);
+                i += 8;
+            }
+            let mut sum = hsum256(acc);
+            for j in lanes..n {
+                let d = *pa.add(j) - *pb.add(j);
+                sum += d * d;
+            }
+            sum
+        }
+    }
+
+    /// Early-abandoning squared Euclidean distance.
+    ///
+    /// Returns the exact squared distance if it is `< bound`; otherwise
+    /// returns a partial sum that is already `>= bound` (the scan stops as
+    /// soon as the accumulated distance crosses the bound, checking every
+    /// [`ABANDON_STRIDE`] points).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA on the executing CPU; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn ed_sq_early_abandon(a: &[f32], b: &[f32], bound: f32) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        // SAFETY: as in `ed_sq`.
+        unsafe {
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            let mut total = 0.0f32;
+            let mut i = 0;
+            // Blocks of ABANDON_STRIDE points (4 AVX vectors) between checks.
+            while i + ABANDON_STRIDE <= n {
+                let mut acc = _mm256_setzero_ps();
+                let mut j = i;
+                while j < i + ABANDON_STRIDE {
+                    let va = _mm256_loadu_ps(pa.add(j));
+                    let vb = _mm256_loadu_ps(pb.add(j));
+                    let d = _mm256_sub_ps(va, vb);
+                    acc = _mm256_fmadd_ps(d, d, acc);
+                    j += 8;
+                }
+                total += hsum256(acc);
+                if total >= bound {
+                    return total;
+                }
+                i += ABANDON_STRIDE;
+            }
+            // Tail: whole vectors, then scalar remainder.
+            let lanes = (n - i) / 8 * 8 + i;
+            let mut acc = _mm256_setzero_ps();
+            let mut j = i;
+            while j < lanes {
+                let va = _mm256_loadu_ps(pa.add(j));
+                let vb = _mm256_loadu_ps(pb.add(j));
+                let d = _mm256_sub_ps(va, vb);
+                acc = _mm256_fmadd_ps(d, d, acc);
+                j += 8;
+            }
+            total += hsum256(acc);
+            for k in lanes..n {
+                let d = *pa.add(k) - *pb.add(k);
+                total += d * d;
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean::ed_sq_scalar;
+    use crate::stats::approx_eq;
+
+    fn pair(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).cos()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        let first = simd_available();
+        for _ in 0..3 {
+            assert_eq!(simd_available(), first);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_matches_scalar_on_many_lengths() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA");
+            return;
+        }
+        for n in [
+            1usize, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 100, 128, 255, 256, 1024,
+        ] {
+            let (a, b) = pair(n);
+            let scalar = ed_sq_scalar(&a, &b);
+            // SAFETY: guarded by simd_available().
+            let simd = unsafe { avx::ed_sq(&a, &b) };
+            assert!(
+                approx_eq(scalar, simd, 1e-4),
+                "n={n}: scalar={scalar} simd={simd}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_early_abandon_exact_when_below_bound() {
+        if !simd_available() {
+            return;
+        }
+        for n in [8usize, 32, 64, 100, 256] {
+            let (a, b) = pair(n);
+            let exact = ed_sq_scalar(&a, &b);
+            // SAFETY: guarded by simd_available().
+            let d = unsafe { avx::ed_sq_early_abandon(&a, &b, exact * 2.0 + 1.0) };
+            assert!(approx_eq(exact, d, 1e-4), "n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_early_abandon_crosses_bound_when_abandoning() {
+        if !simd_available() {
+            return;
+        }
+        let (a, b) = pair(256);
+        let exact = ed_sq_scalar(&a, &b);
+        let bound = exact / 4.0;
+        // SAFETY: guarded by simd_available().
+        let d = unsafe { avx::ed_sq_early_abandon(&a, &b, bound) };
+        assert!(d >= bound, "abandoned value {d} must be >= bound {bound}");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_zero_distance_for_identical_series() {
+        if !simd_available() {
+            return;
+        }
+        let (a, _) = pair(256);
+        // SAFETY: guarded by simd_available().
+        let d = unsafe { avx::ed_sq(&a, &a) };
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the series substrate.
+
+use std::fmt;
+
+/// Errors produced while building or validating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A series had a different length than the dataset's fixed length.
+    LengthMismatch {
+        /// The dataset's fixed series length.
+        expected: usize,
+        /// The offending series' length.
+        got: usize,
+    },
+    /// The requested series length is zero or otherwise unusable.
+    InvalidSeriesLength(usize),
+    /// The flat buffer length is not a multiple of the series length.
+    RaggedBuffer {
+        /// Length of the flat value buffer.
+        buffer_len: usize,
+        /// The dataset's fixed series length.
+        series_len: usize,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "series length mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidSeriesLength(n) => write!(f, "invalid series length {n}"),
+            Error::RaggedBuffer {
+                buffer_len,
+                series_len,
+            } => write!(
+                f,
+                "flat buffer of {buffer_len} values is not a multiple of series length {series_len}"
+            ),
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::LengthMismatch {
+            expected: 256,
+            got: 128,
+        };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("128"));
+        let e = Error::RaggedBuffer {
+            buffer_len: 10,
+            series_len: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = Error::InvalidSeriesLength(0);
+        assert!(e.to_string().contains('0'));
+        let e = Error::InvalidParameter("segments");
+        assert!(e.to_string().contains("segments"));
+    }
+}

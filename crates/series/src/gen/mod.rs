@@ -1,0 +1,186 @@
+//! Workload generators for the paper's three dataset families.
+//!
+//! §IV-A of the paper evaluates on (1) random-walk synthetic data — "a
+//! random number is first drawn from a Gaussian distribution N(0,1), and
+//! then at each time point a new number is drawn from this distribution
+//! and added to the value of the last number" — (2) *Seismic*, 100M
+//! seismic wave series from the IRIS repository, and (3) *SALD*,
+//! neuroscience MRI series of length 128.
+//!
+//! The two real datasets are not redistributable, so this module provides
+//! synthetic stand-ins whose *pruning behaviour* matches what the paper
+//! reports (random walk prunes best; the real datasets prune worse, with
+//! Seismic the hardest — Figs. 14, 16, 17). See `DESIGN.md` §2 for the
+//! substitution rationale.
+//!
+//! All generators are deterministic per `(seed, series_index)` and
+//! generation is parallelized across all available cores.
+
+pub mod queries;
+pub mod random_walk;
+pub mod rng;
+pub mod sald;
+pub mod seismic;
+
+use crate::types::Dataset;
+use crate::znorm::znormalize_in_place;
+
+/// A deterministic generator of fixed-length series.
+///
+/// Implementations must be pure functions of `(self, index)` so that
+/// datasets are identical regardless of generation order or parallelism.
+pub trait SeriesGenerator: Sync {
+    /// Length of every generated series.
+    fn series_len(&self) -> usize;
+
+    /// Writes series number `index` into `out` (`out.len() == series_len()`).
+    /// The output is **not** z-normalized; the driver does that.
+    fn generate_into(&self, index: u64, out: &mut [f32]);
+}
+
+/// The paper's three dataset families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Gaussian random walk (the paper's synthetic default, "Random").
+    RandomWalk,
+    /// Synthetic stand-in for the IRIS Seismic waveform dataset.
+    Seismic,
+    /// Synthetic stand-in for the SALD MRI dataset (length 128 in the paper).
+    Sald,
+}
+
+impl DatasetKind {
+    /// The series length the paper uses for this dataset family.
+    pub fn paper_series_len(self) -> usize {
+        match self {
+            DatasetKind::RandomWalk | DatasetKind::Seismic => 256,
+            DatasetKind::Sald => 128,
+        }
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::RandomWalk => "Random",
+            DatasetKind::Seismic => "Seismic",
+            DatasetKind::Sald => "SALD",
+        }
+    }
+
+    /// Builds the generator for this family with its paper series length.
+    pub fn generator(self, seed: u64) -> Box<dyn SeriesGenerator + Send> {
+        self.generator_with_len(seed, self.paper_series_len())
+    }
+
+    /// Builds the generator with an explicit series length.
+    pub fn generator_with_len(
+        self,
+        seed: u64,
+        series_len: usize,
+    ) -> Box<dyn SeriesGenerator + Send> {
+        match self {
+            DatasetKind::RandomWalk => Box::new(random_walk::RandomWalkGen::new(series_len, seed)),
+            DatasetKind::Seismic => Box::new(seismic::SeismicGen::new(series_len, seed)),
+            DatasetKind::Sald => Box::new(sald::SaldGen::new(series_len, seed)),
+        }
+    }
+}
+
+/// Generates `count` z-normalized series from `generator`, in parallel.
+pub fn generate_dataset<G: SeriesGenerator + ?Sized>(generator: &G, count: usize) -> Dataset {
+    let series_len = generator.series_len();
+    let mut values = vec![0.0f32; count * series_len];
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count.max(1));
+    let per_worker = count.div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        for (w, block) in values.chunks_mut(per_worker * series_len).enumerate() {
+            scope.spawn(move || {
+                let first = (w * per_worker) as u64;
+                for (k, series) in block.chunks_exact_mut(series_len).enumerate() {
+                    generator.generate_into(first + k as u64, series);
+                    znormalize_in_place(series);
+                }
+            });
+        }
+    });
+    Dataset::from_flat(values, series_len).expect("generated buffer is always well-shaped")
+}
+
+/// Convenience: generate `count` series of `kind` with its paper length.
+pub fn generate(kind: DatasetKind, count: usize, seed: u64) -> Dataset {
+    let g = kind.generator(seed);
+    generate_dataset(g.as_ref(), count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::is_znormalized;
+
+    #[test]
+    fn generation_is_deterministic_and_parallel_safe() {
+        for kind in [
+            DatasetKind::RandomWalk,
+            DatasetKind::Seismic,
+            DatasetKind::Sald,
+        ] {
+            let a = generate(kind, 100, 7);
+            let b = generate(kind, 100, 7);
+            assert_eq!(a, b, "{kind:?} must be reproducible");
+            let c = generate(kind, 100, 8);
+            assert_ne!(a, c, "{kind:?} must depend on the seed");
+        }
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // Generating more series must not change earlier ones.
+        let small = generate(DatasetKind::RandomWalk, 10, 3);
+        let big = generate(DatasetKind::RandomWalk, 50, 3);
+        for i in 0..10 {
+            assert_eq!(small.series(i), big.series(i), "series {i} changed");
+        }
+    }
+
+    #[test]
+    fn all_series_are_znormalized() {
+        for kind in [
+            DatasetKind::RandomWalk,
+            DatasetKind::Seismic,
+            DatasetKind::Sald,
+        ] {
+            let ds = generate(kind, 50, 11);
+            for (i, s) in ds.iter().enumerate() {
+                assert!(
+                    is_znormalized(s, 5e-2),
+                    "{kind:?} series {i} not z-normalized"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_series_lengths() {
+        assert_eq!(generate(DatasetKind::RandomWalk, 3, 0).series_len(), 256);
+        assert_eq!(generate(DatasetKind::Seismic, 3, 0).series_len(), 256);
+        assert_eq!(generate(DatasetKind::Sald, 3, 0).series_len(), 128);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DatasetKind::RandomWalk.name(), "Random");
+        assert_eq!(DatasetKind::Seismic.name(), "Seismic");
+        assert_eq!(DatasetKind::Sald.name(), "SALD");
+    }
+
+    #[test]
+    fn custom_length_is_respected() {
+        let g = DatasetKind::RandomWalk.generator_with_len(5, 64);
+        let ds = generate_dataset(g.as_ref(), 4);
+        assert_eq!(ds.series_len(), 64);
+        assert_eq!(ds.len(), 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Query workload generation.
+//!
+//! The paper runs 100 query series per experiment, generated with the same
+//! synthetic generator (for the random dataset) or drawn relative to the
+//! datasets (for the real ones), and executes them sequentially "to
+//! simulate an exploratory analysis scenario". Queries here come from the
+//! same generator family as the dataset but from a disjoint seed stream,
+//! so a query is almost never an exact member of the collection.
+
+use super::{generate_dataset, DatasetKind};
+use crate::types::Dataset;
+use crate::znorm::znormalize_in_place;
+
+/// Offset XORed into the dataset seed so query streams never collide with
+/// dataset streams.
+const QUERY_SEED_TAG: u64 = 0x5EED_5EED_0000_0001;
+
+/// Generates `count` z-normalized query series for a dataset `kind` with
+/// the paper's series length.
+pub fn generate_queries(kind: DatasetKind, count: usize, seed: u64) -> Dataset {
+    generate_queries_with_len(kind, count, seed, kind.paper_series_len())
+}
+
+/// Generates `count` z-normalized queries with an explicit series length.
+pub fn generate_queries_with_len(
+    kind: DatasetKind,
+    count: usize,
+    seed: u64,
+    series_len: usize,
+) -> Dataset {
+    let g = kind.generator_with_len(seed ^ QUERY_SEED_TAG, series_len);
+    generate_dataset(g.as_ref(), count)
+}
+
+/// Draws `count` queries by perturbing existing dataset members with
+/// Gaussian noise of standard deviation `noise` (relative to the
+/// z-normalized scale), then re-normalizing.
+///
+/// This models the "find series similar to this observed pattern"
+/// workload of the paper's Airbus scenario, where the query is a measured
+/// series rather than a synthetic one. With `noise == 0.0` every query
+/// has an exact match in the dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `count == 0`.
+pub fn noisy_queries_from_dataset(
+    dataset: &Dataset,
+    count: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    assert!(
+        !dataset.is_empty(),
+        "cannot draw queries from empty dataset"
+    );
+    assert!(count > 0, "query count must be positive");
+    let mut values = Vec::with_capacity(count * dataset.series_len());
+    for q in 0..count {
+        let mut rng = super::rng::Rng::for_stream(seed ^ QUERY_SEED_TAG, q as u64);
+        let pos = rng.below(dataset.len() as u64) as usize;
+        let mut series = dataset.series(pos).to_vec();
+        if noise > 0.0 {
+            for v in series.iter_mut() {
+                *v += rng.gaussian() * noise;
+            }
+            znormalize_in_place(&mut series);
+        }
+        values.extend_from_slice(&series);
+    }
+    Dataset::from_flat(values, dataset.series_len()).expect("well-shaped by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::znorm::is_znormalized;
+
+    #[test]
+    fn queries_differ_from_dataset() {
+        let ds = generate(DatasetKind::RandomWalk, 50, 3);
+        let qs = generate_queries(DatasetKind::RandomWalk, 10, 3);
+        assert_eq!(qs.len(), 10);
+        assert_eq!(qs.series_len(), ds.series_len());
+        for q in qs.iter() {
+            for s in ds.iter() {
+                assert_ne!(q, s, "query stream must not collide with data stream");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let a = generate_queries(DatasetKind::Sald, 5, 9);
+        let b = generate_queries(DatasetKind::Sald, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noiseless_dataset_queries_are_members() {
+        let ds = generate(DatasetKind::RandomWalk, 30, 5);
+        let qs = noisy_queries_from_dataset(&ds, 8, 0.0, 42);
+        for q in qs.iter() {
+            assert!(
+                ds.iter().any(|s| s == q),
+                "noise-free query must be a dataset member"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_queries_are_near_but_not_exact() {
+        let ds = generate(DatasetKind::RandomWalk, 30, 5);
+        let qs = noisy_queries_from_dataset(&ds, 8, 0.05, 42);
+        for q in qs.iter() {
+            assert!(is_znormalized(q, 5e-2));
+            assert!(!ds.iter().any(|s| s == q));
+            // But it should still be very close to its source series.
+            let (_, d) = ds.nearest_neighbor_brute_force(q);
+            assert!(d < 10.0, "noisy query too far from source: {d}");
+        }
+    }
+
+    #[test]
+    fn custom_length_queries() {
+        let qs = generate_queries_with_len(DatasetKind::Seismic, 4, 1, 64);
+        assert_eq!(qs.series_len(), 64);
+        assert_eq!(qs.len(), 4);
+    }
+}

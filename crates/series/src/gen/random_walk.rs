@@ -1,0 +1,90 @@
+//! Gaussian random-walk generator (the paper's synthetic dataset).
+//!
+//! "A random number is first drawn from a Gaussian distribution N(0,1),
+//! and then at each time point a new number is drawn from this
+//! distribution and added to the value of the last number. This kind of
+//! data generation has been extensively used in the past (and has been
+//! shown to model real-world financial data)." — §IV-A.
+
+use super::rng::Rng;
+use super::SeriesGenerator;
+
+/// Random-walk series generator.
+#[derive(Debug, Clone)]
+pub struct RandomWalkGen {
+    series_len: usize,
+    seed: u64,
+}
+
+impl RandomWalkGen {
+    /// Creates a generator for series of `series_len` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series_len == 0`.
+    pub fn new(series_len: usize, seed: u64) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self { series_len, seed }
+    }
+}
+
+impl SeriesGenerator for RandomWalkGen {
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn generate_into(&self, index: u64, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.series_len);
+        let mut rng = Rng::for_stream(self.seed, index);
+        let mut level = rng.gaussian();
+        for v in out.iter_mut() {
+            level += rng.gaussian();
+            *v = level;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_increments_are_gaussian_steps() {
+        let g = RandomWalkGen::new(4096, 5);
+        let mut out = vec![0.0; 4096];
+        g.generate_into(0, &mut out);
+        // Increments should have roughly unit variance and zero mean.
+        let incs: Vec<f32> = out.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean: f32 = incs.iter().sum::<f32>() / incs.len() as f32;
+        let var: f32 =
+            incs.iter().map(|&d| (d - mean) * (d - mean)).sum::<f32>() / incs.len() as f32;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_walks() {
+        let g = RandomWalkGen::new(64, 5);
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        g.generate_into(0, &mut a);
+        g.generate_into(1, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_is_pure() {
+        let g = RandomWalkGen::new(64, 5);
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        g.generate_into(3, &mut a);
+        g.generate_into(3, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_length() {
+        RandomWalkGen::new(0, 1);
+    }
+}

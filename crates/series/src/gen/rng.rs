@@ -1,0 +1,187 @@
+//! Small, fast, deterministic PRNG for workload generation.
+//!
+//! Dataset generation must be (a) reproducible across runs and thread
+//! counts and (b) cheap enough to synthesize millions of series for the
+//! benchmark harness. We use xoshiro256++ seeded via SplitMix64 — the
+//! standard pairing recommended by the xoshiro authors — plus a Box-Muller
+//! transform for N(0,1) variates (the `rand` crate alone does not provide
+//! a normal distribution; that lives in `rand_distr`, which is outside the
+//! sanctioned dependency set).
+//!
+//! Every series is generated from its own PRNG seeded by
+//! `(dataset_seed, series_index)`, so generation order and parallelism do
+//! not affect the data.
+
+/// SplitMix64 step: used for seeding and stream derivation.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ with a Box-Muller Gaussian layer.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box-Muller variate.
+    spare: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a single seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s, spare: None }
+    }
+
+    /// Derives an independent stream for item `index` of a seeded family.
+    /// Mixing through SplitMix64 keeps streams decorrelated even for
+    /// consecutive indices.
+    pub fn for_stream(seed: u64, index: u64) -> Self {
+        let mut sm = seed ^ 0xA076_1D64_78BD_642F;
+        let a = splitmix64(&mut sm);
+        let mut sm2 = index.wrapping_mul(0xE703_7ED1_A0B4_28DB) ^ a;
+        let s = [
+            splitmix64(&mut sm2),
+            splitmix64(&mut sm2),
+            splitmix64(&mut sm2),
+            splitmix64(&mut sm2),
+        ];
+        Self { s, spare: None }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the small n used in generators (< 2^32).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal variate via Box-Muller (with caching of the pair).
+    #[inline]
+    pub fn gaussian(&mut self) -> f32 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some((r * theta.sin()) as f32);
+        (r * theta.cos()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = Rng::for_stream(7, 0);
+        let mut b = Rng::for_stream(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let v = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            let k = r.below(10);
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut r = Rng::new(1234);
+        let n = 200_000;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for _ in 0..n {
+            let g = r.gaussian() as f64;
+            sum += g;
+            sum_sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn gaussian_tail_mass_is_plausible() {
+        let mut r = Rng::new(99);
+        let n = 100_000;
+        let beyond2 = (0..n).filter(|_| r.gaussian().abs() > 2.0).count();
+        // P(|Z| > 2) ≈ 4.55%; allow generous slack.
+        let frac = beyond2 as f64 / n as f64;
+        assert!((0.035..0.056).contains(&frac), "frac={frac}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic stand-in for the paper's *Seismic* dataset.
+//!
+//! The paper uses 100M series of seismic waveforms from the IRIS Seismic
+//! Data Access repository. Two properties of that collection matter for
+//! index behaviour:
+//!
+//! 1. **Waveform character**: long stretches of low-amplitude
+//!    microseismic background interrupted by damped oscillation bursts
+//!    (P/S-wave arrivals and codas).
+//! 2. **Cluster structure**: recordings of the same event at nearby
+//!    stations — and repeated events from the same source region — are
+//!    *similar* to each other, so nearest neighbors are close in absolute
+//!    terms; still, the collection prunes much worse than random walks
+//!    ("working on random data results in better pruning than that on
+//!    real data", §IV-C).
+//!
+//! The generator reproduces both: every series is a noisy, time-jittered,
+//! amplitude-scaled rendition of one of a finite family of *event
+//! templates* (each template = 1–3 damped sinusoid bursts over colored
+//! background). Series sharing a template are mutual near-neighbors;
+//! series from different templates are far apart. Pruning lands between
+//! the random-walk and worst cases, matching the paper's ordering
+//! random > SALD > Seismic.
+
+use super::rng::Rng;
+use super::SeriesGenerator;
+
+/// Number of distinct event templates in the collection. More templates
+/// ⇒ sparser clusters ⇒ worse pruning.
+const NUM_TEMPLATES: u64 = 4096;
+
+/// Seismic-like burst series generator with event-template clustering.
+#[derive(Debug, Clone)]
+pub struct SeismicGen {
+    series_len: usize,
+    seed: u64,
+}
+
+impl SeismicGen {
+    /// Creates a generator for series of `series_len` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series_len == 0`.
+    pub fn new(series_len: usize, seed: u64) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self { series_len, seed }
+    }
+
+    /// Renders the deterministic template waveform for `template_id` into
+    /// `out` (background excluded; bursts only).
+    fn render_template(&self, template_id: u64, jitter: i64, amp_scale: f32, out: &mut [f32]) {
+        let n = self.series_len;
+        let mut rng = Rng::for_stream(self.seed ^ 0x7E3A_17E5_0000_0000, template_id);
+        let bursts = 1 + rng.below(3) as usize;
+        for _ in 0..bursts {
+            let onset = rng.below(n as u64 * 8 / 10) as i64 + jitter;
+            let amplitude = rng.uniform(1.2, 4.0) * amp_scale;
+            // Low enough frequencies that a ±1-sample station jitter
+            // keeps same-event recordings strongly correlated.
+            let omega = rng.uniform(0.1, 0.7);
+            let decay = rng.uniform(0.015, 0.08);
+            let phase = rng.uniform(0.0, std::f32::consts::TAU);
+            let start = onset.max(0) as usize;
+            for (k, v) in out[start.min(n)..].iter_mut().enumerate() {
+                let t = (start as i64 - onset) as f32 + k as f32;
+                *v += amplitude * (-decay * t).exp() * (omega * t + phase).sin();
+            }
+        }
+    }
+}
+
+impl SeriesGenerator for SeismicGen {
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn generate_into(&self, index: u64, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.series_len);
+        let mut rng = Rng::for_stream(self.seed ^ 0x5E15_0000_0000_0000, index);
+
+        // AR(1) microseismic background, per-series.
+        let phi = 0.72f32;
+        let noise_scale = 0.18f32;
+        let mut level = 0.0f32;
+        for v in out.iter_mut() {
+            level = phi * level + rng.gaussian() * noise_scale;
+            *v = level;
+        }
+
+        // Event: one of NUM_TEMPLATES, recorded with station-dependent
+        // time jitter and amplitude scaling.
+        let template_id = rng.below(NUM_TEMPLATES);
+        let jitter = rng.below(3) as i64 - 1; // ±1 sample
+        let amp_scale = rng.uniform(0.85, 1.15);
+        self.render_template(template_id, jitter, amp_scale, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::znormalized;
+
+    #[test]
+    fn series_have_burst_structure() {
+        // The peak absolute amplitude should dominate the median absolute
+        // amplitude (bursty, not stationary) for most series.
+        let g = SeismicGen::new(256, 9);
+        let mut bursty = 0;
+        let mut buf = vec![0.0f32; 256];
+        for i in 0..50 {
+            g.generate_into(i, &mut buf);
+            let mut abs: Vec<f32> = buf.iter().map(|v| v.abs()).collect();
+            abs.sort_by(f32::total_cmp);
+            let median = abs[128];
+            let peak = abs[255];
+            if peak > 4.0 * median {
+                bursty += 1;
+            }
+        }
+        assert!(bursty >= 30, "only {bursty}/50 series look bursty");
+    }
+
+    #[test]
+    fn template_siblings_are_near_neighbors() {
+        // Series sharing an event template must be far closer to each
+        // other than to series from other templates (after z-norm).
+        let g = SeismicGen::new(256, 9);
+        let mut buf = vec![0.0f32; 256];
+        // Gather a batch and group by recomputing template ids the same
+        // way the generator draws them.
+        let count = 2000u64;
+        let mut by_template: std::collections::HashMap<u64, Vec<Vec<f32>>> = Default::default();
+        for i in 0..count {
+            let mut rng = Rng::for_stream(9 ^ 0x5E15_0000_0000_0000, i);
+            // Skip the background draws (2 per point: AR noise uses one
+            // gaussian per point; gaussian consumes a variable number of
+            // raw draws, so re-derive by regenerating instead).
+            g.generate_into(i, &mut buf);
+            let _ = &mut rng;
+            // Recover the template by brute force: closest template id by
+            // checking a few candidates is overkill — instead regenerate
+            // the RNG stream exactly as generate_into does.
+            let mut rng = Rng::for_stream(9 ^ 0x5E15_0000_0000_0000, i);
+            for _ in 0..256 {
+                let _ = rng.gaussian();
+            }
+            let template_id = rng.below(NUM_TEMPLATES);
+            by_template
+                .entry(template_id)
+                .or_default()
+                .push(znormalized(&buf));
+        }
+        // Find a template with at least 2 members.
+        let group = by_template
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("2000 draws over 4096 templates must collide");
+        let a = &group[0];
+        let b = &group[1];
+        let intra = crate::distance::euclidean::ed_sq_scalar(a, b);
+        // Compare against members of other templates.
+        let mut inter_min = f32::INFINITY;
+        for (tid, v) in by_template.iter().take(50) {
+            if std::ptr::eq(v.as_ptr(), group.as_ptr()) {
+                let _ = tid;
+                continue;
+            }
+            inter_min =
+                inter_min.min(crate::distance::euclidean::ed_sq_scalar(a, &v[0]));
+        }
+        assert!(
+            intra < inter_min,
+            "intra-template distance {intra} should undercut inter-template {inter_min}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = SeismicGen::new(128, 4);
+        let mut a = vec![0.0; 128];
+        let mut b = vec![0.0; 128];
+        g.generate_into(17, &mut a);
+        g.generate_into(17, &mut b);
+        assert_eq!(a, b);
+        g.generate_into(18, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_length() {
+        SeismicGen::new(0, 1);
+    }
+}

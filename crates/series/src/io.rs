@@ -1,0 +1,176 @@
+//! Dataset file persistence.
+//!
+//! A minimal binary container so datasets can move between the CLI,
+//! examples, and external tools: a 24-byte header (magic, version,
+//! series length, series count — all little-endian) followed by the raw
+//! `f32` values, series back to back. The format is deliberately dumb:
+//! the paper's pipeline treats raw series files exactly this way (ParIS
+//! reads "raw data series from disk … into a raw data buffer in memory").
+
+use crate::error::Error;
+use crate::types::Dataset;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic: `MESSIDS\0`.
+const MAGIC: [u8; 8] = *b"MESSIDS\0";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Writes `dataset` to `path` in the container format.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_dataset(dataset: &Dataset, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(dataset.series_len() as u32).to_le_bytes())?;
+    w.write_all(&(dataset.len() as u64).to_le_bytes())?;
+    // Raw values; f32 -> LE bytes.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for &v in dataset.as_flat() {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads a dataset previously written by [`write_dataset`].
+///
+/// # Errors
+///
+/// [`ReadError::Io`] for filesystem problems, [`ReadError::Format`] for
+/// structurally malformed files (bad magic, version, or truncated
+/// payload), [`ReadError::Data`] for well-formed files whose content
+/// cannot form a valid [`Dataset`].
+pub fn read_dataset(path: &Path) -> std::result::Result<Dataset, ReadError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    if header[..8] != MAGIC {
+        return Err(ReadError::Format("bad magic: not a MESSI dataset file"));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(ReadError::Format("unsupported format version"));
+    }
+    let series_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+    let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
+    if series_len == 0 {
+        return Err(ReadError::Data(Error::InvalidSeriesLength(0)));
+    }
+    let total = count
+        .checked_mul(series_len)
+        .ok_or(ReadError::Format("size overflow"))?;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() != total * 4 {
+        return Err(ReadError::Format("payload size disagrees with header"));
+    }
+    let values: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Dataset::from_flat(values, series_len).map_err(ReadError::Data)
+}
+
+/// Errors from [`read_dataset`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally malformed file.
+    Format(&'static str),
+    /// Well-formed file with invalid dataset content.
+    Data(Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Format(what) => write!(f, "malformed dataset file: {what}"),
+            ReadError::Data(e) => write!(f, "invalid dataset content: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, DatasetKind};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("messi-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = gen::generate(DatasetKind::RandomWalk, 37, 5);
+        let path = tmp("roundtrip.mds");
+        write_dataset(&ds, &path).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic.mds");
+        std::fs::write(&path, b"NOTMESSI00000000000000000000").unwrap();
+        match read_dataset(&path) {
+            Err(ReadError::Format(msg)) => assert!(msg.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let ds = gen::generate(DatasetKind::Sald, 5, 1);
+        let path = tmp("trunc.mds");
+        write_dataset(&ds, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, bytes).unwrap();
+        match read_dataset(&path) {
+            Err(ReadError::Format(msg)) => assert!(msg.contains("payload")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_file() {
+        match read_dataset(&tmp("does-not-exist.mds")) {
+            Err(ReadError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ReadError::Format("bad thing");
+        assert!(e.to_string().contains("bad thing"));
+        let e = ReadError::Data(Error::InvalidSeriesLength(0));
+        assert!(e.to_string().contains("invalid dataset content"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA (§II-B of the paper, originally Keogh et al., KAIS 2001) divides a
+//! series into `w` segments and represents each segment by its mean. It is
+//! the first stage of iSAX summarization and also the representation used
+//! on the *query* side of every lower-bound (mindist) computation.
+//!
+//! When the series length is not a multiple of `w`, segment boundaries are
+//! placed at `round(i * n / w)`, so segment lengths differ by at most one
+//! point. The mindist kernels in `messi-sax` use the exact per-segment
+//! lengths, so lower bounds remain sound in that case.
+
+/// Returns the `(start, end)` point ranges of the `segments` PAA segments
+/// of a series of length `n`.
+///
+/// Every point belongs to exactly one segment and segments are non-empty
+/// as long as `segments <= n`.
+///
+/// # Panics
+///
+/// Panics if `segments == 0` or `segments > n`.
+pub fn segment_bounds(n: usize, segments: usize) -> Vec<(usize, usize)> {
+    assert!(segments > 0, "segments must be positive");
+    assert!(
+        segments <= n,
+        "cannot split {n} points into {segments} segments"
+    );
+    let mut out = Vec::with_capacity(segments);
+    for i in 0..segments {
+        let start = i * n / segments;
+        let end = (i + 1) * n / segments;
+        out.push((start, end));
+    }
+    out
+}
+
+/// Computes the PAA of `series` into the pre-allocated `out` buffer.
+///
+/// This is the allocation-free version used by the hot index-construction
+/// path (Alg. 3 computes one PAA per raw series).
+///
+/// # Panics
+///
+/// Panics if `out.len() == 0`, `out.len() > series.len()`.
+#[inline]
+pub fn paa_into(series: &[f32], out: &mut [f32]) {
+    let n = series.len();
+    let w = out.len();
+    assert!(
+        w > 0 && w <= n,
+        "invalid PAA segment count {w} for {n} points"
+    );
+    if n % w == 0 {
+        // Fast path: equal segments; the compiler vectorizes this loop.
+        let seg = n / w;
+        let inv = 1.0 / seg as f32;
+        for (o, chunk) in out.iter_mut().zip(series.chunks_exact(seg)) {
+            let mut sum = 0.0f32;
+            for &v in chunk {
+                sum += v;
+            }
+            *o = sum * inv;
+        }
+    } else {
+        for (i, o) in out.iter_mut().enumerate() {
+            let start = i * n / w;
+            let end = (i + 1) * n / w;
+            let mut sum = 0.0f32;
+            for &v in &series[start..end] {
+                sum += v;
+            }
+            *o = sum / (end - start) as f32;
+        }
+    }
+}
+
+/// Computes the PAA of `series` with `segments` segments.
+pub fn paa(series: &[f32], segments: usize) -> Vec<f32> {
+    let mut out = vec![0.0; segments];
+    paa_into(series, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::approx_eq;
+
+    #[test]
+    fn bounds_partition_the_series() {
+        for n in [16usize, 17, 128, 255, 256] {
+            for w in [1usize, 3, 8, 16] {
+                if w > n {
+                    continue;
+                }
+                let bounds = segment_bounds(n, w);
+                assert_eq!(bounds.len(), w);
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds[w - 1].1, n);
+                for win in bounds.windows(2) {
+                    assert_eq!(win[0].1, win[1].0, "segments must be contiguous");
+                }
+                assert!(bounds.iter().all(|(s, e)| e > s), "segments non-empty");
+            }
+        }
+    }
+
+    #[test]
+    fn paa_of_constant_series_is_constant() {
+        let xs = vec![3.5f32; 256];
+        let p = paa(&xs, 16);
+        assert!(p.iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn paa_computes_segment_means() {
+        // 8 points, 4 segments of 2: means are (0+1)/2, (2+3)/2, ...
+        let xs: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        let p = paa(&xs, 4);
+        assert_eq!(p, vec![0.5, 2.5, 4.5, 6.5]);
+    }
+
+    #[test]
+    fn paa_is_linear() {
+        let a: Vec<f32> = (0..64).map(|v| (v as f32).cos()).collect();
+        let b: Vec<f32> = (0..64).map(|v| (v as f32 * 0.2).sin()).collect();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + y).collect();
+        let pa = paa(&a, 8);
+        let pb = paa(&b, 8);
+        let ps = paa(&sum, 8);
+        for i in 0..8 {
+            assert!(approx_eq(ps[i], 2.0 * pa[i] + pb[i], 1e-5));
+        }
+    }
+
+    #[test]
+    fn paa_handles_ragged_lengths() {
+        // 10 points into 4 segments: bounds are 0..2, 2..5, 5..7, 7..10.
+        let xs: Vec<f32> = (0..10).map(|v| v as f32).collect();
+        let p = paa(&xs, 4);
+        assert!(approx_eq(p[0], 0.5, 1e-6));
+        assert!(approx_eq(p[1], 3.0, 1e-6));
+        assert!(approx_eq(p[2], 5.5, 1e-6));
+        assert!(approx_eq(p[3], 8.0, 1e-6));
+    }
+
+    #[test]
+    fn paa_whole_series_is_mean() {
+        let xs: Vec<f32> = (0..100).map(|v| (v as f32).sqrt()).collect();
+        let p = paa(&xs, 1);
+        assert!(approx_eq(p[0], crate::stats::mean(&xs), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PAA segment count")]
+    fn paa_rejects_more_segments_than_points() {
+        let mut out = vec![0.0; 8];
+        paa_into(&[1.0, 2.0], &mut out);
+    }
+}

@@ -1,0 +1,96 @@
+//! Small numeric helpers: mean, standard deviation, and float comparison
+//! utilities shared by the normalization, PAA, and generator code.
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+#[inline]
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    // Accumulate in f64: a 256-point sum in f32 already loses enough
+    // precision to perturb z-normalization at the 1e-6 level.
+    let sum: f64 = xs.iter().map(|&v| v as f64).sum();
+    (sum / xs.len() as f64) as f32
+}
+
+/// Population standard deviation of a slice. Returns 0.0 for an empty slice.
+#[inline]
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs) as f64;
+    let var: f64 = xs
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64;
+    var.sqrt() as f32
+}
+
+/// Mean and population standard deviation in one pass over the data.
+#[inline]
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for &v in xs {
+        let v = v as f64;
+        sum += v;
+        sum_sq += v * v;
+    }
+    let m = sum / n;
+    // Guard against tiny negative variance from cancellation.
+    let var = (sum_sq / n - m * m).max(0.0);
+    (m as f32, var.sqrt() as f32)
+}
+
+/// Approximate equality for floats with both absolute and relative slack.
+#[inline]
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_known_values() {
+        // Population std dev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(std_dev(&xs), 2.0, 1e-6));
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_matches_separate_passes() {
+        let xs: Vec<f32> = (0..257)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0 + 1.5)
+            .collect();
+        let (m, s) = mean_std(&xs);
+        assert!(approx_eq(m, mean(&xs), 1e-5));
+        assert!(approx_eq(s, std_dev(&xs), 1e-5));
+    }
+
+    #[test]
+    fn approx_eq_handles_scales() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-6));
+        assert!(approx_eq(1e6, 1e6 + 0.5, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-6));
+    }
+}

@@ -1,0 +1,321 @@
+//! The in-memory dataset: the paper's `RawData` array.
+//!
+//! MESSI assumes the raw data series live in one contiguous in-memory
+//! array (Fig. 2 of the paper). [`Dataset`] is exactly that: a flat
+//! `Vec<f32>` storing `len()` series of `series_len()` points back to
+//! back. Series are addressed by their position index, which is what the
+//! index tree stores next to each iSAX summary.
+
+use crate::error::{Error, Result};
+
+/// A collection of fixed-length data series stored contiguously in memory.
+///
+/// This mirrors the paper's `RawData` array: series `i` occupies the flat
+/// value range `[i * series_len, (i + 1) * series_len)`. All MESSI and
+/// baseline algorithms operate on positions into this array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    values: Vec<f32>,
+    series_len: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat buffer of `count * series_len` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSeriesLength`] if `series_len == 0` and
+    /// [`Error::RaggedBuffer`] if the buffer is not a whole number of series.
+    pub fn from_flat(values: Vec<f32>, series_len: usize) -> Result<Self> {
+        if series_len == 0 {
+            return Err(Error::InvalidSeriesLength(series_len));
+        }
+        if values.len() % series_len != 0 {
+            return Err(Error::RaggedBuffer {
+                buffer_len: values.len(),
+                series_len,
+            });
+        }
+        Ok(Self { values, series_len })
+    }
+
+    /// Creates a dataset from individual series, all of the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] when lengths differ, and
+    /// [`Error::InvalidSeriesLength`] for an empty first series. An empty
+    /// iterator yields an error as a zero series length cannot be inferred.
+    pub fn from_series<I, S>(series: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[f32]>,
+    {
+        let mut iter = series.into_iter();
+        let first = match iter.next() {
+            Some(s) => s,
+            None => return Err(Error::InvalidSeriesLength(0)),
+        };
+        let series_len = first.as_ref().len();
+        if series_len == 0 {
+            return Err(Error::InvalidSeriesLength(0));
+        }
+        let mut values = Vec::new();
+        values.extend_from_slice(first.as_ref());
+        for s in iter {
+            let s = s.as_ref();
+            if s.len() != series_len {
+                return Err(Error::LengthMismatch {
+                    expected: series_len,
+                    got: s.len(),
+                });
+            }
+            values.extend_from_slice(s);
+        }
+        Ok(Self { values, series_len })
+    }
+
+    /// Number of series in the dataset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len() / self.series_len
+    }
+
+    /// Whether the dataset holds no series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Length (number of points) of every series.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The raw values of series `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    #[inline]
+    pub fn series(&self, pos: usize) -> &[f32] {
+        let start = pos * self.series_len;
+        &self.values[start..start + self.series_len]
+    }
+
+    /// The whole flat buffer, series back to back.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates over all series in position order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.values.chunks_exact(self.series_len)
+    }
+
+    /// Total size of the raw data in bytes (the paper reports dataset
+    /// sizes in GB of raw `float` data; this is the equivalent figure).
+    #[inline]
+    pub fn raw_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Splits the position space into `chunk_size`-sized chunks, exactly as
+    /// the index construction phase does. The final chunk may be shorter.
+    /// Returns `(start, end)` position pairs.
+    pub fn chunks(&self, chunk_size: usize) -> Vec<(usize, usize)> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n = self.len();
+        let mut out = Vec::with_capacity(n.div_ceil(chunk_size));
+        let mut start = 0;
+        while start < n {
+            let end = usize::min(start + chunk_size, n);
+            out.push((start, end));
+            start = end;
+        }
+        out
+    }
+
+    /// Finds the first non-finite value (NaN or ±∞), returning
+    /// `(series position, point index)`.
+    ///
+    /// Non-finite values silently poison similarity search: distances
+    /// become NaN, which the pruning comparisons treat as "not less
+    /// than", so corrupt series can never be returned *or* excluded
+    /// deterministically. Ingestion pipelines should check this once
+    /// after loading external data.
+    pub fn find_non_finite(&self) -> Option<(usize, usize)> {
+        for (pos, s) in self.iter().enumerate() {
+            if let Some(idx) = s.iter().position(|v| !v.is_finite()) {
+                return Some((pos, idx));
+            }
+        }
+        None
+    }
+
+    /// Brute-force scan: position and squared Euclidean distance of the
+    /// nearest neighbor of `query`. The reference answer for every test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `query` has the wrong length.
+    pub fn nearest_neighbor_brute_force(&self, query: &[f32]) -> (usize, f32) {
+        assert_eq!(query.len(), self.series_len, "query length mismatch");
+        assert!(!self.is_empty(), "empty dataset has no nearest neighbor");
+        let mut best = (0usize, f32::INFINITY);
+        for (pos, s) in self.iter().enumerate() {
+            let d = crate::distance::euclidean::ed_sq_scalar(query, s);
+            if d < best.1 {
+                best = (pos, d);
+            }
+        }
+        best
+    }
+}
+
+/// Incremental builder for a [`Dataset`], reserving capacity up front.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    values: Vec<f32>,
+    series_len: usize,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for series of length `series_len`, pre-allocating
+    /// room for `capacity` series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series_len == 0`.
+    pub fn with_capacity(series_len: usize, capacity: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self {
+            values: Vec::with_capacity(series_len * capacity),
+            series_len,
+        }
+    }
+
+    /// Appends one series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the series has the wrong length.
+    pub fn push(&mut self, series: &[f32]) -> Result<()> {
+        if series.len() != self.series_len {
+            return Err(Error::LengthMismatch {
+                expected: self.series_len,
+                got: series.len(),
+            });
+        }
+        self.values.extend_from_slice(series);
+        Ok(())
+    }
+
+    /// Number of series appended so far.
+    pub fn len(&self) -> usize {
+        self.values.len() / self.series_len
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            values: self.values,
+            series_len: self.series_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let ds = Dataset::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.series_len(), 3);
+        assert_eq!(ds.series(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.series(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.raw_bytes(), 24);
+    }
+
+    #[test]
+    fn from_flat_rejects_bad_shapes() {
+        assert!(matches!(
+            Dataset::from_flat(vec![1.0; 5], 3),
+            Err(Error::RaggedBuffer { .. })
+        ));
+        assert!(matches!(
+            Dataset::from_flat(vec![], 0),
+            Err(Error::InvalidSeriesLength(0))
+        ));
+    }
+
+    #[test]
+    fn from_series_checks_lengths() {
+        let ds = Dataset::from_series([[1.0f32, 2.0], [3.0, 4.0]]).unwrap();
+        assert_eq!(ds.len(), 2);
+        let err = Dataset::from_series([vec![1.0f32, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, Error::LengthMismatch { .. }));
+        let err = Dataset::from_series(Vec::<Vec<f32>>::new()).unwrap_err();
+        assert!(matches!(err, Error::InvalidSeriesLength(0)));
+    }
+
+    #[test]
+    fn iter_matches_series_accessor() {
+        let ds = Dataset::from_flat((0..12).map(|v| v as f32).collect(), 4).unwrap();
+        let collected: Vec<&[f32]> = ds.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (pos, s) in collected.iter().enumerate() {
+            assert_eq!(*s, ds.series(pos));
+        }
+    }
+
+    #[test]
+    fn chunking_covers_everything_once() {
+        let ds = Dataset::from_flat(vec![0.0; 10 * 4], 4).unwrap();
+        let chunks = ds.chunks(3);
+        assert_eq!(chunks, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut b = DatasetBuilder::with_capacity(2, 4);
+        assert!(b.is_empty());
+        b.push(&[1.0, 2.0]).unwrap();
+        b.push(&[3.0, 4.0]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.push(&[1.0]).is_err());
+        let ds = b.build();
+        assert_eq!(ds.series(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn brute_force_finds_exact_match() {
+        let ds = Dataset::from_series([[0.0f32, 0.0], [1.0, 1.0], [5.0, 5.0], [1.0, 1.1]]).unwrap();
+        let (pos, d) = ds.nearest_neighbor_brute_force(&[1.0, 1.0]);
+        assert_eq!(pos, 1);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let clean = Dataset::from_series([[0.0f32, 1.0], [2.0, 3.0]]).unwrap();
+        assert_eq!(clean.find_non_finite(), None);
+        let nan = Dataset::from_series([[0.0f32, 1.0], [2.0, f32::NAN]]).unwrap();
+        assert_eq!(nan.find_non_finite(), Some((1, 1)));
+        let inf = Dataset::from_series([[f32::INFINITY, 1.0], [2.0, 3.0]]).unwrap();
+        assert_eq!(inf.find_non_finite(), Some((0, 0)));
+        let neg = Dataset::from_series([[0.0f32, 1.0], [f32::NEG_INFINITY, 3.0]]).unwrap();
+        assert_eq!(neg.find_non_finite(), Some((1, 0)));
+    }
+}

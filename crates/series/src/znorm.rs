@@ -1,0 +1,91 @@
+//! Z-normalization.
+//!
+//! The paper (§II-A) indexes z-normalized series: mean 0, standard
+//! deviation 1. Minimizing Euclidean distance on z-normalized series is
+//! equivalent to maximizing Pearson correlation, and the N(0,1) iSAX
+//! breakpoints (messi-sax) assume this normalization.
+
+use crate::stats::mean_std;
+
+/// Standard deviation below which a series is treated as constant and
+/// normalized to all zeros instead of being divided by noise.
+pub const EPSILON_STD: f32 = 1e-8;
+
+/// Z-normalizes `series` in place: `(x - mean) / std`.
+///
+/// Constant series (std < [`EPSILON_STD`]) become all zeros, matching the
+/// convention of the UCR Suite and the authors' implementation.
+pub fn znormalize_in_place(series: &mut [f32]) {
+    let (m, s) = mean_std(series);
+    if s < EPSILON_STD {
+        series.fill(0.0);
+        return;
+    }
+    let inv = 1.0 / s;
+    for v in series.iter_mut() {
+        *v = (*v - m) * inv;
+    }
+}
+
+/// Returns a z-normalized copy of `series`.
+pub fn znormalized(series: &[f32]) -> Vec<f32> {
+    let mut out = series.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// Whether a series is already (approximately) z-normalized.
+pub fn is_znormalized(series: &[f32], tol: f32) -> bool {
+    if series.is_empty() {
+        return true;
+    }
+    let (m, s) = mean_std(series);
+    m.abs() <= tol && (s - 1.0).abs() <= tol || s < EPSILON_STD && m.abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{approx_eq, mean_std};
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_std() {
+        let mut xs: Vec<f32> = (0..256).map(|i| (i as f32).sin() * 7.0 + 42.0).collect();
+        znormalize_in_place(&mut xs);
+        let (m, s) = mean_std(&xs);
+        assert!(m.abs() < 1e-5, "mean {m}");
+        assert!(approx_eq(s, 1.0, 1e-4), "std {s}");
+        assert!(is_znormalized(&xs, 1e-3));
+    }
+
+    #[test]
+    fn constant_series_becomes_zero() {
+        let mut xs = vec![5.0f32; 64];
+        znormalize_in_place(&mut xs);
+        assert!(xs.iter().all(|&v| v == 0.0));
+        assert!(is_znormalized(&xs, 1e-3));
+    }
+
+    #[test]
+    fn znormalized_copy_leaves_input_untouched() {
+        let xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        let out = znormalized(&xs);
+        assert_eq!(xs, vec![1.0, 2.0, 3.0, 4.0]);
+        let (m, _) = mean_std(&out);
+        assert!(m.abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_series_is_trivially_normalized() {
+        assert!(is_znormalized(&[], 1e-6));
+        let mut xs: Vec<f32> = vec![];
+        znormalize_in_place(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn detects_unnormalized_series() {
+        let xs = vec![10.0f32, 20.0, 30.0];
+        assert!(!is_znormalized(&xs, 1e-3));
+    }
+}

@@ -1,0 +1,235 @@
+//! Partitioned iSAX buffers.
+//!
+//! During index construction, each computed summary must reach the buffer
+//! of its root subtree. ParIS guarded each buffer with a lock; MESSI
+//! instead splits every buffer into one *part per worker*: "each iSAX
+//! buffer is split into parts and each worker works on its own part …
+//! \[which\] completely eliminates the synchronization cost in accessing
+//! the iSAX buffers" (§I, §III and footnote 3).
+//!
+//! `PartitionedBuffers` realizes this with the type system instead of
+//! discipline: phase 1 hands each worker an exclusive `&mut BufferPart`
+//! (all parts for every key, owned by that worker), so data races are
+//! impossible by construction; phase 2 reads the assembled buffers
+//! immutably.
+//!
+//! "Each part of an iSAX buffer is allocated dynamically when the first
+//! element to be stored in it is produced. The size of each part has an
+//! initial small value (5 series in this work …) and it is adjusted
+//! dynamically … by doubling its size each time" (§III-A) — reproduced by
+//! the explicit growth policy in [`BufferPart::push`]; the initial
+//! capacity is the Fig. 8 experiment's knob.
+
+/// All buffer parts belonging to one worker: one `Vec<T>` per key
+/// (= per root subtree).
+#[derive(Debug)]
+pub struct BufferPart<T> {
+    initial_capacity: usize,
+    parts: Vec<Vec<T>>,
+}
+
+impl<T> BufferPart<T> {
+    fn new(num_keys: usize, initial_capacity: usize) -> Self {
+        let mut parts = Vec::with_capacity(num_keys);
+        parts.resize_with(num_keys, Vec::new);
+        Self {
+            initial_capacity,
+            parts,
+        }
+    }
+
+    /// Appends `value` to this worker's part of buffer `key`, applying the
+    /// paper's growth policy (allocate `initial_capacity` on first insert,
+    /// then double).
+    #[inline]
+    pub fn push(&mut self, key: usize, value: T) {
+        let v = &mut self.parts[key];
+        if v.len() == v.capacity() {
+            let additional = if v.capacity() == 0 {
+                self.initial_capacity.max(1)
+            } else {
+                v.capacity() // double
+            };
+            v.reserve_exact(additional);
+        }
+        v.push(value);
+    }
+
+    /// This worker's part of buffer `key`.
+    #[inline]
+    pub fn part(&self, key: usize) -> &[T] {
+        &self.parts[key]
+    }
+
+    /// Number of keys (root subtrees).
+    pub fn num_keys(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Entries this worker stored across all keys.
+    pub fn total_len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+}
+
+/// The complete set of iSAX buffers: `num_keys × num_workers` parts.
+#[derive(Debug)]
+pub struct PartitionedBuffers<T> {
+    workers: Vec<BufferPart<T>>,
+    num_keys: usize,
+}
+
+impl<T> PartitionedBuffers<T> {
+    /// Creates buffers for `num_keys` root subtrees and `num_workers`
+    /// workers, with the given initial part capacity (the paper uses 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn new(num_keys: usize, num_workers: usize, initial_capacity: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        Self {
+            workers: (0..num_workers)
+                .map(|_| BufferPart::new(num_keys, initial_capacity))
+                .collect(),
+            num_keys,
+        }
+    }
+
+    /// Number of keys (root subtrees).
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Mutable access to every worker's parts, for handing one to each
+    /// spawned worker thread (`parts_mut().iter_mut()` yields disjoint
+    /// `&mut BufferPart`s, so phase 1 needs no locks).
+    pub fn parts_mut(&mut self) -> &mut [BufferPart<T>] {
+        &mut self.workers
+    }
+
+    /// Iterates over all entries of buffer `key` across every worker's
+    /// part — what Alg. 4 line 5–6 does ("traverses all parts of the
+    /// assigned buffer").
+    pub fn iter_key(&self, key: usize) -> impl Iterator<Item = &T> {
+        self.workers.iter().flat_map(move |w| w.part(key).iter())
+    }
+
+    /// Total entries stored under `key`.
+    pub fn key_len(&self, key: usize) -> usize {
+        self.workers.iter().map(|w| w.part(key).len()).sum()
+    }
+
+    /// Total entries across all keys and workers.
+    pub fn total_len(&self) -> usize {
+        self.workers.iter().map(BufferPart::total_len).sum()
+    }
+
+    /// Keys that received at least one entry, ascending. Tree construction
+    /// iterates over these instead of all 2^w possible keys.
+    pub fn touched_keys(&self) -> Vec<usize> {
+        (0..self.num_keys)
+            .filter(|&k| self.workers.iter().any(|w| !w.part(k).is_empty()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_policy_starts_small_and_doubles() {
+        let mut part: BufferPart<u32> = BufferPart::new(4, 5);
+        assert_eq!(part.part(0).len(), 0);
+        part.push(0, 1);
+        assert_eq!(
+            part.parts[0].capacity(),
+            5,
+            "first insert allocates initial"
+        );
+        for i in 0..4 {
+            part.push(0, i);
+        }
+        assert_eq!(part.parts[0].capacity(), 5);
+        part.push(0, 9);
+        assert_eq!(part.parts[0].capacity(), 10, "overflow doubles");
+        for i in 0..4 {
+            part.push(0, i);
+        }
+        part.push(0, 99);
+        assert_eq!(part.parts[0].capacity(), 20);
+    }
+
+    #[test]
+    fn zero_initial_capacity_still_works() {
+        let mut part: BufferPart<u32> = BufferPart::new(1, 0);
+        for i in 0..100 {
+            part.push(0, i);
+        }
+        assert_eq!(part.part(0).len(), 100);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut part: BufferPart<&str> = BufferPart::new(3, 2);
+        part.push(0, "a");
+        part.push(2, "c");
+        part.push(0, "b");
+        assert_eq!(part.part(0), &["a", "b"]);
+        assert_eq!(part.part(1), &[] as &[&str]);
+        assert_eq!(part.part(2), &["c"]);
+        assert_eq!(part.total_len(), 3);
+        assert_eq!(part.num_keys(), 3);
+    }
+
+    #[test]
+    fn parallel_fill_then_drain_sees_everything() {
+        // Phase 1: 6 workers each push their ids into key = id % num_keys.
+        // Phase 2: iter_key must see every id exactly once.
+        let num_keys = 16;
+        let num_workers = 6;
+        let per_worker = 10_000usize;
+        let mut buffers: PartitionedBuffers<usize> =
+            PartitionedBuffers::new(num_keys, num_workers, 5);
+        std::thread::scope(|s| {
+            for (w, part) in buffers.parts_mut().iter_mut().enumerate() {
+                s.spawn(move || {
+                    for i in 0..per_worker {
+                        let id = w * per_worker + i;
+                        part.push(id % num_keys, id);
+                    }
+                });
+            }
+        });
+        assert_eq!(buffers.total_len(), num_workers * per_worker);
+        let mut seen = vec![false; num_workers * per_worker];
+        for key in 0..num_keys {
+            for &id in buffers.iter_key(key) {
+                assert_eq!(id % num_keys, key, "entry filed under wrong key");
+                assert!(!seen[id], "id {id} seen twice");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some ids lost");
+        assert_eq!(buffers.touched_keys().len(), num_keys);
+    }
+
+    #[test]
+    fn touched_keys_skips_empty_buffers() {
+        let mut buffers: PartitionedBuffers<u8> = PartitionedBuffers::new(8, 2, 5);
+        buffers.parts_mut()[0].push(3, 1);
+        buffers.parts_mut()[1].push(5, 2);
+        buffers.parts_mut()[1].push(3, 3);
+        assert_eq!(buffers.touched_keys(), vec![3, 5]);
+        assert_eq!(buffers.key_len(3), 2);
+        assert_eq!(buffers.key_len(0), 0);
+        assert_eq!(buffers.num_keys(), 8);
+        assert_eq!(buffers.num_workers(), 2);
+    }
+}

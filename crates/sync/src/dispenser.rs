@@ -1,0 +1,126 @@
+//! Fetch&Inc work dispensers.
+//!
+//! All load balancing in MESSI is done by atomically fetching and
+//! incrementing a shared counter: chunks of the raw-data array during
+//! summarization (Alg. 3 line 3), iSAX buffers during tree construction
+//! (Alg. 4 line 3), and root subtrees during query traversal (Alg. 6
+//! line 4). "Chunks are assigned to index workers the one after the other
+//! (using Fetch&Inc)" — §III.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded Fetch&Inc dispenser handing out `0 .. limit` exactly once.
+#[derive(Debug)]
+pub struct Dispenser {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl Dispenser {
+    /// Creates a dispenser for item ids `0 .. limit`.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Takes the next item id, or `None` when the range is exhausted.
+    ///
+    /// Each id in `0 .. limit` is returned to exactly one caller.
+    #[inline]
+    pub fn next(&self) -> Option<usize> {
+        // fetch_add may overshoot past `limit` under contention; ids
+        // beyond the limit are simply discarded. usize overflow would
+        // need 2^64 - limit failed calls, which cannot occur in practice.
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        (id < self.limit).then_some(id)
+    }
+
+    /// Number of ids this dispenser hands out in total.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Resets the dispenser for reuse (only valid between parallel phases,
+    /// while no worker is calling [`Dispenser::next`]).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Iterator adapter: drains a dispenser from one thread.
+impl<'a> IntoIterator for &'a Dispenser {
+    type Item = usize;
+    type IntoIter = DispenserIter<'a>;
+
+    fn into_iter(self) -> DispenserIter<'a> {
+        DispenserIter { dispenser: self }
+    }
+}
+
+/// Iterator over the remaining ids of a [`Dispenser`].
+#[derive(Debug)]
+pub struct DispenserIter<'a> {
+    dispenser: &'a Dispenser,
+}
+
+impl Iterator for DispenserIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.dispenser.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn hands_out_each_id_once_single_threaded() {
+        let d = Dispenser::new(5);
+        let got: Vec<usize> = (&d).into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.next(), None);
+        assert_eq!(d.limit(), 5);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let d = Dispenser::new(3);
+        while d.next().is_some() {}
+        d.reset();
+        assert_eq!(d.next(), Some(0));
+    }
+
+    #[test]
+    fn zero_limit_dispenses_nothing() {
+        let d = Dispenser::new(0);
+        assert_eq!(d.next(), None);
+    }
+
+    #[test]
+    fn concurrent_draining_partitions_the_range() {
+        let n = 100_000;
+        let d = Dispenser::new(n);
+        let seen = Mutex::new(HashSet::with_capacity(n));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(id) = d.next() {
+                        local.push(id);
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for id in local {
+                        assert!(set.insert(id), "id {id} dispensed twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), n, "every id dispensed");
+    }
+}

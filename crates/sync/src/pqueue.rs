@@ -1,0 +1,312 @@
+//! Concurrent minimum priority queues.
+//!
+//! MESSI's query answering places unpruned leaves into Nq shared minimum
+//! priority queues keyed by lower-bound distance, then drains them in
+//! order (Alg. 5–8). "Each queue may be accessed by more than one
+//! threads, so a lock per queue is used to protect its concurrent access"
+//! (§III-B). The queue is "implemented using an array whose size changes
+//! dynamically" — a binary heap, as here.
+//!
+//! The `finished` flag implements the give-up protocol of Alg. 8: once a
+//! worker pops an element whose bound exceeds the BSF, every remaining
+//! element is worse (min-queue), so the queue is marked finished and all
+//! workers skip it. A queue drained empty is equally finished, because
+//! insertion completed before the processing phase began (Alg. 6's
+//! barrier).
+
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Heap entry ordered by *smallest* key first (BinaryHeap is a max-heap,
+/// so the ordering is reversed; NaN keys are banned by an assertion).
+#[derive(Debug)]
+struct HeapEntry<T> {
+    key: f32,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap then yields the minimum key first.
+        other.key.total_cmp(&self.key)
+    }
+}
+
+/// A lock-protected minimum priority queue with a `finished` flag.
+#[derive(Debug)]
+pub struct ConcurrentMinQueue<T> {
+    heap: Mutex<BinaryHeap<HeapEntry<T>>>,
+    finished: AtomicBool,
+}
+
+impl<T> Default for ConcurrentMinQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ConcurrentMinQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Inserts `item` with priority `key` (lower = served first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is NaN (which would poison the heap order).
+    pub fn push(&self, key: f32, item: T) {
+        assert!(!key.is_nan(), "NaN priority");
+        self.heap.lock().push(HeapEntry { key, item });
+    }
+
+    /// Removes and returns the minimum-key entry, or `None` if empty.
+    pub fn pop_min(&self) -> Option<(f32, T)> {
+        self.heap.lock().pop().map(|e| (e.key, e.item))
+    }
+
+    /// Returns the minimum key without removing it.
+    pub fn peek_min_key(&self) -> Option<f32> {
+        self.heap.lock().peek().map(|e| e.key)
+    }
+
+    /// Number of queued entries (racy under concurrency; for diagnostics).
+    pub fn len(&self) -> usize {
+        self.heap.lock().len()
+    }
+
+    /// Whether the queue is empty (racy under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.heap.lock().is_empty()
+    }
+
+    /// Marks this queue as finished: no remaining entry can matter.
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Release);
+    }
+
+    /// Whether the queue has been marked finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Clears entries and the finished flag (reuse between queries).
+    pub fn reset(&self) {
+        self.heap.lock().clear();
+        self.finished.store(false, Ordering::Release);
+    }
+}
+
+/// A set of Nq concurrent minimum queues with the paper's round-robin
+/// insertion discipline ("Each thread inserts elements in the priority
+/// queues in a round-robin fashion so that load balancing is achieved").
+#[derive(Debug)]
+pub struct QueueSet<T> {
+    queues: Vec<ConcurrentMinQueue<T>>,
+}
+
+impl<T> QueueSet<T> {
+    /// Creates `nq` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nq == 0`.
+    pub fn new(nq: usize) -> Self {
+        assert!(nq > 0, "need at least one queue");
+        Self {
+            queues: (0..nq).map(|_| ConcurrentMinQueue::new()).collect(),
+        }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Always false: a set holds at least one queue.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th queue.
+    pub fn queue(&self, i: usize) -> &ConcurrentMinQueue<T> {
+        &self.queues[i]
+    }
+
+    /// Inserts into the queue at `*cursor`, then advances the cursor
+    /// (Alg. 7 lines 5–9: each worker carries its own cursor `q`).
+    pub fn push_round_robin(&self, cursor: &mut usize, key: f32, item: T) {
+        let i = *cursor % self.queues.len();
+        self.queues[i].push(key, item);
+        *cursor = (i + 1) % self.queues.len();
+    }
+
+    /// First unfinished queue index at or after `start` (circular scan),
+    /// or `None` when every queue is finished (Alg. 6 lines 11–13).
+    pub fn next_unfinished(&self, start: usize) -> Option<usize> {
+        let n = self.queues.len();
+        (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&i| !self.queues[i].is_finished())
+    }
+
+    /// Whether every queue is finished.
+    pub fn all_finished(&self) -> bool {
+        self.queues.iter().all(ConcurrentMinQueue::is_finished)
+    }
+
+    /// Total queued entries across the set (racy; diagnostics only).
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(ConcurrentMinQueue::len).sum()
+    }
+
+    /// Resets all queues for reuse.
+    pub fn reset(&self) {
+        for q in &self.queues {
+            q.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_key_order() {
+        let q = ConcurrentMinQueue::new();
+        for (k, v) in [(3.0f32, 'c'), (1.0, 'a'), (2.0, 'b'), (0.5, 'z')] {
+            q.push(k, v);
+        }
+        assert_eq!(q.peek_min_key(), Some(0.5));
+        let mut got = Vec::new();
+        while let Some((k, v)) = q.pop_min() {
+            got.push((k, v));
+        }
+        assert_eq!(got, vec![(0.5, 'z'), (1.0, 'a'), (2.0, 'b'), (3.0, 'c')]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn finished_flag_lifecycle() {
+        let q: ConcurrentMinQueue<u32> = ConcurrentMinQueue::new();
+        assert!(!q.is_finished());
+        q.push(1.0, 7);
+        q.mark_finished();
+        assert!(q.is_finished());
+        q.reset();
+        assert!(!q.is_finished());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_keys() {
+        let q: ConcurrentMinQueue<u32> = ConcurrentMinQueue::new();
+        q.push(f32::NAN, 0);
+    }
+
+    #[test]
+    fn concurrent_push_pop_preserves_all_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = ConcurrentMinQueue::new();
+        let producers = 4usize;
+        let consumers = 3usize;
+        let per = 5_000usize;
+        let total = producers * per;
+        let taken = AtomicUsize::new(0);
+        let consumed = Mutex::new(Vec::with_capacity(total));
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.push((i % 97) as f32, p * per + i);
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let q = &q;
+                let consumed = &consumed;
+                let taken = &taken;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    // Keep consuming until the global count says all items
+                    // have been taken (the queue may be transiently empty
+                    // while producers are still pushing).
+                    while taken.load(Ordering::Relaxed) < total {
+                        if let Some((_, v)) = q.pop_min() {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                            local.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    consumed.lock().extend(local);
+                });
+            }
+        });
+        let mut all = consumed.into_inner();
+        assert!(q.is_empty(), "all items should have been consumed");
+        all.sort_unstable();
+        assert_eq!(all.len(), total);
+        all.dedup();
+        assert_eq!(all.len(), total, "duplicates detected");
+    }
+
+    #[test]
+    fn round_robin_balances_queues() {
+        let set: QueueSet<usize> = QueueSet::new(4);
+        let mut cursor = 1; // as if pid % Nq == 1
+        for i in 0..40 {
+            set.push_round_robin(&mut cursor, i as f32, i);
+        }
+        for i in 0..4 {
+            assert_eq!(set.queue(i).len(), 10, "queue {i} imbalanced");
+        }
+        assert_eq!(set.total_len(), 40);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn next_unfinished_scans_circularly() {
+        let set: QueueSet<u32> = QueueSet::new(3);
+        assert_eq!(set.next_unfinished(2), Some(2));
+        set.queue(2).mark_finished();
+        assert_eq!(set.next_unfinished(2), Some(0));
+        set.queue(0).mark_finished();
+        assert_eq!(set.next_unfinished(2), Some(1));
+        set.queue(1).mark_finished();
+        assert_eq!(set.next_unfinished(2), None);
+        assert!(set.all_finished());
+        set.reset();
+        assert!(!set.all_finished());
+    }
+
+    #[test]
+    fn equal_keys_are_all_served() {
+        let q = ConcurrentMinQueue::new();
+        for i in 0..5 {
+            q.push(1.0, i);
+        }
+        let mut got: Vec<i32> = std::iter::from_fn(|| q.pop_min().map(|(_, v)| v)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

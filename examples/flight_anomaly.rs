@@ -1,0 +1,89 @@
+//! Flight-data anomaly screening: the paper's motivating Airbus scenario.
+//!
+//! ```text
+//! cargo run --release --example flight_anomaly [fleet_size]
+//! ```
+//!
+//! §I of the paper: Airbus "stores petabytes of data series, describing
+//! the behavior over time of various aircraft components … [analysts]
+//! operate on a subset of the data … which fit in memory", building
+//! in-memory indices per analysis session. A classic session: given a
+//! library of *normal* sensor traces from the fleet, screen the latest
+//! flight's traces — a trace whose nearest neighbor in the normal library
+//! is unusually far is flagged for review.
+//!
+//! The 1-NN distances come from MESSI exact search; the anomaly threshold
+//! is calibrated on held-out normal traces.
+
+use messi::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let fleet_size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+
+    println!("== fly-by-wire trace screening ==");
+    println!("indexing {fleet_size} normal sensor traces from the fleet…");
+    // Normal behaviour: smooth correlated dynamics (SALD-like generator
+    // models well-behaved physical sensors).
+    let normal_gen = DatasetKind::Sald.generator_with_len(1, 256);
+    let library = Arc::new(messi::series::gen::generate_dataset(
+        normal_gen.as_ref(),
+        fleet_size,
+    ));
+    let (index, build) = MessiIndex::build(Arc::clone(&library), &IndexConfig::default());
+    println!("library indexed in {:?}", build.total_time);
+
+    let qconfig = QueryConfig::default();
+
+    // Calibrate the threshold: 1-NN distance distribution of held-out
+    // normal traces (same generator, disjoint seed stream).
+    let calibration =
+        messi::series::gen::queries::generate_queries_with_len(DatasetKind::Sald, 50, 1, 256);
+    let mut calib_dists: Vec<f32> = calibration
+        .iter()
+        .map(|q| index.search(q, &qconfig).0.distance())
+        .collect();
+    calib_dists.sort_by(f32::total_cmp);
+    // Flag anything beyond the 98th percentile of normal.
+    let threshold = calib_dists[(calib_dists.len() * 98 / 100).min(calib_dists.len() - 1)];
+    println!(
+        "calibrated threshold: {threshold:.3} (98th percentile of {} normal traces)",
+        calib_dists.len()
+    );
+
+    // Today's flight: mostly normal traces, with injected faults
+    // (oscillation bursts — the "bearing vibration" failure signature).
+    let todays_normal =
+        messi::series::gen::queries::generate_queries_with_len(DatasetKind::Sald, 8, 77, 256);
+    let faulty_gen = DatasetKind::Seismic.generator_with_len(1313, 256);
+    let todays_faulty = messi::series::gen::generate_dataset(faulty_gen.as_ref(), 4);
+
+    println!("\nscreening today's traces:");
+    let mut flagged = 0;
+    let mut missed = 0;
+    for (truth, batch) in [("normal", &todays_normal), ("FAULT", &todays_faulty)] {
+        for (i, q) in batch.iter().enumerate() {
+            let (ans, stats) = index.search(q, &qconfig);
+            let d = ans.distance();
+            let verdict = if d > threshold { "⚠ FLAG" } else { "  ok " };
+            if truth == "FAULT" && d > threshold {
+                flagged += 1;
+            }
+            if truth == "FAULT" && d <= threshold {
+                missed += 1;
+            }
+            println!(
+                "  trace {truth}-{i}: nn-dist={d:<8.3} {verdict}   ({:?}, {} real dists)",
+                stats.total_time, stats.real_distance_calcs
+            );
+        }
+    }
+    println!("\ninjected faults flagged: {flagged}/4 (missed: {missed})");
+    assert!(
+        flagged >= 3,
+        "fault signatures should stand out from the library"
+    );
+}

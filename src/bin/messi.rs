@@ -1,0 +1,267 @@
+//! `messi` — command-line interface to the index.
+//!
+//! ```text
+//! messi generate --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
+//! messi info     --data data.mds
+//! messi query    --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw]
+//! messi range    --data data.mds --epsilon 5.0 [--num-queries 5]
+//! ```
+//!
+//! Datasets live in the `.mds` container of `messi::series::io`. Queries
+//! can come from a second file or be generated on the fly. All searches
+//! are exact; per-query pruning statistics are printed.
+
+use messi::prelude::*;
+use messi::series::io::{read_dataset, write_dataset};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "query" => cmd_query(&opts),
+        "range" => cmd_range(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "messi — in-memory data series indexing (MESSI, ICDE 2020)
+
+USAGE:
+  messi generate --kind <random|seismic|sald> --count <N> --out <file.mds>
+                 [--len <points>] [--seed <u64>]
+  messi info     --data <file.mds>
+  messi query    --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
+                 [--k <K>] [--dtw] [--seed <u64>]
+  messi range    --data <file.mds> --epsilon <dist> [--num-queries <N>] [--seed <u64>]
+
+Generated queries come from the same family as --kind (members + noise
+for real-data stand-ins). All searches are exact.";
+
+/// Parsed `--key value` options.
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got `{key}`"));
+            };
+            if name == "dtw" {
+                out.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            out.push((name.to_string(), value.clone()));
+        }
+        Ok(Self(out))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name}: `{v}`")),
+        }
+    }
+}
+
+fn kind_from(name: &str) -> Result<DatasetKind, String> {
+    match name {
+        "random" | "random-walk" => Ok(DatasetKind::RandomWalk),
+        "seismic" => Ok(DatasetKind::Seismic),
+        "sald" => Ok(DatasetKind::Sald),
+        other => Err(format!("unknown kind `{other}` (random|seismic|sald)")),
+    }
+}
+
+fn load(opts: &Opts) -> Result<Arc<Dataset>, String> {
+    let path = PathBuf::from(opts.required("data")?);
+    read_dataset(&path)
+        .map(Arc::new)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let kind = kind_from(opts.required("kind")?)?;
+    let count: usize = opts.required("count")?.parse().map_err(|_| "invalid --count")?;
+    let out = PathBuf::from(opts.required("out")?);
+    let len: usize = opts.parsed("len", kind.paper_series_len())?;
+    let seed: u64 = opts.parsed("seed", 42u64)?;
+    let generator = kind.generator_with_len(seed, len);
+    let t = std::time::Instant::now();
+    let ds = messi::series::gen::generate_dataset(generator.as_ref(), count);
+    write_dataset(&ds, &out).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "wrote {} series × {} points ({} MB) to {} in {:.2?}",
+        ds.len(),
+        ds.series_len(),
+        ds.raw_bytes() / (1 << 20),
+        out.display(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let data = load(opts)?;
+    println!(
+        "dataset: {} series × {} points, {} MB raw",
+        data.len(),
+        data.series_len(),
+        data.raw_bytes() / (1 << 20)
+    );
+    if let Some((pos, idx)) = data.find_non_finite() {
+        return Err(format!(
+            "series {pos} has a non-finite value at point {idx}; \
+             similarity search over NaN/∞ is undefined"
+        ));
+    }
+    let t = std::time::Instant::now();
+    let (index, stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    println!(
+        "index:   built in {:.2?} (summaries {:.2?} + tree {:.2?})",
+        stats.total_time, stats.summarize_time, stats.tree_time
+    );
+    println!(
+        "         {} leaves across {} root subtrees, height ≤ {}",
+        stats.num_leaves, stats.num_root_subtrees, stats.max_height
+    );
+    let _ = (index, t);
+    Ok(())
+}
+
+fn queries_for_cli(opts: &Opts, data: &Arc<Dataset>) -> Result<Dataset, String> {
+    if let Some(qpath) = opts.get("queries") {
+        let qs = read_dataset(&PathBuf::from(qpath)).map_err(|e| format!("{qpath}: {e}"))?;
+        if qs.series_len() != data.series_len() {
+            return Err(format!(
+                "query length {} ≠ dataset length {}",
+                qs.series_len(),
+                data.series_len()
+            ));
+        }
+        return Ok(qs);
+    }
+    let n: usize = opts.parsed("num-queries", 10usize)?;
+    let seed: u64 = opts.parsed("seed", 42u64)?;
+    Ok(messi::series::gen::queries::noisy_queries_from_dataset(
+        data, n, 0.1, seed,
+    ))
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let data = load(opts)?;
+    let queries = queries_for_cli(opts, &data)?;
+    let k: usize = opts.parsed("k", 1usize)?;
+    let use_dtw = opts.get("dtw").is_some();
+    let (index, build) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    println!("index built in {:.2?}; answering {} queries…", build.total_time, queries.len());
+    let config = QueryConfig::default();
+    for (qi, q) in queries.iter().enumerate() {
+        if use_dtw {
+            let params = DtwParams::paper_default(data.series_len());
+            let (ans, stats) = messi::index::dtw::exact_search_dtw(&index, q, params, &config);
+            println!(
+                "query {qi}: dtw-nn=series#{} dist={:.4} in {:.2?} ({} DTW computations)",
+                ans.pos,
+                ans.distance(),
+                stats.total_time,
+                stats.real_distance_calcs
+            );
+        } else if k > 1 {
+            let (answers, stats) = messi::index::knn::exact_knn(&index, q, k, &config);
+            let list: Vec<String> = answers
+                .iter()
+                .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
+                .collect();
+            println!(
+                "query {qi}: top-{k} [{}] in {:.2?}",
+                list.join(", "),
+                stats.total_time
+            );
+        } else {
+            let (ans, stats) = index.search(q, &config);
+            println!(
+                "query {qi}: nn=series#{} dist={:.4} in {:.2?} ({} real distances, {:.2}% pruned)",
+                ans.pos,
+                ans.distance(),
+                stats.total_time,
+                stats.real_distance_calcs,
+                100.0 * (1.0 - stats.real_distance_calcs as f64 / data.len() as f64)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_range(opts: &Opts) -> Result<(), String> {
+    let data = load(opts)?;
+    let epsilon: f32 = opts.required("epsilon")?.parse().map_err(|_| "invalid --epsilon")?;
+    if !(epsilon >= 0.0) {
+        return Err("--epsilon must be non-negative".into());
+    }
+    let queries = queries_for_cli(opts, &data)?;
+    let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let config = QueryConfig::default();
+    for (qi, q) in queries.iter().enumerate() {
+        let (matches, stats) = messi::index::range::range_search(
+            &index,
+            q,
+            epsilon * epsilon, // user supplies a distance; search wants squared
+            &config,
+        );
+        let preview: Vec<String> = matches
+            .iter()
+            .take(8)
+            .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
+            .collect();
+        println!(
+            "query {qi}: {} series within ε={epsilon} in {:.2?} [{}{}]",
+            matches.len(),
+            stats.total_time,
+            preview.join(", "),
+            if matches.len() > 8 { ", …" } else { "" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! Property tests for the substrate layers: SAX words, root keys, queue
+//! ordering, work dispensing, envelopes, dataset shapes, and file I/O —
+//! with arbitrary (not generator-shaped) inputs.
+
+use messi::sax::breakpoints::{region_lower, region_upper, symbol_max_card};
+use messi::sax::root_key::{node_word_for_root_key, root_key};
+use messi::sax::word::{NodeWord, SaxWord, CARD_BITS};
+use messi::series::distance::dtw::DtwParams;
+use messi::series::distance::lb_keogh::Envelope;
+use messi::series::znorm::znormalized;
+use messi::series::Dataset;
+use messi::sync::{ConcurrentMinQueue, Dispenser, QueueSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn symbol_regions_partition_the_real_line(v in -50.0f32..50.0) {
+        let s = symbol_max_card(v) as u16;
+        let bits = CARD_BITS as u8;
+        // v lies in its region.
+        prop_assert!(region_lower(s, bits) <= v);
+        prop_assert!(v <= region_upper(s, bits));
+        // And regions at every coarser cardinality contain the finer one.
+        for b in 1..bits {
+            let prefix = s >> (bits - b);
+            prop_assert!(region_lower(prefix, b) <= region_lower(s, bits));
+            prop_assert!(region_upper(prefix, b) >= region_upper(s, bits));
+        }
+    }
+
+    #[test]
+    fn root_key_roundtrips_through_node_word(
+        symbols in proptest::collection::vec(0u8..=255, 1..=16),
+    ) {
+        let segments = symbols.len();
+        let w = SaxWord::new(&symbols);
+        let key = root_key(&w, segments);
+        prop_assert!(key < (1usize << segments));
+        let node = node_word_for_root_key(key, segments);
+        prop_assert!(node.contains(&w, segments));
+        // Any other root word does not contain it.
+        let other = node_word_for_root_key(key ^ 1, segments);
+        prop_assert!(!other.contains(&w, segments));
+    }
+
+    #[test]
+    fn refinement_chains_partition_words(
+        symbols in proptest::collection::vec(0u8..=255, 4),
+        path in proptest::collection::vec((0usize..4, proptest::bool::ANY), 0..12),
+    ) {
+        // Follow an arbitrary refinement path containing the word; at
+        // every step exactly one child contains it.
+        let w = SaxWord::new(&symbols);
+        let mut node = node_word_for_root_key(root_key(&w, 4), 4);
+        for (seg, _) in path {
+            if node.bits(seg) as usize >= CARD_BITS {
+                continue;
+            }
+            let (zero, one) = node.refine(seg);
+            let in_zero = zero.contains(&w, 4);
+            let in_one = one.contains(&w, 4);
+            prop_assert!(in_zero ^ in_one, "exactly one child must contain the word");
+            node = if in_one { one } else { zero };
+        }
+    }
+
+    #[test]
+    fn queue_pops_ascending_regardless_of_insertion_order(
+        keys in proptest::collection::vec(0.0f32..1e6, 1..200),
+    ) {
+        let q = ConcurrentMinQueue::new();
+        for (i, &k) in keys.iter().enumerate() {
+            q.push(k, i);
+        }
+        let mut last = f32::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((k, _)) = q.pop_min() {
+            prop_assert!(k >= last);
+            last = k;
+            count += 1;
+        }
+        prop_assert_eq!(count, keys.len());
+    }
+
+    #[test]
+    fn round_robin_never_skews_queues_by_more_than_one(
+        nq in 1usize..32,
+        inserts in 0usize..500,
+    ) {
+        let set: QueueSet<usize> = QueueSet::new(nq);
+        let mut cursor = 0;
+        for i in 0..inserts {
+            set.push_round_robin(&mut cursor, i as f32, i);
+        }
+        let lens: Vec<usize> = (0..nq).map(|i| set.queue(i).len()).collect();
+        let min = lens.iter().min().copied().unwrap_or(0);
+        let max = lens.iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "round robin must stay balanced: {lens:?}");
+        prop_assert_eq!(lens.iter().sum::<usize>(), inserts);
+    }
+
+    #[test]
+    fn dispenser_is_a_partition(limit in 0usize..10_000) {
+        let d = Dispenser::new(limit);
+        let mut seen = vec![false; limit];
+        while let Some(i) = d.next() {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn envelope_is_monotone_in_window(
+        series in proptest::collection::vec(-10.0f32..10.0, 8..64),
+        w1 in 0usize..8,
+        w2 in 8usize..32,
+    ) {
+        // A wider window gives a wider (or equal) envelope everywhere.
+        let narrow = Envelope::new(&series, DtwParams { window: w1 });
+        let wide = Envelope::new(&series, DtwParams { window: w2 });
+        for i in 0..series.len() {
+            prop_assert!(wide.upper[i] >= narrow.upper[i] - 1e-6);
+            prop_assert!(wide.lower[i] <= narrow.lower[i] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dataset_chunks_cover_each_position_once(
+        n in 1usize..500,
+        chunk in 1usize..600,
+    ) {
+        let ds = Dataset::from_flat(vec![0.0; n * 4], 4).unwrap();
+        let chunks = ds.chunks(chunk);
+        let mut covered = vec![0u32; n];
+        for (s, e) in chunks {
+            prop_assert!(s < e && e <= n);
+            for slot in &mut covered[s..e] {
+                *slot += 1;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c == 1));
+    }
+
+    #[test]
+    fn znorm_is_idempotent(
+        series in proptest::collection::vec(-1e4f32..1e4, 4..128),
+    ) {
+        let once = znormalized(&series);
+        let twice = znormalized(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() <= 2e-2 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}
+
+proptest! {
+    // File I/O touches disk: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dataset_file_roundtrip_for_arbitrary_shapes(
+        series_len in 1usize..64,
+        count in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let values: Vec<f32> = (0..series_len * count)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 1000) as f32 / 7.0 - 50.0)
+            .collect();
+        let ds = Dataset::from_flat(values, series_len).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "messi-prop-io-{}-{series_len}-{count}-{seed}.mds",
+            std::process::id()
+        ));
+        messi::series::io::write_dataset(&ds, &path).unwrap();
+        let back = messi::series::io::read_dataset(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(ds, back);
+    }
+}
