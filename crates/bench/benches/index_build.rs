@@ -52,9 +52,11 @@ fn bench_worker_scaling(c: &mut Criterion) {
             num_workers: workers,
             ..IndexConfig::default()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &config, |b, config| {
-            b.iter(|| MessiIndex::build(Arc::clone(&data), config))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &config,
+            |b, config| b.iter(|| MessiIndex::build(Arc::clone(&data), config)),
+        );
     }
     g.finish();
 }

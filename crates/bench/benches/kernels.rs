@@ -25,14 +25,10 @@ fn bench_euclidean(c: &mut Criterion) {
     });
     let exact = ed_sq_scalar(a, b);
     g.bench_function("simd_early_abandon_tight", |bch| {
-        bch.iter(|| {
-            ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact / 8.0)
-        })
+        bch.iter(|| ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact / 8.0))
     });
     g.bench_function("simd_early_abandon_loose", |bch| {
-        bch.iter(|| {
-            ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact * 2.0)
-        })
+        bch.iter(|| ed_sq_early_abandon_with(Kernel::Simd, black_box(a), black_box(b), exact * 2.0))
     });
     g.finish();
 }

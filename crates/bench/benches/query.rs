@@ -36,7 +36,9 @@ fn bench_competitors(c: &mut Criterion) {
     g.bench_function("messi_sq", |b| b.iter(|| messi.search(q, &sq)));
     g.bench_function("paris", |b| b.iter(|| sims_search(&paris, q, &qc)));
     g.bench_function("paris_ts", |b| b.iter(|| ts_search(&paris, q, &qc)));
-    g.bench_function("ucr_suite_p", |b| b.iter(|| ucr::ucr_parallel(&data, q, &qc)));
+    g.bench_function("ucr_suite_p", |b| {
+        b.iter(|| ucr::ucr_parallel(&data, q, &qc))
+    });
     g.finish();
 }
 

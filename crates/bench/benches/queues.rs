@@ -92,5 +92,10 @@ fn bench_bsf(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(queues, bench_queue_ops, bench_dispenser_and_barrier, bench_bsf);
+criterion_group!(
+    queues,
+    bench_queue_ops,
+    bench_dispenser_and_barrier,
+    bench_bsf
+);
 criterion_main!(queues);

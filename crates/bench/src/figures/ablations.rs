@@ -6,12 +6,10 @@
 //! its final value … updated only 10-12 times (on average) per query").
 
 use crate::datasets::{dataset, queries_for};
+use crate::measure_queries;
 use crate::report::Table;
 use crate::scale::Scale;
-use crate::measure_queries;
-use messi_core::{
-    BsfPolicy, BuildVariant, IndexConfig, MessiIndex, QueryConfig, QueuePolicy,
-};
+use messi_core::{BsfPolicy, BuildVariant, IndexConfig, MessiIndex, QueryConfig, QueuePolicy};
 use messi_series::gen::DatasetKind;
 use std::sync::Arc;
 
@@ -95,7 +93,11 @@ pub fn ablation_approx_quality(scale: &Scale) -> Table {
         "initial BSF within a few percent of final; ~10-12 BSF updates per query",
         &["dataset", "mean_initial_over_final", "mean_bsf_updates"],
     );
-    for kind in [DatasetKind::RandomWalk, DatasetKind::Seismic, DatasetKind::Sald] {
+    for kind in [
+        DatasetKind::RandomWalk,
+        DatasetKind::Seismic,
+        DatasetKind::Sald,
+    ] {
         let data = dataset(kind, scale.default_series(kind));
         let (index, _) = MessiIndex::build(Arc::clone(&data), &scale.index_config(data.len()));
         let qs = queries_for(kind, &data, scale.queries);

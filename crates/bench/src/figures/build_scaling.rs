@@ -23,7 +23,10 @@ fn config_with_workers(scale: &Scale, count: usize, workers: usize) -> IndexConf
 /// that both algorithms exhibit decreases as the number of cores
 /// increases; this trend is more prominent in ParIS."
 pub fn fig09(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let mut table = Table::new(
         "fig09",
         "index creation vs cores, stacked phases (random, 100GB-equiv)",

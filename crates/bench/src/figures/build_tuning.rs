@@ -15,7 +15,10 @@ use std::sync::Arc;
 /// the value of 1K … smaller chunk sizes than 1K result in high
 /// contention when accessing the fetch&increment object."
 pub fn fig05(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let mut table = Table::new(
         "fig05",
         "index creation vs chunk size (random, 100GB-equiv)",
@@ -34,15 +37,18 @@ pub fn fig05(scale: &Scale) -> Table {
         stats.total_time
     };
     for &chunk in &[
-        10usize, 100, 500, 1_000, 10_000, 20_000, 50_000, 100_000, 1_000_000, 2_000_000,
-        4_000_000,
+        10usize, 100, 500, 1_000, 10_000, 20_000, 50_000, 100_000, 1_000_000, 2_000_000, 4_000_000,
     ] {
         let config = IndexConfig {
             chunk_size: chunk,
             ..scale.index_config(data.len())
         };
         let (_, stats) = MessiIndex::build(Arc::clone(&data), &config);
-        table.row(vec![chunk.into(), stats.total_time.into(), paris_time.into()]);
+        table.row(vec![
+            chunk.into(),
+            stats.total_time.into(),
+            paris_time.into(),
+        ]);
         if chunk >= data.len() {
             break; // larger chunks are all the single-chunk degenerate case
         }
@@ -56,7 +62,10 @@ pub fn fig05(scale: &Scale) -> Table {
 /// becomes. However, once the leaf size becomes 5K or more, this time
 /// improvement is insignificant."
 pub fn fig06(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let mut table = Table::new(
         "fig06",
         "index creation vs leaf size (random, 100GB-equiv)",
@@ -81,7 +90,10 @@ pub fn fig06(scale: &Scale) -> Table {
 /// Paper: "smaller initial sizes for the buffers result in better
 /// performance" (2^w buffers × Nw parts make eager allocation costly).
 pub fn fig08(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let mut table = Table::new(
         "fig08",
         "index creation vs initial iSAX buffer size (random, 100GB-equiv)",

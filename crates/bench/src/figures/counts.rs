@@ -2,9 +2,9 @@
 //! ParIS vs MESSI, per dataset family.
 
 use crate::datasets::{dataset, queries_for};
+use crate::measure_queries;
 use crate::report::Table;
 use crate::scale::Scale;
-use crate::measure_queries;
 use messi_baselines::paris::query::sims_search;
 use messi_baselines::paris::{build_paris, ParisBuildVariant};
 use messi_core::{MessiIndex, QueryConfig};
@@ -12,7 +12,11 @@ use messi_series::gen::DatasetKind;
 use std::sync::Arc;
 
 fn gather(scale: &Scale) -> Vec<(&'static str, f64, f64, f64, f64)> {
-    let kinds = [DatasetKind::RandomWalk, DatasetKind::Seismic, DatasetKind::Sald];
+    let kinds = [
+        DatasetKind::RandomWalk,
+        DatasetKind::Seismic,
+        DatasetKind::Sald,
+    ];
     let mut rows = Vec::new();
     for kind in kinds {
         let data = dataset(kind, scale.default_series(kind));
@@ -66,7 +70,12 @@ pub fn fig17b(scale: &Scale) -> Table {
         "fig17b",
         "real distance calculations per query (ParIS vs MESSI)",
         "MESSI well below ParIS on every dataset",
-        &["dataset", "paris_real", "messi_real", "messi_over_paris_pct"],
+        &[
+            "dataset",
+            "paris_real",
+            "messi_real",
+            "messi_over_paris_pct",
+        ],
     );
     for (name, _, _, paris_real, messi_real) in gather(scale) {
         table.row(vec![

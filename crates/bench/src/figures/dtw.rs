@@ -4,8 +4,8 @@ use crate::datasets::{dataset, queries_for};
 use crate::report::Table;
 use crate::scale::Scale;
 use crate::{assert_same_answer, measure_queries, QueryFn};
-use messi_core::{MessiIndex, QueryConfig};
 use messi_baselines::ucr;
+use messi_core::{MessiIndex, QueryConfig};
 use messi_series::distance::dtw::DtwParams;
 use messi_series::gen::DatasetKind;
 use std::sync::Arc;
@@ -32,8 +32,7 @@ pub fn fig19(scale: &Scale) -> Table {
         let qc = QueryConfig::default();
 
         let serial: Box<QueryFn<'_>> = Box::new(|q| ucr::ucr_serial_dtw(&data, q, params));
-        let parallel: Box<QueryFn<'_>> =
-            Box::new(|q| ucr::ucr_parallel_dtw(&data, q, params, &qc));
+        let parallel: Box<QueryFn<'_>> = Box::new(|q| ucr::ucr_parallel_dtw(&data, q, params, &qc));
         let messi: Box<QueryFn<'_>> =
             Box::new(|q| messi_core::dtw::exact_search_dtw(&index, q, params, &qc));
 

@@ -46,8 +46,14 @@ fn competitors<'a>(
             "ucr_suite_p",
             Box::new(move |q: &[f32]| ucr::ucr_parallel(data, q, &uc)) as Box<QueryFn<'a>>,
         ),
-        ("paris", Box::new(move |q: &[f32]| sims_search(paris, q, &pc))),
-        ("paris_ts", Box::new(move |q: &[f32]| ts_search(paris, q, &tc))),
+        (
+            "paris",
+            Box::new(move |q: &[f32]| sims_search(paris, q, &pc)),
+        ),
+        (
+            "paris_ts",
+            Box::new(move |q: &[f32]| ts_search(paris, q, &tc)),
+        ),
         ("messi_sq", Box::new(move |q: &[f32]| messi.search(q, &sq))),
         ("messi_mq", Box::new(move |q: &[f32]| messi.search(q, &mq))),
     ]
@@ -74,7 +80,10 @@ fn measure_competitors(
 /// Paper: "MESSI is 55x faster than UCR Suite-P and 6.35x faster than
 /// ParIS when we use 48 threads"; MESSI-mq overtakes MESSI-sq beyond 24.
 pub fn fig11(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let (messi, paris) = build_pair(scale, &data);
     let qs = queries_for(DatasetKind::RandomWalk, &data, scale.queries);
     let mut table = Table::new(
@@ -82,7 +91,14 @@ pub fn fig11(scale: &Scale) -> Table {
         "query answering vs cores (random, 100GB-equiv)",
         "order at 48 threads: UCR-P ≫ ParIS > ParIS-TS > MESSI-sq ≥ MESSI-mq; \
          MESSI ~6–55x faster than ParIS/UCR-P",
-        &["cores", "ucr_suite_p", "paris", "paris_ts", "messi_sq", "messi_mq"],
+        &[
+            "cores",
+            "ucr_suite_p",
+            "paris",
+            "paris_ts",
+            "messi_sq",
+            "messi_mq",
+        ],
     );
     for &cores in &[2usize, 4, 6, 8, 12, 18, 24, 48] {
         let algos = competitors(&data, &messi, &paris, cores);
@@ -109,7 +125,14 @@ pub fn fig12(scale: &Scale) -> Table {
         "fig12",
         "query answering vs dataset size (random)",
         "MESSI fastest at every size; gap to UCR-P grows with size",
-        &["paper_gb", "ucr_suite_p", "paris", "paris_ts", "messi_sq", "messi_mq"],
+        &[
+            "paper_gb",
+            "ucr_suite_p",
+            "paris",
+            "paris_ts",
+            "messi_sq",
+            "messi_mq",
+        ],
     );
     for &gb in &[50.0f64, 100.0, 150.0, 200.0] {
         let count = scale.series_for_gb(DatasetKind::RandomWalk, gb);
@@ -141,7 +164,14 @@ pub fn fig16(scale: &Scale) -> Table {
         "fig16",
         "query answering on real datasets (100GB-equiv)",
         "same ordering as random data but smaller margins (worse pruning on real data)",
-        &["dataset", "ucr_suite_p", "paris", "paris_ts", "messi_sq", "messi_mq"],
+        &[
+            "dataset",
+            "ucr_suite_p",
+            "paris",
+            "paris_ts",
+            "messi_sq",
+            "messi_mq",
+        ],
     );
     for kind in [DatasetKind::Sald, DatasetKind::Seismic] {
         let data = dataset(kind, scale.default_series(kind));
@@ -168,7 +198,10 @@ pub fn fig16(scale: &Scale) -> Table {
 /// Paper: SIMD makes ParIS 60% faster than ParIS-SISD; ParIS-TS ~10%
 /// faster than ParIS; MESSI-mq 83% faster than ParIS-TS.
 pub fn fig18(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let (messi, paris) = build_pair(scale, &data);
     let qs = queries_for(DatasetKind::RandomWalk, &data, scale.queries);
     let workers = QueryConfig::default().num_workers;
@@ -193,7 +226,10 @@ pub fn fig18(scale: &Scale) -> Table {
             Box::new(|q: &[f32]| sims_search(&paris, q, &sisd)) as Box<QueryFn<'_>>,
         ),
         ("paris", Box::new(|q: &[f32]| sims_search(&paris, q, &simd))),
-        ("paris_ts", Box::new(|q: &[f32]| ts_search(&paris, q, &simd))),
+        (
+            "paris_ts",
+            Box::new(|q: &[f32]| ts_search(&paris, q, &simd)),
+        ),
         ("messi_sq", Box::new(|q: &[f32]| messi.search(q, &sq))),
         ("messi_mq", Box::new(|q: &[f32]| messi.search(q, &simd))),
     ];

@@ -15,7 +15,10 @@ use std::sync::Arc;
 /// Paper: "the time goes down as the leaf size increases, it reaches its
 /// minimum value for leaf size 2K series, and then it goes up again."
 pub fn fig07(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let qs = queries_for(DatasetKind::RandomWalk, &data, scale.queries);
     let mut table = Table::new(
         "fig07",
@@ -51,7 +54,10 @@ pub fn fig07(scale: &Scale) -> Table {
 /// the list is significantly reduced … the time needed for the distance
 /// calculations becomes the dominant factor."
 pub fn fig13(scale: &Scale) -> Table {
-    let data = dataset(DatasetKind::RandomWalk, scale.default_series(DatasetKind::RandomWalk));
+    let data = dataset(
+        DatasetKind::RandomWalk,
+        scale.default_series(DatasetKind::RandomWalk),
+    );
     let (index, _) = MessiIndex::build(Arc::clone(&data), &scale.index_config(data.len()));
     let qs = queries_for(DatasetKind::RandomWalk, &data, scale.queries);
     let mut table = Table::new(
@@ -80,7 +86,8 @@ pub fn fig13(scale: &Scale) -> Table {
     };
     let sq = collect(1);
     let mq = collect(QueryConfig::default().num_queues);
-    let rows: [(&str, fn(&TimeBreakdown) -> u64); 5] = [
+    type BreakdownField = fn(&TimeBreakdown) -> u64;
+    let rows: [(&str, BreakdownField); 5] = [
         ("initialization", |b| b.init_ns),
         ("messi_tree_pass", |b| b.tree_pass_ns),
         ("pq_insert_node", |b| b.pq_insert_ns),
@@ -112,7 +119,11 @@ pub fn fig14(scale: &Scale) -> Table {
         "decreasing in Nq, minimum around 24",
         &["queues", "sald", "random", "seismic"],
     );
-    let kinds = [DatasetKind::Sald, DatasetKind::RandomWalk, DatasetKind::Seismic];
+    let kinds = [
+        DatasetKind::Sald,
+        DatasetKind::RandomWalk,
+        DatasetKind::Seismic,
+    ];
     let mut indexes = Vec::new();
     for kind in kinds {
         let data = dataset(kind, scale.default_series(kind));

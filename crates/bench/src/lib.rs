@@ -101,8 +101,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "disagree")]
     fn answer_guard_detects_divergence() {
-        let a = QueryAnswer { pos: 0, dist_sq: 1.0 };
-        let b = QueryAnswer { pos: 0, dist_sq: 9.0 };
+        let a = QueryAnswer {
+            pos: 0,
+            dist_sq: 1.0,
+        };
+        let b = QueryAnswer {
+            pos: 0,
+            dist_sq: 9.0,
+        };
         assert_same_answer(&a, &b, "test");
     }
 }

@@ -171,10 +171,9 @@ impl Table {
 
     /// Writes the CSV form; returns the path written.
     pub fn write_csv(&self) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from(
-            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-        )
-        .join("bench-results");
+        let dir =
+            PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+                .join("bench-results");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         let mut csv = self.header.join(",");

@@ -123,7 +123,7 @@ mod tests {
             let w = Scale::segments_for(count);
             let occupancy = count >> w;
             assert!(occupancy <= 1500, "count={count}: {occupancy}");
-            assert!(w >= 4 && w <= 16);
+            assert!((4..=16).contains(&w));
         }
         // Tiny datasets floor at w = 4.
         assert_eq!(Scale::segments_for(100), 4);

@@ -131,12 +131,8 @@ mod tests {
     fn interquery_batch_is_exact_and_ordered() {
         let (data, index, queries) = setup();
         for parallelism in [1usize, 3, 8, 32] {
-            let (batch, agg) = search_batch_interquery(
-                &index,
-                &queries,
-                parallelism,
-                &QueryConfig::for_tests(),
-            );
+            let (batch, agg) =
+                search_batch_interquery(&index, &queries, parallelism, &QueryConfig::for_tests());
             assert_eq!(batch.len(), 8);
             assert_eq!(agg.queries, 8);
             for (qi, ans) in batch.iter().enumerate() {

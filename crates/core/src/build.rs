@@ -150,10 +150,7 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
 /// Kept for the ablation bench — the paper found it "slower … due to the
 /// worse cache locality" (every insertion touches a different subtree's
 /// nodes, instead of one worker streaming through one subtree at a time).
-fn build_index_no_buffers(
-    dataset: Arc<Dataset>,
-    config: &IndexConfig,
-) -> (MessiIndex, BuildStats) {
+fn build_index_no_buffers(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, BuildStats) {
     let sax_config = SaxConfig::new(config.segments, dataset.series_len());
     let segments = sax_config.segments;
     let num_keys = sax_config.num_root_subtrees();

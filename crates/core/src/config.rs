@@ -247,8 +247,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one priority queue")]
     fn rejects_zero_queues() {
-        let mut qc = QueryConfig::default();
-        qc.num_queues = 0;
+        let qc = QueryConfig {
+            num_queues: 0,
+            ..QueryConfig::default()
+        };
         qc.validate();
     }
 }

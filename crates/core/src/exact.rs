@@ -271,12 +271,15 @@ fn traverse_root_subtree<'a>(
     }
     match node {
         Node::Leaf(leaf) => {
-            timers.timed(|t| &mut t.pq_insert_ns, || match ctx.queue_policy {
-                QueuePolicy::SharedRoundRobin => {
-                    ctx.queues.push_round_robin(cursor, d, leaf);
-                }
-                QueuePolicy::PerWorkerLocal => ctx.queues.queue(*cursor).push(d, leaf),
-            });
+            timers.timed(
+                |t| &mut t.pq_insert_ns,
+                || match ctx.queue_policy {
+                    QueuePolicy::SharedRoundRobin => {
+                        ctx.queues.push_round_robin(cursor, d, leaf);
+                    }
+                    QueuePolicy::PerWorkerLocal => ctx.queues.queue(*cursor).push(d, leaf),
+                },
+            );
             counters.inserted += 1;
         }
         Node::Inner(inner) => {
@@ -326,11 +329,7 @@ fn process_queue(
 /// Scans one leaf (Alg. 9): per entry, a lower bound against the
 /// full-cardinality summary, then an early-abandoning real distance only
 /// when the bound does not prune.
-fn calculate_real_distance(
-    ctx: &SearchContext<'_>,
-    leaf: &LeafNode,
-    counters: &mut LocalStats,
-) {
+fn calculate_real_distance(ctx: &SearchContext<'_>, leaf: &LeafNode, counters: &mut LocalStats) {
     let use_simd = ctx.kernel.uses_simd();
     for e in &leaf.entries {
         counters.lb += 1;

@@ -152,11 +152,7 @@ impl MessiIndex {
     /// front-ends answer from exactly this leaf). Typically within a few
     /// percent of the exact answer (§III-B: "the initial value of BSF is
     /// very close to its final value") at a tiny fraction of the cost.
-    pub fn search_approximate(
-        &self,
-        query: &[f32],
-        kernel: Kernel,
-    ) -> crate::exact::QueryAnswer {
+    pub fn search_approximate(&self, query: &[f32], kernel: Kernel) -> crate::exact::QueryAnswer {
         let (sax, paa) = self.summarize_query(query);
         let (dist_sq, pos) = self.approximate_search(query, &sax, &paa, kernel);
         crate::exact::QueryAnswer { pos, dist_sq }
@@ -322,8 +318,7 @@ mod tests {
     #[test]
     fn public_approximate_search_upper_bounds_exact() {
         let index = small_index();
-        let queries =
-            gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 4, 12, 256);
+        let queries = gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 4, 12, 256);
         for q in queries.iter() {
             let approx = index.search_approximate(q, Kernel::Auto);
             let (exact, _) = index.search(q, &crate::config::QueryConfig::for_tests());

@@ -97,7 +97,7 @@ impl KnnSet {
     /// The final answers, ascending by distance.
     pub(crate) fn into_sorted(self) -> Vec<QueryAnswer> {
         let mut v: Vec<Candidate> = self.heap.into_inner().into_vec();
-        v.sort_by(|a, b| a.cmp(b));
+        v.sort();
         v.into_iter()
             .map(|c| QueryAnswer {
                 pos: c.pos,
@@ -162,7 +162,15 @@ pub fn exact_knn(
         while let Some(i) = dispenser.next() {
             let key = index.touched[i];
             let node = index.roots[key].as_deref().expect("touched ⇒ present");
-            traverse(index, node, &query_paa, &knn, &queues, &mut cursor, &mut local);
+            traverse(
+                index,
+                node,
+                &query_paa,
+                &knn,
+                &queues,
+                &mut cursor,
+                &mut local,
+            );
         }
         barrier.wait();
         let mut q = pid % nq;

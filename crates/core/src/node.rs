@@ -208,7 +208,10 @@ impl SubtreeInserter {
                 let first = &leaf.entries[0].sax;
                 match (0..self.segments).find(|&i| {
                     (leaf.word.bits(i) as usize) < messi_sax::CARD_BITS
-                        && leaf.entries.iter().any(|e| e.sax.symbol(i) != first.symbol(i))
+                        && leaf
+                            .entries
+                            .iter()
+                            .any(|e| e.sax.symbol(i) != first.symbol(i))
                 }) {
                     Some(i) => i,
                     None => return false, // identical summaries: inseparable

@@ -227,8 +227,12 @@ mod tests {
     fn huge_epsilon_returns_everything_sorted() {
         let (_, index) = setup(150, 73);
         let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 73);
-        let (got, _) =
-            range_search(&index, queries.series(0), f32::MAX, &QueryConfig::for_tests());
+        let (got, _) = range_search(
+            &index,
+            queries.series(0),
+            f32::MAX,
+            &QueryConfig::for_tests(),
+        );
         assert_eq!(got.len(), 150);
         for w in got.windows(2) {
             assert!(w[0].dist_sq <= w[1].dist_sq);

@@ -145,15 +145,11 @@ mod tests {
         let series: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 2.0).collect();
         let p = paa(&series, 8);
         let w = sax_word(&series, config);
-        for i in 0..8 {
+        for (i, &p_i) in p.iter().enumerate() {
             let s = w.symbol(i) as u16;
             let lo = region_lower(s, CARD_BITS as u8);
             let hi = region_upper(s, CARD_BITS as u8);
-            assert!(
-                lo <= p[i] && p[i] <= hi,
-                "segment {i}: {} ∉ [{lo},{hi}]",
-                p[i]
-            );
+            assert!(lo <= p_i && p_i <= hi, "segment {i}: {p_i} ∉ [{lo},{hi}]");
         }
     }
 

@@ -90,7 +90,7 @@ mod tests {
     fn picks_the_separating_segment() {
         // Words identical in segment 0's next bit, differing in segment 1's.
         let node = NodeWord::new(&[0b1, 0b0], &[1, 1]);
-        let words = vec![
+        let words = [
             SaxWord::new(&[0b1000_0000, 0b0000_0000]),
             SaxWord::new(&[0b1000_0001, 0b0100_0000]),
             SaxWord::new(&[0b1000_0010, 0b0000_0001]),
@@ -111,7 +111,7 @@ mod tests {
     fn tie_break_prefers_fewer_bits() {
         // Both segments split 1/1; segment 1 has fewer bits → preferred.
         let node = NodeWord::new(&[0b10, 0b0], &[2, 1]);
-        let words = vec![
+        let words = [
             SaxWord::new(&[0b1000_0000, 0b0000_0000]),
             SaxWord::new(&[0b1010_0000, 0b0100_0000]),
         ];
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn identical_words_cannot_separate() {
         let node = NodeWord::new(&[0b1], &[1]);
-        let words = vec![SaxWord::new(&[0b1010_1010]); 5];
+        let words = [SaxWord::new(&[0b1010_1010]); 5];
         let choice = choose_split(&node, 1, words.iter()).unwrap();
         assert!(!choice.is_separating());
         assert_eq!(choice.zeros + choice.ones, 5);
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn none_when_everything_at_max_cardinality() {
         let node = NodeWord::new(&[0xAB, 0x12], &[8, 8]);
-        let words = vec![SaxWord::new(&[0xAB, 0x12])];
+        let words = [SaxWord::new(&[0xAB, 0x12])];
         assert!(choose_split(&node, 2, words.iter()).is_none());
     }
 

@@ -83,7 +83,7 @@ pub fn dtw_sq_early_abandon(a: &[f32], b: &[f32], params: DtwParams, bound: f32)
         }
     }
 
-    for i in 1..n {
+    for (i, &a_i) in a.iter().enumerate().skip(1) {
         let lo = i.saturating_sub(w);
         let hi = (i + w).min(n - 1);
         // Band of the previous row: cells of `prev` outside it are stale
@@ -92,7 +92,7 @@ pub fn dtw_sq_early_abandon(a: &[f32], b: &[f32], params: DtwParams, bound: f32)
         let prev_hi = (i - 1 + w).min(n - 1);
         let mut row_min = f32::INFINITY;
         for j in lo..=hi {
-            let d = a[i] - b[j];
+            let d = a_i - b[j];
             let cost = d * d;
             // Admissible predecessors: (i-1, j), (i-1, j-1), (i, j-1) —
             // each only if it lies inside its row's band.

@@ -134,14 +134,16 @@ pub fn lb_keogh_sq(env: &Envelope, candidate: &[f32]) -> f32 {
 /// value `>= bound`.
 #[inline]
 pub fn lb_keogh_sq_early_abandon(env: &Envelope, candidate: &[f32], bound: f32) -> f32 {
-    debug_assert_eq!(env.upper.len(), candidate.len());
+    // Hard assert: the zip below would silently truncate on mismatch,
+    // weakening the lower bound; one usize compare is free next to the
+    // loop.
+    assert_eq!(env.upper.len(), candidate.len());
     let mut sum = 0.0f32;
     // Branchless body: out-of-envelope excursion clamped to 0.
     // max(0, c-U) + max(0, L-c): at most one term is non-zero.
-    for i in 0..candidate.len() {
-        let c = candidate[i];
-        let above = (c - env.upper[i]).max(0.0);
-        let below = (env.lower[i] - c).max(0.0);
+    for ((&c, &upper), &lower) in candidate.iter().zip(&env.upper).zip(&env.lower) {
+        let above = (c - upper).max(0.0);
+        let below = (lower - c).max(0.0);
         let d = above + below;
         sum += d * d;
         if sum >= bound {
@@ -168,8 +170,8 @@ mod tests {
         let s = series(128, 0.37);
         for w in [0usize, 1, 5, 12, 127] {
             let env = Envelope::new(&s, DtwParams { window: w });
-            for i in 0..s.len() {
-                assert!(env.lower[i] <= s[i] && s[i] <= env.upper[i], "i={i} w={w}");
+            for (i, &s_i) in s.iter().enumerate() {
+                assert!(env.lower[i] <= s_i && s_i <= env.upper[i], "i={i} w={w}");
             }
         }
     }

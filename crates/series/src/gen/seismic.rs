@@ -167,8 +167,7 @@ mod tests {
                 let _ = tid;
                 continue;
             }
-            inter_min =
-                inter_min.min(crate::distance::euclidean::ed_sq_scalar(a, &v[0]));
+            inter_min = inter_min.min(crate::distance::euclidean::ed_sq_scalar(a, &v[0]));
         }
         assert!(
             intra < inter_min,

@@ -149,7 +149,9 @@ mod tests {
     #[test]
     fn oversubscribed_barrier_makes_progress() {
         // More parties than cores: the blocking path must not deadlock.
-        let parties = 4 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let parties = 4 * std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let barrier = SenseBarrier::new(parties);
         std::thread::scope(|s| {
             for _ in 0..parties {

@@ -152,9 +152,10 @@ impl WorkerPool {
         // reach after the job call returns; the reference therefore
         // outlives every dereference.
         let job = Job(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                f as *const (dyn Fn(usize) + Sync + 'env) as *const (dyn Fn(usize) + Sync),
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'env),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const (dyn Fn(usize) + Sync + 'env))
         });
 
         let _dispatch = self.dispatch.lock();
@@ -281,7 +282,7 @@ mod tests {
     #[test]
     fn borrows_caller_stack_data() {
         let pool = WorkerPool::new(4);
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = AtomicU64::new(0);
         pool.run(4, &|pid| {
             sum.fetch_add(data[pid], Ordering::SeqCst);

@@ -1,0 +1,315 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the benchmark-definition surface this workspace uses
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`]) with a plain wall-clock measurement
+//! loop: per benchmark it warms up briefly, sizes an iteration batch to
+//! a fixed time budget, and reports the mean and minimum time per
+//! iteration. No statistical analysis, outlier detection, HTML reports,
+//! or `target/criterion` history.
+//!
+//! See `shims/README.md` for the swap-to-real-crate procedure.
+
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// An opaque barrier against compiler over-optimization of benchmark
+/// bodies. Mirror of `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter (used inside a named group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records its mean per-iteration time:
+    /// a short warm-up sizes a batch to a fixed time budget, then
+    /// `samples` batches are timed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const BUDGET: Duration = Duration::from_millis(100);
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / warm_iters.max(1) as u128;
+
+        let samples = self.samples.max(1) as u64;
+        let per_sample =
+            (BUDGET.as_nanos() / samples as u128 / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(body());
+            }
+            let elapsed = t.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let iters = samples * per_sample;
+        self.result = Some((total / iters as u32, best / per_sample as u32));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!(
+                        "  ({:.1} Melem/s)",
+                        n as f64 / mean.as_nanos().max(1) as f64 * 1e3
+                    )
+                }
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  ({:.1} MB/s)",
+                        n as f64 / mean.as_nanos().max(1) as f64 * 1e3
+                    )
+                }
+            });
+            println!(
+                "bench: {id:<48} mean {:>10}   min {:>10}{}",
+                human(mean),
+                human(min),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {id:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Benchmark registry/driver. Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Defines and runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a named group of benchmark functions. Mirror of
+/// `criterion::criterion_group!`; supports both the positional and the
+/// `name =` / `config =` / `targets =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates a `main` that runs the given groups. Mirror of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(31))
+    }
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("sum_to_1000", |b| b.iter(|| sum_to(black_box(1000))));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("param", 64), &64u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| sum_to(7)));
+        g.finish();
+    }
+
+    #[test]
+    fn macros_and_driver_run() {
+        criterion_group!(smoke, quick);
+        smoke();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("messi", 24).to_string(), "messi/24");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -78,9 +78,7 @@ impl Opts {
                 out.push((name.to_string(), "true".to_string()));
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             out.push((name.to_string(), value.clone()));
         }
         Ok(Self(out))
@@ -123,7 +121,10 @@ fn load(opts: &Opts) -> Result<Arc<Dataset>, String> {
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let kind = kind_from(opts.required("kind")?)?;
-    let count: usize = opts.required("count")?.parse().map_err(|_| "invalid --count")?;
+    let count: usize = opts
+        .required("count")?
+        .parse()
+        .map_err(|_| "invalid --count")?;
     let out = PathBuf::from(opts.required("out")?);
     let len: usize = opts.parsed("len", kind.paper_series_len())?;
     let seed: u64 = opts.parsed("seed", 42u64)?;
@@ -195,7 +196,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let k: usize = opts.parsed("k", 1usize)?;
     let use_dtw = opts.get("dtw").is_some();
     let (index, build) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
-    println!("index built in {:.2?}; answering {} queries…", build.total_time, queries.len());
+    println!(
+        "index built in {:.2?}; answering {} queries…",
+        build.total_time,
+        queries.len()
+    );
     let config = QueryConfig::default();
     for (qi, q) in queries.iter().enumerate() {
         if use_dtw {
@@ -236,8 +241,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 
 fn cmd_range(opts: &Opts) -> Result<(), String> {
     let data = load(opts)?;
-    let epsilon: f32 = opts.required("epsilon")?.parse().map_err(|_| "invalid --epsilon")?;
-    if !(epsilon >= 0.0) {
+    let epsilon: f32 = opts
+        .required("epsilon")?
+        .parse()
+        .map_err(|_| "invalid --epsilon")?;
+    if epsilon.is_nan() || epsilon < 0.0 {
         return Err("--epsilon must be non-negative".into());
     }
     let queries = queries_for_cli(opts, &data)?;

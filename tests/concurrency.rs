@@ -12,7 +12,11 @@ use messi::prelude::*;
 use std::sync::Arc;
 
 fn test_index(count: usize, seed: u64) -> (Arc<Dataset>, MessiIndex) {
-    let data = Arc::new(messi::series::gen::generate(DatasetKind::RandomWalk, count, seed));
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        count,
+        seed,
+    ));
     let config = IndexConfig {
         segments: 8,
         num_workers: 4,
@@ -62,11 +66,7 @@ fn concurrent_queries_on_shared_index_stay_exact() {
 #[test]
 fn concurrent_mixed_algorithms_agree() {
     let (data, index) = test_index(400, 11);
-    let (paris, _) = build_paris(
-        Arc::clone(&data),
-        index.config(),
-        ParisBuildVariant::Locked,
-    );
+    let (paris, _) = build_paris(Arc::clone(&data), index.config(), ParisBuildVariant::Locked);
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 11);
     std::thread::scope(|s| {
         for t in 0..4 {

@@ -21,7 +21,11 @@ fn check_exact(index: &MessiIndex, data: &Dataset, queries: &Dataset, qc: &Query
 
 #[test]
 fn build_parameter_sweep_preserves_exactness() {
-    let data = Arc::new(messi::series::gen::generate(DatasetKind::RandomWalk, 400, 5));
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        400,
+        5,
+    ));
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 5);
     let qc = QueryConfig {
         num_workers: 4,
@@ -41,7 +45,10 @@ fn build_parameter_sweep_preserves_exactness() {
                 };
                 let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
                 let errors = messi::index::validate::validate(&index);
-                assert!(errors.is_empty(), "chunk={chunk_size} leaf={leaf_capacity}: {errors:?}");
+                assert!(
+                    errors.is_empty(),
+                    "chunk={chunk_size} leaf={leaf_capacity}: {errors:?}"
+                );
                 check_exact(&index, &data, &queries, &qc);
             }
         }
@@ -105,7 +112,11 @@ fn queue_policy_and_build_variant_sweep() {
     // The rejected designs (per-worker local queues, no-buffer build)
     // must still be exact — the paper rejected them for speed, not
     // correctness.
-    let data = Arc::new(messi::series::gen::generate(DatasetKind::RandomWalk, 400, 21));
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        400,
+        21,
+    ));
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 21);
     for variant in [
         messi::index::BuildVariant::Buffered,
@@ -187,12 +198,8 @@ fn non_multiple_series_length_is_supported() {
     let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
     let errors = messi::index::validate::validate(&index);
     assert!(errors.is_empty(), "{errors:?}");
-    let queries = messi::series::gen::queries::generate_queries_with_len(
-        DatasetKind::RandomWalk,
-        3,
-        21,
-        100,
-    );
+    let queries =
+        messi::series::gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 3, 21, 100);
     check_exact(&index, &data, &queries, &QueryConfig::default());
 }
 
@@ -210,8 +217,12 @@ fn short_series_lengths() {
             variant: messi::index::BuildVariant::Buffered,
         };
         let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
-        let queries =
-            messi::series::gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 2, 31, len);
+        let queries = messi::series::gen::queries::generate_queries_with_len(
+            DatasetKind::RandomWalk,
+            2,
+            31,
+            len,
+        );
         check_exact(&index, &data, &queries, &QueryConfig::default());
     }
 }

@@ -38,10 +38,18 @@ fn check(dist_sq: f32, bf_dist: f32, what: &str) {
 
 #[test]
 fn all_algorithms_match_brute_force_on_all_dataset_families() {
-    for kind in [DatasetKind::RandomWalk, DatasetKind::Seismic, DatasetKind::Sald] {
+    for kind in [
+        DatasetKind::RandomWalk,
+        DatasetKind::Seismic,
+        DatasetKind::Sald,
+    ] {
         let data = dataset(kind, 101);
         let (messi, _) = MessiIndex::build(Arc::clone(&data), &index_config());
-        let (paris, _) = build_paris(Arc::clone(&data), &index_config(), ParisBuildVariant::Locked);
+        let (paris, _) = build_paris(
+            Arc::clone(&data),
+            &index_config(),
+            ParisBuildVariant::Locked,
+        );
         let queries = messi::series::gen::queries::generate_queries(kind, 5, 101);
         let qc = QueryConfig {
             num_workers: 6,
@@ -55,7 +63,13 @@ fn all_algorithms_match_brute_force_on_all_dataset_families() {
             let (a, _) = messi.search(q, &qc);
             check(a.dist_sq, bf_dist, &format!("MESSI-mq {what}"));
 
-            let (a, _) = messi.search(q, &QueryConfig { num_queues: 1, ..qc.clone() });
+            let (a, _) = messi.search(
+                q,
+                &QueryConfig {
+                    num_queues: 1,
+                    ..qc.clone()
+                },
+            );
             check(a.dist_sq, bf_dist, &format!("MESSI-sq {what}"));
 
             let (a, _) = sims_search(&paris, q, &qc);
@@ -77,11 +91,23 @@ fn all_algorithms_match_brute_force_on_all_dataset_families() {
 fn sisd_and_simd_agree_everywhere() {
     let data = dataset(DatasetKind::RandomWalk, 33);
     let (messi, _) = MessiIndex::build(Arc::clone(&data), &index_config());
-    let (paris, _) = build_paris(Arc::clone(&data), &index_config(), ParisBuildVariant::Locked);
+    let (paris, _) = build_paris(
+        Arc::clone(&data),
+        &index_config(),
+        ParisBuildVariant::Locked,
+    );
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 33);
     for q in queries.iter() {
-        let simd = QueryConfig { kernel: Kernel::Simd, num_workers: 4, ..QueryConfig::default() };
-        let sisd = QueryConfig { kernel: Kernel::Scalar, num_workers: 4, ..QueryConfig::default() };
+        let simd = QueryConfig {
+            kernel: Kernel::Simd,
+            num_workers: 4,
+            ..QueryConfig::default()
+        };
+        let sisd = QueryConfig {
+            kernel: Kernel::Scalar,
+            num_workers: 4,
+            ..QueryConfig::default()
+        };
         let (a, _) = messi.search(q, &simd);
         let (b, _) = messi.search(q, &sisd);
         check(a.dist_sq, b.dist_sq, "MESSI simd-vs-sisd");
@@ -97,7 +123,10 @@ fn dtw_algorithms_agree() {
     let (messi, _) = MessiIndex::build(Arc::clone(&data), &index_config());
     let params = DtwParams::paper_default(data.series_len());
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::Sald, 4, 44);
-    let qc = QueryConfig { num_workers: 6, ..QueryConfig::default() };
+    let qc = QueryConfig {
+        num_workers: 6,
+        ..QueryConfig::default()
+    };
     for q in queries.iter() {
         let (a, _) = messi::index::dtw::exact_search_dtw(&messi, q, params, &qc);
         let (b, _) = ucr::ucr_serial_dtw(&data, q, params);
@@ -110,7 +139,11 @@ fn dtw_algorithms_agree() {
 #[test]
 fn paris_no_synch_build_answers_exactly() {
     let data = dataset(DatasetKind::RandomWalk, 55);
-    let (paris, _) = build_paris(Arc::clone(&data), &index_config(), ParisBuildVariant::NoSynch);
+    let (paris, _) = build_paris(
+        Arc::clone(&data),
+        &index_config(),
+        ParisBuildVariant::NoSynch,
+    );
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 55);
     for q in queries.iter() {
         let (_, bf) = data.nearest_neighbor_brute_force(q);

@@ -1,0 +1,39 @@
+//! Workspace smoke test: the full facade path — generate data with
+//! `messi::series::gen`, build a `MessiIndex`, search it — agrees with a
+//! brute-force scan. This is the one test that must always run in
+//! tier-1 CI; everything it touches crosses every crate boundary
+//! (facade → core → sax/series/sync).
+
+use messi::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn facade_build_and_search_match_brute_force() {
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        2_000,
+        7,
+    ));
+    let (index, build_stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    assert!(build_stats.num_leaves > 0);
+
+    let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 10, 7);
+    for q in queries.iter() {
+        let (answer, query_stats) = index.search(q, &QueryConfig::default());
+        let (bf_pos, bf_dist) = data.nearest_neighbor_brute_force(q);
+
+        assert_eq!(
+            answer.pos as usize, bf_pos,
+            "index answer must be the brute-force nearest neighbor"
+        );
+        assert!(
+            (answer.dist_sq - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0),
+            "distance mismatch: index {} vs brute force {bf_dist}",
+            answer.dist_sq
+        );
+        assert!(
+            query_stats.real_distance_calcs < data.len() as u64,
+            "index must prune at least part of the collection"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 
 use messi::sax::breakpoints::{region_lower, region_upper, symbol_max_card};
 use messi::sax::root_key::{node_word_for_root_key, root_key};
-use messi::sax::word::{NodeWord, SaxWord, CARD_BITS};
+use messi::sax::word::{SaxWord, CARD_BITS};
 use messi::series::distance::dtw::DtwParams;
 use messi::series::distance::lb_keogh::Envelope;
 use messi::series::znorm::znormalized;
