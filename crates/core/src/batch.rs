@@ -10,9 +10,15 @@
 //! worker — no per-query coordination at all, at the cost of each query
 //! running sequentially inside.
 //!
-//! Both return exactly the same answers (every search is exact).
+//! Both return exactly the same answers (every search is exact), and both
+//! allocate their query scratch — priority queues, barrier, mindist
+//! table — **once** and reuse it across queries via
+//! [`QueryContext`]: after the first query of a batch, the hot path
+//! performs zero queue or mindist-table allocations (debug builds assert
+//! this through [`QueryContext::alloc_events`]).
 
 use crate::config::QueryConfig;
+use crate::engine::QueryContext;
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
 use crate::stats::QueryStatsAggregate;
@@ -45,8 +51,20 @@ pub fn search_batch(
 ) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
     let mut answers = Vec::with_capacity(queries.len());
     let mut agg = QueryStatsAggregate::default();
+    let mut ctx = QueryContext::new();
+    let mut warm_allocs = None;
     for q in queries.iter() {
-        let (ans, stats) = crate::exact::exact_search(index, q, config);
+        let (ans, stats) = crate::exact::exact_search_with(index, q, config, &mut ctx);
+        // The batch hot path must be allocation-free once warm: the first
+        // query builds the scratch, every later query only resets it.
+        match warm_allocs {
+            None => warm_allocs = Some(ctx.alloc_events()),
+            Some(w) => debug_assert_eq!(
+                ctx.alloc_events(),
+                w,
+                "per-query scratch allocation after batch warm-up"
+            ),
+        }
         agg.add(&stats);
         answers.push(ans);
     }
@@ -55,6 +73,8 @@ pub fn search_batch(
 
 /// Answers all `queries` concurrently: `parallelism` pool workers each
 /// run single-threaded exact searches, pulling queries via Fetch&Inc.
+/// Each worker owns one reusable [`QueryContext`] for its whole share of
+/// the batch.
 ///
 /// `config.num_workers` and `num_queues` are ignored (each query runs
 /// with one worker and one queue); kernel/BSF settings apply.
@@ -80,17 +100,23 @@ pub fn search_batch_interquery(
     let agg = Mutex::new(QueryStatsAggregate::default());
     messi_sync::WorkerPool::global().run(parallelism.min(queries.len().max(1)), &|_pid| {
         let mut local_agg = QueryStatsAggregate::default();
+        let mut ctx = QueryContext::new();
+        let mut warm_allocs = None;
         while let Some(qi) = dispenser.next() {
-            let (ans, stats) = crate::exact::exact_search(index, queries.series(qi), &per_query);
+            let (ans, stats) =
+                crate::exact::exact_search_with(index, queries.series(qi), &per_query, &mut ctx);
+            match warm_allocs {
+                None => warm_allocs = Some(ctx.alloc_events()),
+                Some(w) => debug_assert_eq!(
+                    ctx.alloc_events(),
+                    w,
+                    "per-query scratch allocation after batch warm-up"
+                ),
+            }
             local_agg.add(&stats);
             *slots[qi].lock() = Some(ans);
         }
-        let mut shared = agg.lock();
-        shared.queries += local_agg.queries;
-        shared.lb_distance_calcs += local_agg.lb_distance_calcs;
-        shared.real_distance_calcs += local_agg.real_distance_calcs;
-        shared.bsf_updates += local_agg.bsf_updates;
-        shared.total_time += local_agg.total_time;
+        agg.lock().merge(&local_agg);
     });
     let answers = slots
         .into_iter()
@@ -143,6 +169,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batch_reuses_scratch_across_queries() {
+        // The same assertion the batch paths make in debug builds,
+        // verified explicitly: after the first query, the context's
+        // allocation counter is flat for the rest of the batch.
+        let (data, index, queries) = setup();
+        let config = QueryConfig::for_tests();
+        let mut ctx = QueryContext::new();
+        let mut events = Vec::new();
+        for q in queries.iter() {
+            let (ans, _) = crate::exact::exact_search_with(&index, q, &config, &mut ctx);
+            let (_, bf) = data.nearest_neighbor_brute_force(q);
+            assert!((ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0));
+            events.push(ctx.alloc_events());
+        }
+        assert!(events[0] > 0, "first query builds the scratch");
+        assert!(
+            events[1..].iter().all(|&e| e == events[0]),
+            "zero per-query allocations after the first query: {events:?}"
+        );
+    }
+
+    #[test]
+    fn aggregate_totals_match_between_batch_modes() {
+        // Both paths fold stats through QueryStatsAggregate::merge; the
+        // query count and the deterministic counters must agree.
+        let (_, index, queries) = setup();
+        let sequential_1w = QueryConfig {
+            num_workers: 1,
+            num_queues: 1,
+            ..QueryConfig::for_tests()
+        };
+        let (_, a) = search_batch(&index, &queries, &sequential_1w);
+        let (_, b) = search_batch_interquery(&index, &queries, 4, &sequential_1w);
+        assert_eq!(a.queries, b.queries);
+        // Single-worker searches are deterministic, so the pruning
+        // counters agree exactly between the two execution modes.
+        assert_eq!(a.lb_distance_calcs, b.lb_distance_calcs);
+        assert_eq!(a.real_distance_calcs, b.real_distance_calcs);
+        assert_eq!(a.bsf_updates, b.bsf_updates);
     }
 
     #[test]

@@ -23,6 +23,10 @@ fn available_cores() -> usize {
 }
 
 /// Which Best-So-Far implementation the search workers share.
+///
+/// Applies to the 1-NN objectives (Euclidean and DTW). k-NN carries its
+/// bound in the candidate set and range search has a fixed bound, so
+/// neither consults this policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BsfPolicy {
     /// Lock-free packed CAS-min (default; see `messi_sync::AtomicBsf`).
@@ -38,7 +42,10 @@ pub enum BsfPolicy {
 /// "using a local queue per thread results in severe load imbalance,
 /// since, depending on the workload, the size of the different queues may
 /// vary significantly" (§III-B). Both designs are implemented so the
-/// ablation bench can reproduce that comparison.
+/// ablation bench can reproduce that comparison. The policy is handled
+/// by the unified engine driver, so it applies to every queued objective
+/// (1-NN and k-NN, Euclidean and DTW) alike; range search runs
+/// queue-less and ignores it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueuePolicy {
     /// The paper's design: Nq shared queues, round-robin insertion,
@@ -155,7 +162,10 @@ pub struct QueryConfig {
     /// Queue assignment discipline (default: the paper's shared queues).
     pub queue_policy: QueuePolicy,
     /// Collect the per-phase wall-time breakdown of Fig. 13 (adds two
-    /// `Instant::now` calls around each phase transition; off by default).
+    /// `Instant::now` calls around each phase transition; off by
+    /// default). Collection lives in the engine driver, so every
+    /// objective — 1-NN, k-NN, and range, Euclidean or DTW — reports the
+    /// same breakdown.
     pub collect_breakdown: bool,
 }
 

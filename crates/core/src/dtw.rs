@@ -2,9 +2,9 @@
 //!
 //! "We note that no changes are required in the index structure; we just
 //! have to build the envelope of the LB_Keogh method around the query
-//! series, and then search the index using this envelope" (§IV). The
-//! search skeleton is identical to [`crate::exact`]; only the bounds
-//! change, forming the classic three-level cascade:
+//! series, and then search the index using this envelope" (§IV). In
+//! engine terms: the search skeleton is [`crate::engine`]'s, unchanged;
+//! only the metric differs, forming the classic three-level cascade:
 //!
 //! ```text
 //! mindist_env(envelope PAA, iSAX) ≤ LB_Keogh(query, c) ≤ DTW(query, c)
@@ -13,18 +13,19 @@
 //! Node pruning and queue priorities use the envelope mindist; leaf
 //! entries are filtered by envelope mindist, then LB_Keogh on the raw
 //! candidate, and only survivors pay the full banded-DTW cost (with early
-//! abandoning against the BSF).
+//! abandoning against the BSF). The same metric composes with the k-NN
+//! and range objectives — see [`crate::knn::exact_knn_dtw`] and
+//! [`crate::range::range_search_dtw`].
 
 use crate::config::QueryConfig;
-use crate::exact::{Bsf, QueryAnswer};
+use crate::engine::{self, DtwMetric, Engine, NearestObjective, QueryContext, TableSpec};
+use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::{LeafNode, Node};
-use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
-use messi_sax::mindist::{mindist_sq_node_env, MindistTable};
+use crate::node::Node;
+use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
 use messi_series::paa::paa;
-use messi_sync::{Dispenser, QueueSet, SenseBarrier};
 use std::time::Instant;
 
 /// Exact DTW 1-NN search over `index` with a Sakoe-Chiba band.
@@ -44,6 +45,21 @@ pub fn exact_search_dtw(
     params: DtwParams,
     config: &QueryConfig,
 ) -> (QueryAnswer, QueryStats) {
+    exact_search_dtw_with(index, query, params, config, &mut QueryContext::new())
+}
+
+/// [`exact_search_dtw`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`exact_search_dtw`].
+pub fn exact_search_dtw_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     let t_start = Instant::now();
     let segments = index.sax_config().segments;
@@ -53,52 +69,51 @@ pub fn exact_search_dtw(
     let env = Envelope::new(query, params);
     let paa_lower = paa(&env.lower, segments);
     let paa_upper = paa(&env.upper, segments);
-    let table = MindistTable::from_envelope(&paa_lower, &paa_upper, index.sax_config());
 
     // Initial BSF: cascade-scan the query's home leaf.
     let stats = SharedQueryStats::new();
     let (d0, p0) = seed_bsf(index, query, &query_sax, &env, params, &stats);
-    let bsf = Bsf::new(config.bsf, d0, p0);
+    let objective = NearestObjective::new(config.bsf, d0, p0);
 
-    let queues: QueueSet<&LeafNode> = QueueSet::new(config.num_queues);
-    let barrier = SenseBarrier::new(config.num_workers);
-    let dispenser = Dispenser::new(index.touched.len());
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Envelope(&paa_lower, &paa_upper),
+        Some(config),
+    );
+    let metric = DtwMetric::new(
+        index,
+        query,
+        &env,
+        params,
+        &paa_lower,
+        &paa_upper,
+        scratch.table,
+    );
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
-    messi_sync::WorkerPool::global().run(config.num_workers, &|pid| {
-        let nq = queues.len();
-        let mut cursor = pid % nq;
-        let mut local = LocalStats::default();
-        while let Some(i) = dispenser.next() {
-            let key = index.touched[i];
-            let node = index.roots[key].as_deref().expect("touched ⇒ present");
-            traverse_env(
-                index,
-                node,
-                &paa_lower,
-                &paa_upper,
-                &bsf,
-                &queues,
-                &mut cursor,
-                &mut local,
-            );
-        }
-        barrier.wait();
-        let mut q = pid % nq;
-        loop {
-            drain_queue_dtw(
-                index, query, &env, params, &table, &bsf, &queues, q, &mut local,
-            );
-            match queues.next_unfinished(q + 1) {
-                Some(next) => q = next,
-                None => break,
-            }
-        }
-        local.flush(&stats);
-    });
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
 
-    let (dist_sq, pos) = bsf.load_with_pos();
-    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    let (dist_sq, pos) = objective.answer();
+    let mut stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    if d0.is_finite() {
+        stats.initial_bsf_dist_sq = d0;
+    }
     (QueryAnswer { pos, dist_sq }, stats)
 }
 
@@ -142,106 +157,6 @@ fn seed_bsf(
                     }
                 }
                 return best;
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn traverse_env<'a>(
-    index: &'a MessiIndex,
-    node: &'a Node,
-    paa_lower: &[f32],
-    paa_upper: &[f32],
-    bsf: &Bsf,
-    queues: &QueueSet<&'a LeafNode>,
-    cursor: &mut usize,
-    local: &mut LocalStats,
-) {
-    let d = mindist_sq_node_env(paa_lower, paa_upper, &index.scales, node.word());
-    local.lb += 1;
-    if d >= bsf.load() {
-        return;
-    }
-    match node {
-        Node::Leaf(leaf) => {
-            queues.push_round_robin(cursor, d, leaf);
-            local.inserted += 1;
-        }
-        Node::Inner(inner) => {
-            traverse_env(
-                index,
-                &inner.left,
-                paa_lower,
-                paa_upper,
-                bsf,
-                queues,
-                cursor,
-                local,
-            );
-            traverse_env(
-                index,
-                &inner.right,
-                paa_lower,
-                paa_upper,
-                bsf,
-                queues,
-                cursor,
-                local,
-            );
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn drain_queue_dtw(
-    index: &MessiIndex,
-    query: &[f32],
-    env: &Envelope,
-    params: DtwParams,
-    table: &MindistTable,
-    bsf: &Bsf,
-    queues: &QueueSet<&LeafNode>,
-    q: usize,
-    local: &mut LocalStats,
-) {
-    let queue = queues.queue(q);
-    loop {
-        if queue.is_finished() {
-            return;
-        }
-        match queue.pop_min() {
-            None => {
-                queue.mark_finished();
-                return;
-            }
-            Some((dist, leaf)) => {
-                local.popped += 1;
-                if dist >= bsf.load() {
-                    local.filtered += 1;
-                    queue.mark_finished();
-                    return;
-                }
-                for e in &leaf.entries {
-                    // Level 1: envelope mindist on the iSAX summary.
-                    local.lb += 1;
-                    let bound = bsf.load();
-                    if table.mindist_sq(&e.sax) >= bound {
-                        continue;
-                    }
-                    // Level 2: LB_Keogh on the raw candidate.
-                    let candidate = index.dataset.series(e.pos as usize);
-                    local.lb += 1;
-                    if lb_keogh_sq_early_abandon(env, candidate, bound) >= bound {
-                        continue;
-                    }
-                    // Level 3: full banded DTW.
-                    local.real += 1;
-                    let d = dtw_sq_early_abandon(query, candidate, params, bound);
-                    if d < bound && bsf.update_min(d, e.pos) {
-                        local.bsf_updates += 1;
-                    }
-                }
             }
         }
     }
@@ -338,6 +253,26 @@ mod tests {
                 dtw_ans.dist_sq,
                 ed_ans.dist_sq
             );
+        }
+    }
+
+    #[test]
+    fn dtw_with_reused_context_stays_exact() {
+        // A context can serve ED and DTW queries alternately: the mindist
+        // table is refilled from a point PAA or an envelope as needed.
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 200, 41));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let params = DtwParams::paper_default(256);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 41);
+        let config = QueryConfig::for_tests();
+        let mut ctx = QueryContext::new();
+        for q in queries.iter() {
+            let (dtw_ans, _) = exact_search_dtw_with(&index, q, params, &config, &mut ctx);
+            let (_, bf) = brute_force_dtw(&data, q, params);
+            assert!((dtw_ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0));
+            let (ed_ans, _) = crate::exact::exact_search_with(&index, q, &config, &mut ctx);
+            let (_, ed_bf) = data.nearest_neighbor_brute_force(q);
+            assert!((ed_ans.dist_sq - ed_bf).abs() <= 1e-3 * ed_bf.max(1.0));
         }
     }
 }

@@ -1,0 +1,386 @@
+//! The shared query driver (Alg. 5–9 generalized).
+//!
+//! One implementation of MESSI's query skeleton, statically specialized
+//! over a [`Metric`] × [`SearchObjective`] pair:
+//!
+//! 1. **Tree pass** — workers claim root subtrees via Fetch&Inc, prune
+//!    nodes whose metric lower bound reaches the objective's bound, and
+//!    either insert surviving *leaves* into the shared priority queues
+//!    (round-robin, Alg. 7) or — in queue-less mode — scan them on the
+//!    spot.
+//! 2. **Barrier** — queued objectives only: insertion must complete
+//!    before ordered processing starts (Alg. 6 line 7).
+//! 3. **Queue processing** — pop the minimum-bound leaf, re-check its
+//!    bound (*second filtering*), scan the leaf through the metric's
+//!    lower-bound → real-distance cascade, and offer survivors to the
+//!    objective. A popped bound at or above the objective's bound
+//!    finishes the whole queue; workers hop to the next unfinished queue
+//!    with randomization to avoid convoying (§III-B).
+//!
+//! The paper's three deliberate contrasts with ParIS-TS (§IV-A) live
+//! here once, for every objective: the complete lower-bound pass happens
+//! *before* any real distance work, only leaves enter the queues, and
+//! popped entries are filtered a second time.
+//!
+//! Per-phase wall-time collection (Fig. 13) is built into the driver, so
+//! every objective — not just 1-NN — reports the same breakdown when
+//! [`QueryConfig::collect_breakdown`](crate::config::QueryConfig) is set.
+
+use super::context::Scratch;
+use super::metric::Metric;
+use super::objective::SearchObjective;
+use crate::config::QueuePolicy;
+use crate::index::MessiIndex;
+use crate::node::{LeafNode, Node};
+use crate::stats::{LocalStats, SharedQueryStats};
+use messi_sync::{ConcurrentMinQueue, Dispenser, QueueSet, SenseBarrier};
+use std::time::Instant;
+
+/// Everything one engine run shares across its search workers.
+pub(crate) struct Engine<'e, 'a> {
+    pub(crate) index: &'a MessiIndex,
+    pub(crate) scratch: Scratch<'e, 'a>,
+    pub(crate) stats: &'e SharedQueryStats,
+    pub(crate) queue_policy: QueuePolicy,
+    pub(crate) num_workers: usize,
+    pub(crate) collect_breakdown: bool,
+}
+
+/// Per-worker wall-time accumulators, flushed into the shared stats at
+/// worker exit. All zero-cost when breakdown collection is disabled.
+#[derive(Default)]
+struct PhaseTimers {
+    enabled: bool,
+    tree_pass_ns: u64,
+    pq_insert_ns: u64,
+    pq_remove_ns: u64,
+    dist_calc_ns: u64,
+}
+
+impl PhaseTimers {
+    fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            ..Self::default()
+        }
+    }
+
+    #[inline]
+    fn timed<R>(&mut self, slot: fn(&mut Self) -> &mut u64, f: impl FnOnce() -> R) -> R {
+        if self.enabled {
+            let t = Instant::now();
+            let r = f();
+            *slot(self) += t.elapsed().as_nanos() as u64;
+            r
+        } else {
+            f()
+        }
+    }
+
+    fn flush(&self, stats: &SharedQueryStats) {
+        if self.enabled {
+            stats.tree_pass_ns.add(self.tree_pass_ns);
+            stats.pq_insert_ns.add(self.pq_insert_ns);
+            stats.pq_remove_ns.add(self.pq_remove_ns);
+            stats.dist_calc_ns.add(self.dist_calc_ns);
+        }
+    }
+}
+
+/// Runs the search: dispatches `num_workers` workers over the engine's
+/// shared state and blocks until the objective's result is final.
+///
+/// A single-worker search runs inline — no pool dispatch, no barrier
+/// wait — which also makes it cheap to issue from within pool workers
+/// (the inter-query parallel batch mode relies on this).
+pub(crate) fn run<M: Metric, O: SearchObjective>(
+    engine: &Engine<'_, '_>,
+    metric: &M,
+    objective: &O,
+) {
+    let dispenser = Dispenser::new(engine.index.touched.len());
+    let worker = |pid: usize| {
+        let mut local = LocalStats::default();
+        let mut timers = PhaseTimers::new(engine.collect_breakdown);
+        let mut results = O::Local::default();
+        if O::USES_QUEUES {
+            queued_worker(
+                engine,
+                metric,
+                objective,
+                &dispenser,
+                pid,
+                &mut local,
+                &mut timers,
+                &mut results,
+            );
+        } else {
+            scan_worker(
+                engine,
+                metric,
+                objective,
+                &dispenser,
+                &mut local,
+                &mut timers,
+                &mut results,
+            );
+        }
+        objective.absorb(results);
+        local.flush(engine.stats);
+        timers.flush(engine.stats);
+    };
+    if engine.num_workers == 1 {
+        worker(0);
+    } else {
+        messi_sync::WorkerPool::global().run(engine.num_workers, &worker);
+    }
+}
+
+/// One search worker with a queue phase (Alg. 6): subtree traversal,
+/// barrier, then queue processing until every queue is finished.
+#[allow(clippy::too_many_arguments)]
+fn queued_worker<'a, M: Metric, O: SearchObjective>(
+    engine: &Engine<'_, 'a>,
+    metric: &M,
+    objective: &O,
+    dispenser: &Dispenser,
+    pid: usize,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+    results: &mut O::Local,
+) {
+    let queues: &QueueSet<&'a LeafNode> = engine
+        .scratch
+        .queues
+        .expect("queued objective requires queue scratch");
+    let barrier: &SenseBarrier = engine
+        .scratch
+        .barrier
+        .expect("queued objective requires a barrier");
+    let nq = queues.len();
+
+    // Phase A: tree pass (Alg. 6 lines 3–6). Under the local-queue
+    // policy the cursor is pinned to the worker's own queue and the
+    // traversal never advances it.
+    let t_phase = Instant::now();
+    let mut cursor = pid % nq;
+    while let Some(i) = dispenser.next() {
+        let key = engine.index.touched[i];
+        let node = engine.index.roots[key]
+            .as_deref()
+            .expect("touched ⇒ present");
+        insert_subtree(
+            engine,
+            metric,
+            objective,
+            queues,
+            node,
+            &mut cursor,
+            local,
+            timers,
+        );
+    }
+    if timers.enabled {
+        // Tree-pass time excludes the queue insertions counted separately.
+        timers.tree_pass_ns +=
+            (t_phase.elapsed().as_nanos() as u64).saturating_sub(timers.pq_insert_ns);
+    }
+
+    barrier.wait();
+
+    // Phase B: queue processing (Alg. 6 lines 8–13).
+    match engine.queue_policy {
+        QueuePolicy::SharedRoundRobin => {
+            let mut q = pid % nq;
+            // Small xorshift for the randomized queue choice (§I: "workers
+            // use randomization to choose the priority queues they will
+            // work on").
+            let mut rng = (pid as u32).wrapping_mul(0x9E37_79B9) | 1;
+            loop {
+                process_queue(metric, objective, queues.queue(q), local, timers, results);
+                rng ^= rng << 13;
+                rng ^= rng >> 17;
+                rng ^= rng << 5;
+                match queues.next_unfinished(rng as usize % nq) {
+                    Some(next) => q = next,
+                    None => break,
+                }
+            }
+        }
+        QueuePolicy::PerWorkerLocal => {
+            // The rejected design: drain only your own queue, then stop —
+            // no helping, which is exactly where the load imbalance the
+            // paper describes comes from.
+            process_queue(metric, objective, queues.queue(pid), local, timers, results);
+        }
+    }
+}
+
+/// One search worker in queue-less mode (fixed-bound objectives): the
+/// traversal *is* the whole algorithm — surviving leaves are scanned on
+/// the spot, no ordering, no barrier.
+fn scan_worker<M: Metric, O: SearchObjective>(
+    engine: &Engine<'_, '_>,
+    metric: &M,
+    objective: &O,
+    dispenser: &Dispenser,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+    results: &mut O::Local,
+) {
+    let t_phase = Instant::now();
+    while let Some(i) = dispenser.next() {
+        let key = engine.index.touched[i];
+        let node = engine.index.roots[key]
+            .as_deref()
+            .expect("touched ⇒ present");
+        scan_subtree(metric, objective, node, local, timers, results);
+    }
+    if timers.enabled {
+        // The leaf scans are counted as distance-calculation time.
+        timers.tree_pass_ns +=
+            (t_phase.elapsed().as_nanos() as u64).saturating_sub(timers.dist_calc_ns);
+    }
+}
+
+/// Recursive subtree traversal (Alg. 7): prune by node lower bound,
+/// insert surviving leaves into the queues round-robin.
+#[allow(clippy::too_many_arguments)]
+fn insert_subtree<'a, M: Metric, O: SearchObjective>(
+    engine: &Engine<'_, 'a>,
+    metric: &M,
+    objective: &O,
+    queues: &QueueSet<&'a LeafNode>,
+    node: &'a Node,
+    cursor: &mut usize,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+) {
+    let d = metric.node_lower_bound(node.word());
+    local.lb += 1;
+    if d >= objective.bound() {
+        return; // the whole subtree is pruned
+    }
+    match node {
+        Node::Leaf(leaf) => {
+            timers.timed(
+                |t| &mut t.pq_insert_ns,
+                || match engine.queue_policy {
+                    QueuePolicy::SharedRoundRobin => queues.push_round_robin(cursor, d, leaf),
+                    QueuePolicy::PerWorkerLocal => queues.queue(*cursor).push(d, leaf),
+                },
+            );
+            local.inserted += 1;
+        }
+        Node::Inner(inner) => {
+            insert_subtree(
+                engine,
+                metric,
+                objective,
+                queues,
+                &inner.left,
+                cursor,
+                local,
+                timers,
+            );
+            insert_subtree(
+                engine,
+                metric,
+                objective,
+                queues,
+                &inner.right,
+                cursor,
+                local,
+                timers,
+            );
+        }
+    }
+}
+
+/// Queue-less traversal: prune by node lower bound, scan surviving
+/// leaves immediately.
+fn scan_subtree<M: Metric, O: SearchObjective>(
+    metric: &M,
+    objective: &O,
+    node: &Node,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+    results: &mut O::Local,
+) {
+    let d = metric.node_lower_bound(node.word());
+    local.lb += 1;
+    if d >= objective.bound() {
+        return;
+    }
+    match node {
+        Node::Leaf(leaf) => {
+            timers.timed(
+                |t| &mut t.dist_calc_ns,
+                || scan_leaf(metric, objective, leaf, local, results),
+            );
+        }
+        Node::Inner(inner) => {
+            scan_subtree(metric, objective, &inner.left, local, timers, results);
+            scan_subtree(metric, objective, &inner.right, local, timers, results);
+        }
+    }
+}
+
+/// Drains one queue (Alg. 8) until it is empty or its minimum reaches
+/// the objective's bound; either way the queue ends marked finished.
+fn process_queue<M: Metric, O: SearchObjective>(
+    metric: &M,
+    objective: &O,
+    queue: &ConcurrentMinQueue<&LeafNode>,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+    results: &mut O::Local,
+) {
+    loop {
+        if queue.is_finished() {
+            return;
+        }
+        let popped = timers.timed(|t| &mut t.pq_remove_ns, || queue.pop_min());
+        match popped {
+            None => {
+                // Insertions ended at the barrier, so empty means done.
+                queue.mark_finished();
+                return;
+            }
+            Some((dist, leaf)) => {
+                local.popped += 1;
+                if dist >= objective.bound() {
+                    // Second filtering: every remaining entry is worse.
+                    local.filtered += 1;
+                    queue.mark_finished();
+                    return;
+                }
+                timers.timed(
+                    |t| &mut t.dist_calc_ns,
+                    || scan_leaf(metric, objective, leaf, local, results),
+                );
+            }
+        }
+    }
+}
+
+/// Scans one leaf (Alg. 9): per entry, the metric's lower-bound cascade,
+/// then its early-abandoning real distance, offered to the objective on
+/// survival.
+#[inline]
+fn scan_leaf<M: Metric, O: SearchObjective>(
+    metric: &M,
+    objective: &O,
+    leaf: &LeafNode,
+    local: &mut LocalStats,
+    results: &mut O::Local,
+) {
+    for entry in &leaf.entries {
+        let bound = objective.bound();
+        if let Some(d) = metric.entry_distance(entry, bound, local) {
+            if d < bound && objective.offer(results, d, entry.pos) {
+                local.bsf_updates += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Distance metrics: how bounds and real distances are computed.
+//!
+//! The second axis of the engine's (metric × objective) matrix. A
+//! [`Metric`] supplies the node-level lower bound used for subtree
+//! pruning and the per-entry cascade run on leaf contents: one or more
+//! lower bounds, then the early-abandoning real distance, exactly the
+//! Fig. 4/Alg. 9 structure for Euclidean search and the three-level
+//! `mindist_env ≤ LB_Keogh ≤ DTW` cascade of §IV (Fig. 19) for DTW.
+//!
+//! Any metric composes with any objective, which is what makes DTW k-NN
+//! and DTW ε-range queries fall out of the same driver that answers the
+//! paper's Euclidean 1-NN benchmark.
+
+use crate::index::MessiIndex;
+use crate::node::LeafEntry;
+use crate::stats::LocalStats;
+use messi_sax::mindist::{
+    mindist_sq_leaf_scalar, mindist_sq_node, mindist_sq_node_env, MindistTable,
+};
+use messi_sax::word::NodeWord;
+use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
+use messi_series::distance::euclidean::ed_sq_early_abandon_with;
+use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
+use messi_series::distance::Kernel;
+
+/// How the engine computes lower bounds and real distances. Statically
+/// dispatched; implementations hold per-query read-only state (query,
+/// PAA/envelope, mindist table) by reference.
+pub(crate) trait Metric: Sync {
+    /// Lower bound for a tree node during traversal (Alg. 7 line 1).
+    fn node_lower_bound(&self, word: &NodeWord) -> f32;
+
+    /// Runs the full per-entry cascade for one leaf entry: lower
+    /// bound(s) against `bound`, then the early-abandoning real distance.
+    /// Returns `None` when a lower bound pruned the entry. Counts every
+    /// lower-bound and real-distance evaluation in `local`.
+    fn entry_distance(&self, entry: &LeafEntry, bound: f32, local: &mut LocalStats) -> Option<f32>;
+}
+
+/// Euclidean distance with iSAX mindist lower bounds — the paper's
+/// default metric. [`Kernel`] selects the SIMD table-lookup or the
+/// branchy SISD path for the per-entry lower bound (Fig. 18's ablation)
+/// as well as the real-distance kernel.
+pub(crate) struct EuclideanMetric<'q> {
+    index: &'q MessiIndex,
+    query: &'q [f32],
+    query_paa: &'q [f32],
+    table: &'q MindistTable,
+    kernel: Kernel,
+    use_simd: bool,
+}
+
+impl<'q> EuclideanMetric<'q> {
+    pub(crate) fn new(
+        index: &'q MessiIndex,
+        query: &'q [f32],
+        query_paa: &'q [f32],
+        table: &'q MindistTable,
+        kernel: Kernel,
+    ) -> Self {
+        Self {
+            index,
+            query,
+            query_paa,
+            table,
+            kernel,
+            use_simd: kernel.uses_simd(),
+        }
+    }
+}
+
+impl Metric for EuclideanMetric<'_> {
+    #[inline]
+    fn node_lower_bound(&self, word: &NodeWord) -> f32 {
+        mindist_sq_node(self.query_paa, &self.index.scales, word)
+    }
+
+    #[inline]
+    fn entry_distance(&self, entry: &LeafEntry, bound: f32, local: &mut LocalStats) -> Option<f32> {
+        local.lb += 1;
+        let lb = if self.use_simd {
+            self.table.mindist_sq(&entry.sax)
+        } else {
+            mindist_sq_leaf_scalar(self.query_paa, &self.index.scales, &entry.sax)
+        };
+        if lb >= bound {
+            return None;
+        }
+        local.real += 1;
+        Some(ed_sq_early_abandon_with(
+            self.kernel,
+            self.query,
+            self.index.dataset.series(entry.pos as usize),
+            bound,
+        ))
+    }
+}
+
+/// Banded DTW with the LB_Keogh envelope cascade (§IV, Fig. 19):
+/// envelope mindist on the iSAX summary, LB_Keogh on the raw candidate,
+/// then full banded DTW with early abandoning.
+pub(crate) struct DtwMetric<'q> {
+    index: &'q MessiIndex,
+    query: &'q [f32],
+    env: &'q Envelope,
+    params: DtwParams,
+    paa_lower: &'q [f32],
+    paa_upper: &'q [f32],
+    table: &'q MindistTable,
+}
+
+impl<'q> DtwMetric<'q> {
+    pub(crate) fn new(
+        index: &'q MessiIndex,
+        query: &'q [f32],
+        env: &'q Envelope,
+        params: DtwParams,
+        paa_lower: &'q [f32],
+        paa_upper: &'q [f32],
+        table: &'q MindistTable,
+    ) -> Self {
+        Self {
+            index,
+            query,
+            env,
+            params,
+            paa_lower,
+            paa_upper,
+            table,
+        }
+    }
+}
+
+impl Metric for DtwMetric<'_> {
+    #[inline]
+    fn node_lower_bound(&self, word: &NodeWord) -> f32 {
+        mindist_sq_node_env(self.paa_lower, self.paa_upper, &self.index.scales, word)
+    }
+
+    #[inline]
+    fn entry_distance(&self, entry: &LeafEntry, bound: f32, local: &mut LocalStats) -> Option<f32> {
+        // Level 1: envelope mindist on the iSAX summary.
+        local.lb += 1;
+        if self.table.mindist_sq(&entry.sax) >= bound {
+            return None;
+        }
+        // Level 2: LB_Keogh on the raw candidate.
+        let candidate = self.index.dataset.series(entry.pos as usize);
+        local.lb += 1;
+        if lb_keogh_sq_early_abandon(self.env, candidate, bound) >= bound {
+            return None;
+        }
+        // Level 3: full banded DTW.
+        local.real += 1;
+        Some(dtw_sq_early_abandon(
+            self.query,
+            candidate,
+            self.params,
+            bound,
+        ))
+    }
+}

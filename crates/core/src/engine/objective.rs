@@ -1,0 +1,301 @@
+//! Search objectives: what a query is looking for.
+//!
+//! The driver in [`super::driver`] is parameterized by a
+//! [`SearchObjective`] that supplies the pruning bound and consumes
+//! surviving real distances. The three concrete objectives mirror the
+//! three similarity-search primitives of the iSAX index family:
+//!
+//! * [`NearestObjective`] — exact 1-NN: a scalar shrinking Best-So-Far
+//!   (Alg. 5–9), in the atomic or locked flavor of
+//!   [`BsfPolicy`](crate::config::BsfPolicy).
+//! * [`KnnObjective`] — exact k-NN: the bound is the k-th best distance
+//!   held by a shared [`KnnSet`](crate::knn::KnnSet).
+//! * [`RangeObjective`] — ε-range: a *fixed* bound, so no priority order
+//!   (and hence no queues or barrier) is needed — the driver runs in
+//!   queue-less mode and matches are collected instead of minimized.
+//!
+//! The unification hinges on one discipline shared by all three: a lower
+//! bound `>= bound()` prunes, and a real distance `< bound()` is offered.
+//! For range search the strict comparison is arranged by setting the
+//! bound to the smallest float *above* ε², so `d <= ε²` acceptance and
+//! `lb > ε²` pruning fall out of the same comparisons the shrinking-bound
+//! objectives use.
+
+use crate::config::BsfPolicy;
+use crate::exact::QueryAnswer;
+use crate::knn::KnnSet;
+use messi_sync::{AtomicBsf, BestSoFar, LockedBsf};
+use parking_lot::Mutex;
+
+/// BSF implementation selected by [`BsfPolicy`], with static dispatch in
+/// the hot paths.
+#[derive(Debug)]
+pub(crate) enum Bsf {
+    Atomic(AtomicBsf),
+    Locked(LockedBsf),
+}
+
+impl Bsf {
+    pub(crate) fn new(policy: BsfPolicy, dist: f32, pos: u32) -> Self {
+        match policy {
+            BsfPolicy::Atomic => Bsf::Atomic(AtomicBsf::with_initial(dist, pos)),
+            BsfPolicy::Locked => Bsf::Locked(LockedBsf::with_initial(dist, pos)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load(&self) -> f32 {
+        match self {
+            Bsf::Atomic(b) => b.load(),
+            Bsf::Locked(b) => b.load(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn update_min(&self, dist: f32, pos: u32) -> bool {
+        match self {
+            Bsf::Atomic(b) => b.update_min(dist, pos),
+            Bsf::Locked(b) => b.update_min(dist, pos),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load_with_pos(&self) -> (f32, u32) {
+        match self {
+            Bsf::Atomic(b) => b.load_with_pos(),
+            Bsf::Locked(b) => b.load_with_pos(),
+        }
+    }
+}
+
+/// What a query is searching for: the pruning bound and the consumer of
+/// surviving real distances. Statically dispatched — each objective
+/// compiles its own copy of the driver's hot loops.
+pub(crate) trait SearchObjective: Sync {
+    /// Per-worker result scratch ([`RangeObjective`] batches hits here to
+    /// take its result lock once per worker, not once per match).
+    type Local: Default + Send;
+
+    /// Whether the ordered queue phase is needed. `false` selects the
+    /// driver's queue-less mode: surviving leaves are scanned directly
+    /// during traversal, with no priority queues and no barrier.
+    const USES_QUEUES: bool;
+
+    /// Current pruning bound: a lower bound `>= bound()` cannot
+    /// contribute; a real distance `< bound()` is offered.
+    fn bound(&self) -> f32;
+
+    /// Offers a surviving real distance. Returns `true` when the global
+    /// result (and therefore the bound) improved — the driver counts
+    /// these as BSF updates.
+    fn offer(&self, local: &mut Self::Local, dist_sq: f32, pos: u32) -> bool;
+
+    /// Folds a worker's local results into the shared result at worker
+    /// exit.
+    fn absorb(&self, local: Self::Local);
+}
+
+/// Exact 1-NN: a scalar shrinking BSF seeded by the approximate search.
+#[derive(Debug)]
+pub(crate) struct NearestObjective {
+    bsf: Bsf,
+}
+
+impl NearestObjective {
+    pub(crate) fn new(policy: BsfPolicy, dist_sq: f32, pos: u32) -> Self {
+        Self {
+            bsf: Bsf::new(policy, dist_sq, pos),
+        }
+    }
+
+    /// The final `(squared distance, position)` answer.
+    pub(crate) fn answer(&self) -> (f32, u32) {
+        self.bsf.load_with_pos()
+    }
+}
+
+impl SearchObjective for NearestObjective {
+    type Local = ();
+    const USES_QUEUES: bool = true;
+
+    #[inline]
+    fn bound(&self) -> f32 {
+        self.bsf.load()
+    }
+
+    #[inline]
+    fn offer(&self, _local: &mut (), dist_sq: f32, pos: u32) -> bool {
+        self.bsf.update_min(dist_sq, pos)
+    }
+
+    fn absorb(&self, _local: ()) {}
+}
+
+/// Exact k-NN: the bound is the k-th best distance of a shared
+/// [`KnnSet`] (`+inf` until k candidates exist).
+pub(crate) struct KnnObjective<'s> {
+    set: &'s KnnSet,
+}
+
+impl<'s> KnnObjective<'s> {
+    pub(crate) fn new(set: &'s KnnSet) -> Self {
+        Self { set }
+    }
+}
+
+impl SearchObjective for KnnObjective<'_> {
+    type Local = ();
+    const USES_QUEUES: bool = true;
+
+    #[inline]
+    fn bound(&self) -> f32 {
+        self.set.bound()
+    }
+
+    #[inline]
+    fn offer(&self, _local: &mut (), dist_sq: f32, pos: u32) -> bool {
+        self.set.offer(dist_sq, pos)
+    }
+
+    fn absorb(&self, _local: ()) {}
+}
+
+/// ε-range: a fixed bound; every surviving distance is a match.
+#[derive(Debug)]
+pub(crate) struct RangeObjective {
+    /// `next_up(ε²)` — fixed for the whole query, so the driver's strict
+    /// comparisons accept `d <= ε²` and prune `lb > ε²` exactly.
+    bound: f32,
+    hits: Mutex<Vec<QueryAnswer>>,
+}
+
+impl RangeObjective {
+    /// # Panics
+    ///
+    /// Panics if `epsilon_sq` is negative or NaN.
+    pub(crate) fn new(epsilon_sq: f32) -> Self {
+        assert!(
+            epsilon_sq >= 0.0 && !epsilon_sq.is_nan(),
+            "epsilon_sq must be a non-negative number"
+        );
+        Self {
+            bound: next_up(epsilon_sq),
+            hits: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// All matches, ascending by distance (position breaks ties).
+    pub(crate) fn into_sorted(self) -> Vec<QueryAnswer> {
+        let mut answers = self.hits.into_inner();
+        answers.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.pos.cmp(&b.pos)));
+        answers
+    }
+}
+
+impl SearchObjective for RangeObjective {
+    type Local = Vec<QueryAnswer>;
+    const USES_QUEUES: bool = false;
+
+    #[inline]
+    fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    #[inline]
+    fn offer(&self, local: &mut Vec<QueryAnswer>, dist_sq: f32, pos: u32) -> bool {
+        local.push(QueryAnswer { pos, dist_sq });
+        // The bound is fixed: finding a match never improves it, so range
+        // queries report zero BSF updates (there is no BSF).
+        false
+    }
+
+    fn absorb(&self, local: Vec<QueryAnswer>) {
+        if !local.is_empty() {
+            self.hits.lock().extend(local);
+        }
+    }
+}
+
+/// The strict pruning bound for an inclusive radius `x` (non-negative,
+/// non-NaN): the smallest f32 whose strict comparisons reproduce the
+/// inclusive ones — `d < next_up(x) ⟺ d <= x` for finite distances.
+///
+/// Edge radii need care: for `x = 0` the result is the smallest positive
+/// *subnormal* (so subnormal distances are still excluded, exactly like
+/// `d <= 0`), and `x = +inf` maps to itself (incrementing the bit
+/// pattern of `+inf` would produce NaN, under which nothing prunes *and*
+/// nothing is accepted — an unbounded query would silently return no
+/// matches).
+#[inline]
+fn next_up(x: f32) -> f32 {
+    if x == 0.0 {
+        f32::from_bits(1)
+    } else if x.is_infinite() {
+        x
+    } else {
+        f32::from_bits(x.to_bits() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_up_is_strictly_greater() {
+        for x in [0.0f32, 1.0, 123.456, 1e30, f32::MAX] {
+            assert!(next_up(x) > x);
+        }
+    }
+
+    #[test]
+    fn next_up_edge_radii() {
+        // ε² = 0 must not admit subnormal distances (`d <= 0` semantics).
+        let tiny = f32::from_bits(1);
+        assert!(tiny >= next_up(0.0), "subnormal admitted at radius 0");
+        assert!(0.0 < next_up(0.0));
+        // ε² = +inf must keep accepting everything, not become NaN.
+        let b = next_up(f32::INFINITY);
+        assert!(!b.is_nan());
+        assert!(f32::MAX < b, "unbounded radius accepts any finite distance");
+    }
+
+    #[test]
+    fn range_objective_with_infinite_radius_accepts_everything() {
+        let o = RangeObjective::new(f32::INFINITY);
+        let mut local = Vec::new();
+        assert!(1e30 < o.bound());
+        assert!(!o.offer(&mut local, 1e30, 9));
+        o.absorb(local);
+        assert_eq!(o.into_sorted().len(), 1);
+    }
+
+    #[test]
+    fn nearest_objective_shrinks_monotonically() {
+        let o = NearestObjective::new(BsfPolicy::Atomic, 10.0, 3);
+        assert_eq!(o.bound(), 10.0);
+        assert!(o.offer(&mut (), 4.0, 7));
+        assert!(!o.offer(&mut (), 6.0, 9), "worse than bound");
+        assert_eq!(o.answer(), (4.0, 7));
+    }
+
+    #[test]
+    fn range_objective_accepts_boundary_distance() {
+        let o = RangeObjective::new(2.0);
+        let mut local = Vec::new();
+        // `d <= ε²` must pass the driver's strict `d < bound()` test.
+        assert!(2.0 < o.bound());
+        assert!(2.0f32.to_bits() + 1 >= o.bound().to_bits());
+        assert!(!o.offer(&mut local, 2.0, 1), "range has no BSF to update");
+        o.absorb(local);
+        let hits = o.into_sorted();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pos, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn range_objective_rejects_negative_epsilon() {
+        RangeObjective::new(-1.0);
+    }
+}

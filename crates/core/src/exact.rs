@@ -14,20 +14,15 @@
 //! chosen with randomization to avoid convoying. When every queue is
 //! finished, the BSF *is* the exact answer.
 //!
-//! The three deliberate contrasts with ParIS-TS (§IV-A) are visible in
-//! the code: the complete lower-bound pass happens *before* any real
-//! distance work, only leaves enter the queues, and popped entries are
-//! filtered a second time.
+//! All of that machinery lives in [`crate::engine`], shared with k-NN,
+//! range, and DTW search; this module is the thin adapter that pairs the
+//! Euclidean metric with the 1-NN objective and seeds the BSF from the
+//! approximate search (Fig. 4a).
 
-use crate::config::{BsfPolicy, QueryConfig, QueuePolicy};
+use crate::config::QueryConfig;
+use crate::engine::{self, Engine, EuclideanMetric, NearestObjective, QueryContext, TableSpec};
 use crate::index::MessiIndex;
-use crate::node::{LeafNode, Node};
-use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
-use messi_sax::mindist::{mindist_sq_leaf_scalar, mindist_sq_node, MindistTable};
-use messi_sax::word::SaxWord;
-use messi_series::distance::euclidean::ed_sq_early_abandon_with;
-use messi_series::distance::Kernel;
-use messi_sync::{AtomicBsf, BestSoFar, Dispenser, LockedBsf, QueueSet, SenseBarrier};
+use crate::stats::{QueryStats, SharedQueryStats};
 use std::time::Instant;
 
 /// The result of an exact similarity-search query.
@@ -46,89 +41,6 @@ impl QueryAnswer {
     }
 }
 
-/// BSF implementation selected by [`BsfPolicy`], with static dispatch in
-/// the hot paths.
-#[derive(Debug)]
-pub(crate) enum Bsf {
-    Atomic(AtomicBsf),
-    Locked(LockedBsf),
-}
-
-impl Bsf {
-    pub(crate) fn new(policy: BsfPolicy, dist: f32, pos: u32) -> Self {
-        match policy {
-            BsfPolicy::Atomic => Bsf::Atomic(AtomicBsf::with_initial(dist, pos)),
-            BsfPolicy::Locked => Bsf::Locked(LockedBsf::with_initial(dist, pos)),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn load(&self) -> f32 {
-        match self {
-            Bsf::Atomic(b) => b.load(),
-            Bsf::Locked(b) => b.load(),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn update_min(&self, dist: f32, pos: u32) -> bool {
-        match self {
-            Bsf::Atomic(b) => b.update_min(dist, pos),
-            Bsf::Locked(b) => b.update_min(dist, pos),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn load_with_pos(&self) -> (f32, u32) {
-        match self {
-            Bsf::Atomic(b) => b.load_with_pos(),
-            Bsf::Locked(b) => b.load_with_pos(),
-        }
-    }
-}
-
-/// Per-worker wall-time accumulators, flushed into the shared stats at
-/// worker exit. All zero-cost when breakdown collection is disabled.
-#[derive(Default)]
-struct PhaseTimers {
-    enabled: bool,
-    tree_pass_ns: u64,
-    pq_insert_ns: u64,
-    pq_remove_ns: u64,
-    dist_calc_ns: u64,
-}
-
-impl PhaseTimers {
-    #[inline]
-    fn timed<R>(&mut self, slot: fn(&mut Self) -> &mut u64, f: impl FnOnce() -> R) -> R {
-        if self.enabled {
-            let t = Instant::now();
-            let r = f();
-            *slot(self) += t.elapsed().as_nanos() as u64;
-            r
-        } else {
-            f()
-        }
-    }
-}
-
-/// Everything one query's search workers share.
-struct SearchContext<'a> {
-    index: &'a MessiIndex,
-    query: &'a [f32],
-    query_paa: Vec<f32>,
-    /// Per-query lower-bound lookup table (SIMD path).
-    table: MindistTable,
-    bsf: Bsf,
-    queues: QueueSet<&'a LeafNode>,
-    barrier: SenseBarrier,
-    subtree_dispenser: Dispenser,
-    stats: SharedQueryStats,
-    kernel: Kernel,
-    queue_policy: QueuePolicy,
-    collect_breakdown: bool,
-}
-
 /// Exact 1-NN search over `index` (Alg. 5).
 ///
 /// # Panics
@@ -140,48 +52,54 @@ pub fn exact_search(
     query: &[f32],
     config: &QueryConfig,
 ) -> (QueryAnswer, QueryStats) {
+    exact_search_with(index, query, config, &mut QueryContext::new())
+}
+
+/// [`exact_search`] with caller-provided scratch: `ctx` is reset (not
+/// reallocated) per query, which is how the batch paths run whole
+/// workloads without per-query queue or mindist-table allocations.
+///
+/// # Panics
+///
+/// As [`exact_search`].
+pub fn exact_search_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     let t_start = Instant::now();
 
     // ---- Initialization: summarize the query, seed the BSF (Fig. 4a) ----
     let (query_sax, query_paa) = index.summarize_query(query);
     let (d0, p0) = index.approximate_search(query, &query_sax, &query_paa, config.kernel);
-    let table = MindistTable::new(&query_paa, index.sax_config());
-    // Local queues (the rejected design) give every worker its own queue.
-    let num_queues = match config.queue_policy {
-        QueuePolicy::SharedRoundRobin => config.num_queues,
-        QueuePolicy::PerWorkerLocal => config.num_workers,
-    };
-    let ctx = SearchContext {
-        index,
-        query,
-        query_paa,
-        table,
-        bsf: Bsf::new(config.bsf, d0, p0),
-        queues: QueueSet::new(num_queues),
-        barrier: SenseBarrier::new(config.num_workers),
-        subtree_dispenser: Dispenser::new(index.touched.len()),
-        stats: SharedQueryStats::new(),
-        kernel: config.kernel,
-        queue_policy: config.queue_policy,
-        collect_breakdown: config.collect_breakdown,
-    };
+    let objective = NearestObjective::new(config.bsf, d0, p0);
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Point(&query_paa),
+        Some(config),
+    );
+    let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
+    let stats = SharedQueryStats::new();
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
-    // ---- Search workers (Alg. 6) ----
-    // Long-lived pool workers instead of per-query spawns: see
-    // `messi_sync::pool` for why this preserves the algorithm. A
-    // single-worker search runs inline — no dispatch, no barrier wait —
-    // which also makes it cheap to issue from within pool workers
-    // (the inter-query parallel batch mode relies on this).
-    if config.num_workers == 1 {
-        search_worker(&ctx, 0);
-    } else {
-        messi_sync::WorkerPool::global().run(config.num_workers, &|pid| search_worker(&ctx, pid));
-    }
+    // ---- Search workers (Alg. 6), run by the shared engine ----
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
 
-    let (dist_sq, pos) = ctx.bsf.load_with_pos();
-    let mut stats = ctx.stats.finish(
+    let (dist_sq, pos) = objective.answer();
+    let mut stats = stats.finish(
         t_start.elapsed(),
         init_ns,
         config.num_workers as u64,
@@ -191,181 +109,11 @@ pub fn exact_search(
     (QueryAnswer { pos, dist_sq }, stats)
 }
 
-/// One search worker (Alg. 6): subtree traversal phase, barrier, then
-/// queue processing until every queue is finished.
-fn search_worker(ctx: &SearchContext<'_>, pid: usize) {
-    let nq = ctx.queues.len();
-    let mut counters = LocalStats::default();
-    let mut timers = PhaseTimers {
-        enabled: ctx.collect_breakdown,
-        ..PhaseTimers::default()
-    };
-    // Phase A: tree pass (Alg. 6 lines 3–6). Under the local-queue
-    // policy the cursor is pinned to the worker's own queue and the
-    // traversal never advances it.
-    let t_phase = Instant::now();
-    let mut cursor = pid % nq;
-    while let Some(i) = ctx.subtree_dispenser.next() {
-        let key = ctx.index.touched[i];
-        let node = ctx.index.roots[key].as_deref().expect("touched ⇒ present");
-        traverse_root_subtree(ctx, node, &mut cursor, &mut counters, &mut timers);
-    }
-    if ctx.collect_breakdown {
-        // Tree-pass time excludes the queue insertions counted separately.
-        timers.tree_pass_ns +=
-            (t_phase.elapsed().as_nanos() as u64).saturating_sub(timers.pq_insert_ns);
-    }
-
-    ctx.barrier.wait();
-
-    // Phase B: queue processing (Alg. 6 lines 8–13).
-    match ctx.queue_policy {
-        QueuePolicy::SharedRoundRobin => {
-            let mut q = pid % nq;
-            // Small xorshift for the randomized queue choice (§I: "workers
-            // use randomization to choose the priority queues they will
-            // work on").
-            let mut rng = (pid as u32).wrapping_mul(0x9E37_79B9) | 1;
-            loop {
-                process_queue(ctx, q, &mut counters, &mut timers);
-                rng ^= rng << 13;
-                rng ^= rng >> 17;
-                rng ^= rng << 5;
-                match ctx.queues.next_unfinished(rng as usize % nq) {
-                    Some(next) => q = next,
-                    None => break,
-                }
-            }
-        }
-        QueuePolicy::PerWorkerLocal => {
-            // The rejected design: drain only your own queue, then stop —
-            // no helping, which is exactly where the load imbalance the
-            // paper describes comes from.
-            process_queue(ctx, pid, &mut counters, &mut timers);
-        }
-    }
-
-    // Flush per-worker counters and timers.
-    counters.flush(&ctx.stats);
-    if ctx.collect_breakdown {
-        ctx.stats.tree_pass_ns.add(timers.tree_pass_ns);
-        ctx.stats.pq_insert_ns.add(timers.pq_insert_ns);
-        ctx.stats.pq_remove_ns.add(timers.pq_remove_ns);
-        ctx.stats.dist_calc_ns.add(timers.dist_calc_ns);
-    }
-}
-
-/// Recursive subtree traversal (Alg. 7): prune by node mindist, insert
-/// surviving leaves into the queues round-robin.
-fn traverse_root_subtree<'a>(
-    ctx: &SearchContext<'a>,
-    node: &'a Node,
-    cursor: &mut usize,
-    counters: &mut LocalStats,
-    timers: &mut PhaseTimers,
-) {
-    let d = mindist_sq_node(&ctx.query_paa, &ctx.index.scales, node.word());
-    counters.lb += 1;
-    if d >= ctx.bsf.load() {
-        return; // the whole subtree is pruned
-    }
-    match node {
-        Node::Leaf(leaf) => {
-            timers.timed(
-                |t| &mut t.pq_insert_ns,
-                || match ctx.queue_policy {
-                    QueuePolicy::SharedRoundRobin => {
-                        ctx.queues.push_round_robin(cursor, d, leaf);
-                    }
-                    QueuePolicy::PerWorkerLocal => ctx.queues.queue(*cursor).push(d, leaf),
-                },
-            );
-            counters.inserted += 1;
-        }
-        Node::Inner(inner) => {
-            traverse_root_subtree(ctx, &inner.left, cursor, counters, timers);
-            traverse_root_subtree(ctx, &inner.right, cursor, counters, timers);
-        }
-    }
-}
-
-/// Drains queue `q` (Alg. 8) until it is empty or its minimum exceeds the
-/// BSF; either way the queue ends marked finished.
-fn process_queue(
-    ctx: &SearchContext<'_>,
-    q: usize,
-    counters: &mut LocalStats,
-    timers: &mut PhaseTimers,
-) {
-    let queue = ctx.queues.queue(q);
-    loop {
-        if queue.is_finished() {
-            return;
-        }
-        let popped = timers.timed(|t| &mut t.pq_remove_ns, || queue.pop_min());
-        match popped {
-            None => {
-                // Insertions ended at the barrier, so empty means done.
-                queue.mark_finished();
-                return;
-            }
-            Some((dist, leaf)) => {
-                counters.popped += 1;
-                if dist >= ctx.bsf.load() {
-                    // Second filtering: every remaining entry is worse.
-                    counters.filtered += 1;
-                    queue.mark_finished();
-                    return;
-                }
-                timers.timed(
-                    |t| &mut t.dist_calc_ns,
-                    || calculate_real_distance(ctx, leaf, counters),
-                );
-            }
-        }
-    }
-}
-
-/// Scans one leaf (Alg. 9): per entry, a lower bound against the
-/// full-cardinality summary, then an early-abandoning real distance only
-/// when the bound does not prune.
-fn calculate_real_distance(ctx: &SearchContext<'_>, leaf: &LeafNode, counters: &mut LocalStats) {
-    let use_simd = ctx.kernel.uses_simd();
-    for e in &leaf.entries {
-        counters.lb += 1;
-        let bound = ctx.bsf.load();
-        let lb = leaf_lower_bound(ctx, &e.sax, use_simd);
-        if lb >= bound {
-            continue;
-        }
-        counters.real += 1;
-        let d = ed_sq_early_abandon_with(
-            ctx.kernel,
-            ctx.query,
-            ctx.index.dataset.series(e.pos as usize),
-            bound,
-        );
-        if d < bound && ctx.bsf.update_min(d, e.pos) {
-            counters.bsf_updates += 1;
-        }
-    }
-}
-
-/// Lower bound of one leaf entry: table lookups (SIMD path) or the
-/// branchy per-segment computation (SISD path).
-#[inline]
-fn leaf_lower_bound(ctx: &SearchContext<'_>, sax: &SaxWord, use_simd: bool) -> f32 {
-    if use_simd {
-        ctx.table.mindist_sq(sax)
-    } else {
-        mindist_sq_leaf_scalar(&ctx.query_paa, &ctx.index.scales, sax)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::IndexConfig;
+    use crate::config::{BsfPolicy, IndexConfig};
+    use messi_series::distance::Kernel;
     use messi_series::gen::{self, DatasetKind};
     use std::sync::Arc;
 
@@ -508,5 +256,38 @@ mod tests {
         let q = base.series(1).to_vec();
         let (ans, _) = exact_search(&index, &q, &QueryConfig::for_tests());
         assert_eq!(ans.dist_sq, 0.0);
+    }
+
+    #[test]
+    fn reused_context_answers_stay_exact_and_allocation_free() {
+        let index = build(500, 111);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 6, 111);
+        let config = QueryConfig::for_tests();
+        let mut ctx = QueryContext::new();
+        let mut warm = None;
+        for q in queries.iter() {
+            let (ans, _) = exact_search_with(&index, q, &config, &mut ctx);
+            let (_, bf) = index.dataset().nearest_neighbor_brute_force(q);
+            assert!((ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0));
+            match warm {
+                None => warm = Some(ctx.alloc_events()),
+                Some(w) => assert_eq!(
+                    ctx.alloc_events(),
+                    w,
+                    "no scratch allocation after the first query"
+                ),
+            }
+        }
+        // The same context serves a different query shape by resetting.
+        let wide = QueryConfig {
+            num_workers: 2,
+            num_queues: 5,
+            ..config
+        };
+        let (ans, _) = exact_search_with(&index, queries.series(0), &wide, &mut ctx);
+        let (_, bf) = index
+            .dataset()
+            .nearest_neighbor_brute_force(queries.series(0));
+        assert!((ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0));
     }
 }

@@ -16,9 +16,10 @@ use std::sync::Arc;
 ///
 /// Holds (an `Arc` to) the raw dataset, the iSAX configuration, and the
 /// index tree: a dense array of up to 2^w root subtrees. Built with
-/// [`MessiIndex::build`]; queried with [`MessiIndex::search`]
-/// (exact 1-NN), [`crate::knn`] (exact k-NN), or [`crate::dtw`] (exact
-/// DTW 1-NN).
+/// [`MessiIndex::build`]; queried with [`MessiIndex::search`] (exact
+/// 1-NN), [`MessiIndex::search_knn`], [`MessiIndex::search_range`], or
+/// [`crate::dtw`] (exact DTW 1-NN) — all answered by the unified
+/// [`crate::engine`] driver.
 #[derive(Debug)]
 pub struct MessiIndex {
     pub(crate) dataset: Arc<Dataset>,
@@ -143,6 +144,38 @@ impl MessiIndex {
         config: &crate::config::QueryConfig,
     ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
         crate::exact::exact_search(self, query, config)
+    }
+
+    /// Exact k-NN search: the `k` nearest series, ascending by distance.
+    /// See [`crate::knn::exact_knn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the query length mismatches, or the
+    /// configuration is invalid.
+    pub fn search_knn(
+        &self,
+        query: &[f32],
+        k: usize,
+        config: &crate::config::QueryConfig,
+    ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
+        crate::knn::exact_knn(self, query, k, config)
+    }
+
+    /// Exact ε-range search: every series with squared distance
+    /// `<= epsilon_sq`, ascending. See [`crate::range::range_search`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon_sq` is negative or NaN, the query length
+    /// mismatches, or the configuration is invalid.
+    pub fn search_range(
+        &self,
+        query: &[f32],
+        epsilon_sq: f32,
+        config: &crate::config::QueryConfig,
+    ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
+        crate::range::range_search(self, query, epsilon_sq, config)
     }
 
     /// *Approximate* 1-NN search: one descent to the query's home leaf

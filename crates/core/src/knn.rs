@@ -5,6 +5,9 @@
 //! directly: the scalar BSF becomes the set of the k best candidates, and
 //! every bound is checked against the *k-th best* distance (which is
 //! `+inf` until k candidates exist, so nothing is pruned prematurely).
+//! The traversal, queues, and leaf-scan cascade are [`crate::engine`]'s;
+//! this module contributes the `KnnSet` bound, the home-leaf seeding,
+//! and the Euclidean/DTW adapters.
 //!
 //! The candidate set is a small mutex-protected max-heap with a cached
 //! atomic bound, the same trick as the BSF: reads in the hot loop are a
@@ -12,14 +15,17 @@
 //! which (like BSF updates, §III-B) happens a handful of times per query.
 
 use crate::config::QueryConfig;
+use crate::engine::{
+    self, DtwMetric, Engine, EuclideanMetric, KnnObjective, QueryContext, TableSpec,
+};
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::{LeafNode, Node};
-use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
-use messi_sax::mindist::{mindist_sq_node, MindistTable};
+use crate::node::Node;
+use crate::stats::{QueryStats, SharedQueryStats};
+use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
-use messi_series::distance::Kernel;
-use messi_sync::{Dispenser, QueueSet, SenseBarrier};
+use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
+use messi_series::paa::paa;
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -137,99 +143,198 @@ pub fn exact_knn(
     k: usize,
     config: &QueryConfig,
 ) -> (Vec<QueryAnswer>, QueryStats) {
+    exact_knn_with(index, query, k, config, &mut QueryContext::new())
+}
+
+/// [`exact_knn`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`exact_knn`].
+pub fn exact_knn_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    k: usize,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (Vec<QueryAnswer>, QueryStats) {
     config.validate();
     assert!(k > 0, "k must be positive");
     let t_start = Instant::now();
 
     let (query_sax, query_paa) = index.summarize_query(query);
-    let table = MindistTable::new(&query_paa, index.sax_config());
     let knn = KnnSet::new(k);
 
     // Seed: scan the query's home leaf so the bound starts tight, exactly
     // like 1-NN's approximate search but keeping all k candidates.
-    seed_from_home_leaf(index, query, &query_sax, &knn, config.kernel);
+    seed_from_home_leaf(index, &query_sax, &mut |pos| {
+        let bound = knn.bound();
+        let d = ed_sq_early_abandon_with(
+            config.kernel,
+            query,
+            index.dataset.series(pos as usize),
+            bound,
+        );
+        if d < bound {
+            knn.offer(d, pos);
+        }
+    });
+    let initial_bound = knn.bound();
 
-    let queues: QueueSet<&LeafNode> = QueueSet::new(config.num_queues);
-    let barrier = SenseBarrier::new(config.num_workers);
-    let dispenser = Dispenser::new(index.touched.len());
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Point(&query_paa),
+        Some(config),
+    );
+    let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
+    let objective = KnnObjective::new(&knn);
     let stats = SharedQueryStats::new();
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
-    messi_sync::WorkerPool::global().run(config.num_workers, &|pid| {
-        let nq = queues.len();
-        let mut cursor = pid % nq;
-        let mut local = LocalStats::default();
-        while let Some(i) = dispenser.next() {
-            let key = index.touched[i];
-            let node = index.roots[key].as_deref().expect("touched ⇒ present");
-            traverse(
-                index,
-                node,
-                &query_paa,
-                &knn,
-                &queues,
-                &mut cursor,
-                &mut local,
-            );
-        }
-        barrier.wait();
-        let mut q = pid % nq;
-        loop {
-            drain_queue(
-                index,
-                query,
-                &table,
-                &knn,
-                &queues,
-                q,
-                &mut local,
-                config.kernel,
-            );
-            match queues.next_unfinished(q + 1) {
-                Some(next) => q = next,
-                None => break,
-            }
-        }
-        local.flush(&stats);
-    });
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
 
     let answers = knn.into_sorted();
-    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    let mut stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    if initial_bound.is_finite() {
+        stats.initial_bsf_dist_sq = initial_bound;
+    }
     (answers, stats)
 }
 
-fn seed_from_home_leaf(
+/// Exact k-NN under banded DTW: the k series minimizing the DTW distance
+/// to `query`, ascending. The bound cascade is the same three-level
+/// `mindist_env ≤ LB_Keogh ≤ DTW` chain as [`crate::dtw`] — the engine
+/// composes it with the k-NN objective for free.
+///
+/// # Panics
+///
+/// As [`exact_knn`].
+pub fn exact_knn_dtw(
     index: &MessiIndex,
     query: &[f32],
+    k: usize,
+    params: DtwParams,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    exact_knn_dtw_with(index, query, k, params, config, &mut QueryContext::new())
+}
+
+/// [`exact_knn_dtw`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`exact_knn`].
+pub fn exact_knn_dtw_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    k: usize,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    config.validate();
+    assert!(k > 0, "k must be positive");
+    let t_start = Instant::now();
+    let segments = index.sax_config().segments;
+
+    let (query_sax, _) = index.summarize_query(query);
+    let env = Envelope::new(query, params);
+    let paa_lower = paa(&env.lower, segments);
+    let paa_upper = paa(&env.upper, segments);
+    let knn = KnnSet::new(k);
+
+    // Seed from the home leaf through the LB_Keogh → DTW cascade.
+    seed_from_home_leaf(index, &query_sax, &mut |pos| {
+        let bound = knn.bound();
+        let candidate = index.dataset.series(pos as usize);
+        if lb_keogh_sq_early_abandon(&env, candidate, bound) >= bound {
+            return;
+        }
+        let d = dtw_sq_early_abandon(query, candidate, params, bound);
+        if d < bound {
+            knn.offer(d, pos);
+        }
+    });
+    let initial_bound = knn.bound();
+
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Envelope(&paa_lower, &paa_upper),
+        Some(config),
+    );
+    let metric = DtwMetric::new(
+        index,
+        query,
+        &env,
+        params,
+        &paa_lower,
+        &paa_upper,
+        scratch.table,
+    );
+    let objective = KnnObjective::new(&knn);
+    let stats = SharedQueryStats::new();
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
+
+    let answers = knn.into_sorted();
+    let mut stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    if initial_bound.is_finite() {
+        stats.initial_bsf_dist_sq = initial_bound;
+    }
+    (answers, stats)
+}
+
+/// Descends to the query's home leaf (following its summary bits) and
+/// feeds every entry position to `offer`. A no-op when the home subtree
+/// is empty — the main pass then does all the work from a `+inf` bound.
+fn seed_from_home_leaf(
+    index: &MessiIndex,
     query_sax: &messi_sax::word::SaxWord,
-    knn: &KnnSet,
-    kernel: Kernel,
+    offer: &mut dyn FnMut(u32),
 ) {
-    // Reuse approximate search's entry-point logic by scanning the leaf it
-    // lands on: run it once to find *a* close series, then offer the whole
-    // leaf the 1-NN scan looked at. Simplest faithful variant: offer every
-    // entry of the home leaf.
     let key = messi_sax::root_key::root_key(query_sax, index.sax_config().segments);
-    let node = match index.root(key) {
+    let mut cur = match index.root(key) {
         Some(n) => n,
-        None => return, // bound stays +inf; the main pass does the work
+        None => return,
     };
-    // Descend along the query's bits.
-    let mut cur = node;
     loop {
         match cur {
             Node::Leaf(leaf) => {
                 for e in &leaf.entries {
-                    let bound = knn.bound();
-                    let d = ed_sq_early_abandon_with(
-                        kernel,
-                        query,
-                        index.dataset.series(e.pos as usize),
-                        bound,
-                    );
-                    if d < bound {
-                        knn.offer(d, e.pos);
-                    }
+                    offer(e.pos);
                 }
                 return;
             }
@@ -240,82 +345,6 @@ fn seed_from_home_leaf(
                 } else {
                     &inner.left
                 };
-            }
-        }
-    }
-}
-
-fn traverse<'a>(
-    index: &'a MessiIndex,
-    node: &'a Node,
-    query_paa: &[f32],
-    knn: &KnnSet,
-    queues: &QueueSet<&'a LeafNode>,
-    cursor: &mut usize,
-    local: &mut LocalStats,
-) {
-    let d = mindist_sq_node(query_paa, &index.scales, node.word());
-    local.lb += 1;
-    if d >= knn.bound() {
-        return;
-    }
-    match node {
-        Node::Leaf(leaf) => {
-            queues.push_round_robin(cursor, d, leaf);
-            local.inserted += 1;
-        }
-        Node::Inner(inner) => {
-            traverse(index, &inner.left, query_paa, knn, queues, cursor, local);
-            traverse(index, &inner.right, query_paa, knn, queues, cursor, local);
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn drain_queue(
-    index: &MessiIndex,
-    query: &[f32],
-    table: &MindistTable,
-    knn: &KnnSet,
-    queues: &QueueSet<&LeafNode>,
-    q: usize,
-    local: &mut LocalStats,
-    kernel: Kernel,
-) {
-    let queue = queues.queue(q);
-    loop {
-        if queue.is_finished() {
-            return;
-        }
-        match queue.pop_min() {
-            None => {
-                queue.mark_finished();
-                return;
-            }
-            Some((dist, leaf)) => {
-                local.popped += 1;
-                if dist >= knn.bound() {
-                    local.filtered += 1;
-                    queue.mark_finished();
-                    return;
-                }
-                for e in &leaf.entries {
-                    local.lb += 1;
-                    let bound = knn.bound();
-                    if table.mindist_sq(&e.sax) >= bound {
-                        continue;
-                    }
-                    local.real += 1;
-                    let d = ed_sq_early_abandon_with(
-                        kernel,
-                        query,
-                        index.dataset.series(e.pos as usize),
-                        bound,
-                    );
-                    if d < bound && knn.offer(d, e.pos) {
-                        local.bsf_updates += 1;
-                    }
-                }
             }
         }
     }
@@ -387,6 +416,60 @@ mod tests {
             let (knn, _) = exact_knn(&index, q, 1, &QueryConfig::for_tests());
             let (one, _) = crate::exact::exact_search(&index, q, &QueryConfig::for_tests());
             assert!((knn[0].dist_sq - one.dist_sq).abs() <= 1e-4 * one.dist_sq.max(1.0));
+        }
+    }
+
+    #[test]
+    fn knn_dtw_matches_brute_force() {
+        use messi_series::distance::dtw::dtw_sq;
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 250, 19));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let params = DtwParams::paper_default(256);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 19);
+        for q in queries.iter() {
+            for k in [1usize, 5] {
+                let (got, stats) = exact_knn_dtw(&index, q, k, params, &QueryConfig::for_tests());
+                let mut expect: Vec<(usize, f32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i, dtw_sq(q, s, params)))
+                    .collect();
+                expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                expect.truncate(k);
+                assert_eq!(got.len(), k);
+                for (g, (_, d)) in got.iter().zip(&expect) {
+                    assert!(
+                        (g.dist_sq - d).abs() <= 1e-3 * d.max(1.0),
+                        "k={k}: {} vs {d}",
+                        g.dist_sq
+                    );
+                }
+                assert!(
+                    stats.real_distance_calcs < data.len() as u64,
+                    "DTW k-NN should prune"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_honors_queue_policy_and_breakdown() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 23));
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 23);
+        let config = QueryConfig {
+            queue_policy: crate::config::QueuePolicy::PerWorkerLocal,
+            collect_breakdown: true,
+            ..QueryConfig::for_tests()
+        };
+        for q in queries.iter() {
+            let (got, stats) = exact_knn(&index, q, 5, &config);
+            let expect = brute_force_knn(&data, q, 5);
+            for (g, (_, ed)) in got.iter().zip(&expect) {
+                assert!((g.dist_sq - ed).abs() <= 1e-3 * ed.max(1.0));
+            }
+            let b = stats.breakdown.expect("breakdown requested");
+            assert!(b.init_ns > 0, "k-NN now reports the Fig. 13 phases");
         }
     }
 

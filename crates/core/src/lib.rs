@@ -34,17 +34,25 @@
 //!   leaves holding `(iSAX summary, position)` pairs (§II-B, Fig. 1d).
 //! * [`build`] — two-phase parallel construction (Alg. 1–4, Fig. 3).
 //! * [`index`] — the [`MessiIndex`] handle and approximate search.
-//! * [`exact`] — exact 1-NN search with concurrent priority queues
-//!   (Alg. 5–9, Fig. 4), in single-queue (SQ) and multi-queue (MQ) modes.
+//! * [`engine`] — the unified query engine: one generic traversal/queue/
+//!   drain driver (Alg. 5–9) parameterized by a metric (Euclidean or
+//!   DTW) and a search objective (1-NN, k-NN, or ε-range), plus the
+//!   reusable per-worker [`engine::QueryContext`] scratch.
+//! * [`exact`] — exact 1-NN search (Alg. 5–9, Fig. 4), in single-queue
+//!   (SQ) and multi-queue (MQ) modes; an adapter over [`engine`].
 //! * [`knn`] — exact k-NN search (the paper's k-NN classification
-//!   application, §I).
+//!   application, §I), Euclidean and DTW; an adapter over [`engine`].
 //! * [`range`] — exact ε-range search (the companion similarity-search
-//!   primitive of the iSAX index family).
+//!   primitive of the iSAX index family), Euclidean and DTW; an adapter
+//!   over [`engine`] in its queue-less mode.
 //! * [`batch`] — batch query execution: the paper's sequential protocol
-//!   and an inter-query parallel mode for throughput workloads.
-//! * [`dtw`] — exact DTW 1-NN search via LB_Keogh envelopes (Fig. 19).
+//!   and an inter-query parallel mode for throughput workloads, both
+//!   reusing one [`engine::QueryContext`] per worker.
+//! * [`dtw`] — exact DTW 1-NN search via LB_Keogh envelopes (Fig. 19);
+//!   an adapter over [`engine`].
 //! * [`stats`] — build/query statistics: distance-calculation counters
-//!   (Fig. 17) and per-phase time breakdown (Fig. 13).
+//!   (Fig. 17) and per-phase time breakdown (Fig. 13), now reported
+//!   uniformly by every objective.
 //! * [`validate`] — index invariant checker used by the test suite.
 
 #![warn(missing_docs)]
@@ -54,6 +62,7 @@ pub mod batch;
 pub mod build;
 pub mod config;
 pub mod dtw;
+pub mod engine;
 pub mod exact;
 pub mod index;
 pub mod knn;
@@ -63,6 +72,7 @@ pub mod stats;
 pub mod validate;
 
 pub use config::{BsfPolicy, BuildVariant, IndexConfig, QueryConfig, QueuePolicy};
+pub use engine::QueryContext;
 pub use exact::QueryAnswer;
 pub use index::MessiIndex;
 pub use stats::{BuildStats, QueryStats, TimeBreakdown};

@@ -2,22 +2,24 @@
 //!
 //! Returns *every* series within distance ε of the query — the other
 //! fundamental similarity-search primitive next to k-NN (the iSAX
-//! lineage the paper builds on supports both). The index algorithm is a
-//! simplification of exact 1-NN search: the pruning bound is the fixed
-//! ε² instead of a shrinking BSF, so no priority order and no barrier
-//! are needed — workers simply traverse root subtrees (Fetch&Inc),
-//! prune by node mindist, and cascade per-entry lower bounds to real
-//! distances, collecting matches.
+//! lineage the paper builds on supports both). In engine terms, range
+//! search is the fixed-bound objective: the pruning bound is ε² instead
+//! of a shrinking BSF, so no priority order and no barrier are needed —
+//! [`crate::engine`] runs in queue-less mode, scanning surviving leaves
+//! during the traversal itself. Both metrics compose: Euclidean range
+//! ([`range_search`]) and banded-DTW range ([`range_search_dtw`]) share
+//! every line of driver code.
 
 use crate::config::QueryConfig;
+use crate::engine::{
+    self, DtwMetric, Engine, EuclideanMetric, QueryContext, RangeObjective, TableSpec,
+};
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::Node;
-use crate::stats::{LocalStats, QueryStats, SharedQueryStats};
-use messi_sax::mindist::{mindist_sq_leaf_scalar, mindist_sq_node, MindistTable};
-use messi_series::distance::euclidean::ed_sq_early_abandon_with;
-use messi_sync::Dispenser;
-use parking_lot::Mutex;
+use crate::stats::{QueryStats, SharedQueryStats};
+use messi_series::distance::dtw::DtwParams;
+use messi_series::distance::lb_keogh::Envelope;
+use messi_series::paa::paa;
 use std::time::Instant;
 
 /// Exact range search: all series with squared Euclidean distance
@@ -51,94 +53,141 @@ pub fn range_search(
     epsilon_sq: f32,
     config: &QueryConfig,
 ) -> (Vec<QueryAnswer>, QueryStats) {
-    config.validate();
-    assert!(
-        epsilon_sq >= 0.0 && !epsilon_sq.is_nan(),
-        "epsilon_sq must be a non-negative number"
-    );
-    let t_start = Instant::now();
-    let (_, query_paa) = index.summarize_query(query);
-    let table = MindistTable::new(&query_paa, index.sax_config());
-    let use_simd = config.kernel.uses_simd();
-    // Early-abandon bound strictly above ε² so a distance of exactly ε²
-    // is still computed exactly (the abandon contract only guarantees
-    // exactness strictly below the bound).
-    let abandon_bound = next_up(epsilon_sq);
+    range_search_with(index, query, epsilon_sq, config, &mut QueryContext::new())
+}
 
-    let dispenser = Dispenser::new(index.touched.len());
+/// [`range_search`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`range_search`].
+pub fn range_search_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    config.validate();
+    let t_start = Instant::now();
+    let objective = RangeObjective::new(epsilon_sq);
+    let (_, query_paa) = index.summarize_query(query);
+    let scratch = ctx.prepare(index.sax_config(), TableSpec::Point(&query_paa), None);
+    let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
     let stats = SharedQueryStats::new();
-    let results: Mutex<Vec<QueryAnswer>> = Mutex::new(Vec::new());
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
-    messi_sync::WorkerPool::global().run(config.num_workers, &|_pid| {
-        let mut local = LocalStats::default();
-        let mut found: Vec<QueryAnswer> = Vec::new();
-        let mut pending: Vec<&Node> = Vec::new();
-        while let Some(i) = dispenser.next() {
-            let key = index.touched[i];
-            pending.push(index.roots[key].as_deref().expect("touched ⇒ present"));
-            // Explicit stack instead of recursion: range search has no
-            // queue phase, so the traversal is the whole algorithm.
-            while let Some(node) = pending.pop() {
-                let d = mindist_sq_node(&query_paa, &index.scales, node.word());
-                local.lb += 1;
-                if d > epsilon_sq {
-                    continue;
-                }
-                match node {
-                    Node::Inner(inner) => {
-                        pending.push(&inner.left);
-                        pending.push(&inner.right);
-                    }
-                    Node::Leaf(leaf) => {
-                        for e in &leaf.entries {
-                            local.lb += 1;
-                            let lb = if use_simd {
-                                table.mindist_sq(&e.sax)
-                            } else {
-                                mindist_sq_leaf_scalar(&query_paa, &index.scales, &e.sax)
-                            };
-                            if lb > epsilon_sq {
-                                continue;
-                            }
-                            local.real += 1;
-                            let dist = ed_sq_early_abandon_with(
-                                config.kernel,
-                                query,
-                                index.dataset.series(e.pos as usize),
-                                abandon_bound,
-                            );
-                            if dist <= epsilon_sq {
-                                found.push(QueryAnswer {
-                                    pos: e.pos,
-                                    dist_sq: dist,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if !found.is_empty() {
-            results.lock().extend(found);
-        }
-        local.flush(&stats);
-    });
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
 
-    let mut answers = results.into_inner();
-    answers.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.pos.cmp(&b.pos)));
-    let stats = stats.finish(t_start.elapsed(), init_ns, config.num_workers as u64, false);
+    let answers = objective.into_sorted();
+    let stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
     (answers, stats)
 }
 
-/// Smallest f32 strictly greater than `x` (for non-negative finite `x`).
-#[inline]
-fn next_up(x: f32) -> f32 {
-    if x == 0.0 {
-        f32::MIN_POSITIVE
-    } else {
-        f32::from_bits(x.to_bits() + 1)
-    }
+/// Exact range search under banded DTW: all series with squared DTW
+/// distance `<= epsilon_sq`, sorted ascending by distance. Pruning uses
+/// the `mindist_env ≤ LB_Keogh ≤ DTW` cascade of [`crate::dtw`], so
+/// every reported hit (and no non-hit) satisfies the DTW radius.
+///
+/// # Panics
+///
+/// As [`range_search`].
+pub fn range_search_dtw(
+    index: &MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    range_search_dtw_with(
+        index,
+        query,
+        epsilon_sq,
+        params,
+        config,
+        &mut QueryContext::new(),
+    )
+}
+
+/// [`range_search_dtw`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`range_search`].
+pub fn range_search_dtw_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    config.validate();
+    let t_start = Instant::now();
+    let segments = index.sax_config().segments;
+    let objective = RangeObjective::new(epsilon_sq);
+    assert_eq!(
+        query.len(),
+        index.sax_config().series_len,
+        "query length must match indexed series length"
+    );
+    let env = Envelope::new(query, params);
+    let paa_lower = paa(&env.lower, segments);
+    let paa_upper = paa(&env.upper, segments);
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Envelope(&paa_lower, &paa_upper),
+        None,
+    );
+    let metric = DtwMetric::new(
+        index,
+        query,
+        &env,
+        params,
+        &paa_lower,
+        &paa_upper,
+        scratch.table,
+    );
+    let stats = SharedQueryStats::new();
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
+
+    let answers = objective.into_sorted();
+    let stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    (answers, stats)
 }
 
 #[cfg(test)]
@@ -227,15 +276,15 @@ mod tests {
     fn huge_epsilon_returns_everything_sorted() {
         let (_, index) = setup(150, 73);
         let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 73);
-        let (got, _) = range_search(
-            &index,
-            queries.series(0),
-            f32::MAX,
-            &QueryConfig::for_tests(),
-        );
-        assert_eq!(got.len(), 150);
-        for w in got.windows(2) {
-            assert!(w[0].dist_sq <= w[1].dist_sq);
+        // Both the largest finite radius and an unbounded one must return
+        // the full collection (ε² = +inf once produced a NaN bound that
+        // silently matched nothing).
+        for eps in [f32::MAX, f32::INFINITY] {
+            let (got, _) = range_search(&index, queries.series(0), eps, &QueryConfig::for_tests());
+            assert_eq!(got.len(), 150, "eps = {eps}");
+            for w in got.windows(2) {
+                assert!(w[0].dist_sq <= w[1].dist_sq);
+            }
         }
     }
 
@@ -252,9 +301,65 @@ mod tests {
     }
 
     #[test]
-    fn next_up_is_strictly_greater() {
-        for x in [0.0f32, 1.0, 123.456, 1e30] {
-            assert!(next_up(x) > x);
+    fn range_dtw_matches_brute_force() {
+        use messi_series::distance::dtw::dtw_sq;
+        let (data, index) = setup(250, 76);
+        let params = DtwParams::paper_default(256);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 76);
+        for q in queries.iter() {
+            // ε around the DTW 1-NN distance, avoiding the exact boundary.
+            let nn = data
+                .iter()
+                .map(|s| dtw_sq(q, s, params))
+                .fold(f32::INFINITY, f32::min);
+            for factor in [1.01f32, 3.0] {
+                let eps = nn * factor;
+                let (got, stats) =
+                    range_search_dtw(&index, q, eps, params, &QueryConfig::for_tests());
+                let expect: Vec<(u32, f32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i as u32, dtw_sq(q, s, params)))
+                    .filter(|(_, d)| *d <= eps)
+                    .collect();
+                assert!(!got.is_empty(), "ε above the 1-NN distance must match");
+                for (pos, d) in &expect {
+                    if *d <= eps * (1.0 - 1e-3) {
+                        assert!(
+                            got.iter().any(|g| g.pos == *pos),
+                            "eps={eps}: missing DTW match {pos} at {d}"
+                        );
+                    }
+                }
+                for g in &got {
+                    let d = dtw_sq(q, data.series(g.pos as usize), params);
+                    assert!(d <= eps * (1.0 + 1e-3), "spurious DTW hit {}", g.pos);
+                    assert!((g.dist_sq - d).abs() <= 1e-3 * d.max(1.0));
+                }
+                assert!(stats.real_distance_calcs <= data.len() as u64);
+                // Sorted ascending.
+                for w in got.windows(2) {
+                    assert!(w[0].dist_sq <= w[1].dist_sq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_with_reused_context_is_allocation_free_after_warmup() {
+        let (data, index) = setup(300, 78);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 5, 78);
+        let config = QueryConfig::for_tests();
+        let mut ctx = QueryContext::new();
+        let mut warm = None;
+        for q in queries.iter() {
+            let (_, nn) = data.nearest_neighbor_brute_force(q);
+            let (got, _) = range_search_with(&index, q, nn * 2.0, &config, &mut ctx);
+            assert!(!got.is_empty());
+            match warm {
+                None => warm = Some(ctx.alloc_events()),
+                Some(w) => assert_eq!(ctx.alloc_events(), w),
+            }
         }
     }
 

@@ -209,13 +209,42 @@ pub struct QueryStatsAggregate {
 }
 
 impl QueryStatsAggregate {
+    /// An aggregate of exactly one query — the unit every fold starts
+    /// from, so [`QueryStatsAggregate::merge`] is the single place where
+    /// aggregate fields are combined (a field added here and in `merge`
+    /// flows through every batch path automatically).
+    pub fn of_query(s: &QueryStats) -> Self {
+        Self {
+            queries: 1,
+            lb_distance_calcs: s.lb_distance_calcs,
+            real_distance_calcs: s.real_distance_calcs,
+            bsf_updates: s.bsf_updates,
+            total_time: s.total_time,
+        }
+    }
+
     /// Folds one query's stats into the aggregate.
     pub fn add(&mut self, s: &QueryStats) {
-        self.queries += 1;
-        self.lb_distance_calcs += s.lb_distance_calcs;
-        self.real_distance_calcs += s.real_distance_calcs;
-        self.bsf_updates += s.bsf_updates;
-        self.total_time += s.total_time;
+        self.merge(&Self::of_query(s));
+    }
+
+    /// Folds another aggregate into this one (e.g. a worker's local
+    /// aggregate into the batch total). Every field of the aggregate is
+    /// combined here and nowhere else — batch paths must not merge
+    /// field-by-field inline, which silently drops fields added later.
+    pub fn merge(&mut self, other: &Self) {
+        let Self {
+            queries,
+            lb_distance_calcs,
+            real_distance_calcs,
+            bsf_updates,
+            total_time,
+        } = other;
+        self.queries += queries;
+        self.lb_distance_calcs += lb_distance_calcs;
+        self.real_distance_calcs += real_distance_calcs;
+        self.bsf_updates += bsf_updates;
+        self.total_time += *total_time;
     }
 
     /// Mean query time.
@@ -276,6 +305,39 @@ mod tests {
         assert_eq!(b.tree_pass_ns, 200, "averaged over 4 workers");
         let snap = s.finish(Duration::from_millis(5), 100, 4, false);
         assert!(snap.breakdown.is_none());
+    }
+
+    #[test]
+    fn merge_combines_every_field() {
+        let mut a = QueryStatsAggregate::default();
+        a.add(&QueryStats {
+            lb_distance_calcs: 10,
+            real_distance_calcs: 2,
+            bsf_updates: 1,
+            total_time: Duration::from_millis(3),
+            ..Default::default()
+        });
+        let mut b = QueryStatsAggregate::default();
+        for _ in 0..2 {
+            b.add(&QueryStats {
+                lb_distance_calcs: 5,
+                real_distance_calcs: 4,
+                bsf_updates: 2,
+                total_time: Duration::from_millis(1),
+                ..Default::default()
+            });
+        }
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.lb_distance_calcs, 20);
+        assert_eq!(a.real_distance_calcs, 10);
+        assert_eq!(a.bsf_updates, 5);
+        assert_eq!(a.total_time, Duration::from_millis(5));
+        // Merging an empty aggregate is the identity.
+        let snapshot = a.clone();
+        a.merge(&QueryStatsAggregate::default());
+        assert_eq!(a.queries, snapshot.queries);
+        assert_eq!(a.total_time, snapshot.total_time);
     }
 
     #[test]

@@ -191,24 +191,69 @@ impl MindistTable {
     }
 
     fn build(config: SaxConfig, gap_of: impl Fn(usize, f32, f32) -> f32) -> Self {
-        let scales = segment_scales(config);
+        let mut this = Self {
+            segments: config.segments,
+            table: vec![0.0f32; config.segments * MAX_CARDINALITY],
+        };
+        this.fill(config, gap_of);
+        this
+    }
+
+    /// Recomputes every entry in place for a new query. Allocation-free:
+    /// the reusable query context calls this between batch queries so the
+    /// 16 × 256-float table is paid for once per context, not per query.
+    fn fill(&mut self, config: SaxConfig, gap_of: impl Fn(usize, f32, f32) -> f32) {
+        assert_eq!(
+            config.segments, self.segments,
+            "refill requires a matching segment count"
+        );
         let bits = CARD_BITS as u8;
-        let mut table = vec![0.0f32; config.segments * MAX_CARDINALITY];
         for i in 0..config.segments {
-            let row = &mut table[i * MAX_CARDINALITY..(i + 1) * MAX_CARDINALITY];
+            // Segment length, computed without materializing the bounds
+            // vector (`segment_scales` allocates; this path must not).
+            let (start, end) =
+                messi_series::paa::segment_range(config.series_len, config.segments, i);
+            let scale = (end - start) as f32;
+            let row = &mut self.table[i * MAX_CARDINALITY..(i + 1) * MAX_CARDINALITY];
             for (s, slot) in row.iter_mut().enumerate() {
                 let g = gap_of(
                     i,
                     region_lower(s as u16, bits),
                     region_upper(s as u16, bits),
                 );
-                *slot = scales[i] * g * g;
+                *slot = scale * g * g;
             }
         }
-        Self {
-            segments: config.segments,
-            table,
-        }
+    }
+
+    /// In-place variant of [`MindistTable::new`]: recomputes the table for
+    /// a new query PAA without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_paa.len() != config.segments` or the segment count
+    /// differs from the one this table was built with.
+    pub fn refill(&mut self, query_paa: &[f32], config: SaxConfig) {
+        assert_eq!(query_paa.len(), config.segments, "PAA length mismatch");
+        self.fill(config, |i, bl, bu| gap(query_paa[i], bl, bu));
+    }
+
+    /// In-place variant of [`MindistTable::from_envelope`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or a differing segment count.
+    pub fn refill_from_envelope(
+        &mut self,
+        paa_lower: &[f32],
+        paa_upper: &[f32],
+        config: SaxConfig,
+    ) {
+        assert_eq!(paa_lower.len(), config.segments, "PAA length mismatch");
+        assert_eq!(paa_upper.len(), config.segments, "PAA length mismatch");
+        self.fill(config, |i, bl, bu| {
+            gap_env(paa_lower[i], paa_upper[i], bl, bu)
+        });
     }
 
     /// Number of segments the table covers.
@@ -450,6 +495,57 @@ mod tests {
             let w = sax_word(&c, config);
             assert!(t_env.mindist_sq(&w) <= t_point.mindist_sq(&w) + 1e-4);
         }
+    }
+
+    #[test]
+    fn refill_matches_fresh_build() {
+        let config = SaxConfig::new(16, 256);
+        let q1 = mk_series(256, 11);
+        let q2 = mk_series(256, 12);
+        let mut reused = MindistTable::new(&paa(&q1, 16), config);
+        reused.refill(&paa(&q2, 16), config);
+        let fresh = MindistTable::new(&paa(&q2, 16), config);
+        for cs in 0..10u32 {
+            let w = sax_word(&mk_series(256, cs + 30), config);
+            assert_eq!(
+                reused.mindist_sq_scalar(&w).to_bits(),
+                fresh.mindist_sq_scalar(&w).to_bits(),
+                "refilled table must be bit-identical to a fresh one"
+            );
+        }
+        // Envelope refill likewise matches a fresh envelope table.
+        use messi_series::distance::dtw::DtwParams;
+        use messi_series::distance::lb_keogh::Envelope;
+        let env = Envelope::new(&q1, DtwParams::paper_default(256));
+        let (pl, pu) = (paa(&env.lower, 16), paa(&env.upper, 16));
+        reused.refill_from_envelope(&pl, &pu, config);
+        let fresh_env = MindistTable::from_envelope(&pl, &pu, config);
+        let w = sax_word(&mk_series(256, 77), config);
+        assert_eq!(
+            reused.mindist_sq_scalar(&w).to_bits(),
+            fresh_env.mindist_sq_scalar(&w).to_bits()
+        );
+        // A refill for a different series length reuses the same buffer:
+        // table size depends only on the segment count.
+        let other = SaxConfig::new(16, 128);
+        let q3 = mk_series(128, 13);
+        reused.refill(&paa(&q3, 16), other);
+        let fresh_other = MindistTable::new(&paa(&q3, 16), other);
+        let w = sax_word(&mk_series(128, 78), other);
+        assert_eq!(
+            reused.mindist_sq_scalar(&w).to_bits(),
+            fresh_other.mindist_sq_scalar(&w).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matching segment count")]
+    fn refill_rejects_segment_mismatch() {
+        let c16 = SaxConfig::new(16, 256);
+        let c8 = SaxConfig::new(8, 256);
+        let q = mk_series(256, 14);
+        let mut t = MindistTable::new(&paa(&q, 16), c16);
+        t.refill(&paa(&q, 8), c8);
     }
 
     #[test]

@@ -10,6 +10,18 @@
 //! point. The mindist kernels in `messi-sax` use the exact per-segment
 //! lengths, so lower bounds remain sound in that case.
 
+/// The `(start, end)` point range of PAA segment `i` of a series of
+/// length `n` split into `segments` — the single definition of the
+/// partition rule, shared by [`segment_bounds`] and the allocation-free
+/// consumers (e.g. the mindist-table refill in `messi-sax`).
+///
+/// Does not validate its arguments; see [`segment_bounds`] for the
+/// checked entry point.
+#[inline]
+pub fn segment_range(n: usize, segments: usize, i: usize) -> (usize, usize) {
+    (i * n / segments, (i + 1) * n / segments)
+}
+
 /// Returns the `(start, end)` point ranges of the `segments` PAA segments
 /// of a series of length `n`.
 ///
@@ -25,13 +37,9 @@ pub fn segment_bounds(n: usize, segments: usize) -> Vec<(usize, usize)> {
         segments <= n,
         "cannot split {n} points into {segments} segments"
     );
-    let mut out = Vec::with_capacity(segments);
-    for i in 0..segments {
-        let start = i * n / segments;
-        let end = (i + 1) * n / segments;
-        out.push((start, end));
-    }
-    out
+    (0..segments)
+        .map(|i| segment_range(n, segments, i))
+        .collect()
 }
 
 /// Computes the PAA of `series` into the pre-allocated `out` buffer.

@@ -52,6 +52,23 @@ impl SenseBarrier {
         self.parties
     }
 
+    /// Re-arms the barrier for a (possibly different) party count.
+    ///
+    /// Requires exclusive access, which proves no thread is waiting; the
+    /// arrival count is cleared and the sense flag is left as-is (a
+    /// sense-reversing barrier works from either initial sense). This is
+    /// the reuse hook for query scratch that outlives one query: the
+    /// barrier episode machinery is recycled instead of reconstructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn reset(&mut self, parties: usize) {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.parties = parties;
+        *self.arrived.get_mut() = 0;
+    }
+
     /// Blocks until all `parties` threads have called `wait`. Returns
     /// `true` for exactly one thread per episode (the last arriver), like
     /// `std::sync::Barrier`'s leader flag.
@@ -168,5 +185,36 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_parties_rejected() {
         SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn reset_changes_party_count_between_episodes() {
+        let mut barrier = SenseBarrier::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| barrier.wait());
+            }
+        });
+        barrier.reset(5);
+        assert_eq!(barrier.parties(), 5);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..5 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn reset_rejects_zero_parties() {
+        SenseBarrier::new(1).reset(0);
     }
 }

@@ -182,6 +182,30 @@ impl<T> QueueSet<T> {
             q.reset();
         }
     }
+
+    /// Resets the set to exactly `nq` empty, unfinished queues, keeping
+    /// as many existing queues (and their heap capacities) as possible.
+    ///
+    /// Returns `true` when the call had to allocate (the set grew);
+    /// shrinking and same-size resets are allocation-free, which is what
+    /// lets a reusable query context run whole batches without touching
+    /// the allocator after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nq == 0`.
+    pub fn reset_to(&mut self, nq: usize) -> bool {
+        assert!(nq > 0, "need at least one queue");
+        let grew = nq > self.queues.len();
+        self.queues.truncate(nq);
+        for q in &self.queues {
+            q.reset();
+        }
+        while self.queues.len() < nq {
+            self.queues.push(ConcurrentMinQueue::new());
+        }
+        grew
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +321,33 @@ mod tests {
         assert!(set.all_finished());
         set.reset();
         assert!(!set.all_finished());
+    }
+
+    #[test]
+    fn reset_to_resizes_and_clears() {
+        let mut set: QueueSet<u32> = QueueSet::new(2);
+        let mut cursor = 0;
+        for i in 0..6 {
+            set.push_round_robin(&mut cursor, i as f32, i);
+        }
+        set.queue(0).mark_finished();
+        // Growing allocates and leaves every queue empty and unfinished.
+        assert!(set.reset_to(5));
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.total_len(), 0);
+        assert!(!set.all_finished());
+        assert_eq!(set.next_unfinished(0), Some(0));
+        // Shrinking and same-size resets are allocation-free.
+        assert!(!set.reset_to(3));
+        assert_eq!(set.len(), 3);
+        assert!(!set.reset_to(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn reset_to_rejects_zero() {
+        let mut set: QueueSet<u32> = QueueSet::new(1);
+        set.reset_to(0);
     }
 
     #[test]

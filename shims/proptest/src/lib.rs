@@ -207,7 +207,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// The size parameter of [`vec`]: a fixed length or a length range.
+    /// The size parameter of [`vec()`]: a fixed length or a length range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -4,7 +4,7 @@
 //! messi generate --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
 //! messi info     --data data.mds
 //! messi query    --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw]
-//! messi range    --data data.mds --epsilon 5.0 [--num-queries 5]
+//! messi range    --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw]
 //! ```
 //!
 //! Datasets live in the `.mds` container of `messi::series::io`. Queries
@@ -58,7 +58,7 @@ USAGE:
   messi info     --data <file.mds>
   messi query    --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                  [--k <K>] [--dtw] [--seed <u64>]
-  messi range    --data <file.mds> --epsilon <dist> [--num-queries <N>] [--seed <u64>]
+  messi range    --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
 
 Generated queries come from the same family as --kind (members + noise
 for real-data stand-ins). All searches are exact.";
@@ -203,7 +203,19 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     );
     let config = QueryConfig::default();
     for (qi, q) in queries.iter().enumerate() {
-        if use_dtw {
+        if use_dtw && k > 1 {
+            let params = DtwParams::paper_default(data.series_len());
+            let (answers, stats) = messi::index::knn::exact_knn_dtw(&index, q, k, params, &config);
+            let list: Vec<String> = answers
+                .iter()
+                .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
+                .collect();
+            println!(
+                "query {qi}: dtw top-{k} [{}] in {:.2?}",
+                list.join(", "),
+                stats.total_time
+            );
+        } else if use_dtw {
             let params = DtwParams::paper_default(data.series_len());
             let (ans, stats) = messi::index::dtw::exact_search_dtw(&index, q, params, &config);
             println!(
@@ -248,24 +260,28 @@ fn cmd_range(opts: &Opts) -> Result<(), String> {
     if epsilon.is_nan() || epsilon < 0.0 {
         return Err("--epsilon must be non-negative".into());
     }
+    let use_dtw = opts.get("dtw").is_some();
     let queries = queries_for_cli(opts, &data)?;
     let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
     let config = QueryConfig::default();
+    // User supplies a distance; the search APIs want it squared.
+    let epsilon_sq = epsilon * epsilon;
     for (qi, q) in queries.iter().enumerate() {
-        let (matches, stats) = messi::index::range::range_search(
-            &index,
-            q,
-            epsilon * epsilon, // user supplies a distance; search wants squared
-            &config,
-        );
+        let (matches, stats) = if use_dtw {
+            let params = DtwParams::paper_default(data.series_len());
+            messi::index::range::range_search_dtw(&index, q, epsilon_sq, params, &config)
+        } else {
+            messi::index::range::range_search(&index, q, epsilon_sq, &config)
+        };
         let preview: Vec<String> = matches
             .iter()
             .take(8)
             .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
             .collect();
         println!(
-            "query {qi}: {} series within ε={epsilon} in {:.2?} [{}{}]",
+            "query {qi}: {} series within {}ε={epsilon} in {:.2?} [{}{}]",
             matches.len(),
+            if use_dtw { "DTW " } else { "" },
             stats.total_time,
             preview.join(", "),
             if matches.len() > 8 { ", …" } else { "" }

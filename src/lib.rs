@@ -11,7 +11,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`index`] (re-export of `messi_core`) | the MESSI index: parallel build, exact 1-NN / k-NN / DTW search |
+//! | [`index`] (re-export of `messi_core`) | the MESSI index: parallel build, one unified query engine answering exact 1-NN / k-NN / range search under ED or DTW |
 //! | [`baselines`] | the paper's competitors: in-memory ParIS (SIMS), ParIS-TS, UCR Suite-P |
 //! | [`series`] | datasets, distance kernels (ED/DTW/LB_Keogh, scalar + AVX2), workload generators |
 //! | [`sax`] | iSAX summaries, breakpoints, lower-bound (mindist) kernels |
@@ -69,13 +69,15 @@ pub mod sync {
     pub use messi_sync::*;
 }
 
-pub use messi_core::{BuildStats, IndexConfig, MessiIndex, QueryAnswer, QueryConfig, QueryStats};
+pub use messi_core::{
+    BuildStats, IndexConfig, MessiIndex, QueryAnswer, QueryConfig, QueryContext, QueryStats,
+};
 
 /// The commonly needed imports in one place.
 pub mod prelude {
     pub use messi_core::{
         BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex, QueryAnswer, QueryConfig,
-        QueryStats, QueuePolicy,
+        QueryContext, QueryStats, QueuePolicy,
     };
     pub use messi_series::distance::dtw::DtwParams;
     pub use messi_series::distance::Kernel;

@@ -1,0 +1,204 @@
+//! Property-based equivalence of the unified query engine.
+//!
+//! All three search objectives — exact 1-NN, k-NN, and ε-range — are
+//! adapters over one engine driver, so their answers are related by
+//! construction and must stay related for *any* dataset, configuration,
+//! and worker count:
+//!
+//! * each objective matches its brute-force oracle;
+//! * `knn(k = 1)` equals `exact_search`;
+//! * range search at ε = the k-NN's k-th distance returns a superset of
+//!   the k-NN result (the k nearest all lie within that radius).
+
+use messi::prelude::*;
+use messi::series::distance::euclidean::ed_sq_scalar;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One randomly drawn scenario: a dataset and a full query configuration.
+#[derive(Debug, Clone)]
+struct Scenario {
+    count: usize,
+    seed: u64,
+    num_workers: usize,
+    num_queues: usize,
+    k: usize,
+    scalar_kernel: bool,
+    locked_bsf: bool,
+    local_queues: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (30usize..250, 0u64..1_000_000),
+        (1usize..=8, 1usize..=5, 1usize..=8),
+        (
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
+    )
+        .prop_map(
+            |(
+                (count, seed),
+                (num_workers, num_queues, k),
+                (scalar_kernel, locked_bsf, local_queues),
+            )| Scenario {
+                count,
+                seed,
+                num_workers,
+                num_queues,
+                k,
+                scalar_kernel,
+                locked_bsf,
+                local_queues,
+            },
+        )
+}
+
+fn query_config(s: &Scenario) -> QueryConfig {
+    QueryConfig {
+        num_workers: s.num_workers,
+        num_queues: s.num_queues,
+        kernel: if s.scalar_kernel {
+            Kernel::Scalar
+        } else {
+            Kernel::Auto
+        },
+        bsf: if s.locked_bsf {
+            BsfPolicy::Locked
+        } else {
+            BsfPolicy::Atomic
+        },
+        queue_policy: if s.local_queues {
+            messi::index::QueuePolicy::PerWorkerLocal
+        } else {
+            messi::index::QueuePolicy::SharedRoundRobin
+        },
+        collect_breakdown: false,
+    }
+}
+
+fn build_index(s: &Scenario) -> (Arc<Dataset>, MessiIndex) {
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        s.count,
+        s.seed,
+    ));
+    let config = IndexConfig {
+        segments: 8,
+        num_workers: 4,
+        chunk_size: 32,
+        leaf_capacity: 16,
+        initial_buffer_capacity: 5,
+        variant: messi::index::BuildVariant::Buffered,
+    };
+    let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
+    (data, index)
+}
+
+fn brute_force_knn(data: &Dataset, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, f32)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as u32, ed_sq_scalar(query, s)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * b.max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_objectives_agree_with_brute_force_and_each_other(s in scenario()) {
+        let (data, index) = build_index(&s);
+        let config = query_config(&s);
+        let queries =
+            messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 2, s.seed);
+        let k = s.k.min(data.len());
+
+        for q in queries.iter() {
+            // --- exact 1-NN matches brute force ---
+            let (one, _) = index.search(q, &config);
+            let (_, bf_nn) = data.nearest_neighbor_brute_force(q);
+            prop_assert!(
+                close(one.dist_sq, bf_nn),
+                "1-NN {} vs brute force {bf_nn} ({s:?})",
+                one.dist_sq
+            );
+
+            // --- k-NN matches brute force, ascending, no duplicates ---
+            let (knn, _) = index.search_knn(q, k, &config);
+            let expect = brute_force_knn(&data, q, k);
+            prop_assert_eq!(knn.len(), k);
+            for (got, (_, bf)) in knn.iter().zip(&expect) {
+                prop_assert!(
+                    close(got.dist_sq, *bf),
+                    "k-NN {} vs brute force {bf} ({s:?})",
+                    got.dist_sq
+                );
+            }
+            for w in knn.windows(2) {
+                prop_assert!(w[0].dist_sq <= w[1].dist_sq + 1e-6);
+            }
+            let mut positions: Vec<u32> = knn.iter().map(|a| a.pos).collect();
+            positions.sort_unstable();
+            positions.dedup();
+            prop_assert_eq!(positions.len(), k, "duplicate k-NN positions");
+
+            // --- knn(k = 1) equals exact_search ---
+            let (top1, _) = index.search_knn(q, 1, &config);
+            prop_assert!(
+                close(top1[0].dist_sq, one.dist_sq),
+                "knn(1) {} vs exact {} ({s:?})",
+                top1[0].dist_sq,
+                one.dist_sq
+            );
+
+            // --- range at the k-th distance is a superset of k-NN ---
+            // A hair of slack keeps SIMD-vs-scalar ulp disagreement at the
+            // radius boundary from turning containment into a coin flip.
+            let kth = knn.last().expect("k >= 1").dist_sq;
+            let eps = kth * (1.0 + 1e-3) + 1e-6;
+            let (hits, _) = index.search_range(q, eps, &config);
+            prop_assert!(hits.len() >= k, "{} range hits < k = {k} ({s:?})", hits.len());
+            for a in &knn {
+                prop_assert!(
+                    hits.iter().any(|h| h.pos == a.pos),
+                    "k-NN member {} (d = {}) missing from range at ε = {eps} ({s:?})",
+                    a.pos,
+                    a.dist_sq
+                );
+            }
+            // And every range hit is genuinely within the radius.
+            for h in &hits {
+                let d = ed_sq_scalar(q, data.series(h.pos as usize));
+                prop_assert!(
+                    d <= eps * (1.0 + 1e-3),
+                    "range hit {} at distance {d} outside ε = {eps} ({s:?})",
+                    h.pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn member_queries_find_themselves_under_any_config(s in scenario()) {
+        let (data, index) = build_index(&s);
+        let config = query_config(&s);
+        let probe = (s.seed as usize) % data.len();
+        let q = data.series(probe).to_vec();
+        let (one, _) = index.search(&q, &config);
+        prop_assert_eq!(one.dist_sq, 0.0);
+        let (knn, _) = index.search_knn(&q, 1, &config);
+        prop_assert_eq!(knn[0].dist_sq, 0.0);
+        let (hits, _) = index.search_range(&q, 0.0, &config);
+        prop_assert!(hits.iter().any(|h| h.pos == probe as u32));
+    }
+}
