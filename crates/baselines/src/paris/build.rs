@@ -108,10 +108,14 @@ pub fn build_paris(
 
     // ---- Phase 2: index construction workers (one subtree at a time) ----
     let t1 = Instant::now();
-    let touched: Vec<usize> = match variant {
-        ParisBuildVariant::Locked => (0..num_keys)
-            .filter(|&k| !locked_bufs[k].lock().is_empty())
-            .collect(),
+    let locked_touched: Vec<usize>;
+    let touched: &[usize] = match variant {
+        ParisBuildVariant::Locked => {
+            locked_touched = (0..num_keys)
+                .filter(|&k| !locked_bufs[k].lock().is_empty())
+                .collect();
+            &locked_touched
+        }
         ParisBuildVariant::NoSynch => part_bufs.touched_keys(),
     };
     let dispenser = Dispenser::new(touched.len());

@@ -50,7 +50,7 @@ pub fn sims_search(
     let (query_sax, query_paa) = paris.tree.summarize_query(query);
     let (d0, p0) = paris
         .tree
-        .approximate_search(query, &query_sax, &query_paa, config.kernel);
+        .seed_approximate(query, &query_sax, &query_paa, config.kernel);
     let bsf = AtomicBsf::with_initial(d0, p0);
     let table = MindistTable::new(&query_paa, paris.tree.sax_config());
 

@@ -1,12 +1,14 @@
 //! Criterion benchmarks for exact query answering: the five competitors
 //! of Fig. 11/18 at a fixed size, plus ablations the paper discusses in
-//! prose (BSF policy, SIMD kernel, breakdown-collection overhead).
+//! prose (BSF policy, SIMD kernel, breakdown-collection overhead) and
+//! the pooled executor's batch schedules (throughput vs latency).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use messi_baselines::paris::query::sims_search;
 use messi_baselines::paris::ts::ts_search;
 use messi_baselines::paris::{build_paris, ParisBuildVariant};
 use messi_baselines::ucr;
+use messi_core::exec::{QuerySpec, Schedule};
 use messi_core::{BsfPolicy, IndexConfig, MessiIndex, QueryConfig};
 use messi_series::distance::Kernel;
 use messi_series::gen::{generate, queries::generate_queries, DatasetKind};
@@ -94,5 +96,45 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(query, bench_competitors, bench_ablations);
+/// Batch scheduling through the pooled executor: the paper's sequential
+/// protocol (intra-query parallelism) against the throughput-oriented
+/// inter-query mode, for 1-NN and k-NN batches, all from one warm
+/// context pool (zero per-query scratch allocations inside the loop).
+fn bench_batch_schedules(c: &mut Criterion) {
+    let data = Arc::new(generate(DatasetKind::RandomWalk, N, 11));
+    let (messi, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let queries = generate_queries(DatasetKind::RandomWalk, 16, 11);
+    let config = QueryConfig::default();
+    let parallelism = config.num_workers;
+    // Pool sized to the widest schedule (inter uses `parallelism`
+    // contexts, intra one of them) so prewarm runs no surplus queries.
+    let exec = messi_core::exec::QueryExecutor::with_capacity(&messi, parallelism);
+    exec.prewarm(queries.series(0), &QuerySpec::exact(), &config);
+
+    let mut g = c.benchmark_group("batch_16q_50k");
+    g.sample_size(10);
+    for (name, spec) in [("exact", QuerySpec::exact()), ("knn10", QuerySpec::knn(10))] {
+        g.bench_function(format!("{name}_intra"), |b| {
+            b.iter(|| exec.run_batch(&queries, &spec, Schedule::IntraQuery, &config))
+        });
+        g.bench_function(format!("{name}_inter"), |b| {
+            b.iter(|| {
+                exec.run_batch(
+                    &queries,
+                    &spec,
+                    Schedule::InterQuery { parallelism },
+                    &config,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    query,
+    bench_competitors,
+    bench_ablations,
+    bench_batch_schedules
+);
 criterion_main!(query);

@@ -1,30 +1,57 @@
-//! Batch query execution.
+//! Batch query execution — compatibility wrappers over [`crate::exec`].
 //!
 //! The paper evaluates queries "in a sequential fashion, one after the
 //! other, in order to simulate an exploratory analysis scenario" — each
-//! query monopolizing all Ns search workers ([`search_batch`]). A
-//! production system also meets the opposite workload: many independent
-//! queries arriving together, where throughput matters more than single
-//! query latency. [`search_batch_interquery`] serves that case by running
-//! the queries concurrently, one single-threaded exact search per pool
-//! worker — no per-query coordination at all, at the cost of each query
-//! running sequentially inside.
+//! query monopolizing all Ns search workers. A production system also
+//! meets the opposite workload: many independent queries arriving
+//! together, where throughput matters more than single-query latency.
 //!
-//! Both return exactly the same answers (every search is exact), and both
-//! allocate their query scratch — priority queues, barrier, mindist
-//! table — **once** and reuse it across queries via
-//! [`QueryContext`]: after the first query of a batch, the hot path
-//! performs zero queue or mindist-table allocations (debug builds assert
-//! this through [`QueryContext::alloc_events`]).
+//! Both scheduling modes — and every objective × metric combination, not
+//! just the exact 1-NN these two wrappers serve — live in the pooled
+//! [`QueryExecutor`](crate::exec::QueryExecutor): this module keeps the
+//! historical 1-NN entry points as one-line adapters over
+//! [`Schedule::IntraQuery`](crate::exec::Schedule) and
+//! [`Schedule::InterQuery`](crate::exec::Schedule). No traversal or
+//! objective logic lives here; for batch k-NN, range, or DTW use the
+//! executor directly:
+//!
+//! ```
+//! use messi_core::exec::{QuerySpec, Schedule};
+//! use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+//! use messi_series::gen::{self, DatasetKind};
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 4));
+//! let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+//! let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 5, 4);
+//!
+//! // A k-NN batch under the throughput schedule — same executor, same
+//! // warm contexts, any spec.
+//! let (answers, agg) = index.executor().run_batch(
+//!     &queries,
+//!     &QuerySpec::knn(3),
+//!     Schedule::InterQuery { parallelism: 4 },
+//!     &QueryConfig::for_tests(),
+//! );
+//! assert_eq!(answers.len(), 5);
+//! assert_eq!(agg.queries, 5);
+//! ```
+//!
+//! All schedules return exactly the same answers (every search is
+//! exact), and all reuse per-worker [`QueryContext`] scratch: after the
+//! first query of a batch, the hot path performs zero queue or
+//! mindist-table allocations (debug builds assert this through
+//! [`QueryContext::alloc_events`]).
+//!
+//! [`QueryContext`]: crate::engine::QueryContext
+//! [`QueryContext::alloc_events`]: crate::engine::QueryContext::alloc_events
 
 use crate::config::QueryConfig;
-use crate::engine::QueryContext;
 use crate::exact::QueryAnswer;
+use crate::exec::{QuerySpec, Schedule};
 use crate::index::MessiIndex;
 use crate::stats::QueryStatsAggregate;
 use messi_series::Dataset;
-use messi_sync::Dispenser;
-use parking_lot::Mutex;
 
 /// Answers all `queries` sequentially (the paper's protocol): each query
 /// uses the full worker complement of `config`.
@@ -49,31 +76,12 @@ pub fn search_batch(
     queries: &Dataset,
     config: &QueryConfig,
 ) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
-    let mut answers = Vec::with_capacity(queries.len());
-    let mut agg = QueryStatsAggregate::default();
-    let mut ctx = QueryContext::new();
-    let mut warm_allocs = None;
-    for q in queries.iter() {
-        let (ans, stats) = crate::exact::exact_search_with(index, q, config, &mut ctx);
-        // The batch hot path must be allocation-free once warm: the first
-        // query builds the scratch, every later query only resets it.
-        match warm_allocs {
-            None => warm_allocs = Some(ctx.alloc_events()),
-            Some(w) => debug_assert_eq!(
-                ctx.alloc_events(),
-                w,
-                "per-query scratch allocation after batch warm-up"
-            ),
-        }
-        agg.add(&stats);
-        answers.push(ans);
-    }
-    (answers, agg)
+    run_exact(index, queries, Schedule::IntraQuery, config)
 }
 
 /// Answers all `queries` concurrently: `parallelism` pool workers each
 /// run single-threaded exact searches, pulling queries via Fetch&Inc.
-/// Each worker owns one reusable [`QueryContext`] for its whole share of
+/// Each worker owns one reusable query context for its whole share of
 /// the batch.
 ///
 /// `config.num_workers` and `num_queues` are ignored (each query runs
@@ -88,47 +96,32 @@ pub fn search_batch_interquery(
     parallelism: usize,
     config: &QueryConfig,
 ) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
-    assert!(parallelism > 0, "parallelism must be positive");
-    let per_query = QueryConfig {
-        num_workers: 1,
-        num_queues: 1,
-        ..config.clone()
-    };
-    let dispenser = Dispenser::new(queries.len());
-    let slots: Vec<Mutex<Option<QueryAnswer>>> =
-        (0..queries.len()).map(|_| Mutex::new(None)).collect();
-    let agg = Mutex::new(QueryStatsAggregate::default());
-    messi_sync::WorkerPool::global().run(parallelism.min(queries.len().max(1)), &|_pid| {
-        let mut local_agg = QueryStatsAggregate::default();
-        let mut ctx = QueryContext::new();
-        let mut warm_allocs = None;
-        while let Some(qi) = dispenser.next() {
-            let (ans, stats) =
-                crate::exact::exact_search_with(index, queries.series(qi), &per_query, &mut ctx);
-            match warm_allocs {
-                None => warm_allocs = Some(ctx.alloc_events()),
-                Some(w) => debug_assert_eq!(
-                    ctx.alloc_events(),
-                    w,
-                    "per-query scratch allocation after batch warm-up"
-                ),
-            }
-            local_agg.add(&stats);
-            *slots[qi].lock() = Some(ans);
-        }
-        agg.lock().merge(&local_agg);
-    });
-    let answers = slots
+    run_exact(index, queries, Schedule::InterQuery { parallelism }, config)
+}
+
+/// Shared adapter: run the exact-1-NN spec under `schedule` and unwrap
+/// the per-query answer lists (exact search always yields exactly one).
+fn run_exact(
+    index: &MessiIndex,
+    queries: &Dataset,
+    schedule: Schedule,
+    config: &QueryConfig,
+) -> (Vec<QueryAnswer>, QueryStatsAggregate) {
+    let (answers, agg) = index
+        .executor()
+        .run_batch(queries, &QuerySpec::exact(), schedule, config);
+    let answers = answers
         .into_iter()
-        .map(|s| s.into_inner().expect("every query answered"))
+        .map(|mut a| a.pop().expect("exact search always answers"))
         .collect();
-    (answers, agg.into_inner())
+    (answers, agg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::IndexConfig;
+    use crate::engine::QueryContext;
     use messi_series::gen::{self, DatasetKind};
     use std::sync::Arc;
 
@@ -173,9 +166,9 @@ mod tests {
 
     #[test]
     fn batch_reuses_scratch_across_queries() {
-        // The same assertion the batch paths make in debug builds,
-        // verified explicitly: after the first query, the context's
-        // allocation counter is flat for the rest of the batch.
+        // The same assertion the executor makes in debug builds, verified
+        // explicitly: after the first query, the context's allocation
+        // counter is flat for the rest of the batch.
         let (data, index, queries) = setup();
         let config = QueryConfig::for_tests();
         let mut ctx = QueryContext::new();

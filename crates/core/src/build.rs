@@ -88,8 +88,10 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
     // ---- Phase 2: TreeConstruction (Alg. 4) ----
     let t1 = Instant::now();
     // The paper's workers fetch all 2^w buffer ids and skip empty ones;
-    // pre-computing the touched list is the same scan done once.
-    let touched = buffers.touched_keys();
+    // pre-computing the touched list is the same scan done once (the
+    // buffers cache it; the index keeps its own copy since it outlives
+    // them).
+    let touched = buffers.touched_keys().to_vec();
     let tree_dispenser = Dispenser::new(touched.len());
     let built: Mutex<Vec<(usize, Box<Node>)>> = Mutex::new(Vec::with_capacity(touched.len()));
     let inserter = SubtreeInserter {

@@ -16,7 +16,7 @@ pub const PAPER_INDEX_WORKERS: usize = 24;
 /// (the paper fixes Ns = 48, i.e. 2 hyperthreads per core).
 pub const PAPER_SEARCH_WORKERS: usize = 48;
 
-fn available_cores() -> usize {
+pub(crate) fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -11,7 +11,10 @@
 //! The context is tied to the index lifetime `'a` because the queues
 //! hold `&'a LeafNode` entries between the traversal and processing
 //! phases. Create one context per batch (or per pool worker for
-//! inter-query parallelism) and pass it to the `*_with` query variants;
+//! inter-query parallelism) and pass it to the `*_with` query variants —
+//! or let the pooled [`crate::exec::QueryExecutor`] manage a whole
+//! `SlotPool` of them (contexts are `Send`, so the lock-free checkout/
+//! checkin handoff moves them freely between request threads).
 //! [`QueryContext::alloc_events`] counts how many times scratch had to
 //! be (re)built, so a steady batch shows a flat counter after its first
 //! query.
@@ -180,6 +183,15 @@ pub(crate) fn effective_queue_count(config: &QueryConfig) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn context_moves_between_threads() {
+        // The exec layer's SlotPool hands contexts across request
+        // threads; this is the compile-time `Send` guarantee that makes
+        // that handoff sound.
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryContext<'static>>();
+    }
 
     #[test]
     fn scratch_is_reused_across_preparations() {

@@ -73,7 +73,7 @@ pub fn exact_search_with<'a>(
 
     // ---- Initialization: summarize the query, seed the BSF (Fig. 4a) ----
     let (query_sax, query_paa) = index.summarize_query(query);
-    let (d0, p0) = index.approximate_search(query, &query_sax, &query_paa, config.kernel);
+    let (d0, p0) = index.seed_approximate(query, &query_sax, &query_paa, config.kernel);
     let objective = NearestObjective::new(config.bsf, d0, p0);
     let scratch = ctx.prepare(
         index.sax_config(),

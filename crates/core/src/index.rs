@@ -136,18 +136,29 @@ impl MessiIndex {
             .unwrap_or(0)
     }
 
-    /// Exact 1-NN search (Alg. 5–9). Returns the answer and per-query
-    /// statistics. See [`crate::exact::exact_search`].
+    /// Creates a pooled [`QueryExecutor`](crate::exec::QueryExecutor)
+    /// over this index — the batch/concurrency frontend serving every
+    /// objective × metric combination with warm per-worker contexts.
+    /// Hold one executor for a whole workload (batches, a server loop);
+    /// the `search*` convenience methods below create a transient one
+    /// per call.
+    pub fn executor(&self) -> crate::exec::QueryExecutor<'_> {
+        crate::exec::QueryExecutor::new(self)
+    }
+
+    /// Exact 1-NN search (Alg. 5–9): a batch of one through the
+    /// [`crate::exec`] layer. Returns the answer and per-query
+    /// statistics.
     pub fn search(
         &self,
         query: &[f32],
         config: &crate::config::QueryConfig,
     ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
-        crate::exact::exact_search(self, query, config)
+        let (mut answers, stats) = self.run_single(query, &crate::exec::QuerySpec::exact(), config);
+        (answers.pop().expect("exact search always answers"), stats)
     }
 
     /// Exact k-NN search: the `k` nearest series, ascending by distance.
-    /// See [`crate::knn::exact_knn`].
     ///
     /// # Panics
     ///
@@ -159,11 +170,11 @@ impl MessiIndex {
         k: usize,
         config: &crate::config::QueryConfig,
     ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
-        crate::knn::exact_knn(self, query, k, config)
+        self.run_single(query, &crate::exec::QuerySpec::knn(k), config)
     }
 
     /// Exact ε-range search: every series with squared distance
-    /// `<= epsilon_sq`, ascending. See [`crate::range::range_search`].
+    /// `<= epsilon_sq`, ascending.
     ///
     /// # Panics
     ///
@@ -175,19 +186,94 @@ impl MessiIndex {
         epsilon_sq: f32,
         config: &crate::config::QueryConfig,
     ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
-        crate::range::range_search(self, query, epsilon_sq, config)
+        self.run_single(query, &crate::exec::QuerySpec::range(epsilon_sq), config)
+    }
+
+    /// Exact DTW 1-NN search with a Sakoe-Chiba band (Fig. 19).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length mismatches or the configuration is
+    /// invalid.
+    pub fn search_dtw(
+        &self,
+        query: &[f32],
+        params: messi_series::distance::dtw::DtwParams,
+        config: &crate::config::QueryConfig,
+    ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
+        let spec = crate::exec::QuerySpec::exact().with_dtw(params);
+        let (mut answers, stats) = self.run_single(query, &spec, config);
+        (answers.pop().expect("exact search always answers"), stats)
+    }
+
+    /// Exact k-NN search under banded DTW.
+    ///
+    /// # Panics
+    ///
+    /// As [`MessiIndex::search_knn`].
+    pub fn search_knn_dtw(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: messi_series::distance::dtw::DtwParams,
+        config: &crate::config::QueryConfig,
+    ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
+        self.run_single(
+            query,
+            &crate::exec::QuerySpec::knn(k).with_dtw(params),
+            config,
+        )
+    }
+
+    /// Exact ε-range search under banded DTW.
+    ///
+    /// # Panics
+    ///
+    /// As [`MessiIndex::search_range`].
+    pub fn search_range_dtw(
+        &self,
+        query: &[f32],
+        epsilon_sq: f32,
+        params: messi_series::distance::dtw::DtwParams,
+        config: &crate::config::QueryConfig,
+    ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
+        self.run_single(
+            query,
+            &crate::exec::QuerySpec::range(epsilon_sq).with_dtw(params),
+            config,
+        )
+    }
+
+    /// One query as a batch of one: a single-slot executor answers it so
+    /// every public search method funnels through the exec dispatch.
+    fn run_single(
+        &self,
+        query: &[f32],
+        spec: &crate::exec::QuerySpec,
+        config: &crate::config::QueryConfig,
+    ) -> (Vec<crate::exact::QueryAnswer>, crate::stats::QueryStats) {
+        crate::exec::QueryExecutor::with_capacity(self, 1).run_one(query, spec, config)
     }
 
     /// *Approximate* 1-NN search: one descent to the query's home leaf
     /// and a scan of that leaf only — the operation MESSI uses to seed
-    /// its BSF (Alg. 5 line 3), exposed as a public query mode in the
-    /// tradition of the iSAX family (ADS+ and progressive-search
+    /// its BSF (Alg. 5 line 3 / Fig. 4a), exposed as a public query mode
+    /// in the tradition of the iSAX family (ADS+ and progressive-search
     /// front-ends answer from exactly this leaf). Typically within a few
     /// percent of the exact answer (§III-B: "the initial value of BSF is
     /// very close to its final value") at a tiny fraction of the cost.
+    ///
+    /// When the query's root subtree is empty, the descent falls back to
+    /// the subtree with the smallest node mindist, descending greedily —
+    /// the answer is always a real series, never empty.
+    ///
+    /// This is *the* approximate-search API. Callers that already hold
+    /// the query's iSAX word and PAA (the exact-search seeding path, the
+    /// ParIS baselines) use the `#[doc(hidden)]`
+    /// [`MessiIndex::seed_approximate`] variant to skip re-summarizing.
     pub fn search_approximate(&self, query: &[f32], kernel: Kernel) -> crate::exact::QueryAnswer {
         let (sax, paa) = self.summarize_query(query);
-        let (dist_sq, pos) = self.approximate_search(query, &sax, &paa, kernel);
+        let (dist_sq, pos) = self.seed_approximate(query, &sax, &paa, kernel);
         crate::exact::QueryAnswer { pos, dist_sq }
     }
 
@@ -208,13 +294,11 @@ impl MessiIndex {
         (word, paa.to_vec())
     }
 
-    /// Approximate search (Alg. 5 line 3 / Fig. 4a): descend the tree
-    /// toward the query's own iSAX region and compute real distances over
-    /// one leaf. Returns `(squared distance, position)` — the initial BSF.
-    ///
-    /// When the query's root subtree is empty, falls back to the subtree
-    /// with the smallest node mindist, descending greedily.
-    pub fn approximate_search(
+    /// Low-level [`MessiIndex::search_approximate`] for callers that
+    /// already computed the query's iSAX word and PAA: returns
+    /// `(squared distance, position)` — the initial BSF of Alg. 5.
+    #[doc(hidden)]
+    pub fn seed_approximate(
         &self,
         query: &[f32],
         query_sax: &SaxWord,
@@ -336,7 +420,7 @@ mod tests {
         let queries = gen::queries::generate_queries_with_len(DatasetKind::RandomWalk, 5, 11, 256);
         for q in queries.iter() {
             let (sax, paa) = index.summarize_query(q);
-            let (d, pos) = index.approximate_search(q, &sax, &paa, Kernel::Auto);
+            let (d, pos) = index.seed_approximate(q, &sax, &paa, Kernel::Auto);
             assert!(pos != u32::MAX && (pos as usize) < index.num_series());
             // The approximate answer upper-bounds the true NN distance.
             let (_, true_d) = index.dataset().nearest_neighbor_brute_force(q);
@@ -372,7 +456,7 @@ mod tests {
         // own leaf contains it).
         let q = index.dataset().series(7).to_vec();
         let (sax, paa) = index.summarize_query(&q);
-        let (d, pos) = index.approximate_search(&q, &sax, &paa, Kernel::Auto);
+        let (d, pos) = index.seed_approximate(&q, &sax, &paa, Kernel::Auto);
         assert_eq!(d, 0.0);
         // Possibly a different position if duplicates exist; distance must
         // still be exactly zero.

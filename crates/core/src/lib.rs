@@ -45,9 +45,13 @@
 //! * [`range`] — exact ε-range search (the companion similarity-search
 //!   primitive of the iSAX index family), Euclidean and DTW; an adapter
 //!   over [`engine`] in its queue-less mode.
-//! * [`batch`] — batch query execution: the paper's sequential protocol
-//!   and an inter-query parallel mode for throughput workloads, both
-//!   reusing one [`engine::QueryContext`] per worker.
+//! * [`exec`] — the pooled query-execution layer: a
+//!   [`exec::QueryExecutor`] owning warm per-worker contexts, serving
+//!   any objective × metric as single queries or batches under
+//!   intra-query (paper protocol) or inter-query (throughput)
+//!   scheduling.
+//! * [`batch`] — compatibility wrappers over [`exec`]: the historical
+//!   1-NN `search_batch` / `search_batch_interquery` entry points.
 //! * [`dtw`] — exact DTW 1-NN search via LB_Keogh envelopes (Fig. 19);
 //!   an adapter over [`engine`].
 //! * [`stats`] — build/query statistics: distance-calculation counters
@@ -64,6 +68,7 @@ pub mod config;
 pub mod dtw;
 pub mod engine;
 pub mod exact;
+pub mod exec;
 pub mod index;
 pub mod knn;
 pub mod node;
@@ -74,5 +79,6 @@ pub mod validate;
 pub use config::{BsfPolicy, BuildVariant, IndexConfig, QueryConfig, QueuePolicy};
 pub use engine::QueryContext;
 pub use exact::QueryAnswer;
+pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
 pub use stats::{BuildStats, QueryStats, TimeBreakdown};

@@ -56,6 +56,35 @@ impl TimeBreakdown {
     pub fn total_ns(&self) -> u64 {
         self.init_ns + self.tree_pass_ns + self.pq_insert_ns + self.pq_remove_ns + self.dist_calc_ns
     }
+
+    /// Component-wise division, for turning a batch sum into a per-query
+    /// mean.
+    pub fn div(&self, n: u64) -> Self {
+        let n = n.max(1);
+        Self {
+            init_ns: self.init_ns / n,
+            tree_pass_ns: self.tree_pass_ns / n,
+            pq_insert_ns: self.pq_insert_ns / n,
+            pq_remove_ns: self.pq_remove_ns / n,
+            dist_calc_ns: self.dist_calc_ns / n,
+        }
+    }
+}
+
+impl std::ops::Add for TimeBreakdown {
+    type Output = Self;
+
+    /// Component-wise sum — how batch aggregation folds per-query
+    /// breakdowns.
+    fn add(self, other: Self) -> Self {
+        Self {
+            init_ns: self.init_ns + other.init_ns,
+            tree_pass_ns: self.tree_pass_ns + other.tree_pass_ns,
+            pq_insert_ns: self.pq_insert_ns + other.pq_insert_ns,
+            pq_remove_ns: self.pq_remove_ns + other.pq_remove_ns,
+            dist_calc_ns: self.dist_calc_ns + other.dist_calc_ns,
+        }
+    }
 }
 
 /// Statistics of one exact-search query.
@@ -206,6 +235,10 @@ pub struct QueryStatsAggregate {
     pub bsf_updates: u64,
     /// Sum of query wall times.
     pub total_time: Duration,
+    /// Component-wise sum of the per-query Fig. 13 breakdowns; present
+    /// when at least one aggregated query collected one (i.e. ran with
+    /// `QueryConfig::collect_breakdown`).
+    pub breakdown: Option<TimeBreakdown>,
 }
 
 impl QueryStatsAggregate {
@@ -220,6 +253,7 @@ impl QueryStatsAggregate {
             real_distance_calcs: s.real_distance_calcs,
             bsf_updates: s.bsf_updates,
             total_time: s.total_time,
+            breakdown: s.breakdown,
         }
     }
 
@@ -239,12 +273,17 @@ impl QueryStatsAggregate {
             real_distance_calcs,
             bsf_updates,
             total_time,
+            breakdown,
         } = other;
         self.queries += queries;
         self.lb_distance_calcs += lb_distance_calcs;
         self.real_distance_calcs += real_distance_calcs;
         self.bsf_updates += bsf_updates;
         self.total_time += *total_time;
+        self.breakdown = match (self.breakdown, *breakdown) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Mean query time.
@@ -272,6 +311,11 @@ impl QueryStatsAggregate {
         } else {
             self.real_distance_calcs as f64 / self.queries as f64
         }
+    }
+
+    /// Mean per-query Fig. 13 breakdown, when any query collected one.
+    pub fn mean_breakdown(&self) -> Option<TimeBreakdown> {
+        self.breakdown.map(|b| b.div(self.queries))
     }
 }
 
@@ -338,6 +382,35 @@ mod tests {
         a.merge(&QueryStatsAggregate::default());
         assert_eq!(a.queries, snapshot.queries);
         assert_eq!(a.total_time, snapshot.total_time);
+    }
+
+    #[test]
+    fn aggregate_sums_and_averages_breakdowns() {
+        let b = TimeBreakdown {
+            init_ns: 10,
+            tree_pass_ns: 20,
+            pq_insert_ns: 30,
+            pq_remove_ns: 40,
+            dist_calc_ns: 50,
+        };
+        let mut agg = QueryStatsAggregate::default();
+        assert!(agg.mean_breakdown().is_none());
+        // Mixing queries with and without a breakdown keeps the sum over
+        // the collecting ones.
+        agg.add(&QueryStats {
+            breakdown: Some(b),
+            ..Default::default()
+        });
+        agg.add(&QueryStats::default());
+        agg.add(&QueryStats {
+            breakdown: Some(b),
+            ..Default::default()
+        });
+        let sum = agg.breakdown.expect("one query collected");
+        assert_eq!(sum.init_ns, 20);
+        assert_eq!(sum.total_ns(), 2 * b.total_ns());
+        let mean = agg.mean_breakdown().expect("collected");
+        assert_eq!(mean.dist_calc_ns, 100 / 3);
     }
 
     #[test]

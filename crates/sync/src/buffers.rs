@@ -77,6 +77,10 @@ impl<T> BufferPart<T> {
 pub struct PartitionedBuffers<T> {
     workers: Vec<BufferPart<T>>,
     num_keys: usize,
+    /// Cache for [`PartitionedBuffers::touched_keys`], computed on first
+    /// use after the fill phase and invalidated by
+    /// [`PartitionedBuffers::parts_mut`].
+    touched: std::sync::OnceLock<Vec<usize>>,
 }
 
 impl<T> PartitionedBuffers<T> {
@@ -93,6 +97,7 @@ impl<T> PartitionedBuffers<T> {
                 .map(|_| BufferPart::new(num_keys, initial_capacity))
                 .collect(),
             num_keys,
+            touched: std::sync::OnceLock::new(),
         }
     }
 
@@ -108,8 +113,11 @@ impl<T> PartitionedBuffers<T> {
 
     /// Mutable access to every worker's parts, for handing one to each
     /// spawned worker thread (`parts_mut().iter_mut()` yields disjoint
-    /// `&mut BufferPart`s, so phase 1 needs no locks).
+    /// `&mut BufferPart`s, so phase 1 needs no locks). Invalidates the
+    /// [`PartitionedBuffers::touched_keys`] cache: the borrow lets the
+    /// caller change which buffers are non-empty.
     pub fn parts_mut(&mut self) -> &mut [BufferPart<T>] {
+        self.touched.take();
         &mut self.workers
     }
 
@@ -132,10 +140,17 @@ impl<T> PartitionedBuffers<T> {
 
     /// Keys that received at least one entry, ascending. Tree construction
     /// iterates over these instead of all 2^w possible keys.
-    pub fn touched_keys(&self) -> Vec<usize> {
-        (0..self.num_keys)
-            .filter(|&k| self.workers.iter().any(|w| !w.part(k).is_empty()))
-            .collect()
+    ///
+    /// The scan over all `num_keys × num_workers` parts runs once, after
+    /// the fill phase; later calls return the cached slice without
+    /// allocating. Any call to [`PartitionedBuffers::parts_mut`] drops the
+    /// cache (the buffers may change underneath it).
+    pub fn touched_keys(&self) -> &[usize] {
+        self.touched.get_or_init(|| {
+            (0..self.num_keys)
+                .filter(|&k| self.workers.iter().any(|w| !w.part(k).is_empty()))
+                .collect()
+        })
     }
 }
 
@@ -231,5 +246,19 @@ mod tests {
         assert_eq!(buffers.key_len(0), 0);
         assert_eq!(buffers.num_keys(), 8);
         assert_eq!(buffers.num_workers(), 2);
+    }
+
+    #[test]
+    fn touched_keys_is_cached_until_parts_change() {
+        let mut buffers: PartitionedBuffers<u8> = PartitionedBuffers::new(8, 2, 5);
+        buffers.parts_mut()[0].push(3, 1);
+        let first = buffers.touched_keys().as_ptr();
+        // Repeated calls return the same cached slice — no recomputation,
+        // no allocation.
+        assert_eq!(buffers.touched_keys().as_ptr(), first);
+        assert_eq!(buffers.touched_keys(), vec![3]);
+        // Re-borrowing the parts invalidates the cache.
+        buffers.parts_mut()[1].push(5, 2);
+        assert_eq!(buffers.touched_keys(), vec![3, 5]);
     }
 }

@@ -25,6 +25,9 @@
 //!   with the small-initial-capacity doubling growth policy of Fig. 8.
 //! * [`counters::Counter`] — relaxed statistics counters used for the
 //!   distance-calculation counts of Fig. 17.
+//! * [`slots::SlotPool`] — a lock-free checkout/checkin pool, the handoff
+//!   between incoming queries and the warm per-worker `QueryContext`
+//!   scratch of the pooled query-execution layer.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -36,6 +39,7 @@ pub mod counters;
 pub mod dispenser;
 pub mod pool;
 pub mod pqueue;
+pub mod slots;
 
 pub use barrier::SenseBarrier;
 pub use bsf::{AtomicBsf, BestSoFar, LockedBsf};
@@ -44,3 +48,4 @@ pub use counters::Counter;
 pub use dispenser::Dispenser;
 pub use pool::WorkerPool;
 pub use pqueue::{ConcurrentMinQueue, QueueSet};
+pub use slots::SlotPool;

@@ -1,15 +1,19 @@
 //! `messi` — command-line interface to the index.
 //!
 //! ```text
-//! messi generate --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
-//! messi info     --data data.mds
-//! messi query    --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw]
-//! messi range    --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw]
+//! messi generate    --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
+//! messi info        --data data.mds
+//! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw]
+//! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw]
+//! messi bench-query --data data.mds --objective {exact|knn|range} --schedule {intra|inter} [--dtw]
 //! ```
 //!
 //! Datasets live in the `.mds` container of `messi::series::io`. Queries
 //! can come from a second file or be generated on the fly. All searches
-//! are exact; per-query pruning statistics are printed.
+//! are exact; per-query pruning statistics are printed. `bench-query`
+//! drives the pooled query executor over a whole batch — any objective ×
+//! metric × schedule — and reports aggregate throughput plus the paper's
+//! Fig. 13 per-phase breakdown (`--breakdown`).
 
 use messi::prelude::*;
 use messi::series::io::{read_dataset, write_dataset};
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "query" => cmd_query(&opts),
         "range" => cmd_range(&opts),
+        "bench-query" => cmd_bench_query(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -53,15 +58,23 @@ fn main() -> ExitCode {
 const USAGE: &str = "messi — in-memory data series indexing (MESSI, ICDE 2020)
 
 USAGE:
-  messi generate --kind <random|seismic|sald> --count <N> --out <file.mds>
-                 [--len <points>] [--seed <u64>]
-  messi info     --data <file.mds>
-  messi query    --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
-                 [--k <K>] [--dtw] [--seed <u64>]
-  messi range    --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
+  messi generate    --kind <random|seismic|sald> --count <N> --out <file.mds>
+                    [--len <points>] [--seed <u64>]
+  messi info        --data <file.mds>
+  messi query       --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
+                    [--k <K>] [--dtw] [--seed <u64>]
+  messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
+  messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
+                    [--objective <exact|knn|range>] [--k <K>] [--epsilon <dist>]
+                    [--schedule <intra|inter>] [--parallelism <P>] [--workers <Ns>]
+                    [--dtw] [--breakdown] [--seed <u64>]
 
 Generated queries come from the same family as --kind (members + noise
-for real-data stand-ins). All searches are exact.";
+for real-data stand-ins). All searches are exact. bench-query answers
+the whole batch through the pooled query executor: `--schedule intra`
+runs queries one by one, each on all --workers search workers (the
+paper's protocol); `--schedule inter` dispenses queries across
+--parallelism single-threaded workers for throughput.";
 
 /// Parsed `--key value` options.
 struct Opts(Vec<(String, String)>);
@@ -74,7 +87,7 @@ impl Opts {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got `{key}`"));
             };
-            if name == "dtw" {
+            if name == "dtw" || name == "breakdown" {
                 out.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -184,6 +197,9 @@ fn queries_for_cli(opts: &Opts, data: &Arc<Dataset>) -> Result<Dataset, String> 
         return Ok(qs);
     }
     let n: usize = opts.parsed("num-queries", 10usize)?;
+    if n == 0 {
+        return Err("--num-queries must be positive".into());
+    }
     let seed: u64 = opts.parsed("seed", 42u64)?;
     Ok(messi::series::gen::queries::noisy_queries_from_dataset(
         data, n, 0.1, seed,
@@ -205,7 +221,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     for (qi, q) in queries.iter().enumerate() {
         if use_dtw && k > 1 {
             let params = DtwParams::paper_default(data.series_len());
-            let (answers, stats) = messi::index::knn::exact_knn_dtw(&index, q, k, params, &config);
+            let (answers, stats) = index.search_knn_dtw(q, k, params, &config);
             let list: Vec<String> = answers
                 .iter()
                 .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
@@ -217,7 +233,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             );
         } else if use_dtw {
             let params = DtwParams::paper_default(data.series_len());
-            let (ans, stats) = messi::index::dtw::exact_search_dtw(&index, q, params, &config);
+            let (ans, stats) = index.search_dtw(q, params, &config);
             println!(
                 "query {qi}: dtw-nn=series#{} dist={:.4} in {:.2?} ({} DTW computations)",
                 ans.pos,
@@ -226,7 +242,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 stats.real_distance_calcs
             );
         } else if k > 1 {
-            let (answers, stats) = messi::index::knn::exact_knn(&index, q, k, &config);
+            let (answers, stats) = index.search_knn(q, k, &config);
             let list: Vec<String> = answers
                 .iter()
                 .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
@@ -269,9 +285,9 @@ fn cmd_range(opts: &Opts) -> Result<(), String> {
     for (qi, q) in queries.iter().enumerate() {
         let (matches, stats) = if use_dtw {
             let params = DtwParams::paper_default(data.series_len());
-            messi::index::range::range_search_dtw(&index, q, epsilon_sq, params, &config)
+            index.search_range_dtw(q, epsilon_sq, params, &config)
         } else {
-            messi::index::range::range_search(&index, q, epsilon_sq, &config)
+            index.search_range(q, epsilon_sq, &config)
         };
         let preview: Vec<String> = matches
             .iter()
@@ -288,4 +304,144 @@ fn cmd_range(opts: &Opts) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
+    let data = load(opts)?;
+    let queries = queries_for_cli(opts, &data)?;
+    if queries.is_empty() {
+        return Err("bench-query needs at least one query".into());
+    }
+
+    // ---- What to run: one cell of the Objective × Metric matrix ----
+    let objective = match opts.get("objective").unwrap_or("exact") {
+        "exact" => Objective::Exact,
+        "knn" => {
+            let k: usize = opts.parsed("k", 10usize)?;
+            if k == 0 {
+                return Err("--k must be positive".into());
+            }
+            Objective::Knn { k }
+        }
+        "range" => {
+            let epsilon: f32 = opts
+                .required("epsilon")?
+                .parse()
+                .map_err(|_| "invalid --epsilon")?;
+            if epsilon.is_nan() || epsilon < 0.0 {
+                return Err("--epsilon must be non-negative".into());
+            }
+            Objective::Range {
+                epsilon_sq: epsilon * epsilon,
+            }
+        }
+        other => return Err(format!("unknown objective `{other}` (exact|knn|range)")),
+    };
+    let metric = if opts.get("dtw").is_some() {
+        MetricSpec::Dtw(DtwParams::paper_default(data.series_len()))
+    } else {
+        MetricSpec::Euclidean
+    };
+    let spec = QuerySpec { objective, metric };
+
+    // ---- How to run it: schedule and worker configuration ----
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallelism: usize = opts.parsed("parallelism", cores)?;
+    if parallelism == 0 {
+        return Err("--parallelism must be positive".into());
+    }
+    let schedule = match opts.get("schedule").unwrap_or("intra") {
+        "intra" => Schedule::IntraQuery,
+        "inter" => Schedule::InterQuery { parallelism },
+        other => return Err(format!("unknown schedule `{other}` (intra|inter)")),
+    };
+    let config = QueryConfig {
+        num_workers: opts.parsed("workers", QueryConfig::default().num_workers)?,
+        collect_breakdown: opts.get("breakdown").is_some(),
+        ..QueryConfig::default()
+    };
+
+    let (index, build) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    println!(
+        "bench-query: {} queries · {} · {} · {}",
+        queries.len(),
+        describe_objective(&objective),
+        describe_metric(&metric),
+        describe_schedule(&schedule, config.num_workers),
+    );
+    println!(
+        "index: {} series built in {:.2?}",
+        data.len(),
+        build.total_time
+    );
+
+    // One executor serves the whole batch from warm pooled contexts,
+    // sized to the schedule's concurrency (intra uses a single context);
+    // the prewarm keeps first-query allocations out of the measured
+    // window without running more unmeasured queries than needed.
+    let pool_size = match schedule {
+        Schedule::IntraQuery => 1,
+        Schedule::InterQuery { parallelism } => parallelism,
+    };
+    let exec = QueryExecutor::with_capacity(&index, pool_size);
+    exec.prewarm(queries.series(0), &spec, &config);
+    let t = std::time::Instant::now();
+    let (answers, agg) = exec.run_batch(&queries, &spec, schedule, &config);
+    let wall = t.elapsed();
+
+    let n = queries.len() as f64;
+    let total_answers: usize = answers.iter().map(Vec::len).sum();
+    println!(
+        "batch: answered in {:.2?} → {:.1} queries/s (mean {:.3?}/query), {} answers total",
+        wall,
+        n / wall.as_secs_f64(),
+        agg.mean_time(),
+        total_answers
+    );
+    println!(
+        "pruning: {:.1} lb calcs/query · {:.1} real calcs/query · {:.1} bsf updates/query",
+        agg.mean_lb_calcs(),
+        agg.mean_real_calcs(),
+        agg.bsf_updates as f64 / n
+    );
+    if let Some(b) = agg.mean_breakdown() {
+        println!(
+            "breakdown (mean µs/query): init {:.0} · tree pass {:.0} · pq insert {:.0} · \
+             pq remove {:.0} · dist calc {:.0}",
+            b.init_ns as f64 / 1e3,
+            b.tree_pass_ns as f64 / 1e3,
+            b.pq_insert_ns as f64 / 1e3,
+            b.pq_remove_ns as f64 / 1e3,
+            b.dist_calc_ns as f64 / 1e3,
+        );
+    }
+    Ok(())
+}
+
+fn describe_objective(objective: &Objective) -> String {
+    match objective {
+        Objective::Exact => "objective=exact (1-NN)".into(),
+        Objective::Knn { k } => format!("objective=knn (k={k})"),
+        Objective::Range { epsilon_sq } => {
+            format!("objective=range (ε={})", epsilon_sq.sqrt())
+        }
+    }
+}
+
+fn describe_metric(metric: &MetricSpec) -> String {
+    match metric {
+        MetricSpec::Euclidean => "metric=euclidean".into(),
+        MetricSpec::Dtw(p) => format!("metric=dtw (window={})", p.window),
+    }
+}
+
+fn describe_schedule(schedule: &Schedule, workers: usize) -> String {
+    match schedule {
+        Schedule::IntraQuery => format!("schedule=intra ({workers} workers/query)"),
+        Schedule::InterQuery { parallelism } => {
+            format!("schedule=inter ({parallelism} single-threaded query workers)")
+        }
+    }
 }

@@ -11,7 +11,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`index`] (re-export of `messi_core`) | the MESSI index: parallel build, one unified query engine answering exact 1-NN / k-NN / range search under ED or DTW |
+//! | [`index`] (re-export of `messi_core`) | the MESSI index: parallel build, one unified query engine answering exact 1-NN / k-NN / range search under ED or DTW, and the pooled batch/concurrency executor over all of them |
 //! | [`baselines`] | the paper's competitors: in-memory ParIS (SIMS), ParIS-TS, UCR Suite-P |
 //! | [`series`] | datasets, distance kernels (ED/DTW/LB_Keogh, scalar + AVX2), workload generators |
 //! | [`sax`] | iSAX summaries, breakpoints, lower-bound (mindist) kernels |
@@ -70,14 +70,16 @@ pub mod sync {
 }
 
 pub use messi_core::{
-    BuildStats, IndexConfig, MessiIndex, QueryAnswer, QueryConfig, QueryContext, QueryStats,
+    BuildStats, IndexConfig, MessiIndex, MetricSpec, Objective, QueryAnswer, QueryConfig,
+    QueryContext, QueryExecutor, QuerySpec, QueryStats, Schedule,
 };
 
 /// The commonly needed imports in one place.
 pub mod prelude {
     pub use messi_core::{
-        BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex, QueryAnswer, QueryConfig,
-        QueryContext, QueryStats, QueuePolicy,
+        BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex, MetricSpec, Objective,
+        QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec, QueryStats, QueuePolicy,
+        Schedule,
     };
     pub use messi_series::distance::dtw::DtwParams;
     pub use messi_series::distance::Kernel;

@@ -8,7 +8,11 @@
 //! * each objective matches its brute-force oracle;
 //! * `knn(k = 1)` equals `exact_search`;
 //! * range search at ε = the k-NN's k-th distance returns a superset of
-//!   the k-NN result (the k nearest all lie within that radius).
+//!   the k-NN result (the k nearest all lie within that radius);
+//! * batches through the pooled executor — every objective × metric ×
+//!   schedule × worker count — are element-wise identical to the
+//!   sequential single-query answers, and the pooled contexts record
+//!   zero `alloc_events` after warm-up.
 
 use messi::prelude::*;
 use messi::series::distance::euclidean::ed_sq_scalar;
@@ -200,5 +204,116 @@ proptest! {
         prop_assert_eq!(knn[0].dist_sq, 0.0);
         let (hits, _) = index.search_range(&q, 0.0, &config);
         prop_assert!(hits.iter().any(|h| h.pos == probe as u32));
+    }
+}
+
+/// Every cell of the Objective × Metric matrix for one scenario: exact,
+/// k-NN, and range, under Euclidean and banded DTW. The range radius is
+/// anchored to the scenario's k-th Euclidean neighbor so results are
+/// non-trivial for both metrics (DTW ≤ ED, so the DTW radius matches at
+/// least as much).
+fn matrix_specs(data: &Dataset, index: &MessiIndex, s: &Scenario, k: usize) -> Vec<QuerySpec> {
+    let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 1, s.seed);
+    let (knn, _) = index.search_knn(queries.series(0), k, &query_config(s));
+    let epsilon_sq = knn.last().expect("k >= 1").dist_sq * 1.5 + 1e-3;
+    let params = DtwParams::paper_default(data.series_len());
+    vec![
+        QuerySpec::exact(),
+        QuerySpec::knn(k),
+        QuerySpec::range(epsilon_sq),
+        QuerySpec::exact().with_dtw(params),
+        QuerySpec::knn(k).with_dtw(params),
+        QuerySpec::range(epsilon_sq).with_dtw(params),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pooled_batches_match_sequential_single_query_answers(s in scenario()) {
+        let (data, index) = build_index(&s);
+        let config = query_config(&s);
+        let k = s.k.min(data.len());
+        let queries =
+            messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 3, s.seed ^ 1);
+        let exec = index.executor();
+
+        for spec in matrix_specs(&data, &index, &s, k) {
+            // --- Inter-query schedule: each query runs single-threaded,
+            // so batch answers are bit-identical to a sequential
+            // single-query run under the same 1-worker/1-queue config.
+            let (batch, agg) = exec.run_batch(
+                &queries,
+                &spec,
+                Schedule::InterQuery { parallelism: s.num_workers },
+                &config,
+            );
+            prop_assert_eq!(agg.queries, queries.len() as u64);
+            prop_assert_eq!(batch.len(), queries.len());
+            let per_query = QueryConfig { num_workers: 1, num_queues: 1, ..config.clone() };
+            for (qi, got) in batch.iter().enumerate() {
+                let (want, _) = exec.run_one(queries.series(qi), &spec, &per_query);
+                prop_assert_eq!(
+                    got, &want,
+                    "inter batch diverged from sequential answers: {:?} query {}",
+                    spec, qi
+                );
+            }
+
+            // --- Intra-query schedule: same worker complement as a
+            // direct single query; multi-worker runs may break exact
+            // distance ties differently, so compare by distance.
+            let (batch, agg) = exec.run_batch(&queries, &spec, Schedule::IntraQuery, &config);
+            prop_assert_eq!(agg.queries, queries.len() as u64);
+            for (qi, got) in batch.iter().enumerate() {
+                let (want, _) = exec.run_one(queries.series(qi), &spec, &config);
+                prop_assert_eq!(got.len(), want.len(), "{:?} query {}", spec, qi);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert!(
+                        close(g.dist_sq, w.dist_sq),
+                        "intra batch {} vs single {} ({:?} query {})",
+                        g.dist_sq, w.dist_sq, spec, qi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_contexts_stay_allocation_free_after_warmup(s in scenario()) {
+        let (data, index) = build_index(&s);
+        let config = query_config(&s);
+        let k = s.k.min(data.len());
+        let queries =
+            messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 4, s.seed ^ 2);
+        let parallelism = s.num_workers;
+        let mut exec = QueryExecutor::with_capacity(&index, parallelism);
+
+        // Deterministic warm-up: every pooled context answers one query.
+        exec.prewarm(queries.series(0), &QuerySpec::exact(), &config);
+        prop_assert!(exec.warm_alloc_events() > 0, "warm-up builds the scratch");
+
+        // For each cell × schedule, the first batch may reshape the
+        // scratch (queue-count changes between schedules are resets, and
+        // growth is counted); an identical second batch must record zero
+        // further alloc_events in any pooled context.
+        for spec in matrix_specs(&data, &index, &s, k) {
+            for schedule in [
+                Schedule::IntraQuery,
+                Schedule::InterQuery { parallelism },
+            ] {
+                let _ = exec.run_batch(&queries, &spec, schedule, &config);
+                let warm = exec.warm_alloc_events();
+                let _ = exec.run_batch(&queries, &spec, schedule, &config);
+                prop_assert_eq!(
+                    exec.warm_alloc_events(),
+                    warm,
+                    "repeat batch allocated pooled scratch: {:?} {:?}",
+                    spec,
+                    schedule
+                );
+            }
+        }
     }
 }
