@@ -15,7 +15,7 @@
 //!   Fig. 5 baseline with that one cost removed (per-worker parts, but
 //!   still position-only buffers and fixed ranges).
 
-use messi_core::node::{LeafEntry, Node, SubtreeInserter};
+use messi_core::node::{LeafEntry, SubtreeBuilder, TreeArena};
 use messi_core::{BuildStats, IndexConfig, MessiIndex};
 use messi_sax::convert::{SaxConfig, SaxConverter};
 use messi_sax::root_key::{node_word_for_root_key, root_key};
@@ -119,11 +119,7 @@ pub fn build_paris(
         ParisBuildVariant::NoSynch => part_bufs.touched_keys(),
     };
     let dispenser = Dispenser::new(touched.len());
-    let built: Mutex<Vec<(usize, Box<Node>)>> = Mutex::new(Vec::with_capacity(touched.len()));
-    let inserter = SubtreeInserter {
-        segments,
-        leaf_capacity: config.leaf_capacity,
-    };
+    let built: Mutex<Vec<(usize, TreeArena)>> = Mutex::new(Vec::with_capacity(touched.len()));
     std::thread::scope(|s| {
         for _ in 0..num_workers {
             let touched = &touched;
@@ -133,20 +129,18 @@ pub fn build_paris(
             let part_bufs = &part_bufs;
             let sax_array = &sax_array;
             s.spawn(move || {
+                let mut builder = SubtreeBuilder::new(segments, config.leaf_capacity);
                 let mut local = Vec::new();
                 while let Some(i) = dispenser.next() {
                     let key = touched[i];
-                    let mut node = Node::empty_leaf(node_word_for_root_key(key, segments));
+                    builder.begin(node_word_for_root_key(key, segments));
                     // The indirection through the SAX array is ParIS's
                     // layout: buffers hold pointers, not summaries.
                     let mut insert_pos = |pos: u32| {
-                        inserter.insert(
-                            &mut node,
-                            LeafEntry {
-                                sax: sax_array[pos as usize],
-                                pos,
-                            },
-                        );
+                        builder.insert(LeafEntry {
+                            sax: sax_array[pos as usize],
+                            pos,
+                        });
                     };
                     match variant {
                         ParisBuildVariant::Locked => {
@@ -160,7 +154,7 @@ pub fn build_paris(
                             }
                         }
                     }
-                    local.push((key, Box::new(node)));
+                    local.push((key, builder.finish()));
                 }
                 built.lock().extend(local);
             });
@@ -168,12 +162,7 @@ pub fn build_paris(
     });
     let tree_time = t1.elapsed();
 
-    let mut roots: Vec<Option<Box<Node>>> = Vec::with_capacity(num_keys);
-    roots.resize_with(num_keys, || None);
-    for (key, node) in built.into_inner() {
-        roots[key] = Some(node);
-    }
-    let tree = MessiIndex::from_parts(dataset, config.clone(), roots);
+    let tree = MessiIndex::from_parts(dataset, config.clone(), built.into_inner());
     let stats = BuildStats {
         summarize_time,
         tree_time,
@@ -212,7 +201,7 @@ mod tests {
         assert_eq!(paris.num_series(), 300);
         for &key in paris.tree.touched_keys() {
             paris.tree.root(key).unwrap().for_each_leaf(&mut |leaf| {
-                for e in &leaf.entries {
+                for e in leaf.entries {
                     assert_eq!(paris.sax_array[e.pos as usize], e.sax);
                 }
             });

@@ -21,7 +21,7 @@ pub mod build;
 pub mod query;
 pub mod ts;
 
-use messi_core::node::Node;
+use messi_core::node::TreeArena;
 use messi_core::{IndexConfig, MessiIndex};
 use messi_sax::word::SaxWord;
 use messi_series::Dataset;
@@ -57,8 +57,8 @@ impl ParisIndex {
         self.sax_array.len()
     }
 
-    /// The subtree for a root key, if any (used by ParIS-TS).
-    pub fn root(&self, key: usize) -> Option<&Node> {
+    /// The subtree arena for a root key, if any (used by ParIS-TS).
+    pub fn root(&self, key: usize) -> Option<&TreeArena> {
         self.tree.root(key)
     }
 }

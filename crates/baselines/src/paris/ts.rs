@@ -21,7 +21,7 @@
 //!   (termination needs the pending-work counter instead).
 
 use super::ParisIndex;
-use messi_core::node::Node;
+use messi_core::node::{NodeId, TreeArena};
 use messi_core::{QueryAnswer, QueryConfig, QueryStats};
 use messi_sax::mindist::{mindist_sq_leaf_scalar, mindist_sq_node, MindistTable};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
@@ -51,7 +51,7 @@ pub fn ts_search(
     let bsf = AtomicBsf::with_initial(d0, p0);
     let table = MindistTable::new(&query_paa, paris.tree.sax_config());
 
-    let queue: ConcurrentMinQueue<&Node> = ConcurrentMinQueue::new();
+    let queue: ConcurrentMinQueue<(&TreeArena, NodeId)> = ConcurrentMinQueue::new();
     // Nodes inserted but not yet fully processed; termination requires
     // empty queue *and* zero pending (a popped inner node may still push).
     let pending = AtomicUsize::new(0);
@@ -70,55 +70,53 @@ pub fn ts_search(
         // Seed: push unpruned root children.
         while let Some(i) = dispenser.next() {
             let key = paris.tree.touched_keys()[i];
-            let node = paris.tree.root(key).expect("touched ⇒ present");
-            let d = mindist_sq_node(query_paa, scales, node.word());
+            let arena = paris.tree.root(key).expect("touched ⇒ present");
+            let d = mindist_sq_node(query_paa, scales, arena.word(TreeArena::ROOT));
             local.lb += 1;
             if d < bsf.load() {
                 pending.fetch_add(1, Ordering::AcqRel);
-                queue.push(d, node);
+                queue.push(d, (arena, TreeArena::ROOT));
                 local.inserted += 1;
             }
         }
         // Drain: pop, expand or scan, until globally quiescent.
         loop {
             match queue.pop_min() {
-                Some((d, node)) => {
+                Some((d, (arena, id))) => {
                     local.popped += 1;
                     if d < bsf.load() {
-                        match node {
-                            Node::Inner(inner) => {
-                                for child in [&inner.left, &inner.right] {
-                                    let cd = mindist_sq_node(query_paa, scales, child.word());
-                                    local.lb += 1;
-                                    if cd < bsf.load() {
-                                        pending.fetch_add(1, Ordering::AcqRel);
-                                        queue.push(cd, child);
-                                        local.inserted += 1;
-                                    }
+                        if !arena.is_leaf(id) {
+                            let (left, right) = arena.children(id);
+                            for child in [left, right] {
+                                let cd = mindist_sq_node(query_paa, scales, arena.word(child));
+                                local.lb += 1;
+                                if cd < bsf.load() {
+                                    pending.fetch_add(1, Ordering::AcqRel);
+                                    queue.push(cd, (arena, child));
+                                    local.inserted += 1;
                                 }
                             }
-                            Node::Leaf(leaf) => {
-                                for e in &leaf.entries {
-                                    local.lb += 1;
-                                    let bound = bsf.load();
-                                    let lb = if use_simd {
-                                        table.mindist_sq(&e.sax)
-                                    } else {
-                                        mindist_sq_leaf_scalar(query_paa, scales, &e.sax)
-                                    };
-                                    if lb >= bound {
-                                        continue;
-                                    }
-                                    local.real += 1;
-                                    let dist = ed_sq_early_abandon_with(
-                                        config.kernel,
-                                        query,
-                                        paris.dataset().series(e.pos as usize),
-                                        bound,
-                                    );
-                                    if dist < bound && bsf.update_min(dist, e.pos) {
-                                        local.bsf_updates += 1;
-                                    }
+                        } else {
+                            for e in arena.leaf_entries(id) {
+                                local.lb += 1;
+                                let bound = bsf.load();
+                                let lb = if use_simd {
+                                    table.mindist_sq(&e.sax)
+                                } else {
+                                    mindist_sq_leaf_scalar(query_paa, scales, &e.sax)
+                                };
+                                if lb >= bound {
+                                    continue;
+                                }
+                                local.real += 1;
+                                let dist = ed_sq_early_abandon_with(
+                                    config.kernel,
+                                    query,
+                                    paris.dataset().series(e.pos as usize),
+                                    bound,
+                                );
+                                if dist < bound && bsf.update_min(dist, e.pos) {
+                                    local.bsf_updates += 1;
                                 }
                             }
                         }

@@ -131,10 +131,53 @@ fn bench_batch_schedules(c: &mut Criterion) {
     g.finish();
 }
 
+/// Leaf-scan-heavy workloads: the paths the arena layout (contiguous
+/// preorder node records + one packed leaf-entry pool per subtree)
+/// accelerates over the former `Box<Node>`-per-node / `Vec`-per-leaf
+/// tree. `full_leaf_sweep` is pure storage traversal (no distance
+/// math); `range_wide` keeps nearly every leaf unpruned so entry scans
+/// dominate; `exact_1worker` serializes the whole queue-drain scan path
+/// onto one thread. Numbers for the pre-arena boxed layout are recorded
+/// in README § Benchmarks ("bench notes") for before/after comparison —
+/// the boxed implementation itself was removed by the arena refactor.
+fn bench_leaf_scan(c: &mut Criterion) {
+    let data = Arc::new(generate(DatasetKind::RandomWalk, N, 12));
+    let (messi, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let queries = generate_queries(DatasetKind::RandomWalk, 4, 12);
+    let q = queries.series(0);
+    let qc = QueryConfig::default();
+    let one_worker = QueryConfig {
+        num_workers: 1,
+        num_queues: 1,
+        ..QueryConfig::default()
+    };
+    let (_, nn) = data.nearest_neighbor_brute_force(q);
+
+    let mut g = c.benchmark_group("leaf_scan_50k");
+    g.sample_size(20);
+    g.bench_function("full_leaf_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &key in messi.touched_keys() {
+                messi.root(key).unwrap().for_each_leaf(&mut |l| {
+                    acc += l.entries.iter().map(|e| e.pos as u64).sum::<u64>()
+                });
+            }
+            acc
+        })
+    });
+    g.bench_function("range_wide", |b| {
+        b.iter(|| messi.search_range(q, nn * 16.0, &qc))
+    });
+    g.bench_function("exact_1worker", |b| b.iter(|| messi.search(q, &one_worker)));
+    g.finish();
+}
+
 criterion_group!(
     query,
     bench_competitors,
     bench_ablations,
-    bench_batch_schedules
+    bench_batch_schedules,
+    bench_leaf_scan
 );
 criterion_main!(query);

@@ -9,8 +9,10 @@
 //!    into *its own part* of the target subtree's buffer — no locks.
 //! 2. **TreeConstruction** (Alg. 4): buffers (= root subtrees) are handed
 //!    out by Fetch&Inc; each worker drains all parts of its buffer into
-//!    that subtree, splitting leaves as needed. Subtree ownership is
-//!    exclusive, so this phase is also lock-free.
+//!    that subtree through a reusable [`SubtreeBuilder`], splitting
+//!    leaves as needed, then flattens it into a [`TreeArena`] — two
+//!    exact-capacity allocations per subtree, however many nodes it has.
+//!    Subtree ownership is exclusive, so this phase is also lock-free.
 //!
 //! The paper's barrier between the phases (Alg. 2 line 2) is realized by
 //! ending the first thread scope and opening a second one: joining all
@@ -22,10 +24,9 @@
 
 use crate::config::IndexConfig;
 use crate::index::MessiIndex;
-use crate::node::{LeafEntry, Node, SubtreeInserter};
+use crate::node::{LeafEntry, SubtreeBuilder, TreeArena};
 use crate::stats::BuildStats;
 use messi_sax::convert::{SaxConfig, SaxConverter};
-use messi_sax::mindist::segment_scales;
 use messi_sax::root_key::{node_word_for_root_key, root_key};
 use messi_series::Dataset;
 use messi_sync::{Dispenser, PartitionedBuffers};
@@ -33,15 +34,31 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Rejects datasets whose positions would overflow the `u32` stored in
+/// every [`LeafEntry`]. Without this, `pos as u32` would silently wrap
+/// on collections above 4.29 G series and the index would return wrong
+/// answers instead of failing loudly. Shared with
+/// [`MessiIndex::from_parts`], the other door an index can enter by.
+pub(crate) fn assert_positions_fit(dataset: &Dataset) {
+    assert!(
+        dataset.len() <= u32::MAX as usize,
+        "dataset has {} series but positions are stored as u32 (max {}); \
+         shard the collection before indexing",
+        dataset.len(),
+        u32::MAX
+    );
+}
+
 /// Builds a [`MessiIndex`] over `dataset` (see module docs).
 ///
 /// # Panics
 ///
-/// Panics if the dataset is empty or the configuration is invalid for the
-/// dataset shape.
+/// Panics if the dataset is empty, holds more than `u32::MAX` series, or
+/// the configuration is invalid for the dataset shape.
 pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, BuildStats) {
     config.validate(dataset.series_len());
     assert!(!dataset.is_empty(), "cannot index an empty dataset");
+    assert_positions_fit(&dataset);
     if config.variant == crate::config::BuildVariant::NoBuffers {
         return build_index_no_buffers(dataset, config);
     }
@@ -93,11 +110,7 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
     // them).
     let touched = buffers.touched_keys().to_vec();
     let tree_dispenser = Dispenser::new(touched.len());
-    let built: Mutex<Vec<(usize, Box<Node>)>> = Mutex::new(Vec::with_capacity(touched.len()));
-    let inserter = SubtreeInserter {
-        segments,
-        leaf_capacity: config.leaf_capacity,
-    };
+    let built: Mutex<Vec<(usize, TreeArena)>> = Mutex::new(Vec::with_capacity(touched.len()));
     std::thread::scope(|s| {
         for _ in 0..num_workers {
             let buffers = &buffers;
@@ -105,14 +118,17 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
             let tree_dispenser = &tree_dispenser;
             let built = &built;
             s.spawn(move || {
+                // One builder per worker: its scratch is reused across
+                // every subtree this worker constructs.
+                let mut builder = SubtreeBuilder::new(segments, config.leaf_capacity);
                 let mut local = Vec::new();
                 while let Some(i) = tree_dispenser.next() {
                     let key = touched[i];
-                    let mut node = Node::empty_leaf(node_word_for_root_key(key, segments));
+                    builder.begin(node_word_for_root_key(key, segments));
                     for entry in buffers.iter_key(key) {
-                        inserter.insert(&mut node, *entry);
+                        builder.insert(*entry);
                     }
-                    local.push((key, Box::new(node)));
+                    local.push((key, builder.finish()));
                 }
                 built.lock().extend(local);
             });
@@ -120,21 +136,7 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
     });
     let tree_time = t1.elapsed();
 
-    let mut roots: Vec<Option<Box<Node>>> = Vec::with_capacity(num_keys);
-    roots.resize_with(num_keys, || None);
-    for (key, node) in built.into_inner() {
-        debug_assert!(roots[key].is_none(), "subtree {key} built twice");
-        roots[key] = Some(node);
-    }
-
-    let index = MessiIndex {
-        scales: segment_scales(sax_config),
-        dataset,
-        config: config.clone(),
-        sax_config,
-        roots,
-        touched,
-    };
+    let index = MessiIndex::from_parts(dataset, config.clone(), built.into_inner());
     let stats = BuildStats {
         summarize_time,
         tree_time,
@@ -152,6 +154,8 @@ pub fn build_index(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, 
 /// Kept for the ablation bench — the paper found it "slower … due to the
 /// worse cache locality" (every insertion touches a different subtree's
 /// nodes, instead of one worker streaming through one subtree at a time).
+/// Each subtree's under-construction state is its own [`SubtreeBuilder`],
+/// flattened after the insertion scope ends.
 fn build_index_no_buffers(dataset: Arc<Dataset>, config: &IndexConfig) -> (MessiIndex, BuildStats) {
     let sax_config = SaxConfig::new(config.segments, dataset.series_len());
     let segments = sax_config.segments;
@@ -159,20 +163,16 @@ fn build_index_no_buffers(dataset: Arc<Dataset>, config: &IndexConfig) -> (Messi
     let n = dataset.len();
     let chunk_size = config.chunk_size.max(1);
     let chunk_dispenser = Dispenser::new(n.div_ceil(chunk_size));
-    let inserter = SubtreeInserter {
-        segments,
-        leaf_capacity: config.leaf_capacity,
-    };
 
-    let mut locked_roots: Vec<Mutex<Option<Box<Node>>>> = Vec::with_capacity(num_keys);
-    locked_roots.resize_with(num_keys, || Mutex::new(None));
+    let mut locked_builders: Vec<Mutex<Option<SubtreeBuilder>>> = Vec::with_capacity(num_keys);
+    locked_builders.resize_with(num_keys, || Mutex::new(None));
 
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..config.num_workers {
             let dataset = &dataset;
             let dispenser = &chunk_dispenser;
-            let locked_roots = &locked_roots;
+            let locked_builders = &locked_builders;
             s.spawn(move || {
                 let mut conv = SaxConverter::new(sax_config);
                 while let Some(chunk) = dispenser.next() {
@@ -181,17 +181,16 @@ fn build_index_no_buffers(dataset: Arc<Dataset>, config: &IndexConfig) -> (Messi
                     for pos in start..end {
                         let sax = conv.convert(dataset.series(pos));
                         let key = root_key(&sax, segments);
-                        let mut guard = locked_roots[key].lock();
-                        let node = guard.get_or_insert_with(|| {
-                            Box::new(Node::empty_leaf(node_word_for_root_key(key, segments)))
+                        let mut guard = locked_builders[key].lock();
+                        let builder = guard.get_or_insert_with(|| {
+                            let mut b = SubtreeBuilder::new(segments, config.leaf_capacity);
+                            b.begin(node_word_for_root_key(key, segments));
+                            b
                         });
-                        inserter.insert(
-                            node,
-                            LeafEntry {
-                                sax,
-                                pos: pos as u32,
-                            },
-                        );
+                        builder.insert(LeafEntry {
+                            sax,
+                            pos: pos as u32,
+                        });
                     }
                 }
             });
@@ -199,24 +198,14 @@ fn build_index_no_buffers(dataset: Arc<Dataset>, config: &IndexConfig) -> (Messi
     });
     let total = t0.elapsed();
 
-    let mut roots: Vec<Option<Box<Node>>> = Vec::with_capacity(num_keys);
-    let mut touched = Vec::new();
-    for (key, slot) in locked_roots.into_iter().enumerate() {
-        let node = slot.into_inner();
-        if node.is_some() {
-            touched.push(key);
+    let mut subtrees = Vec::new();
+    for (key, slot) in locked_builders.into_iter().enumerate() {
+        if let Some(mut builder) = slot.into_inner() {
+            subtrees.push((key, builder.finish()));
         }
-        roots.push(node);
     }
 
-    let index = MessiIndex {
-        scales: segment_scales(sax_config),
-        dataset,
-        config: config.clone(),
-        sax_config,
-        roots,
-        touched,
-    };
+    let index = MessiIndex::from_parts(dataset, config.clone(), subtrees);
     let stats = BuildStats {
         // The whole build is one interleaved phase.
         summarize_time: total,
@@ -247,7 +236,7 @@ mod tests {
         let mut seen = vec![false; 500];
         for &key in index.touched_keys() {
             index.root(key).unwrap().for_each_leaf(&mut |leaf| {
-                for e in &leaf.entries {
+                for e in leaf.entries {
                     assert!(!seen[e.pos as usize], "pos {} twice", e.pos);
                     seen[e.pos as usize] = true;
                 }
@@ -352,6 +341,32 @@ mod tests {
         };
         let (index, _) = build_with(&config, 50, 1);
         assert_eq!(index.num_series(), 50);
+    }
+
+    #[test]
+    fn subtree_storage_is_allocation_flat() {
+        // The arena invariant made observable: each subtree's storage is
+        // exactly two tight allocations (node array + entry pool), so
+        // capacity equals length — no per-node or per-leaf allocations
+        // survive into the finished index.
+        let (index, _) = build_with(&IndexConfig::for_tests(), 800, 21);
+        for &key in index.touched_keys() {
+            let arena = index.root(key).unwrap();
+            assert!(
+                arena.allocation_flat(),
+                "key {key}: arena storage is not capacity-tight"
+            );
+        }
+        // Storage totals are consistent with the per-arena sums.
+        assert_eq!(
+            index.node_storage_bytes(),
+            index
+                .touched_keys()
+                .iter()
+                .map(|&k| index.root(k).unwrap().node_bytes())
+                .sum::<usize>()
+        );
+        assert_eq!(index.num_entries(), 800);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::config::QueryConfig;
 use crate::engine::{self, DtwMetric, Engine, NearestObjective, QueryContext, TableSpec};
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::Node;
+use crate::node::TreeArena;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
@@ -127,39 +127,27 @@ fn seed_bsf(
     params: DtwParams,
     stats: &SharedQueryStats,
 ) -> (f32, u32) {
-    let key = messi_sax::root_key::root_key(query_sax, index.sax_config().segments);
-    let mut cur = match index.root(key) {
-        Some(n) => n,
+    let segments = index.sax_config().segments;
+    let key = messi_sax::root_key::root_key(query_sax, segments);
+    let arena = match index.root(key) {
+        Some(a) => a,
         None => return (f32::INFINITY, u32::MAX),
     };
-    loop {
-        match cur {
-            Node::Inner(inner) => {
-                let seg = inner.split_segment as usize;
-                cur = if inner.word.child_of(query_sax, seg) {
-                    &inner.right
-                } else {
-                    &inner.left
-                };
-            }
-            Node::Leaf(leaf) => {
-                let mut best = (f32::INFINITY, u32::MAX);
-                for e in &leaf.entries {
-                    let candidate = index.dataset.series(e.pos as usize);
-                    stats.lb_distance_calcs.inc();
-                    if lb_keogh_sq_early_abandon(env, candidate, best.0) >= best.0 {
-                        continue;
-                    }
-                    stats.real_distance_calcs.inc();
-                    let d = dtw_sq_early_abandon(query, candidate, params, best.0);
-                    if d < best.0 {
-                        best = (d, e.pos);
-                    }
-                }
-                return best;
-            }
+    let id = arena.descend_by_sax(TreeArena::ROOT, query_sax, segments);
+    let mut best = (f32::INFINITY, u32::MAX);
+    for e in arena.leaf_entries(id) {
+        let candidate = index.dataset.series(e.pos as usize);
+        stats.lb_distance_calcs.inc();
+        if lb_keogh_sq_early_abandon(env, candidate, best.0) >= best.0 {
+            continue;
+        }
+        stats.real_distance_calcs.inc();
+        let d = dtw_sq_early_abandon(query, candidate, params, best.0);
+        if d < best.0 {
+            best = (d, e.pos);
         }
     }
+    best
 }
 
 #[cfg(test)]

@@ -9,8 +9,9 @@
 //! freshly *reset* (not reallocated) views each query.
 //!
 //! The context is tied to the index lifetime `'a` because the queues
-//! hold `&'a LeafNode` entries between the traversal and processing
-//! phases. Create one context per batch (or per pool worker for
+//! hold `&'a [LeafEntry]` leaf slices (views into the arenas' packed
+//! pools) between the traversal and processing phases. Create one
+//! context per batch (or per pool worker for
 //! inter-query parallelism) and pass it to the `*_with` query variants —
 //! or let the pooled [`crate::exec::QueryExecutor`] manage a whole
 //! `SlotPool` of them (contexts are `Send`, so the lock-free checkout/
@@ -20,7 +21,7 @@
 //! query.
 
 use crate::config::{QueryConfig, QueuePolicy};
-use crate::node::LeafNode;
+use crate::node::LeafEntry;
 use messi_sax::convert::SaxConfig;
 use messi_sax::mindist::MindistTable;
 use messi_sync::{QueueSet, SenseBarrier};
@@ -36,7 +37,7 @@ pub(crate) enum TableSpec<'q> {
 /// Borrowed, query-ready views into a [`QueryContext`]'s scratch.
 pub(crate) struct Scratch<'c, 'a> {
     /// Empty, unfinished queues — `None` for queue-less objectives.
-    pub(crate) queues: Option<&'c QueueSet<&'a LeafNode>>,
+    pub(crate) queues: Option<&'c QueueSet<&'a [LeafEntry]>>,
     /// A barrier armed for the query's worker count — `None` when no
     /// queue phase (and hence no phase transition) exists.
     pub(crate) barrier: Option<&'c SenseBarrier>,
@@ -72,7 +73,7 @@ pub(crate) struct Scratch<'c, 'a> {
 /// ```
 #[derive(Default)]
 pub struct QueryContext<'a> {
-    queues: Option<QueueSet<&'a LeafNode>>,
+    queues: Option<QueueSet<&'a [LeafEntry]>>,
     barrier: Option<SenseBarrier>,
     table: Option<MindistTable>,
     alloc_events: u64,

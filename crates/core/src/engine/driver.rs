@@ -31,7 +31,7 @@ use super::metric::Metric;
 use super::objective::SearchObjective;
 use crate::config::QueuePolicy;
 use crate::index::MessiIndex;
-use crate::node::{LeafNode, Node};
+use crate::node::{LeafEntry, NodeId, TreeArena};
 use crate::stats::{LocalStats, SharedQueryStats};
 use messi_sync::{ConcurrentMinQueue, Dispenser, QueueSet, SenseBarrier};
 use std::time::Instant;
@@ -149,7 +149,7 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
     timers: &mut PhaseTimers,
     results: &mut O::Local,
 ) {
-    let queues: &QueueSet<&'a LeafNode> = engine
+    let queues: &QueueSet<&'a [LeafEntry]> = engine
         .scratch
         .queues
         .expect("queued objective requires queue scratch");
@@ -165,16 +165,14 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
     let t_phase = Instant::now();
     let mut cursor = pid % nq;
     while let Some(i) = dispenser.next() {
-        let key = engine.index.touched[i];
-        let node = engine.index.roots[key]
-            .as_deref()
-            .expect("touched ⇒ present");
+        let arena = &engine.index.arenas[i];
         insert_subtree(
             engine,
             metric,
             objective,
             queues,
-            node,
+            arena,
+            TreeArena::ROOT,
             &mut cursor,
             local,
             timers,
@@ -230,11 +228,16 @@ fn scan_worker<M: Metric, O: SearchObjective>(
 ) {
     let t_phase = Instant::now();
     while let Some(i) = dispenser.next() {
-        let key = engine.index.touched[i];
-        let node = engine.index.roots[key]
-            .as_deref()
-            .expect("touched ⇒ present");
-        scan_subtree(metric, objective, node, local, timers, results);
+        let arena = &engine.index.arenas[i];
+        scan_subtree(
+            metric,
+            objective,
+            arena,
+            TreeArena::ROOT,
+            local,
+            timers,
+            results,
+        );
     }
     if timers.enabled {
         // The leaf scans are counted as distance-calculation time.
@@ -244,56 +247,44 @@ fn scan_worker<M: Metric, O: SearchObjective>(
 }
 
 /// Recursive subtree traversal (Alg. 7): prune by node lower bound,
-/// insert surviving leaves into the queues round-robin.
+/// insert surviving leaves into the queues round-robin. Queue entries
+/// are the leaves' packed entry slices — all a later scan needs, flat in
+/// the arena's pool.
 #[allow(clippy::too_many_arguments)]
 fn insert_subtree<'a, M: Metric, O: SearchObjective>(
     engine: &Engine<'_, 'a>,
     metric: &M,
     objective: &O,
-    queues: &QueueSet<&'a LeafNode>,
-    node: &'a Node,
+    queues: &QueueSet<&'a [LeafEntry]>,
+    arena: &'a TreeArena,
+    id: NodeId,
     cursor: &mut usize,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
 ) {
-    let d = metric.node_lower_bound(node.word());
+    let d = metric.node_lower_bound(arena.word(id));
     local.lb += 1;
     if d >= objective.bound() {
         return; // the whole subtree is pruned
     }
-    match node {
-        Node::Leaf(leaf) => {
-            timers.timed(
-                |t| &mut t.pq_insert_ns,
-                || match engine.queue_policy {
-                    QueuePolicy::SharedRoundRobin => queues.push_round_robin(cursor, d, leaf),
-                    QueuePolicy::PerWorkerLocal => queues.queue(*cursor).push(d, leaf),
-                },
-            );
-            local.inserted += 1;
-        }
-        Node::Inner(inner) => {
-            insert_subtree(
-                engine,
-                metric,
-                objective,
-                queues,
-                &inner.left,
-                cursor,
-                local,
-                timers,
-            );
-            insert_subtree(
-                engine,
-                metric,
-                objective,
-                queues,
-                &inner.right,
-                cursor,
-                local,
-                timers,
-            );
-        }
+    if arena.is_leaf(id) {
+        let entries = arena.leaf_entries(id);
+        timers.timed(
+            |t| &mut t.pq_insert_ns,
+            || match engine.queue_policy {
+                QueuePolicy::SharedRoundRobin => queues.push_round_robin(cursor, d, entries),
+                QueuePolicy::PerWorkerLocal => queues.queue(*cursor).push(d, entries),
+            },
+        );
+        local.inserted += 1;
+    } else {
+        let (left, right) = arena.children(id);
+        insert_subtree(
+            engine, metric, objective, queues, arena, left, cursor, local, timers,
+        );
+        insert_subtree(
+            engine, metric, objective, queues, arena, right, cursor, local, timers,
+        );
     }
 }
 
@@ -302,27 +293,26 @@ fn insert_subtree<'a, M: Metric, O: SearchObjective>(
 fn scan_subtree<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
-    node: &Node,
+    arena: &TreeArena,
+    id: NodeId,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
     results: &mut O::Local,
 ) {
-    let d = metric.node_lower_bound(node.word());
+    let d = metric.node_lower_bound(arena.word(id));
     local.lb += 1;
     if d >= objective.bound() {
         return;
     }
-    match node {
-        Node::Leaf(leaf) => {
-            timers.timed(
-                |t| &mut t.dist_calc_ns,
-                || scan_leaf(metric, objective, leaf, local, results),
-            );
-        }
-        Node::Inner(inner) => {
-            scan_subtree(metric, objective, &inner.left, local, timers, results);
-            scan_subtree(metric, objective, &inner.right, local, timers, results);
-        }
+    if arena.is_leaf(id) {
+        timers.timed(
+            |t| &mut t.dist_calc_ns,
+            || scan_leaf(metric, objective, arena.leaf_entries(id), local, results),
+        );
+    } else {
+        let (left, right) = arena.children(id);
+        scan_subtree(metric, objective, arena, left, local, timers, results);
+        scan_subtree(metric, objective, arena, right, local, timers, results);
     }
 }
 
@@ -331,7 +321,7 @@ fn scan_subtree<M: Metric, O: SearchObjective>(
 fn process_queue<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
-    queue: &ConcurrentMinQueue<&LeafNode>,
+    queue: &ConcurrentMinQueue<&[LeafEntry]>,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
     results: &mut O::Local,
@@ -347,7 +337,7 @@ fn process_queue<M: Metric, O: SearchObjective>(
                 queue.mark_finished();
                 return;
             }
-            Some((dist, leaf)) => {
+            Some((dist, entries)) => {
                 local.popped += 1;
                 if dist >= objective.bound() {
                     // Second filtering: every remaining entry is worse.
@@ -357,7 +347,7 @@ fn process_queue<M: Metric, O: SearchObjective>(
                 }
                 timers.timed(
                     |t| &mut t.dist_calc_ns,
-                    || scan_leaf(metric, objective, leaf, local, results),
+                    || scan_leaf(metric, objective, entries, local, results),
                 );
             }
         }
@@ -366,16 +356,17 @@ fn process_queue<M: Metric, O: SearchObjective>(
 
 /// Scans one leaf (Alg. 9): per entry, the metric's lower-bound cascade,
 /// then its early-abandoning real distance, offered to the objective on
-/// survival.
+/// survival. The entries are one contiguous slice of the arena's pool —
+/// the scan is a flat sweep.
 #[inline]
 fn scan_leaf<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
-    leaf: &LeafNode,
+    entries: &[LeafEntry],
     local: &mut LocalStats,
     results: &mut O::Local,
 ) {
-    for entry in &leaf.entries {
+    for entry in entries {
         let bound = objective.bound();
         if let Some(d) = metric.entry_distance(entry, bound, local) {
             if d < bound && objective.offer(results, d, entry.pos) {

@@ -1,7 +1,7 @@
 //! The [`MessiIndex`] handle: the finished tree plus approximate search.
 
 use crate::config::IndexConfig;
-use crate::node::{LeafNode, Node};
+use crate::node::{LeafEntry, TreeArena};
 use crate::stats::BuildStats;
 use messi_sax::convert::{SaxConfig, SaxConverter};
 use messi_sax::mindist::mindist_sq_node;
@@ -12,14 +12,20 @@ use messi_series::distance::Kernel;
 use messi_series::Dataset;
 use std::sync::Arc;
 
+/// `slots` sentinel for "this root key has no subtree".
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
+
 /// The MESSI in-memory data-series index.
 ///
 /// Holds (an `Arc` to) the raw dataset, the iSAX configuration, and the
-/// index tree: a dense array of up to 2^w root subtrees. Built with
+/// index tree: up to 2^w root subtrees, each flattened into a
+/// [`TreeArena`] (contiguous preorder node records + one packed
+/// leaf-entry pool — see [`crate::node`]). Built with
 /// [`MessiIndex::build`]; queried with [`MessiIndex::search`] (exact
 /// 1-NN), [`MessiIndex::search_knn`], [`MessiIndex::search_range`], or
 /// [`crate::dtw`] (exact DTW 1-NN) — all answered by the unified
-/// [`crate::engine`] driver.
+/// [`crate::engine`] driver. [`crate::persist`] saves and reloads the
+/// whole structure as a snapshot file.
 #[derive(Debug)]
 pub struct MessiIndex {
     pub(crate) dataset: Arc<Dataset>,
@@ -27,8 +33,10 @@ pub struct MessiIndex {
     pub(crate) sax_config: SaxConfig,
     /// Segment lengths as f32 (mindist scale factors).
     pub(crate) scales: Vec<f32>,
-    /// Root children, indexed by root key; `None` = empty subtree.
-    pub(crate) roots: Vec<Option<Box<Node>>>,
+    /// One arena per non-empty root subtree, parallel to `touched`.
+    pub(crate) arenas: Vec<TreeArena>,
+    /// Root key → index into `arenas` ([`EMPTY_SLOT`] = empty subtree).
+    pub(crate) slots: Vec<u32>,
     /// Keys of the non-empty root subtrees, ascending.
     pub(crate) touched: Vec<usize>,
 }
@@ -39,8 +47,9 @@ impl MessiIndex {
     ///
     /// # Panics
     ///
-    /// Panics if the dataset is empty or the configuration is invalid for
-    /// its shape.
+    /// Panics if the dataset is empty, holds more than `u32::MAX` series
+    /// (positions are stored as `u32`), or the configuration is invalid
+    /// for its shape.
     pub fn build(dataset: Arc<Dataset>, config: &IndexConfig) -> (Self, BuildStats) {
         crate::build::build_index(dataset, config)
     }
@@ -49,32 +58,42 @@ impl MessiIndex {
     ///
     /// This exists for the ParIS baseline (`messi-baselines`), which
     /// shares the tree *structure* with MESSI but constructs it with its
-    /// own (locked-buffer) algorithm. `roots` must be indexed by root key
-    /// and have length `2^config.segments`.
+    /// own (locked-buffer) algorithm, and for [`crate::persist`]'s
+    /// snapshot loader. `subtrees` pairs each root key with its arena, in
+    /// any order; empty keys are simply absent.
     ///
     /// # Panics
     ///
-    /// Panics on a root-array length mismatch or invalid configuration.
+    /// Panics on out-of-range or duplicate keys, or an invalid
+    /// configuration.
     #[doc(hidden)]
     pub fn from_parts(
         dataset: Arc<Dataset>,
         config: IndexConfig,
-        roots: Vec<Option<Box<Node>>>,
+        mut subtrees: Vec<(usize, TreeArena)>,
     ) -> Self {
         config.validate(dataset.series_len());
+        crate::build::assert_positions_fit(&dataset);
         let sax_config = SaxConfig::new(config.segments, dataset.series_len());
-        assert_eq!(
-            roots.len(),
-            sax_config.num_root_subtrees(),
-            "root array must have 2^segments slots"
-        );
-        let touched = (0..roots.len()).filter(|&k| roots[k].is_some()).collect();
+        let num_keys = sax_config.num_root_subtrees();
+        subtrees.sort_by_key(|(key, _)| *key);
+        let mut slots = vec![EMPTY_SLOT; num_keys];
+        let mut touched = Vec::with_capacity(subtrees.len());
+        let mut arenas = Vec::with_capacity(subtrees.len());
+        for (key, arena) in subtrees {
+            assert!(key < num_keys, "root key {key} out of range (< {num_keys})");
+            assert_eq!(slots[key], EMPTY_SLOT, "subtree {key} provided twice");
+            slots[key] = arenas.len() as u32;
+            touched.push(key);
+            arenas.push(arena);
+        }
         Self {
             scales: messi_sax::mindist::segment_scales(sax_config),
             dataset,
             config,
             sax_config,
-            roots,
+            arenas,
+            slots,
             touched,
         }
     }
@@ -109,31 +128,47 @@ impl MessiIndex {
         &self.touched
     }
 
-    /// The subtree for `key`, if non-empty.
-    pub fn root(&self, key: usize) -> Option<&Node> {
-        self.roots.get(key).and_then(|n| n.as_deref())
+    /// The subtree arena for `key`, if non-empty.
+    pub fn root(&self, key: usize) -> Option<&TreeArena> {
+        match self.slots.get(key) {
+            Some(&slot) if slot != EMPTY_SLOT => Some(&self.arenas[slot as usize]),
+            _ => None,
+        }
     }
 
     /// Total leaves in the index.
     pub fn num_leaves(&self) -> usize {
-        self.touched
-            .iter()
-            .map(|&k| {
-                self.roots[k]
-                    .as_ref()
-                    .expect("touched ⇒ present")
-                    .num_leaves()
-            })
-            .sum()
+        self.arenas.iter().map(TreeArena::num_leaves).sum()
+    }
+
+    /// Total entries stored across all leaf pools (equals
+    /// [`MessiIndex::num_series`] for a valid index).
+    pub fn num_entries(&self) -> usize {
+        self.arenas.iter().map(TreeArena::num_entries).sum()
     }
 
     /// Height of the tallest root subtree.
     pub fn max_height(&self) -> usize {
-        self.touched
-            .iter()
-            .map(|&k| self.roots[k].as_ref().expect("touched ⇒ present").height())
-            .max()
-            .unwrap_or(0)
+        self.arenas.iter().map(TreeArena::height).max().unwrap_or(0)
+    }
+
+    /// Bytes held by all node arenas (the flat per-subtree node arrays).
+    pub fn node_storage_bytes(&self) -> usize {
+        self.arenas.iter().map(TreeArena::node_bytes).sum()
+    }
+
+    /// Bytes held by all leaf-entry pools.
+    pub fn entry_storage_bytes(&self) -> usize {
+        self.arenas.iter().map(TreeArena::entry_bytes).sum()
+    }
+
+    /// Mean leaf fill factor: stored entries over total leaf capacity.
+    pub fn leaf_fill_factor(&self) -> f64 {
+        let leaves = self.num_leaves();
+        if leaves == 0 {
+            return 0.0;
+        }
+        self.num_entries() as f64 / (leaves * self.config.leaf_capacity) as f64
     }
 
     /// Creates a pooled [`QueryExecutor`](crate::exec::QueryExecutor)
@@ -306,74 +341,60 @@ impl MessiIndex {
         kernel: Kernel,
     ) -> (f32, u32) {
         let key = root_key(query_sax, self.sax_config.segments);
-        let node = match self.root(key) {
-            Some(n) => n,
+        let arena = match self.root(key) {
+            Some(a) => a,
             None => {
                 // Empty home subtree: greedy-best entry point instead.
                 let best = self
-                    .touched
+                    .arenas
                     .iter()
-                    .min_by(|&&a, &&b| {
-                        let da = mindist_sq_node(
-                            query_paa,
-                            &self.scales,
-                            self.roots[a].as_ref().expect("touched").word(),
-                        );
-                        let db = mindist_sq_node(
-                            query_paa,
-                            &self.scales,
-                            self.roots[b].as_ref().expect("touched").word(),
-                        );
+                    .min_by(|a, b| {
+                        let da = mindist_sq_node(query_paa, &self.scales, a.word(TreeArena::ROOT));
+                        let db = mindist_sq_node(query_paa, &self.scales, b.word(TreeArena::ROOT));
                         da.total_cmp(&db)
                     })
                     .expect("index is never empty");
-                self.roots[*best].as_ref().expect("touched")
+                best
             }
         };
-        let leaf = self.descend(node, query_sax, query_paa);
-        self.scan_leaf(leaf, query, kernel)
+        let entries = self.descend(arena, query_sax, query_paa);
+        self.scan_leaf(entries, query, kernel)
     }
 
-    /// Descends from `node` to a leaf, following the query's summary bits
-    /// where possible and the smaller-mindist child otherwise.
+    /// Descends from the arena's root to a leaf, following the query's
+    /// summary bits where possible and the smaller-mindist child
+    /// otherwise. Returns the leaf's packed entries.
     fn descend<'a>(
         &self,
-        mut node: &'a Node,
+        arena: &'a TreeArena,
         query_sax: &SaxWord,
         query_paa: &[f32],
-    ) -> &'a LeafNode {
-        loop {
-            match node {
-                Node::Leaf(leaf) => return leaf,
-                Node::Inner(inner) => {
-                    let seg = inner.split_segment as usize;
-                    node = if inner.word.contains(query_sax, self.sax_config.segments) {
-                        if inner.word.child_of(query_sax, seg) {
-                            &inner.right
-                        } else {
-                            &inner.left
-                        }
-                    } else {
-                        // Off the query's own path (fallback entry): pick
-                        // the closer child by node mindist.
-                        let dl = mindist_sq_node(query_paa, &self.scales, inner.left.word());
-                        let dr = mindist_sq_node(query_paa, &self.scales, inner.right.word());
-                        if dl <= dr {
-                            &inner.left
-                        } else {
-                            &inner.right
-                        }
-                    };
-                }
+    ) -> &'a [LeafEntry] {
+        let segments = self.sax_config.segments;
+        let mut id = TreeArena::ROOT;
+        while !arena.is_leaf(id) {
+            if arena.word(id).contains(query_sax, segments) {
+                // On the query's own path: containment is preserved by
+                // every refined-bit step, so the shared home-leaf walk
+                // finishes the descent.
+                id = arena.descend_by_sax(id, query_sax, segments);
+                break;
             }
+            // Off the query's own path (fallback entry): pick the closer
+            // child by node mindist.
+            let (left, right) = arena.children(id);
+            let dl = mindist_sq_node(query_paa, &self.scales, arena.word(left));
+            let dr = mindist_sq_node(query_paa, &self.scales, arena.word(right));
+            id = if dl <= dr { left } else { right };
         }
+        arena.leaf_entries(id)
     }
 
-    /// Computes real distances between the query and every series in
-    /// `leaf`, returning the minimum and its position.
-    fn scan_leaf(&self, leaf: &LeafNode, query: &[f32], kernel: Kernel) -> (f32, u32) {
+    /// Computes real distances between the query and every entry in a
+    /// leaf, returning the minimum and its position.
+    fn scan_leaf(&self, entries: &[LeafEntry], query: &[f32], kernel: Kernel) -> (f32, u32) {
         let mut best = (f32::INFINITY, u32::MAX);
-        for e in &leaf.entries {
+        for e in entries {
             let d = ed_sq_early_abandon_with(
                 kernel,
                 query,
@@ -412,6 +433,13 @@ mod tests {
         }
         assert_eq!(index.sax_config().segments, 8);
         assert_eq!(index.scales().len(), 8);
+        // Arena bookkeeping: every stored entry is accounted for, storage
+        // sizes are plausible, fill factor lands in (0, 1].
+        assert_eq!(index.num_entries(), 400);
+        assert!(index.node_storage_bytes() > 0);
+        assert!(index.entry_storage_bytes() >= 400 * std::mem::size_of::<LeafEntry>());
+        let fill = index.leaf_fill_factor();
+        assert!(fill > 0.0 && fill <= 1.0, "fill factor {fill}");
     }
 
     #[test]

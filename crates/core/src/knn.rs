@@ -20,7 +20,7 @@ use crate::engine::{
 };
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::Node;
+use crate::node::TreeArena;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
@@ -325,28 +325,15 @@ fn seed_from_home_leaf(
     query_sax: &messi_sax::word::SaxWord,
     offer: &mut dyn FnMut(u32),
 ) {
-    let key = messi_sax::root_key::root_key(query_sax, index.sax_config().segments);
-    let mut cur = match index.root(key) {
-        Some(n) => n,
+    let segments = index.sax_config().segments;
+    let key = messi_sax::root_key::root_key(query_sax, segments);
+    let arena = match index.root(key) {
+        Some(a) => a,
         None => return,
     };
-    loop {
-        match cur {
-            Node::Leaf(leaf) => {
-                for e in &leaf.entries {
-                    offer(e.pos);
-                }
-                return;
-            }
-            Node::Inner(inner) => {
-                let seg = inner.split_segment as usize;
-                cur = if inner.word.child_of(query_sax, seg) {
-                    &inner.right
-                } else {
-                    &inner.left
-                };
-            }
-        }
+    let id = arena.descend_by_sax(TreeArena::ROOT, query_sax, segments);
+    for e in arena.leaf_entries(id) {
+        offer(e.pos);
     }
 }
 

@@ -30,10 +30,15 @@
 //! # Module map (↔ paper sections)
 //!
 //! * [`config`] — index/query parameters (§IV-B's tuning knobs).
-//! * [`node`] — the index tree: root fan-out ≤ 2^w, binary inner nodes,
-//!   leaves holding `(iSAX summary, position)` pairs (§II-B, Fig. 1d).
+//! * [`node`] — arena-backed tree storage: root fan-out ≤ 2^w, binary
+//!   inner nodes, leaves holding `(iSAX summary, position)` pairs
+//!   (§II-B, Fig. 1d), each root subtree flattened into one preorder
+//!   node array plus one packed leaf-entry pool (two allocations per
+//!   subtree).
 //! * [`build`] — two-phase parallel construction (Alg. 1–4, Fig. 3).
 //! * [`index`] — the [`MessiIndex`] handle and approximate search.
+//! * [`persist`] — versioned, checksummed index snapshots: save a built
+//!   index to a file, reload it and answer queries without rebuilding.
 //! * [`engine`] — the unified query engine: one generic traversal/queue/
 //!   drain driver (Alg. 5–9) parameterized by a metric (Euclidean or
 //!   DTW) and a search objective (1-NN, k-NN, or ε-range), plus the
@@ -72,6 +77,7 @@ pub mod exec;
 pub mod index;
 pub mod knn;
 pub mod node;
+pub mod persist;
 pub mod range;
 pub mod stats;
 pub mod validate;
@@ -81,4 +87,5 @@ pub use engine::QueryContext;
 pub use exact::QueryAnswer;
 pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
+pub use persist::{load_index, save_index, PersistError};
 pub use stats::{BuildStats, QueryStats, TimeBreakdown};

@@ -1,4 +1,4 @@
-//! The index tree.
+//! Arena-backed index tree storage.
 //!
 //! Three node kinds, as in §II-B / Fig. 1(d): a root with up to 2^w
 //! children (represented in [`crate::index::MessiIndex`] as a dense array
@@ -8,6 +8,23 @@
 //! them. Storing the summaries *in* the leaf (not pointers to a separate
 //! array) keeps queue-driven leaf scans sequential in memory — one of
 //! MESSI's deltas over ParIS (§I).
+//!
+//! This module takes that layout argument to its conclusion: instead of
+//! one heap allocation per node (`Box<Node>`) and one `Vec` per leaf, a
+//! whole root subtree lives in a [`TreeArena`] — one contiguous node
+//! array in preorder (parent before children, left subtree before right)
+//! plus one packed [`LeafEntry`] pool in the same leaf order. A subtree
+//! is **two** allocations instead of thousands; inner-node traversal
+//! walks an index-linked flat array, leaf scans walk flat slices, and
+//! `for_each_leaf` is a linear sweep of the node array. The flat layout
+//! is also what makes the index serializable ([`crate::persist`]).
+//!
+//! Construction still follows the paper's incremental protocol (Alg. 4:
+//! insert, split overflowing leaves): [`SubtreeBuilder`] runs exactly the
+//! old insert/split algorithm against reusable index-linked scratch, then
+//! flattens into the arena with exact-capacity allocations. One builder
+//! serves many subtrees back to back, so its own scratch amortizes to
+//! zero.
 
 use messi_sax::split::choose_split;
 use messi_sax::word::{NodeWord, SaxWord};
@@ -21,161 +38,481 @@ pub struct LeafEntry {
     pub pos: u32,
 }
 
-/// A leaf node: the iSAX summaries and positions of its series.
-#[derive(Debug)]
-pub struct LeafNode {
+/// Index of a node within its [`TreeArena`] (the root is
+/// [`TreeArena::ROOT`]).
+pub type NodeId = u32;
+
+/// `tag` value marking a leaf record (inner nodes store their split
+/// segment there, which is always `< MAX_SEGMENTS`).
+const LEAF_TAG: u8 = u8::MAX;
+
+/// Linked-list terminator / "empty slot" sentinel in builder scratch.
+const NIL: u32 = u32::MAX;
+
+/// One node record of a [`TreeArena`].
+///
+/// `tag` discriminates the two kinds: [`LEAF_TAG`] for leaves, the split
+/// segment (`< MAX_SEGMENTS`) for inner nodes. `lo`/`hi` are the left and
+/// right child ids of an inner node, or the `[lo, hi)` range of the leaf
+/// in the arena's entry pool.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeRecord {
+    pub(crate) word: NodeWord,
+    pub(crate) tag: u8,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// Borrowed view of one leaf: its covering word and its packed entries.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafRef<'a> {
     /// Variable-cardinality summary covering everything in this leaf.
-    pub word: NodeWord,
-    /// The stored `(summary, position)` pairs.
-    pub entries: Vec<LeafEntry>,
+    pub word: &'a NodeWord,
+    /// The stored `(summary, position)` pairs, contiguous in the pool.
+    pub entries: &'a [LeafEntry],
 }
 
-/// An inner (split) node with exactly two children.
+/// A root subtree flattened into contiguous storage: node records in
+/// preorder plus one packed leaf-entry pool — two allocations total.
+///
+/// Node accessors take a [`NodeId`]; traversal starts at
+/// [`TreeArena::ROOT`] and follows [`TreeArena::children`]. Leaves are in
+/// depth-first (left-to-right) order both in the node array and in the
+/// pool, so [`TreeArena::for_each_leaf`] is a linear sweep.
 #[derive(Debug)]
-pub struct InnerNode {
-    /// Variable-cardinality summary covering the whole subtree.
-    pub word: NodeWord,
-    /// Which segment the split refined.
-    pub split_segment: u8,
-    /// Child whose refined bit is 0.
-    pub left: Box<Node>,
-    /// Child whose refined bit is 1.
-    pub right: Box<Node>,
+pub struct TreeArena {
+    nodes: Vec<NodeRecord>,
+    entries: Vec<LeafEntry>,
 }
 
-/// A node of the index tree.
-#[derive(Debug)]
-pub enum Node {
-    /// Inner node (two children).
-    Inner(InnerNode),
-    /// Leaf node (stored entries).
-    Leaf(LeafNode),
-}
+impl TreeArena {
+    /// The root node's id (arenas are built root-first).
+    pub const ROOT: NodeId = 0;
 
-impl Node {
-    /// Creates an empty leaf covering `word`.
-    pub fn empty_leaf(word: NodeWord) -> Self {
-        Node::Leaf(LeafNode {
-            word,
-            entries: Vec::new(),
-        })
+    /// Number of nodes (inner + leaf) in the subtree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of series stored in the subtree.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of leaves in the subtree.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.tag == LEAF_TAG).count()
+    }
+
+    /// Height of the subtree (a lone leaf has height 1).
+    pub fn height(&self) -> usize {
+        self.height_of(Self::ROOT)
+    }
+
+    fn height_of(&self, id: NodeId) -> usize {
+        let n = &self.nodes[id as usize];
+        if n.tag == LEAF_TAG {
+            1
+        } else {
+            1 + self.height_of(n.lo).max(self.height_of(n.hi))
+        }
     }
 
     /// The node's iSAX summary.
-    pub fn word(&self) -> &NodeWord {
-        match self {
-            Node::Inner(n) => &n.word,
-            Node::Leaf(n) => &n.word,
+    #[inline]
+    pub fn word(&self, id: NodeId) -> &NodeWord {
+        &self.nodes[id as usize].word
+    }
+
+    /// Whether `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id as usize].tag == LEAF_TAG
+    }
+
+    /// Which segment an inner node's split refined.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is a leaf.
+    #[inline]
+    pub fn split_segment(&self, id: NodeId) -> usize {
+        let n = &self.nodes[id as usize];
+        debug_assert_ne!(n.tag, LEAF_TAG, "split_segment of a leaf");
+        n.tag as usize
+    }
+
+    /// An inner node's `(left, right)` children (0-bit child, 1-bit
+    /// child).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is a leaf.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> (NodeId, NodeId) {
+        let n = &self.nodes[id as usize];
+        debug_assert_ne!(n.tag, LEAF_TAG, "children of a leaf");
+        (n.lo, n.hi)
+    }
+
+    /// A leaf's packed entries.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is an inner node.
+    #[inline]
+    pub fn leaf_entries(&self, id: NodeId) -> &[LeafEntry] {
+        let n = &self.nodes[id as usize];
+        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_entries of an inner node");
+        &self.entries[n.lo as usize..n.hi as usize]
+    }
+
+    /// Borrowed view of the leaf at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is an inner node.
+    #[inline]
+    pub fn leaf(&self, id: NodeId) -> LeafRef<'_> {
+        LeafRef {
+            word: self.word(id),
+            entries: self.leaf_entries(id),
         }
     }
 
-    /// Whether this is a leaf.
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, Node::Leaf(_))
-    }
-
-    /// Number of series stored in this subtree.
-    pub fn num_entries(&self) -> usize {
-        match self {
-            Node::Inner(n) => n.left.num_entries() + n.right.num_entries(),
-            Node::Leaf(n) => n.entries.len(),
-        }
-    }
-
-    /// Number of leaves in this subtree.
-    pub fn num_leaves(&self) -> usize {
-        match self {
-            Node::Inner(n) => n.left.num_leaves() + n.right.num_leaves(),
-            Node::Leaf(_) => 1,
-        }
-    }
-
-    /// Height of this subtree (a lone leaf has height 1).
-    pub fn height(&self) -> usize {
-        match self {
-            Node::Inner(n) => 1 + n.left.height().max(n.right.height()),
-            Node::Leaf(_) => 1,
-        }
-    }
-
-    /// Visits every leaf in the subtree.
-    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a LeafNode)) {
-        match self {
-            Node::Inner(n) => {
-                n.left.for_each_leaf(f);
-                n.right.for_each_leaf(f);
+    /// Visits every leaf in depth-first order. Thanks to the preorder
+    /// layout this is a linear sweep of the node array, not a pointer
+    /// chase.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(LeafRef<'a>)) {
+        for n in &self.nodes {
+            if n.tag == LEAF_TAG {
+                f(LeafRef {
+                    word: &n.word,
+                    entries: &self.entries[n.lo as usize..n.hi as usize],
+                });
             }
-            Node::Leaf(l) => f(l),
         }
+    }
+
+    /// Descends from `from` to the leaf responsible for `sax` by
+    /// following the summary's refined bits at each split — the
+    /// home-leaf walk every seeding path shares (Alg. 5 line 3).
+    ///
+    /// `from` (and, by the refinement invariant, every node on the walk)
+    /// must cover `sax`; debug builds assert it.
+    pub fn descend_by_sax(&self, from: NodeId, sax: &SaxWord, segments: usize) -> NodeId {
+        let mut id = from;
+        while !self.is_leaf(id) {
+            debug_assert!(self.word(id).contains(sax, segments));
+            let (left, right) = self.children(id);
+            id = if self.word(id).child_of(sax, self.split_segment(id)) {
+                right
+            } else {
+                left
+            };
+        }
+        id
+    }
+
+    /// Whether both backing allocations are capacity-tight (length ==
+    /// capacity) — true for every arena produced by
+    /// [`SubtreeBuilder::finish`], which allocates each exactly once at
+    /// its final size. The build tests assert this "allocation-flat"
+    /// invariant on whole indexes.
+    pub fn allocation_flat(&self) -> bool {
+        self.nodes.capacity() == self.nodes.len() && self.entries.capacity() == self.entries.len()
+    }
+
+    /// Bytes held by the node array (capacity, i.e. the allocation).
+    pub fn node_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<NodeRecord>()
+    }
+
+    /// Bytes held by the leaf-entry pool (capacity).
+    pub fn entry_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<LeafEntry>()
+    }
+
+    /// A leaf's `[start, end)` range in the entry pool (validation and
+    /// serialization).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is an inner node.
+    pub(crate) fn leaf_range(&self, id: NodeId) -> (u32, u32) {
+        let n = &self.nodes[id as usize];
+        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_range of an inner node");
+        (n.lo, n.hi)
+    }
+
+    /// Raw node records, for serialization ([`crate::persist`]).
+    pub(crate) fn raw_nodes(&self) -> &[NodeRecord] {
+        &self.nodes
+    }
+
+    /// Raw pool entries, for serialization ([`crate::persist`]).
+    pub(crate) fn raw_entries(&self) -> &[LeafEntry] {
+        &self.entries
+    }
+
+    /// Deepest tree a legitimate build can produce: every inner→child
+    /// step refines exactly one bit of one segment, so a root-to-leaf
+    /// path has at most `MAX_SEGMENTS × CARD_BITS` splits.
+    const MAX_DEPTH: usize = messi_sax::MAX_SEGMENTS * messi_sax::CARD_BITS + 1;
+
+    /// Reassembles an arena from raw parts (the deserialization path),
+    /// verifying the structural invariants the accessors rely on: the
+    /// records must form exactly one preorder tree — a left-then-right
+    /// depth-first walk from the root enumerates ids `0..n` in ascending
+    /// order, which rules out unreachable nodes, shared children, and
+    /// cycles in one pass — no deeper than any legitimate build can
+    /// produce, whose leaves partition the entry pool left to right.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub(crate) fn from_raw(
+        nodes: Vec<NodeRecord>,
+        entries: Vec<LeafEntry>,
+    ) -> Result<Self, String> {
+        if nodes.is_empty() {
+            return Err("arena with zero nodes".into());
+        }
+        let nn = nodes.len() as u64;
+        let mut covered = 0u64; // leaves partition the pool in order
+        for (id, n) in nodes.iter().enumerate() {
+            if n.tag == LEAF_TAG {
+                if u64::from(n.lo) != covered {
+                    return Err(format!(
+                        "leaf {id}: pool range starts at {} not {covered}",
+                        n.lo
+                    ));
+                }
+                if n.hi < n.lo || entries.len() < n.hi as usize {
+                    return Err(format!(
+                        "leaf {id}: pool range {}..{} out of bounds",
+                        n.lo, n.hi
+                    ));
+                }
+                covered = u64::from(n.hi);
+            } else {
+                if usize::from(n.tag) >= messi_sax::MAX_SEGMENTS {
+                    return Err(format!(
+                        "inner node {id}: split segment {} out of range",
+                        n.tag
+                    ));
+                }
+                if u64::from(n.hi) <= u64::from(n.lo) || u64::from(n.hi) >= nn {
+                    return Err(format!(
+                        "inner node {id}: children {}/{} out of order or bounds",
+                        n.lo, n.hi
+                    ));
+                }
+            }
+        }
+        if covered != entries.len() as u64 {
+            return Err(format!(
+                "leaves cover {covered} pool entries of {}",
+                entries.len()
+            ));
+        }
+        // Preorder tree-ness, checked by one explicit-stack DFS: visiting
+        // left-then-right must enumerate ids in exactly ascending order.
+        // A node with two parents gets visited twice (id ≠ expected), an
+        // unreachable node leaves the count short, and the depth cap
+        // keeps the recursive traversals (height, engine descent) within
+        // sane stack bounds for files no honest build could have written.
+        let mut stack: Vec<(u32, usize)> = vec![(0, 1)];
+        let mut expect = 0u64;
+        while let Some((id, depth)) = stack.pop() {
+            if u64::from(id) != expect {
+                return Err(format!(
+                    "node {id} visited out of preorder (expected {expect})"
+                ));
+            }
+            if depth > Self::MAX_DEPTH {
+                return Err(format!(
+                    "tree deeper than any build can produce (> {})",
+                    Self::MAX_DEPTH
+                ));
+            }
+            expect += 1;
+            let n = &nodes[id as usize];
+            if n.tag != LEAF_TAG {
+                stack.push((n.hi, depth + 1));
+                stack.push((n.lo, depth + 1));
+            }
+        }
+        if expect != nn {
+            return Err(format!(
+                "{} of {nn} nodes unreachable from the root",
+                nn - expect
+            ));
+        }
+        Ok(Self { nodes, entries })
     }
 }
 
-/// Inserts entries into a subtree, splitting overflowing leaves
-/// (Alg. 4 lines 7–11: "while targetLeaf is full do SplitNode").
+/// Builder scratch node: a leaf holds its entry list as `head`/`tail`
+/// indices into the builder's link array; an inner node holds child ids.
+#[derive(Debug, Clone, Copy)]
+struct ScratchNode {
+    word: NodeWord,
+    /// Split segment for inner nodes, [`LEAF_TAG`] for leaves.
+    tag: u8,
+    /// Inner: left child id. Leaf: entry-list head ([`NIL`] when empty).
+    a: u32,
+    /// Inner: right child id. Leaf: entry-list tail ([`NIL`] when empty).
+    b: u32,
+    /// Leaf only: entries in the list.
+    len: u32,
+}
+
+/// Clonable iterator over the summaries of one scratch leaf's entry
+/// list, in insertion order (what [`choose_split`] consumes).
+#[derive(Clone, Copy)]
+struct SaxLinkIter<'a> {
+    entries: &'a [LeafEntry],
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl<'a> Iterator for SaxLinkIter<'a> {
+    type Item = &'a SaxWord;
+
+    fn next(&mut self) -> Option<&'a SaxWord> {
+        if self.cur == NIL {
+            return None;
+        }
+        let e = &self.entries[self.cur as usize];
+        self.cur = self.next[self.cur as usize];
+        Some(&e.sax)
+    }
+}
+
+/// Builds one subtree incrementally — the paper's insert-and-split
+/// protocol (Alg. 4 lines 7–11: "while targetLeaf is full do SplitNode")
+/// — into a flat [`TreeArena`].
 ///
-/// Splits follow the balanced-segment policy of `messi_sax::split`. When a
-/// leaf's entries cannot be separated (identical summaries, or every
+/// Splits follow the balanced-segment policy of `messi_sax::split`. When
+/// a leaf's entries cannot be separated (identical summaries, or every
 /// segment at maximum cardinality) the leaf is allowed to overflow —
 /// further splits would loop forever without separating anything.
-#[derive(Debug, Clone, Copy)]
-pub struct SubtreeInserter {
+///
+/// The builder's scratch (index-linked entry lists, a flat scratch-node
+/// array) is retained across subtrees: `begin` → `insert`* → `finish`
+/// cycles reuse the same buffers, and `finish` performs **exactly two**
+/// exact-capacity allocations — the arena's node array and entry pool —
+/// regardless of how many nodes the subtree has (debug-asserted).
+#[derive(Debug)]
+pub struct SubtreeBuilder {
     /// Number of PAA segments (the paper's w).
-    pub segments: usize,
+    segments: usize,
     /// Leaf capacity before a split is attempted.
-    pub leaf_capacity: usize,
+    leaf_capacity: usize,
+    nodes: Vec<ScratchNode>,
+    entries: Vec<LeafEntry>,
+    /// Parallel to `entries`: next entry in the owning leaf's list.
+    next: Vec<u32>,
 }
 
-impl SubtreeInserter {
-    /// Inserts one entry into the subtree rooted at `node`.
+impl SubtreeBuilder {
+    /// Creates an empty builder for the given tree parameters.
+    pub fn new(segments: usize, leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        Self {
+            segments,
+            leaf_capacity,
+            nodes: Vec::new(),
+            entries: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh subtree covering `word`: clears the scratch
+    /// (retaining capacity) and plants an empty root leaf.
+    pub fn begin(&mut self, word: NodeWord) {
+        self.nodes.clear();
+        self.entries.clear();
+        self.next.clear();
+        self.nodes.push(ScratchNode {
+            word,
+            tag: LEAF_TAG,
+            a: NIL,
+            b: NIL,
+            len: 0,
+        });
+    }
+
+    /// Inserts one entry into the subtree under construction.
     ///
     /// Equivalent to the paper's "while targetLeaf is full do SplitNode"
     /// loop (Alg. 4 lines 8–10), phrased as push-then-rebalance: the entry
     /// is appended to its leaf, then the leaf is split (repeatedly,
     /// drilling through non-separating refinements) until every leaf on
     /// the path is back within capacity or provably inseparable.
-    pub fn insert(&self, node: &mut Node, entry: LeafEntry) {
-        let mut current = node;
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SubtreeBuilder::begin`].
+    pub fn insert(&mut self, entry: LeafEntry) {
+        assert!(!self.nodes.is_empty(), "insert before begin");
         // Descend to the leaf responsible for this entry.
-        while !current.is_leaf() {
-            match current {
-                Node::Inner(inner) => {
-                    debug_assert!(inner.word.contains(&entry.sax, self.segments));
-                    current = if inner
-                        .word
-                        .child_of(&entry.sax, inner.split_segment as usize)
-                    {
-                        &mut *inner.right
-                    } else {
-                        &mut *inner.left
-                    };
-                }
-                Node::Leaf(_) => unreachable!("guarded by is_leaf"),
+        let mut id = 0usize;
+        loop {
+            let n = &self.nodes[id];
+            if n.tag == LEAF_TAG {
+                break;
             }
+            debug_assert!(n.word.contains(&entry.sax, self.segments));
+            id = if n.word.child_of(&entry.sax, n.tag as usize) {
+                n.b
+            } else {
+                n.a
+            } as usize;
         }
-        if let Node::Leaf(leaf) = &mut *current {
-            debug_assert!(leaf.word.contains(&entry.sax, self.segments));
-            leaf.entries.push(entry);
-        }
-        self.rebalance(current);
+        debug_assert!(self.nodes[id].word.contains(&entry.sax, self.segments));
+        let slot = self.entries.len() as u32;
+        self.entries.push(entry);
+        self.next.push(NIL);
+        self.append_to_leaf(id, slot);
+        self.rebalance(id);
     }
 
-    /// Splits `node` (and recursively any oversized children the split
-    /// produces) until capacity holds or the entries are inseparable.
-    fn rebalance(&self, node: &mut Node) {
-        let oversized = match &*node {
-            Node::Leaf(l) => l.entries.len() > self.leaf_capacity,
-            Node::Inner(_) => false,
+    /// Links an already-stored entry slot at the tail of `leaf`'s list.
+    fn append_to_leaf(&mut self, leaf: usize, slot: u32) {
+        let tail = {
+            let n = &mut self.nodes[leaf];
+            let tail = n.b;
+            n.b = slot;
+            n.len += 1;
+            if tail == NIL {
+                n.a = slot;
+            }
+            tail
         };
-        if !oversized || !self.split_leaf(node) {
+        if tail != NIL {
+            self.next[tail as usize] = slot;
+        }
+    }
+
+    /// Splits `id` (and recursively any oversized children the split
+    /// produces) until capacity holds or the entries are inseparable.
+    fn rebalance(&mut self, id: usize) {
+        let n = &self.nodes[id];
+        let oversized = n.tag == LEAF_TAG && n.len as usize > self.leaf_capacity;
+        if !oversized || !self.split_leaf(id) {
             return;
         }
-        if let Node::Inner(inner) = node {
-            self.rebalance(&mut inner.left);
-            self.rebalance(&mut inner.right);
-        }
+        let (left, right) = {
+            let n = &self.nodes[id];
+            (n.a as usize, n.b as usize)
+        };
+        self.rebalance(left);
+        self.rebalance(right);
     }
 
-    /// Splits the leaf at `node` in place, turning it into an inner node
+    /// Splits the leaf at `id` in place, turning it into an inner node
     /// with two leaf children. Returns `false` only when the entries are
     /// inseparable (identical summaries, or every segment at maximum
     /// cardinality), in which case the leaf is left untouched.
@@ -185,67 +522,146 @@ impl SubtreeInserter {
     /// refined anyway (one child gets everything) — the paper's
     /// "while targetLeaf is full do SplitNode" loop drills down until the
     /// differing bit is reached.
-    fn split_leaf(&self, node: &mut Node) -> bool {
-        let (word, segment) = {
-            let leaf = match &*node {
-                Node::Leaf(l) => l,
-                Node::Inner(_) => panic!("split_leaf on inner node"),
-            };
-            let choice = match choose_split(
-                &leaf.word,
-                self.segments,
-                leaf.entries.iter().map(|e| &e.sax),
-            ) {
+    fn split_leaf(&mut self, id: usize) -> bool {
+        let node = self.nodes[id];
+        debug_assert_eq!(node.tag, LEAF_TAG, "split_leaf on inner node");
+        let list = |cur| SaxLinkIter {
+            entries: &self.entries,
+            next: &self.next,
+            cur,
+        };
+        let segment = {
+            let choice = match choose_split(&node.word, self.segments, list(node.a)) {
                 Some(c) => c,
                 None => return false, // every segment at max cardinality
             };
-            let segment = if choice.is_separating() {
+            if choice.is_separating() {
                 choice.segment
             } else {
                 // Drill-down fallback: refine a segment whose full
                 // 8-bit symbols actually differ across entries (such a
                 // refinement chain separates within CARD_BITS splits).
-                let first = &leaf.entries[0].sax;
+                let first = self.entries[node.a as usize].sax;
                 match (0..self.segments).find(|&i| {
-                    (leaf.word.bits(i) as usize) < messi_sax::CARD_BITS
-                        && leaf
-                            .entries
-                            .iter()
-                            .any(|e| e.sax.symbol(i) != first.symbol(i))
+                    (node.word.bits(i) as usize) < messi_sax::CARD_BITS
+                        && list(node.a).any(|sax| sax.symbol(i) != first.symbol(i))
                 }) {
                     Some(i) => i,
                     None => return false, // identical summaries: inseparable
                 }
-            };
-            (leaf.word, segment)
-        };
-        let entries = match &mut *node {
-            Node::Leaf(l) => std::mem::take(&mut l.entries),
-            Node::Inner(_) => unreachable!("checked above"),
-        };
-        let (zero_word, one_word) = word.refine(segment);
-        let mut left = LeafNode {
-            word: zero_word,
-            entries: Vec::new(),
-        };
-        let mut right = LeafNode {
-            word: one_word,
-            entries: Vec::new(),
-        };
-        for e in entries {
-            if word.child_of(&e.sax, segment) {
-                right.entries.push(e);
-            } else {
-                left.entries.push(e);
             }
+        };
+        let (zero_word, one_word) = node.word.refine(segment);
+        let left = self.nodes.len();
+        for word in [zero_word, one_word] {
+            self.nodes.push(ScratchNode {
+                word,
+                tag: LEAF_TAG,
+                a: NIL,
+                b: NIL,
+                len: 0,
+            });
         }
-        *node = Node::Inner(InnerNode {
-            word,
-            split_segment: segment as u8,
-            left: Box::new(Node::Leaf(left)),
-            right: Box::new(Node::Leaf(right)),
-        });
+        // Relink each entry to the child it belongs to, preserving order
+        // (stable partition, exactly like the old per-leaf Vec split).
+        let mut cur = node.a;
+        while cur != NIL {
+            let after = self.next[cur as usize];
+            self.next[cur as usize] = NIL;
+            let child = if node.word.child_of(&self.entries[cur as usize].sax, segment) {
+                left + 1
+            } else {
+                left
+            };
+            self.append_to_leaf(child, cur);
+            cur = after;
+        }
+        self.nodes[id] = ScratchNode {
+            word: node.word,
+            tag: segment as u8,
+            a: left as u32,
+            b: left as u32 + 1,
+            len: 0,
+        };
         true
+    }
+
+    /// Flattens the finished subtree into a [`TreeArena`] (preorder node
+    /// array + packed leaf pool) and resets the scratch for the next
+    /// subtree.
+    ///
+    /// The arena is built with exactly two exact-capacity allocations —
+    /// the node-count and entry-count are known — which debug assertions
+    /// verify (the "allocation-flat subtree" invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SubtreeBuilder::begin`].
+    pub fn finish(&mut self) -> TreeArena {
+        assert!(!self.nodes.is_empty(), "finish before begin");
+        let mut nodes: Vec<NodeRecord> = Vec::with_capacity(self.nodes.len());
+        let mut pool: Vec<LeafEntry> = Vec::with_capacity(self.entries.len());
+        let (node_cap, pool_cap) = (nodes.capacity(), pool.capacity());
+        self.emit(0, &mut nodes, &mut pool);
+        debug_assert_eq!(nodes.len(), self.nodes.len(), "every node emitted once");
+        debug_assert_eq!(pool.len(), self.entries.len(), "every entry emitted once");
+        debug_assert_eq!(nodes.capacity(), node_cap, "node array reallocated");
+        debug_assert_eq!(pool.capacity(), pool_cap, "entry pool reallocated");
+        self.nodes.clear();
+        self.entries.clear();
+        self.next.clear();
+        TreeArena {
+            nodes,
+            entries: pool,
+        }
+    }
+
+    /// Emits the scratch node `sid` (and its subtree) in preorder,
+    /// returning its final arena id.
+    fn emit(&self, sid: usize, out: &mut Vec<NodeRecord>, pool: &mut Vec<LeafEntry>) -> u32 {
+        let fid = out.len() as u32;
+        let n = self.nodes[sid];
+        if n.tag == LEAF_TAG {
+            let start = pool.len() as u32;
+            let mut cur = n.a;
+            while cur != NIL {
+                pool.push(self.entries[cur as usize]);
+                cur = self.next[cur as usize];
+            }
+            debug_assert_eq!(pool.len() as u32 - start, n.len);
+            out.push(NodeRecord {
+                word: n.word,
+                tag: LEAF_TAG,
+                lo: start,
+                hi: pool.len() as u32,
+            });
+        } else {
+            out.push(NodeRecord {
+                word: n.word,
+                tag: n.tag,
+                lo: 0,
+                hi: 0,
+            });
+            let left = self.emit(n.a as usize, out, pool);
+            let right = self.emit(n.b as usize, out, pool);
+            let rec = &mut out[fid as usize];
+            rec.lo = left;
+            rec.hi = right;
+        }
+        fid
+    }
+
+    /// Convenience: builds a whole subtree in one call.
+    pub fn build_subtree(
+        &mut self,
+        word: NodeWord,
+        entries: impl IntoIterator<Item = LeafEntry>,
+    ) -> TreeArena {
+        self.begin(word);
+        for e in entries {
+            self.insert(e);
+        }
+        self.finish()
     }
 }
 
@@ -271,19 +687,24 @@ mod tests {
     #[test]
     fn insert_without_split_accumulates() {
         let word = NodeWord::root();
-        let mut node = Node::empty_leaf(word);
-        let ins = SubtreeInserter {
-            segments: 4,
-            leaf_capacity: 100,
-        };
+        let mut builder = SubtreeBuilder::new(4, 100);
         let config = SaxConfig::new(4, 32);
-        for i in 0..50u32 {
-            ins.insert(&mut node, entry_for(&series(i, 32), i, config));
-        }
-        assert!(node.is_leaf());
-        assert_eq!(node.num_entries(), 50);
-        assert_eq!(node.num_leaves(), 1);
-        assert_eq!(node.height(), 1);
+        let arena = builder.build_subtree(
+            word,
+            (0..50u32).map(|i| entry_for(&series(i, 32), i, config)),
+        );
+        assert!(arena.is_leaf(TreeArena::ROOT));
+        assert_eq!(arena.num_entries(), 50);
+        assert_eq!(arena.num_leaves(), 1);
+        assert_eq!(arena.num_nodes(), 1);
+        assert_eq!(arena.height(), 1);
+        // Entries come out in insertion order.
+        let positions: Vec<u32> = arena
+            .leaf_entries(TreeArena::ROOT)
+            .iter()
+            .map(|e| e.pos)
+            .collect();
+        assert_eq!(positions, (0..50).collect::<Vec<_>>());
     }
 
     #[test]
@@ -301,25 +722,19 @@ mod tests {
             .max_by_key(|(_, v)| v.len())
             .expect("some group");
         assert!(entries.len() > 8, "need a non-trivial group");
-        let ins = SubtreeInserter {
-            segments: 4,
-            leaf_capacity: 8,
-        };
-        let mut node = Node::empty_leaf(node_word_for_root_key(key, 4));
-        for e in &entries {
-            ins.insert(&mut node, *e);
-        }
-        assert_eq!(node.num_entries(), entries.len());
-        assert!(node.num_leaves() > 1, "should have split");
+        let mut builder = SubtreeBuilder::new(4, 8);
+        let arena = builder.build_subtree(node_word_for_root_key(key, 4), entries.iter().copied());
+        assert_eq!(arena.num_entries(), entries.len());
+        assert!(arena.num_leaves() > 1, "should have split");
         // Every leaf's entries are contained in the leaf's word, and no
         // leaf (except unsplittable ones) exceeds capacity.
         let mut seen = 0;
-        node.for_each_leaf(&mut |leaf| {
+        arena.for_each_leaf(&mut |leaf| {
             seen += leaf.entries.len();
-            for e in &leaf.entries {
+            for e in leaf.entries {
                 assert!(leaf.word.contains(&e.sax, 4));
             }
-            if leaf.entries.len() > ins.leaf_capacity {
+            if leaf.entries.len() > 8 {
                 // Only allowed when every entry has the same summary.
                 let first = leaf.entries[0].sax;
                 assert!(
@@ -337,25 +752,135 @@ mod tests {
         let s = series(1, 32);
         let e = entry_for(&s, 0, config);
         let key = root_key(&e.sax, 4);
-        let ins = SubtreeInserter {
-            segments: 4,
-            leaf_capacity: 4,
-        };
-        let mut node = Node::empty_leaf(node_word_for_root_key(key, 4));
-        for i in 0..20u32 {
-            ins.insert(&mut node, LeafEntry { pos: i, ..e });
-        }
-        assert!(node.is_leaf(), "identical words cannot separate");
-        assert_eq!(node.num_entries(), 20);
+        let mut builder = SubtreeBuilder::new(4, 4);
+        let arena = builder.build_subtree(
+            node_word_for_root_key(key, 4),
+            (0..20u32).map(|i| LeafEntry { pos: i, ..e }),
+        );
+        assert!(
+            arena.is_leaf(TreeArena::ROOT),
+            "identical words cannot separate"
+        );
+        assert_eq!(arena.num_entries(), 20);
     }
 
     #[test]
     fn structure_accessors() {
         let word = NodeWord::root();
-        let leaf = Node::empty_leaf(word);
-        assert!(leaf.is_leaf());
-        assert_eq!(leaf.word(), &word);
-        assert_eq!(leaf.num_entries(), 0);
-        assert_eq!(leaf.height(), 1);
+        let mut builder = SubtreeBuilder::new(4, 8);
+        let arena = builder.build_subtree(word, std::iter::empty());
+        assert!(arena.is_leaf(TreeArena::ROOT));
+        assert_eq!(arena.word(TreeArena::ROOT), &word);
+        assert_eq!(arena.num_entries(), 0);
+        assert_eq!(arena.height(), 1);
+        assert!(arena.node_bytes() > 0 || arena.num_nodes() == 1);
+        assert_eq!(arena.leaf(TreeArena::ROOT).entries.len(), 0);
+    }
+
+    #[test]
+    fn builder_reuse_across_subtrees_is_clean() {
+        let config = SaxConfig::new(4, 32);
+        let mut builder = SubtreeBuilder::new(4, 4);
+        let mut groups: std::collections::HashMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..200u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups.entry(root_key(&e.sax, 4)).or_default().push(e);
+        }
+        // Build every group twice — with a fresh builder and with one
+        // reused builder — and require identical flattened storage.
+        for (key, entries) in groups {
+            let word = node_word_for_root_key(key, 4);
+            let reused = builder.build_subtree(word, entries.iter().copied());
+            let fresh = SubtreeBuilder::new(4, 4).build_subtree(word, entries.iter().copied());
+            assert_eq!(reused.num_nodes(), fresh.num_nodes(), "key {key}");
+            assert_eq!(reused.num_leaves(), fresh.num_leaves(), "key {key}");
+            let collect = |a: &TreeArena| {
+                let mut v = Vec::new();
+                a.for_each_leaf(&mut |l| v.extend(l.entries.iter().map(|e| e.pos)));
+                v
+            };
+            assert_eq!(collect(&reused), collect(&fresh), "key {key}");
+        }
+    }
+
+    #[test]
+    fn preorder_invariants_hold_and_from_raw_validates() {
+        let config = SaxConfig::new(4, 32);
+        let mut groups: std::collections::HashMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..300u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups.entry(root_key(&e.sax, 4)).or_default().push(e);
+        }
+        let (key, entries) = groups
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("some group");
+        let mut builder = SubtreeBuilder::new(4, 4);
+        let arena = builder.build_subtree(node_word_for_root_key(key, 4), entries.iter().copied());
+        // Round-tripping through from_raw accepts the builder's output…
+        let nodes = arena.raw_nodes().to_vec();
+        let pool = arena.raw_entries().to_vec();
+        let back = TreeArena::from_raw(nodes.clone(), pool.clone()).expect("valid arena");
+        assert_eq!(back.num_leaves(), arena.num_leaves());
+        // …and rejects structural corruption.
+        assert!(TreeArena::from_raw(Vec::new(), Vec::new()).is_err());
+        if arena.num_nodes() > 1 {
+            let mut bad = nodes.clone();
+            bad[0].lo = 0; // self-referential child breaks preorder
+            assert!(TreeArena::from_raw(bad, pool.clone()).is_err());
+        }
+        let mut bad = nodes;
+        if let Some(last_leaf) = bad.iter().rposition(|n| n.tag == LEAF_TAG) {
+            bad[last_leaf].hi += 1; // range past the pool
+            assert!(TreeArena::from_raw(bad, pool).is_err());
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_crafted_non_trees() {
+        let w = NodeWord::root();
+        let leaf = |lo: u32, hi: u32| NodeRecord {
+            word: w,
+            tag: u8::MAX,
+            lo,
+            hi,
+        };
+        let inner = |lo: u32, hi: u32| NodeRecord {
+            word: w,
+            tag: 0,
+            lo,
+            hi,
+        };
+        let entries = |n: usize| {
+            vec![
+                LeafEntry {
+                    sax: SaxWord::zeroed(),
+                    pos: 0
+                };
+                n
+            ]
+        };
+        // Unreachable node: the root only spans ids 1..=2, node 3 never
+        // gets visited, but its pool range keeps the linear partition
+        // consistent — only the DFS walk can catch it.
+        let orphan = vec![inner(1, 2), leaf(0, 3), leaf(3, 6), leaf(6, 9)];
+        let err = TreeArena::from_raw(orphan, entries(9)).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+        // Shared child: two parents point at leaf 3 — the DFS visits it
+        // twice, out of preorder.
+        let shared = vec![inner(1, 3), inner(2, 3), leaf(0, 1), leaf(1, 2)];
+        assert!(TreeArena::from_raw(shared, entries(2)).is_err());
+        // A left spine deeper than any legitimate build must be refused
+        // (honest depth is bounded by total refinable bits), keeping the
+        // recursive traversals within sane stack bounds. The spine is a
+        // structurally flawless preorder tree of 2D+1 nodes — only the
+        // depth cap can reject it.
+        let d = (TreeArena::MAX_DEPTH + 8) as u32;
+        let mut spine: Vec<NodeRecord> = (0..d).map(|i| inner(i + 1, 2 * d - i)).collect();
+        for _ in 0..=d {
+            spine.push(leaf(0, 0));
+        }
+        let err = TreeArena::from_raw(spine, entries(0)).unwrap_err();
+        assert!(err.contains("deeper"), "{err}");
     }
 }

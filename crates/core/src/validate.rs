@@ -1,18 +1,22 @@
 //! Index invariant validation.
 //!
 //! Used by the test suite (including the cross-crate property tests) to
-//! assert that a built index is structurally sound. Every invariant here
-//! is one the search algorithms silently rely on; a violation would make
+//! assert that a built index is structurally sound, and by the snapshot
+//! loader ([`crate::persist`]) as its semantic trust boundary — both
+//! call the same per-subtree checker, so an invariant added here
+//! automatically guards loaded snapshots too. Every invariant is one
+//! the search algorithms silently rely on; a violation would make
 //! "exact" answers wrong rather than slow.
 
-use crate::index::MessiIndex;
-use crate::node::Node;
+use crate::index::{MessiIndex, EMPTY_SLOT};
+use crate::node::{NodeId, TreeArena};
 use messi_sax::convert::SaxConverter;
-use messi_sax::root_key::root_key;
+use messi_sax::root_key::{node_word_for_root_key, root_key};
 
 /// Checks all structural invariants of `index`.
 ///
-/// Returns the list of violations (empty = valid). Checked invariants:
+/// Returns the list of violations (empty = valid; at most one semantic
+/// violation is reported per subtree). Checked invariants:
 ///
 /// 1. **Completeness**: every dataset position appears in exactly one
 ///    leaf.
@@ -20,48 +24,57 @@ use messi_sax::root_key::root_key;
 ///    recomputed summary of its raw series.
 /// 3. **Containment**: every leaf entry's summary is contained in the
 ///    leaf's node word, and files under the root key of its subtree.
-/// 4. **Refinement**: each inner node's children carry the two words
-///    produced by refining the parent on its split segment.
+/// 4. **Refinement**: each subtree's root word matches its key, and
+///    each inner node's children carry the two words produced by
+///    refining the parent on its split segment.
 /// 5. **Capacity**: no leaf exceeds the configured capacity unless all
 ///    its entries share one summary (the documented overflow case).
 /// 6. **Bookkeeping**: `touched_keys` matches the non-empty root slots,
 ///    and no stored subtree is empty.
+/// 7. **Arena layout**: each arena's leaves partition its entry pool in
+///    depth-first order, so leaf scans and `for_each_leaf` walk flat,
+///    gapless slices.
 pub fn validate(index: &MessiIndex) -> Vec<String> {
     let mut errors = Vec::new();
-    let segments = index.sax_config().segments;
     let mut conv = SaxConverter::new(index.sax_config());
     let mut seen = vec![0u32; index.num_series()];
 
     // Bookkeeping (6).
-    for (key, slot) in index.roots.iter().enumerate() {
+    for (key, &slot) in index.slots.iter().enumerate() {
         let touched = index.touched.binary_search(&key).is_ok();
-        if slot.is_some() != touched {
+        if (slot != EMPTY_SLOT) != touched {
             errors.push(format!(
                 "key {key}: touched-list ({touched}) disagrees with root slot ({})",
-                slot.is_some()
+                slot != EMPTY_SLOT
             ));
         }
-        if let Some(node) = slot {
-            if node.num_entries() == 0 {
+        if slot != EMPTY_SLOT {
+            let arena = &index.arenas[slot as usize];
+            if arena.num_entries() == 0 {
                 errors.push(format!("key {key}: empty subtree stored"));
             }
         }
     }
 
+    // Per-subtree semantics (2, 3, 4, 5, 7), shared with the snapshot
+    // loader. Position tallies feed the completeness check below.
     for &key in &index.touched {
-        let node = match index.root(key) {
-            Some(n) => n,
+        let arena = match index.root(key) {
+            Some(a) => a,
             None => continue, // already reported
         };
-        validate_node(
-            index,
-            node,
-            key,
-            segments,
-            &mut conv,
-            &mut seen,
-            &mut errors,
-        );
+        let mut record = |pos: usize| -> Result<(), String> {
+            match seen.get_mut(pos) {
+                Some(count) => {
+                    *count += 1;
+                    Ok(())
+                }
+                None => Err(format!("key {key}: position {pos} out of range")),
+            }
+        };
+        if let Err(e) = check_subtree_semantics(index, arena, key, &mut conv, &mut record) {
+            errors.push(e);
+        }
     }
 
     // Completeness (1).
@@ -77,70 +90,96 @@ pub fn validate(index: &MessiIndex) -> Vec<String> {
     errors
 }
 
-fn validate_node(
+/// Fail-fast semantic check of one subtree — the single implementation
+/// behind both [`validate`] and the snapshot loader's parallel sweep
+/// ([`crate::persist`]): root word vs key, refinement chains, arena pool
+/// layout, leaf capacity, containment, key filing, and recomputed
+/// summary correctness against the dataset. `record` tallies every
+/// stored position (and may reject duplicates or out-of-range values —
+/// how duplicates are detected differs between the two callers).
+pub(crate) fn check_subtree_semantics(
     index: &MessiIndex,
-    node: &Node,
+    arena: &TreeArena,
     key: usize,
-    segments: usize,
     conv: &mut SaxConverter,
-    seen: &mut [u32],
-    errors: &mut Vec<String>,
-) {
-    match node {
-        Node::Inner(inner) => {
+    record: &mut dyn FnMut(usize) -> Result<(), String>,
+) -> Result<(), String> {
+    let segments = index.sax_config().segments;
+    // Refinement (4), at the root: the subtree must cover exactly its key.
+    if arena.word(TreeArena::ROOT) != &node_word_for_root_key(key, segments) {
+        return Err(format!("key {key}: root word does not match the key"));
+    }
+    // The node array is in preorder (guaranteed by the builder and
+    // re-verified for loaded snapshots), so a linear sweep visits leaves
+    // in depth-first order and the pool cursor check below is exactly
+    // the arena-layout invariant (7).
+    let mut cursor = 0u32;
+    for id in 0..arena.num_nodes() as NodeId {
+        if !arena.is_leaf(id) {
             // Refinement (4).
-            let (zero, one) = inner.word.refine(inner.split_segment as usize);
-            if inner.left.word() != &zero {
-                errors.push(format!(
+            let (left, right) = arena.children(id);
+            let (zero, one) = arena.word(id).refine(arena.split_segment(id));
+            if arena.word(left) != &zero {
+                return Err(format!(
                     "key {key}: left child word {} ≠ refinement {}",
-                    inner.left.word().display(segments),
+                    arena.word(left).display(segments),
                     zero.display(segments)
                 ));
             }
-            if inner.right.word() != &one {
-                errors.push(format!(
+            if arena.word(right) != &one {
+                return Err(format!(
                     "key {key}: right child word {} ≠ refinement {}",
-                    inner.right.word().display(segments),
+                    arena.word(right).display(segments),
                     one.display(segments)
                 ));
             }
-            validate_node(index, &inner.left, key, segments, conv, seen, errors);
-            validate_node(index, &inner.right, key, segments, conv, seen, errors);
+            continue;
         }
-        Node::Leaf(leaf) => {
-            // Capacity (5).
-            if leaf.entries.len() > index.config.leaf_capacity {
-                let first = leaf.entries.first().map(|e| e.sax);
-                if !leaf.entries.iter().all(|e| Some(e.sax) == first) {
-                    errors.push(format!(
-                        "key {key}: oversized leaf ({} > {}) with separable entries",
-                        leaf.entries.len(),
-                        index.config.leaf_capacity
-                    ));
-                }
+        // Arena layout (7).
+        let (start, _) = arena.leaf_range(id);
+        if start != cursor {
+            return Err(format!(
+                "key {key}: leaf pool slice starts at {start}, expected {cursor}"
+            ));
+        }
+        let leaf = arena.leaf(id);
+        cursor += leaf.entries.len() as u32;
+        // Capacity (5).
+        if leaf.entries.len() > index.config.leaf_capacity {
+            let first = leaf.entries.first().map(|e| e.sax);
+            if !leaf.entries.iter().all(|e| Some(e.sax) == first) {
+                return Err(format!(
+                    "key {key}: oversized leaf ({} > {}) with separable entries",
+                    leaf.entries.len(),
+                    index.config.leaf_capacity
+                ));
             }
-            for e in &leaf.entries {
-                let pos = e.pos as usize;
-                if pos >= seen.len() {
-                    errors.push(format!("key {key}: position {pos} out of range"));
-                    continue;
-                }
-                seen[pos] += 1;
-                // Containment (3).
-                if !leaf.word.contains(&e.sax, segments) {
-                    errors.push(format!("key {key}: entry {pos} not contained in leaf word"));
-                }
-                if root_key(&e.sax, segments) != key {
-                    errors.push(format!("key {key}: entry {pos} filed under wrong key"));
-                }
-                // Summary correctness (2).
-                let expect = conv.convert(index.dataset.series(pos));
-                if expect != e.sax {
-                    errors.push(format!("key {key}: entry {pos} has stale summary"));
-                }
+        }
+        for e in leaf.entries {
+            let pos = e.pos as usize;
+            record(pos)?;
+            // Containment (3).
+            if !leaf.word.contains(&e.sax, segments) {
+                return Err(format!("key {key}: entry {pos} not contained in leaf word"));
+            }
+            if root_key(&e.sax, segments) != key {
+                return Err(format!("key {key}: entry {pos} filed under wrong key"));
+            }
+            // Summary correctness (2).
+            if conv.convert(index.dataset.series(pos)) != e.sax {
+                return Err(format!(
+                    "key {key}: entry {pos} has a forged or stale summary"
+                ));
             }
         }
     }
+    if cursor as usize != arena.num_entries() {
+        return Err(format!(
+            "key {key}: depth-first leaves cover {cursor} of {} pool entries",
+            arena.num_entries()
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -176,9 +215,10 @@ mod tests {
     fn detects_corrupted_index() {
         let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 100, 3));
         let (mut index, _) = MessiIndex::build(data, &IndexConfig::for_tests());
-        // Sabotage: steal one subtree, breaking completeness + bookkeeping.
+        // Sabotage: unhook one subtree's slot, breaking completeness +
+        // bookkeeping.
         let key = index.touched[0];
-        index.roots[key] = None;
+        index.slots[key] = EMPTY_SLOT;
         let errors = validate(&index);
         assert!(!errors.is_empty(), "corruption must be detected");
     }

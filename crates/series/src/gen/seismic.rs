@@ -131,7 +131,10 @@ mod tests {
         // Gather a batch and group by recomputing template ids the same
         // way the generator draws them.
         let count = 2000u64;
-        let mut by_template: std::collections::HashMap<u64, Vec<Vec<f32>>> = Default::default();
+        // BTreeMap, not HashMap: the assertions below pick groups by
+        // iteration order, and HashMap's per-process hasher randomization
+        // made the chosen pairs — and thus the test outcome — flaky.
+        let mut by_template: std::collections::BTreeMap<u64, Vec<Vec<f32>>> = Default::default();
         for i in 0..count {
             let mut rng = Rng::for_stream(9 ^ 0x5E15_0000_0000_0000, i);
             // Skip the background draws (2 per point: AR noise uses one

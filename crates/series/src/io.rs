@@ -1,4 +1,5 @@
-//! Dataset file persistence.
+//! Dataset file persistence, plus the little-endian payload codec shared
+//! with the index-snapshot container.
 //!
 //! A minimal binary container so datasets can move between the CLI,
 //! examples, and external tools: a 24-byte header (magic, version,
@@ -6,6 +7,12 @@
 //! `f32` values, series back to back. The format is deliberately dumb:
 //! the paper's pipeline treats raw series files exactly this way (ParIS
 //! reads "raw data series from disk … into a raw data buffer in memory").
+//!
+//! [`PayloadWriter`] / [`PayloadReader`] are the building blocks for
+//! richer containers: append/consume fixed-width little-endian scalars
+//! and byte runs over one contiguous buffer, with [`fnv1a64`] providing
+//! the content checksum. `messi_core::persist` uses them for the
+//! versioned, checksummed index snapshot files.
 
 use crate::error::Error;
 use crate::types::Dataset;
@@ -80,6 +87,178 @@ pub fn read_dataset(path: &Path) -> std::result::Result<Dataset, ReadError> {
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect();
     Dataset::from_flat(values, series_len).map_err(ReadError::Data)
+}
+
+/// Streaming FNV-1a 64-bit hasher — the one implementation behind
+/// [`fnv1a64`] and [`fnv1a64_f32`], usable incrementally by callers
+/// that produce bytes in pieces.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Mixes `bytes` into the state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64-bit hash — the content checksum of the snapshot container.
+/// Dependency-free, one pass, and byte-order independent (it hashes the
+/// serialized little-endian bytes, not in-memory values).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Hashes `f32` values by their little-endian bit patterns — the
+/// dataset fingerprint stored in index snapshots (one streaming pass
+/// over the whole collection at load time).
+pub fn fnv1a64_f32(values: &[f32]) -> u64 {
+    let mut h = Fnv1a::new();
+    for v in values {
+        h.update(&v.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its little-endian bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Consumes fixed-width little-endian values from a byte buffer,
+/// reporting truncation instead of panicking — the defensive half of
+/// [`PayloadWriter`] for reading possibly-corrupt files.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+        if self.buf.len() < n {
+            return Err("truncated payload");
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Consumes one byte.
+    pub fn take_u8(&mut self) -> Result<u8, &'static str> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, &'static str> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, &'static str> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, &'static str> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Consumes an `f32` stored as its little-endian bit pattern.
+    pub fn take_f32(&mut self) -> Result<f32, &'static str> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+        self.take(n)
+    }
+
+    /// Unconsumed bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// Errors from [`read_dataset`].
@@ -172,5 +351,51 @@ mod tests {
         assert!(e.to_string().contains("bad thing"));
         let e = ReadError::Data(Error::InvalidSeriesLength(0));
         assert!(e.to_string().contains("invalid dataset content"));
+    }
+
+    #[test]
+    fn payload_roundtrip_preserves_values() {
+        let mut w = PayloadWriter::new();
+        assert!(w.is_empty());
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f32(-1.5);
+        w.put_bytes(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert_eq!(r.take_u16().unwrap(), 0x1234);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.take_f32().unwrap(), -1.5);
+        assert_eq!(r.take_bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn payload_reader_reports_truncation() {
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert_eq!(r.take_u16().unwrap(), 0x0201);
+        assert!(r.take_u32().is_err(), "only one byte left");
+        // The failed read consumes nothing.
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.take_u8().unwrap(), 3);
+    }
+
+    #[test]
+    fn fnv_checksums_are_stable_and_sensitive() {
+        // Regression-pinned: the checksum is part of the on-disk format.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        // The f32 variant equals hashing the serialized bytes.
+        let values = [1.0f32, -2.5, 0.0, f32::MAX];
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(fnv1a64_f32(&values), fnv1a64(&bytes));
     }
 }

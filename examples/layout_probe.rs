@@ -1,0 +1,72 @@
+//! Ad-hoc layout throughput probe: times the leaf-scan-heavy paths the
+//! arena layout targets, over a shallow paper-default index and a deep
+//! split-heavy one. Used to record the before/after numbers in README's
+//! bench notes (run it at the pre-arena commit for "before").
+
+use messi::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
+    let t = Instant::now();
+    let (index, _) = MessiIndex::build(Arc::clone(data), config);
+    let build = t.elapsed();
+    let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 12);
+    let q = queries.series(0);
+    let qc = QueryConfig::default();
+    let one = QueryConfig {
+        num_workers: 1,
+        num_queues: 1,
+        ..QueryConfig::default()
+    };
+    let (_, nn) = data.nearest_neighbor_brute_force(q);
+
+    // Full leaf sweep: pure storage traversal.
+    let iters = 200u32;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        for &key in index.touched_keys() {
+            index
+                .root(key)
+                .unwrap()
+                .for_each_leaf(&mut |l| acc += l.entries.iter().map(|e| e.pos as u64).sum::<u64>());
+        }
+    }
+    let sweep = t.elapsed() / iters;
+
+    let iters = 50u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        let _ = index.search_range(q, nn * 16.0, &qc);
+    }
+    let range = t.elapsed() / iters;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let _ = index.search(q, &one);
+    }
+    let exact = t.elapsed() / iters;
+
+    println!(
+        "{label}: build {build:.2?} · leaves {} · height {} · sweep {sweep:.3?} · \
+         range_wide {range:.3?} · exact_1w {exact:.3?} (acc {acc})",
+        index.num_leaves(),
+        index.max_height()
+    );
+}
+
+fn main() {
+    let n = 50_000;
+    let data = Arc::new(messi::series::gen::generate(DatasetKind::RandomWalk, n, 12));
+    probe("shallow(paper-default)", &data, &IndexConfig::default());
+    probe(
+        "deep(seg8/leaf64)",
+        &data,
+        &IndexConfig {
+            segments: 8,
+            leaf_capacity: 64,
+            ..IndexConfig::default()
+        },
+    );
+}

@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! messi generate    --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
-//! messi info        --data data.mds
-//! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw]
-//! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw]
-//! messi bench-query --data data.mds --objective {exact|knn|range} --schedule {intra|inter} [--dtw]
+//! messi build       --data data.mds --save index.msx
+//! messi info        --data data.mds [--load index.msx]
+//! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx]
+//! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx]
+//! messi bench-query --data data.mds --objective {exact|knn|range} --schedule {intra|inter} [--dtw] [--load index.msx]
 //! ```
 //!
-//! Datasets live in the `.mds` container of `messi::series::io`. Queries
-//! can come from a second file or be generated on the fly. All searches
-//! are exact; per-query pruning statistics are printed. `bench-query`
-//! drives the pooled query executor over a whole batch — any objective ×
-//! metric × schedule — and reports aggregate throughput plus the paper's
-//! Fig. 13 per-phase breakdown (`--breakdown`).
+//! Datasets live in the `.mds` container of `messi::series::io`; built
+//! indexes persist in the `.msx` snapshot container of
+//! `messi::index::persist` (`build --save` writes one, `--load` answers
+//! from it without rebuilding). Queries can come from a second file or be
+//! generated on the fly. All searches are exact; per-query pruning
+//! statistics are printed. `bench-query` drives the pooled query executor
+//! over a whole batch — any objective × metric × schedule — and reports
+//! aggregate throughput plus the paper's Fig. 13 per-phase breakdown
+//! (`--breakdown`).
 
 use messi::prelude::*;
 use messi::series::io::{read_dataset, write_dataset};
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
+        "build" => cmd_build(&opts),
         "info" => cmd_info(&opts),
         "query" => cmd_query(&opts),
         "range" => cmd_range(&opts),
@@ -60,21 +65,28 @@ const USAGE: &str = "messi — in-memory data series indexing (MESSI, ICDE 2020)
 USAGE:
   messi generate    --kind <random|seismic|sald> --count <N> --out <file.mds>
                     [--len <points>] [--seed <u64>]
-  messi info        --data <file.mds>
+  messi build       --data <file.mds> --save <file.msx>
+  messi info        --data <file.mds> [--load <file.msx>]
   messi query       --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
-                    [--k <K>] [--dtw] [--seed <u64>]
+                    [--k <K>] [--dtw] [--seed <u64>] [--load <file.msx>]
   messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
+                    [--load <file.msx>]
   messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--objective <exact|knn|range>] [--k <K>] [--epsilon <dist>]
                     [--schedule <intra|inter>] [--parallelism <P>] [--workers <Ns>]
-                    [--dtw] [--breakdown] [--seed <u64>]
+                    [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
 
 Generated queries come from the same family as --kind (members + noise
 for real-data stand-ins). All searches are exact. bench-query answers
 the whole batch through the pooled query executor: `--schedule intra`
 runs queries one by one, each on all --workers search workers (the
 paper's protocol); `--schedule inter` dispenses queries across
---parallelism single-threaded workers for throughput.";
+--parallelism single-threaded workers for throughput.
+
+`build --save` persists the finished index as a versioned, checksummed
+snapshot; `--load` on the query commands answers from the snapshot
+without rebuilding (the raw dataset is still required — snapshots store
+tree structure, and the loader verifies the data fingerprint).";
 
 /// Parsed `--key value` options.
 struct Opts(Vec<(String, String)>);
@@ -156,6 +168,51 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the index or loads it from a `--load` snapshot. Build stats
+/// are only available when the index was actually built.
+fn obtain_index(
+    opts: &Opts,
+    data: &Arc<Dataset>,
+) -> Result<(MessiIndex, Option<BuildStats>), String> {
+    if let Some(path) = opts.get("load") {
+        let t = std::time::Instant::now();
+        let index = messi::index::persist::load_index(&PathBuf::from(path), Arc::clone(data))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("index loaded from {path} in {:.2?}", t.elapsed());
+        Ok((index, None))
+    } else {
+        let (index, stats) = MessiIndex::build(Arc::clone(data), &IndexConfig::default());
+        Ok((index, Some(stats)))
+    }
+}
+
+fn cmd_build(opts: &Opts) -> Result<(), String> {
+    let data = load(opts)?;
+    let out = PathBuf::from(opts.required("save")?);
+    if let Some((pos, idx)) = data.find_non_finite() {
+        return Err(format!(
+            "series {pos} has a non-finite value at point {idx}; \
+             similarity search over NaN/∞ is undefined"
+        ));
+    }
+    let (index, stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    println!(
+        "index: {} series built in {:.2?} (summaries {:.2?} + tree {:.2?})",
+        stats.num_series, stats.total_time, stats.summarize_time, stats.tree_time
+    );
+    let t = std::time::Instant::now();
+    messi::index::persist::save_index(&index, &out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "snapshot: {:.1} MB written to {} in {:.2?}",
+        bytes as f64 / (1 << 20) as f64,
+        out.display(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
 fn cmd_info(opts: &Opts) -> Result<(), String> {
     let data = load(opts)?;
     println!(
@@ -170,17 +227,30 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
              similarity search over NaN/∞ is undefined"
         ));
     }
-    let t = std::time::Instant::now();
-    let (index, stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let (index, stats) = obtain_index(opts, &data)?;
+    if let Some(stats) = stats {
+        println!(
+            "index:   built in {:.2?} (summaries {:.2?} + tree {:.2?})",
+            stats.total_time, stats.summarize_time, stats.tree_time
+        );
+    }
     println!(
-        "index:   built in {:.2?} (summaries {:.2?} + tree {:.2?})",
-        stats.total_time, stats.summarize_time, stats.tree_time
+        "shape:   {} leaves across {} root subtrees, height ≤ {}",
+        index.num_leaves(),
+        index.touched_keys().len(),
+        index.max_height()
     );
     println!(
-        "         {} leaves across {} root subtrees, height ≤ {}",
-        stats.num_leaves, stats.num_root_subtrees, stats.max_height
+        "         leaf fill factor {:.1}% (capacity {}), {} entries",
+        100.0 * index.leaf_fill_factor(),
+        index.config().leaf_capacity,
+        index.num_entries()
     );
-    let _ = (index, t);
+    println!(
+        "storage: node arenas {:.2} MB + leaf pools {:.2} MB (flat, 2 allocations/subtree)",
+        index.node_storage_bytes() as f64 / (1 << 20) as f64,
+        index.entry_storage_bytes() as f64 / (1 << 20) as f64
+    );
     Ok(())
 }
 
@@ -211,12 +281,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let queries = queries_for_cli(opts, &data)?;
     let k: usize = opts.parsed("k", 1usize)?;
     let use_dtw = opts.get("dtw").is_some();
-    let (index, build) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
-    println!(
-        "index built in {:.2?}; answering {} queries…",
-        build.total_time,
-        queries.len()
-    );
+    let (index, build) = obtain_index(opts, &data)?;
+    if let Some(build) = &build {
+        println!("index built in {:.2?}", build.total_time);
+    }
+    println!("answering {} queries…", queries.len());
     let config = QueryConfig::default();
     for (qi, q) in queries.iter().enumerate() {
         if use_dtw && k > 1 {
@@ -278,7 +347,7 @@ fn cmd_range(opts: &Opts) -> Result<(), String> {
     }
     let use_dtw = opts.get("dtw").is_some();
     let queries = queries_for_cli(opts, &data)?;
-    let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let (index, _) = obtain_index(opts, &data)?;
     let config = QueryConfig::default();
     // User supplies a distance; the search APIs want it squared.
     let epsilon_sq = epsilon * epsilon;
@@ -363,7 +432,7 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
         ..QueryConfig::default()
     };
 
-    let (index, build) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let (index, build) = obtain_index(opts, &data)?;
     println!(
         "bench-query: {} queries · {} · {} · {}",
         queries.len(),
@@ -371,11 +440,14 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
         describe_metric(&metric),
         describe_schedule(&schedule, config.num_workers),
     );
-    println!(
-        "index: {} series built in {:.2?}",
-        data.len(),
-        build.total_time
-    );
+    match build {
+        Some(build) => println!(
+            "index: {} series built in {:.2?}",
+            data.len(),
+            build.total_time
+        ),
+        None => println!("index: {} series (from snapshot)", data.len()),
+    }
 
     // One executor serves the whole batch from warm pooled contexts,
     // sized to the schedule's concurrency (intra uses a single context);

@@ -70,16 +70,17 @@ pub mod sync {
 }
 
 pub use messi_core::{
-    BuildStats, IndexConfig, MessiIndex, MetricSpec, Objective, QueryAnswer, QueryConfig,
-    QueryContext, QueryExecutor, QuerySpec, QueryStats, Schedule,
+    load_index, save_index, BuildStats, IndexConfig, MessiIndex, MetricSpec, Objective,
+    PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec, QueryStats,
+    Schedule,
 };
 
 /// The commonly needed imports in one place.
 pub mod prelude {
     pub use messi_core::{
-        BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex, MetricSpec, Objective,
-        QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec, QueryStats, QueuePolicy,
-        Schedule,
+        load_index, save_index, BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex,
+        MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor,
+        QuerySpec, QueryStats, QueuePolicy, Schedule,
     };
     pub use messi_series::distance::dtw::DtwParams;
     pub use messi_series::distance::Kernel;
