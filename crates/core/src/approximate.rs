@@ -1,0 +1,446 @@
+//! Approximate 1-NN search with error bounds (ng- and δ-ε-approximate).
+//!
+//! The journal version of the paper (*Fast Data Series Indexing for
+//! In-Memory Data*, VLDBJ) presents approximate search not as a new
+//! algorithm but as the same traversal skeleton with a relaxed contract,
+//! and that is exactly how it is implemented here: a fourth
+//! `SearchObjective` over the unified [`crate::engine`] driver.
+//!
+//! * **ng-approximate** (`delta = 0`, "no guarantees"): the answer is the
+//!   best series of the query's *home leaf* — the leaf its iSAX summary
+//!   descends to. This is the operation exact search uses to seed its
+//!   BSF (Fig. 4a), promoted to a query mode; the engine never runs.
+//! * **δ-ε-approximate** (`0 < delta <= 1`): the full traversal runs, but
+//!   pruning uses the inflated bound `bsf/(1+ε)²` (all internal values
+//!   are *squared* distances) — any pruned candidate has true squared
+//!   distance at least `bsf_final/(1+ε)²`, i.e. true distance at least
+//!   `dist(bsf_final)/(1+ε)`, so on completion the answer is within
+//!   `(1+ε)` of the true nearest neighbor *in distance terms* — and, for
+//!   `delta < 1`, queue processing stops once a
+//!   δ-derived leaf-visit budget (`ceil(delta · total leaves)`) is spent.
+//!   Each queue is drained best-bound-first, so the budget goes to the
+//!   most promising leaves (exactly so with one queue; approximately
+//!   under the default multi-queue configuration, where workers hop
+//!   between queues in randomized order) and the guarantee holds with
+//!   probability calibrated by δ (measured and asserted by
+//!   `tests/approximate.rs`).
+//!   At `delta = 1` there is no budget and the `(1+ε)` bound is
+//!   deterministic; at `epsilon = 0` *and* `delta = 1` every comparison
+//!   is bit-identical to exact search.
+//!
+//! Both metrics compose: Euclidean ([`approx_search`]) and banded DTW
+//! ([`approx_search_dtw`]) share every line of driver code, exactly like
+//! the exact objectives.
+
+use crate::config::QueryConfig;
+use crate::engine::{
+    self, ApproxObjective, DtwMetric, Engine, EuclideanMetric, QueryContext, TableSpec,
+};
+use crate::exact::QueryAnswer;
+use crate::index::MessiIndex;
+use crate::stats::{QueryStats, SharedQueryStats, StopReason, TimeBreakdown};
+use messi_series::distance::dtw::DtwParams;
+use messi_series::distance::lb_keogh::Envelope;
+use messi_series::paa::paa;
+use std::time::Instant;
+
+/// Validates the δ-ε parameter pair.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative or non-finite, or `delta` is NaN or
+/// outside `[0, 1]`.
+pub(crate) fn validate_params(epsilon: f32, delta: f32) {
+    assert!(
+        epsilon >= 0.0 && epsilon.is_finite(),
+        "epsilon must be a finite non-negative number"
+    );
+    assert!((0.0..=1.0).contains(&delta), "delta must be within [0, 1]");
+}
+
+/// The queue-phase leaf-visit budget for `delta`: `None` (unlimited) at
+/// `delta = 1`, else `ceil(delta · total leaves)`. Each leaf enters the
+/// queues at most once, so an unlimited budget can never terminate a
+/// query early.
+fn budget_for(index: &MessiIndex, delta: f32) -> Option<u64> {
+    if delta >= 1.0 {
+        None
+    } else {
+        Some((delta as f64 * index.num_leaves() as f64).ceil() as u64)
+    }
+}
+
+/// The ng-approximate short circuit (`delta = 0`): the home-leaf seed
+/// *is* the answer. Assembles the stats for a query whose whole life was
+/// its initialization phase.
+fn ng_answer(
+    dist_sq: f32,
+    pos: u32,
+    t_start: Instant,
+    config: &QueryConfig,
+) -> (QueryAnswer, QueryStats) {
+    let total_time = t_start.elapsed();
+    let stats = QueryStats {
+        total_time,
+        initial_bsf_dist_sq: dist_sq,
+        stop_reason: Some(StopReason::HomeLeafOnly),
+        breakdown: config.collect_breakdown.then(|| TimeBreakdown {
+            init_ns: total_time.as_nanos() as u64,
+            ..TimeBreakdown::default()
+        }),
+        ..QueryStats::default()
+    };
+    (QueryAnswer { pos, dist_sq }, stats)
+}
+
+/// δ-ε-approximate 1-NN search under Euclidean distance.
+///
+/// ```
+/// use messi_core::{IndexConfig, MessiIndex, QueryConfig};
+/// use messi_series::gen::{self, DatasetKind};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 5));
+/// let (index, _) = MessiIndex::build(Arc::clone(&data), &IndexConfig::for_tests());
+/// let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 1, 5);
+///
+/// // ε = 0.1, δ = 1: deterministically within 1.1× of the true NN.
+/// let (approx, _) = messi_core::approximate::approx_search(
+///     &index, queries.series(0), 0.1, 1.0, &QueryConfig::for_tests());
+/// let (_, true_nn) = data.nearest_neighbor_brute_force(queries.series(0));
+/// assert!(approx.dist_sq <= 1.1 * 1.1 * true_nn * (1.0 + 1e-3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative or non-finite, `delta` is outside
+/// `[0, 1]`, the query length mismatches, or the configuration is
+/// invalid.
+pub fn approx_search(
+    index: &MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    config: &QueryConfig,
+) -> (QueryAnswer, QueryStats) {
+    approx_search_with(
+        index,
+        query,
+        epsilon,
+        delta,
+        config,
+        &mut QueryContext::new(),
+    )
+}
+
+/// [`approx_search`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`approx_search`].
+pub fn approx_search_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (QueryAnswer, QueryStats) {
+    config.validate();
+    validate_params(epsilon, delta);
+    let t_start = Instant::now();
+
+    // Seed from the home leaf — for ng mode this is the whole query.
+    let (query_sax, query_paa) = index.summarize_query(query);
+    if delta == 0.0 {
+        let entries = index.home_leaf_entries(&query_sax, &query_paa);
+        let (d0, p0) = index.scan_entries_ed(entries, query, config.kernel);
+        let mut out = ng_answer(d0, p0, t_start, config);
+        // The mode's entire work is the leaf scan: one early-abandoning
+        // real distance per entry — report it, matching the DTW ng path
+        // (exact search deliberately leaves its seed scan uncounted, so
+        // this stays out of `seed_approximate` itself).
+        out.1.real_distance_calcs = entries.len() as u64;
+        return out;
+    }
+    let (d0, p0) = index.seed_approximate(query, &query_sax, &query_paa, config.kernel);
+
+    let objective = ApproxObjective::new(config.bsf, d0, p0, epsilon, budget_for(index, delta));
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Point(&query_paa),
+        Some(config),
+    );
+    let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
+    let stats = SharedQueryStats::new();
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
+
+    let (dist_sq, pos) = objective.answer();
+    let mut stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    stats.initial_bsf_dist_sq = d0;
+    stats.approx_inflation_prunes = objective.inflation_prunes();
+    stats.stop_reason = Some(objective.stop_reason());
+    (QueryAnswer { pos, dist_sq }, stats)
+}
+
+/// δ-ε-approximate 1-NN search under banded DTW: the same contract as
+/// [`approx_search`], with the `(1+ε)` guarantee measured in DTW
+/// distance and the usual `mindist_env ≤ LB_Keogh ≤ DTW` cascade doing
+/// the pruning.
+///
+/// # Panics
+///
+/// As [`approx_search`].
+pub fn approx_search_dtw(
+    index: &MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+) -> (QueryAnswer, QueryStats) {
+    approx_search_dtw_with(
+        index,
+        query,
+        epsilon,
+        delta,
+        params,
+        config,
+        &mut QueryContext::new(),
+    )
+}
+
+/// [`approx_search_dtw`] with caller-provided reusable scratch.
+///
+/// # Panics
+///
+/// As [`approx_search`].
+pub fn approx_search_dtw_with<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> (QueryAnswer, QueryStats) {
+    config.validate();
+    validate_params(epsilon, delta);
+    let t_start = Instant::now();
+    let segments = index.sax_config().segments;
+
+    let (query_sax, query_paa) = index.summarize_query(query);
+    let env = Envelope::new(query, params);
+
+    // Seed from the home leaf through the LB_Keogh → DTW cascade.
+    let stats = SharedQueryStats::new();
+    let (d0, p0) =
+        crate::dtw::seed_bsf_dtw(index, query, &query_sax, &query_paa, &env, params, &stats);
+    if delta == 0.0 {
+        // ng mode still reports the cascade's seed-scan counters.
+        let mut out = ng_answer(d0, p0, t_start, config);
+        out.1.lb_distance_calcs = stats.lb_distance_calcs.get();
+        out.1.real_distance_calcs = stats.real_distance_calcs.get();
+        return out;
+    }
+
+    // The envelope PAAs feed the engine's mindist table — only the full
+    // traversal needs them, so ng mode above never pays for them.
+    let paa_lower = paa(&env.lower, segments);
+    let paa_upper = paa(&env.upper, segments);
+    let objective = ApproxObjective::new(config.bsf, d0, p0, epsilon, budget_for(index, delta));
+    let scratch = ctx.prepare(
+        index.sax_config(),
+        TableSpec::Envelope(&paa_lower, &paa_upper),
+        Some(config),
+    );
+    let metric = DtwMetric::new(
+        index,
+        query,
+        &env,
+        params,
+        &paa_lower,
+        &paa_upper,
+        scratch.table,
+    );
+    let init_ns = t_start.elapsed().as_nanos() as u64;
+
+    engine::run(
+        &Engine {
+            index,
+            scratch,
+            stats: &stats,
+            queue_policy: config.queue_policy,
+            num_workers: config.num_workers,
+            collect_breakdown: config.collect_breakdown,
+        },
+        &metric,
+        &objective,
+    );
+
+    let (dist_sq, pos) = objective.answer();
+    let mut stats = stats.finish(
+        t_start.elapsed(),
+        init_ns,
+        config.num_workers as u64,
+        config.collect_breakdown,
+    );
+    if d0.is_finite() {
+        stats.initial_bsf_dist_sq = d0;
+    }
+    stats.approx_inflation_prunes = objective.inflation_prunes();
+    stats.stop_reason = Some(objective.stop_reason());
+    (QueryAnswer { pos, dist_sq }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn setup(count: usize, seed: u64) -> (Arc<messi_series::Dataset>, MessiIndex) {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, count, seed));
+        let config = IndexConfig {
+            leaf_capacity: 8, // many leaves, so δ budgets actually bite
+            ..IndexConfig::for_tests()
+        };
+        let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
+        (data, index)
+    }
+
+    #[test]
+    fn epsilon_zero_delta_one_is_exact() {
+        let (data, index) = setup(400, 91);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 91);
+        let config = QueryConfig::for_tests();
+        for q in queries.iter() {
+            let (ans, stats) = approx_search(&index, q, 0.0, 1.0, &config);
+            let (_, bf) = data.nearest_neighbor_brute_force(q);
+            assert!((ans.dist_sq - bf).abs() <= 1e-3 * bf.max(1.0));
+            assert_eq!(stats.stop_reason, Some(StopReason::Completed));
+            assert_eq!(stats.approx_inflation_prunes, 0);
+        }
+    }
+
+    #[test]
+    fn delta_one_guarantee_is_deterministic() {
+        let (data, index) = setup(500, 92);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 6, 92);
+        let config = QueryConfig::for_tests();
+        for epsilon in [0.05f32, 0.3, 1.0] {
+            let factor = (1.0 + epsilon) * (1.0 + epsilon);
+            for q in queries.iter() {
+                let (ans, stats) = approx_search(&index, q, epsilon, 1.0, &config);
+                let (_, bf) = data.nearest_neighbor_brute_force(q);
+                assert!(
+                    ans.dist_sq <= factor * bf * (1.0 + 1e-3),
+                    "ε = {epsilon}: {} vs (1+ε)²·{bf}",
+                    ans.dist_sq
+                );
+                assert_eq!(stats.stop_reason, Some(StopReason::Completed));
+            }
+        }
+    }
+
+    #[test]
+    fn ng_mode_skips_the_engine_entirely() {
+        let (_, index) = setup(300, 93);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 93);
+        let config = QueryConfig::for_tests();
+        for q in queries.iter() {
+            let (ans, stats) = approx_search(&index, q, 0.0, 0.0, &config);
+            assert_eq!(stats.stop_reason, Some(StopReason::HomeLeafOnly));
+            assert_eq!(stats.nodes_inserted, 0, "no tree pass ran");
+            assert_eq!(stats.nodes_popped, 0);
+            // The answer is the home-leaf seed, byte for byte.
+            let (sax, paa) = index.summarize_query(q);
+            let (d, p) = index.seed_approximate(q, &sax, &paa, config.kernel);
+            assert_eq!(ans.dist_sq.to_bits(), d.to_bits());
+            assert_eq!(ans.pos, p);
+        }
+    }
+
+    #[test]
+    fn small_delta_reports_budget_exhaustion() {
+        let (_, index) = setup(600, 94);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 6, 94);
+        // Single-worker so the budget is spent in a deterministic order —
+        // the exhaustion count must not depend on thread interleaving.
+        let config = QueryConfig {
+            num_workers: 1,
+            num_queues: 1,
+            ..QueryConfig::for_tests()
+        };
+        let mut exhausted = 0;
+        for q in queries.iter() {
+            let (_, stats) = approx_search(&index, q, 0.0, 0.02, &config);
+            match stats.stop_reason {
+                Some(StopReason::BudgetExhausted) => exhausted += 1,
+                Some(StopReason::Completed) => {}
+                other => panic!("unexpected stop reason {other:?}"),
+            }
+        }
+        assert!(
+            exhausted > 0,
+            "a 2% leaf budget over a deep index should stop early sometimes"
+        );
+    }
+
+    #[test]
+    fn dtw_approx_upper_bounds_dtw_exact() {
+        use messi_series::distance::dtw::dtw_sq;
+        let (data, index) = setup(250, 95);
+        let params = DtwParams::paper_default(256);
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 95);
+        let config = QueryConfig::for_tests();
+        for q in queries.iter() {
+            let (ans, stats) = approx_search_dtw(&index, q, 0.2, 1.0, params, &config);
+            let bf = data
+                .iter()
+                .map(|s| dtw_sq(q, s, params))
+                .fold(f32::INFINITY, f32::min);
+            assert!(
+                ans.dist_sq <= 1.2 * 1.2 * bf * (1.0 + 1e-3),
+                "{} vs 1.44·{bf}",
+                ans.dist_sq
+            );
+            assert!(stats.stop_reason.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be within")]
+    fn rejects_out_of_range_delta() {
+        let (_, index) = setup(50, 96);
+        let q = index.dataset().series(0).to_vec();
+        approx_search(&index, &q, 0.0, 1.5, &QueryConfig::for_tests());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_epsilon() {
+        let (_, index) = setup(50, 97);
+        let q = index.dataset().series(0).to_vec();
+        approx_search(&index, &q, -0.5, 1.0, &QueryConfig::for_tests());
+    }
+}

@@ -21,7 +21,6 @@ use crate::config::QueryConfig;
 use crate::engine::{self, DtwMetric, Engine, NearestObjective, QueryContext, TableSpec};
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::TreeArena;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
@@ -65,14 +64,14 @@ pub fn exact_search_dtw_with<'a>(
     let segments = index.sax_config().segments;
 
     // Envelope and its PAA: the "query summary" of DTW search.
-    let (query_sax, _) = index.summarize_query(query);
+    let (query_sax, query_paa) = index.summarize_query(query);
     let env = Envelope::new(query, params);
     let paa_lower = paa(&env.lower, segments);
     let paa_upper = paa(&env.upper, segments);
 
     // Initial BSF: cascade-scan the query's home leaf.
     let stats = SharedQueryStats::new();
-    let (d0, p0) = seed_bsf(index, query, &query_sax, &env, params, &stats);
+    let (d0, p0) = seed_bsf_dtw(index, query, &query_sax, &query_paa, &env, params, &stats);
     let objective = NearestObjective::new(config.bsf, d0, p0);
 
     let scratch = ctx.prepare(
@@ -118,24 +117,20 @@ pub fn exact_search_dtw_with<'a>(
 }
 
 /// Scans the query's home leaf with the LB_Keogh → DTW cascade to seed
-/// the BSF. Falls back to `+inf` when the home subtree is empty.
-fn seed_bsf(
+/// the BSF — the shared [`MessiIndex::home_leaf_entries`] walk (greedy
+/// fallback when the home subtree is empty) with DTW's distance cascade.
+/// Also the ng-approximate answer under DTW ([`crate::approximate`]).
+pub(crate) fn seed_bsf_dtw(
     index: &MessiIndex,
     query: &[f32],
     query_sax: &messi_sax::word::SaxWord,
+    query_paa: &[f32],
     env: &Envelope,
     params: DtwParams,
     stats: &SharedQueryStats,
 ) -> (f32, u32) {
-    let segments = index.sax_config().segments;
-    let key = messi_sax::root_key::root_key(query_sax, segments);
-    let arena = match index.root(key) {
-        Some(a) => a,
-        None => return (f32::INFINITY, u32::MAX),
-    };
-    let id = arena.descend_by_sax(TreeArena::ROOT, query_sax, segments);
     let mut best = (f32::INFINITY, u32::MAX);
-    for e in arena.leaf_entries(id) {
+    for e in index.home_leaf_entries(query_sax, query_paa) {
         let candidate = index.dataset.series(e.pos as usize);
         stats.lb_distance_calcs.inc();
         if lb_keogh_sq_early_abandon(env, candidate, best.0) >= best.0 {

@@ -176,6 +176,7 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
             &mut cursor,
             local,
             timers,
+            results,
         );
     }
     if timers.enabled {
@@ -261,10 +262,12 @@ fn insert_subtree<'a, M: Metric, O: SearchObjective>(
     cursor: &mut usize,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
+    results: &mut O::Local,
 ) {
     let d = metric.node_lower_bound(arena.word(id));
     local.lb += 1;
     if d >= objective.bound() {
+        objective.on_prune(results, d);
         return; // the whole subtree is pruned
     }
     if arena.is_leaf(id) {
@@ -280,10 +283,10 @@ fn insert_subtree<'a, M: Metric, O: SearchObjective>(
     } else {
         let (left, right) = arena.children(id);
         insert_subtree(
-            engine, metric, objective, queues, arena, left, cursor, local, timers,
+            engine, metric, objective, queues, arena, left, cursor, local, timers, results,
         );
         insert_subtree(
-            engine, metric, objective, queues, arena, right, cursor, local, timers,
+            engine, metric, objective, queues, arena, right, cursor, local, timers, results,
         );
     }
 }
@@ -302,6 +305,7 @@ fn scan_subtree<M: Metric, O: SearchObjective>(
     let d = metric.node_lower_bound(arena.word(id));
     local.lb += 1;
     if d >= objective.bound() {
+        objective.on_prune(results, d);
         return;
     }
     if arena.is_leaf(id) {
@@ -342,6 +346,14 @@ fn process_queue<M: Metric, O: SearchObjective>(
                 if dist >= objective.bound() {
                     // Second filtering: every remaining entry is worse.
                     local.filtered += 1;
+                    objective.on_prune(results, dist);
+                    queue.mark_finished();
+                    return;
+                }
+                if !objective.admit_leaf(results) {
+                    // Early termination (δ-budgeted objectives): the
+                    // visit budget is spent, so this queue — and, via
+                    // the same veto, every other — winds down.
                     queue.mark_finished();
                     return;
                 }

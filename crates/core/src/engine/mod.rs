@@ -16,15 +16,17 @@
 //!   Euclidean with iSAX mindists, or banded DTW with the LB_Keogh
 //!   envelope cascade (Fig. 19).
 //! * `SearchObjective` (private) — what the query is looking for:
-//!   1-NN's shrinking BSF, k-NN's k-th-best bound, or range search's
-//!   fixed ε².
+//!   1-NN's shrinking BSF, k-NN's k-th-best bound, range search's fixed
+//!   ε², or δ-ε-approximate search's inflated `bsf/(1+ε)²` bound with a
+//!   δ-derived early-termination budget.
 //! * [`QueryContext`] — reusable scratch (queue set, barrier, mindist
 //!   table) so batch workloads stop paying per-query allocations.
 //!
-//! [`crate::exact`], [`crate::knn`], [`crate::range`], and [`crate::dtw`]
-//! are thin adapters that pick a (metric, objective) pair, seed the
-//! bound, and hand control to the driver. Any metric composes with any
-//! objective — DTW k-NN and DTW range queries cost no extra code.
+//! [`crate::exact`], [`crate::knn`], [`crate::range`], [`crate::dtw`],
+//! and [`crate::approximate`] are thin adapters that pick a (metric,
+//! objective) pair, seed the bound, and hand control to the driver. Any
+//! metric composes with any objective — DTW k-NN, DTW range, and DTW
+//! δ-ε-approximate queries cost no extra code.
 
 mod context;
 mod driver;
@@ -36,4 +38,4 @@ pub use context::QueryContext;
 pub(crate) use context::TableSpec;
 pub(crate) use driver::{run, Engine};
 pub(crate) use metric::{DtwMetric, EuclideanMetric};
-pub(crate) use objective::{KnnObjective, NearestObjective, RangeObjective};
+pub(crate) use objective::{ApproxObjective, KnnObjective, NearestObjective, RangeObjective};

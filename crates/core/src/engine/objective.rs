@@ -13,19 +13,25 @@
 //! * [`RangeObjective`] — ε-range: a *fixed* bound, so no priority order
 //!   (and hence no queues or barrier) is needed — the driver runs in
 //!   queue-less mode and matches are collected instead of minimized.
+//! * [`ApproxObjective`] — δ-ε-approximate 1-NN (the journal version's
+//!   fourth query mode): a shrinking BSF whose *pruning* bound is the
+//!   inflated `bsf/(1+ε)²`, with an optional shared leaf-visit budget
+//!   derived from δ that vetoes further queue processing once spent.
 //!
-//! The unification hinges on one discipline shared by all three: a lower
-//! bound `>= bound()` prunes, and a real distance `< bound()` is offered.
-//! For range search the strict comparison is arranged by setting the
-//! bound to the smallest float *above* ε², so `d <= ε²` acceptance and
-//! `lb > ε²` pruning fall out of the same comparisons the shrinking-bound
-//! objectives use.
+//! The unification hinges on one discipline shared by all of them: a
+//! lower bound `>= bound()` prunes, and a real distance `< bound()` is
+//! offered. For range search the strict comparison is arranged by setting
+//! the bound to the smallest float *above* ε², so `d <= ε²` acceptance
+//! and `lb > ε²` pruning fall out of the same comparisons the
+//! shrinking-bound objectives use.
 
 use crate::config::BsfPolicy;
 use crate::exact::QueryAnswer;
 use crate::knn::KnnSet;
-use messi_sync::{AtomicBsf, BestSoFar, LockedBsf};
+use crate::stats::StopReason;
+use messi_sync::{AtomicBsf, BestSoFar, Counter, LockedBsf};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 /// BSF implementation selected by [`BsfPolicy`], with static dispatch in
 /// the hot paths.
@@ -89,6 +95,23 @@ pub(crate) trait SearchObjective: Sync {
     /// result (and therefore the bound) improved — the driver counts
     /// these as BSF updates.
     fn offer(&self, local: &mut Self::Local, dist_sq: f32, pos: u32) -> bool;
+
+    /// Notifies the objective that a candidate (a tree node during
+    /// traversal, or a popped queue entry at second filtering) with lower
+    /// bound `lb` was pruned by [`SearchObjective::bound`]. Exact
+    /// objectives ignore it; the approximate objective uses it to count
+    /// prunes that only its ε-inflated bound allowed.
+    #[inline]
+    fn on_prune(&self, _local: &mut Self::Local, _lb: f32) {}
+
+    /// Asks permission to scan one more leaf during queue processing.
+    /// Returning `false` finishes the worker's current queue — the early
+    /// termination hook of the δ-budgeted approximate objective. Exact
+    /// objectives always proceed.
+    #[inline]
+    fn admit_leaf(&self, _local: &mut Self::Local) -> bool {
+        true
+    }
 
     /// Folds a worker's local results into the shared result at worker
     /// exit.
@@ -216,6 +239,140 @@ impl SearchObjective for RangeObjective {
     }
 }
 
+/// Per-worker scratch of [`ApproxObjective`]: accounting accumulated in
+/// plain registers and absorbed into the shared counters at worker exit.
+#[derive(Debug, Default)]
+pub(crate) struct ApproxLocal {
+    /// Prunes that only the ε-inflated bound allowed (`lb < bsf` but
+    /// `lb >= bsf/(1+ε)²`).
+    inflation_prunes: u64,
+}
+
+/// δ-ε-approximate 1-NN: the journal paper's probabilistic query mode as
+/// a fourth objective over the same driver.
+///
+/// Two deviations from [`NearestObjective`], both vanishing at the exact
+/// corner `ε = 0, δ = 1`:
+///
+/// * **ε-inflated pruning** — [`SearchObjective::bound`] returns
+///   `bsf/(1+ε)²` instead of the raw BSF (all values squared distances),
+///   so any candidate it prunes has true squared distance
+///   `>= bsf_final/(1+ε)²`; the returned answer is within
+///   `(1+ε)` of the true nearest neighbor *in distance terms* whenever
+///   the traversal runs to completion. At `ε = 0` the scale factor is
+///   exactly `1.0`, making every comparison bit-identical to exact
+///   search.
+/// * **δ-derived visit budget** — an optional shared countdown of queue-
+///   phase leaf scans. Once spent, [`SearchObjective::admit_leaf`] vetoes
+///   further scanning and the queues wind down; the best-so-far at that
+///   point is the answer. The budget is `ceil(δ · total leaves)` (chosen
+///   by the adapter), so `δ = 1` can never exhaust it — every queued
+///   leaf is admitted at most once — and the guarantee degrades
+///   gracefully as δ shrinks: each queue is drained best-bound-first, so
+///   the budget goes to (approximately, under the multi-queue
+///   configuration — exactly, single-queue) the most promising leaves.
+pub(crate) struct ApproxObjective {
+    bsf: Bsf,
+    /// `(1+ε)⁻²`, multiplied into the BSF to form the pruning bound.
+    /// Exactly `1.0` when ε = 0.
+    bound_scale: f32,
+    /// Remaining queue-phase leaf-visit budget; `None` = unlimited
+    /// (δ = 1).
+    budget: Option<AtomicI64>,
+    /// Set when the budget ran out before the queues drained naturally.
+    exhausted: AtomicBool,
+    /// Total ε-inflation prunes, folded in at worker exit.
+    inflation_prunes: Counter,
+}
+
+impl ApproxObjective {
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or non-finite.
+    pub(crate) fn new(
+        policy: BsfPolicy,
+        dist_sq: f32,
+        pos: u32,
+        epsilon: f32,
+        budget: Option<u64>,
+    ) -> Self {
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be a finite non-negative number"
+        );
+        let one_plus = 1.0 + epsilon;
+        Self {
+            bsf: Bsf::new(policy, dist_sq, pos),
+            bound_scale: 1.0 / (one_plus * one_plus),
+            budget: budget.map(|b| AtomicI64::new(b.min(i64::MAX as u64) as i64)),
+            exhausted: AtomicBool::new(false),
+            inflation_prunes: Counter::new(),
+        }
+    }
+
+    /// The final `(squared distance, position)` answer.
+    pub(crate) fn answer(&self) -> (f32, u32) {
+        self.bsf.load_with_pos()
+    }
+
+    /// How the queue phase ended.
+    pub(crate) fn stop_reason(&self) -> StopReason {
+        if self.exhausted.load(Ordering::Acquire) {
+            StopReason::BudgetExhausted
+        } else {
+            StopReason::Completed
+        }
+    }
+
+    /// Prunes that only the ε-inflated bound allowed (0 when ε = 0).
+    pub(crate) fn inflation_prunes(&self) -> u64 {
+        self.inflation_prunes.get()
+    }
+}
+
+impl SearchObjective for ApproxObjective {
+    type Local = ApproxLocal;
+    const USES_QUEUES: bool = true;
+
+    #[inline]
+    fn bound(&self) -> f32 {
+        self.bsf.load() * self.bound_scale
+    }
+
+    #[inline]
+    fn offer(&self, _local: &mut ApproxLocal, dist_sq: f32, pos: u32) -> bool {
+        self.bsf.update_min(dist_sq, pos)
+    }
+
+    #[inline]
+    fn on_prune(&self, local: &mut ApproxLocal, lb: f32) {
+        // The raw BSF would have kept this candidate; only the inflation
+        // cut it. Never fires at ε = 0, where bound() == bsf.
+        if lb < self.bsf.load() {
+            local.inflation_prunes += 1;
+        }
+    }
+
+    #[inline]
+    fn admit_leaf(&self, _local: &mut ApproxLocal) -> bool {
+        match &self.budget {
+            None => true,
+            Some(budget) => {
+                if budget.fetch_sub(1, Ordering::AcqRel) > 0 {
+                    true
+                } else {
+                    self.exhausted.store(true, Ordering::Release);
+                    false
+                }
+            }
+        }
+    }
+
+    fn absorb(&self, local: ApproxLocal) {
+        self.inflation_prunes.add(local.inflation_prunes);
+    }
+}
+
 /// The strict pruning bound for an inclusive radius `x` (non-negative,
 /// non-NaN): the smallest f32 whose strict comparisons reproduce the
 /// inclusive ones — `d < next_up(x) ⟺ d <= x` for finite distances.
@@ -297,5 +454,55 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn range_objective_rejects_negative_epsilon() {
         RangeObjective::new(-1.0);
+    }
+
+    #[test]
+    fn approx_objective_at_exact_corner_matches_nearest() {
+        // ε = 0, δ = 1: the bound is the raw BSF bit-for-bit and every
+        // leaf is admitted — the NearestObjective contract exactly.
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 10.0, 3, 0.0, None);
+        assert_eq!(o.bound().to_bits(), 10.0f32.to_bits());
+        let mut local = ApproxLocal::default();
+        assert!(o.admit_leaf(&mut local));
+        assert!(o.offer(&mut local, 4.0, 7));
+        assert_eq!(o.bound().to_bits(), 4.0f32.to_bits());
+        assert!(!o.offer(&mut local, 6.0, 9), "worse than bound");
+        o.on_prune(&mut local, 5.0);
+        o.absorb(local);
+        assert_eq!(o.answer(), (4.0, 7));
+        assert_eq!(o.stop_reason(), StopReason::Completed);
+        assert_eq!(o.inflation_prunes(), 0, "no inflation at ε = 0");
+    }
+
+    #[test]
+    fn approx_objective_inflates_the_bound_and_counts_it() {
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 9.0, 1, 0.5, None);
+        // bound = 9 / 1.5² = 4.
+        assert!((o.bound() - 4.0).abs() < 1e-6);
+        let mut local = ApproxLocal::default();
+        // lb in [bound, bsf): pruned only because of the inflation.
+        o.on_prune(&mut local, 5.0);
+        // lb >= bsf: the raw BSF would have pruned it too.
+        o.on_prune(&mut local, 20.0);
+        o.absorb(local);
+        assert_eq!(o.inflation_prunes(), 1);
+    }
+
+    #[test]
+    fn approx_objective_budget_vetoes_after_exhaustion() {
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, 0.0, Some(2));
+        let mut local = ApproxLocal::default();
+        assert!(o.admit_leaf(&mut local));
+        assert!(o.admit_leaf(&mut local));
+        assert!(!o.admit_leaf(&mut local), "budget of 2 spent");
+        assert!(!o.admit_leaf(&mut local), "stays vetoed");
+        o.absorb(local);
+        assert_eq!(o.stop_reason(), StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn approx_objective_rejects_negative_epsilon() {
+        ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, -0.1, None);
     }
 }

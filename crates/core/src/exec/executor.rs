@@ -253,6 +253,17 @@ fn answer_one<'a>(
         (MetricSpec::Dtw(params), Objective::Range { epsilon_sq }) => {
             crate::range::range_search_dtw_with(index, query, epsilon_sq, params, config, ctx)
         }
+        (MetricSpec::Euclidean, Objective::Approx { epsilon, delta }) => {
+            let (ans, stats) =
+                crate::approximate::approx_search_with(index, query, epsilon, delta, config, ctx);
+            (vec![ans], stats)
+        }
+        (MetricSpec::Dtw(params), Objective::Approx { epsilon, delta }) => {
+            let (ans, stats) = crate::approximate::approx_search_dtw_with(
+                index, query, epsilon, delta, params, config, ctx,
+            );
+            (vec![ans], stats)
+        }
     }
 }
 

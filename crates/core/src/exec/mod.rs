@@ -8,7 +8,8 @@
 //! service, layered over the [`crate::engine`] driver:
 //!
 //! * [`QuerySpec`] — *what* one query computes: an [`Objective`] (exact
-//!   1-NN, k-NN, ε-range) × a [`MetricSpec`] (Euclidean, banded DTW).
+//!   1-NN, k-NN, ε-range, or δ-ε-approximate 1-NN) × a [`MetricSpec`]
+//!   (Euclidean, banded DTW).
 //! * [`Schedule`] — *how* a batch maps onto the workers: intra-query
 //!   (the paper's protocol — queries sequential, each using all Ns
 //!   workers) or inter-query (queries dispensed across workers, each

@@ -25,6 +25,21 @@ pub enum Objective {
         /// The squared radius (non-negative, non-NaN).
         epsilon_sq: f32,
     },
+    /// Approximate 1-NN with error bounds (the journal paper's
+    /// ng-approximate and δ-ε-approximate modes): the answer is within
+    /// `(1+epsilon)` of the true nearest-neighbor distance with
+    /// probability calibrated by `delta`. `delta = 0` is ng-approximate
+    /// (the home-leaf answer, no guarantee); `delta = 1` makes the
+    /// `(1+epsilon)` bound deterministic; in between, the traversal stops
+    /// once a δ-derived leaf-visit budget is spent. At
+    /// `epsilon = 0, delta = 1` this is exact search bit-for-bit.
+    Approx {
+        /// Relative error bound ε ≥ 0 (finite), in *distance* (not
+        /// squared) terms.
+        epsilon: f32,
+        /// Confidence δ ∈ [0, 1].
+        delta: f32,
+    },
 }
 
 /// How distances are measured (the engine's metric axis).
@@ -81,6 +96,16 @@ impl QuerySpec {
         }
     }
 
+    /// δ-ε-approximate 1-NN under Euclidean distance (`epsilon` is the
+    /// relative error in distance terms; `delta` the confidence —
+    /// see [`Objective::Approx`]).
+    pub fn approximate(epsilon: f32, delta: f32) -> Self {
+        Self {
+            objective: Objective::Approx { epsilon, delta },
+            metric: MetricSpec::Euclidean,
+        }
+    }
+
     /// The same objective under banded DTW instead of Euclidean distance.
     pub fn with_dtw(self, params: DtwParams) -> Self {
         Self {
@@ -119,10 +144,27 @@ mod tests {
             QuerySpec::range(1.5).objective,
             Objective::Range { epsilon_sq: 1.5 }
         );
+        assert_eq!(
+            QuerySpec::approximate(0.1, 0.9).objective,
+            Objective::Approx {
+                epsilon: 0.1,
+                delta: 0.9
+            }
+        );
         assert_eq!(QuerySpec::exact().metric, MetricSpec::Euclidean);
         let p = DtwParams { window: 9 };
         let spec = QuerySpec::knn(3).with_dtw(p);
         assert_eq!(spec.metric, MetricSpec::Dtw(p));
         assert_eq!(spec.objective, Objective::Knn { k: 3 }, "objective kept");
+        let spec = QuerySpec::approximate(0.2, 0.5).with_dtw(p);
+        assert_eq!(spec.metric, MetricSpec::Dtw(p));
+        assert_eq!(
+            spec.objective,
+            Objective::Approx {
+                epsilon: 0.2,
+                delta: 0.5
+            },
+            "objective kept"
+        );
     }
 }

@@ -22,8 +22,9 @@ pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
 /// [`TreeArena`] (contiguous preorder node records + one packed
 /// leaf-entry pool — see [`crate::node`]). Built with
 /// [`MessiIndex::build`]; queried with [`MessiIndex::search`] (exact
-/// 1-NN), [`MessiIndex::search_knn`], [`MessiIndex::search_range`], or
-/// [`crate::dtw`] (exact DTW 1-NN) — all answered by the unified
+/// 1-NN), [`MessiIndex::search_knn`], [`MessiIndex::search_range`],
+/// [`MessiIndex::search_approximate_bounded`] (δ-ε-approximate 1-NN),
+/// or [`crate::dtw`] (exact DTW 1-NN) — all answered by the unified
 /// [`crate::engine`] driver. [`crate::persist`] saves and reloads the
 /// whole structure as a snapshot file.
 #[derive(Debug)]
@@ -290,26 +291,94 @@ impl MessiIndex {
         crate::exec::QueryExecutor::with_capacity(self, 1).run_one(query, spec, config)
     }
 
-    /// *Approximate* 1-NN search: one descent to the query's home leaf
-    /// and a scan of that leaf only — the operation MESSI uses to seed
-    /// its BSF (Alg. 5 line 3 / Fig. 4a), exposed as a public query mode
-    /// in the tradition of the iSAX family (ADS+ and progressive-search
-    /// front-ends answer from exactly this leaf). Typically within a few
-    /// percent of the exact answer (§III-B: "the initial value of BSF is
-    /// very close to its final value") at a tiny fraction of the cost.
+    /// *ng-approximate* 1-NN search ("no guarantees"): one descent to the
+    /// query's home leaf and a scan of that leaf only — the operation
+    /// MESSI uses to seed its BSF (Alg. 5 line 3 / Fig. 4a), exposed as a
+    /// public query mode in the tradition of the iSAX family (ADS+ and
+    /// progressive-search front-ends answer from exactly this leaf).
+    /// Typically within a few percent of the exact answer (§III-B: "the
+    /// initial value of BSF is very close to its final value") at a tiny
+    /// fraction of the cost.
     ///
     /// When the query's root subtree is empty, the descent falls back to
     /// the subtree with the smallest node mindist, descending greedily —
     /// the answer is always a real series, never empty.
     ///
-    /// This is *the* approximate-search API. Callers that already hold
-    /// the query's iSAX word and PAA (the exact-search seeding path, the
-    /// ParIS baselines) use the `#[doc(hidden)]`
-    /// [`MessiIndex::seed_approximate`] variant to skip re-summarizing.
+    /// This is the `δ = 0` instance of the approximate objective — see
+    /// [`MessiIndex::search_approximate_bounded`] for the δ-ε family with
+    /// error bounds and statistics (it answers identically at
+    /// `epsilon = 0, delta = 0`; this entry point skips the executor
+    /// machinery, keeping the cheapest query mode allocation-light).
+    /// Callers that already hold the query's iSAX word and PAA (the
+    /// exact-search seeding path, the ParIS baselines) use the
+    /// `#[doc(hidden)]` [`MessiIndex::seed_approximate`] variant to skip
+    /// re-summarizing.
     pub fn search_approximate(&self, query: &[f32], kernel: Kernel) -> crate::exact::QueryAnswer {
         let (sax, paa) = self.summarize_query(query);
         let (dist_sq, pos) = self.seed_approximate(query, &sax, &paa, kernel);
         crate::exact::QueryAnswer { pos, dist_sq }
+    }
+
+    /// δ-ε-approximate 1-NN search (journal version of the paper): the
+    /// answer is within `(1+epsilon)` of the true nearest-neighbor
+    /// *distance* with probability calibrated by `delta`.
+    ///
+    /// * `delta = 0` — ng-approximate: the home-leaf answer, nothing
+    ///   else (no guarantee).
+    /// * `0 < delta < 1` — the traversal prunes with the inflated bound
+    ///   `bsf/(1+ε)²` and stops once a δ-derived leaf-visit budget
+    ///   (`ceil(delta · total leaves)`, spent best-bound-first) runs out.
+    /// * `delta = 1` — no early stop: the `(1+epsilon)` guarantee is
+    ///   deterministic, and `epsilon = 0` degenerates to exact search
+    ///   bit-for-bit.
+    ///
+    /// `tests/approximate.rs` measures and asserts the guarantee against
+    /// brute force. See [`crate::approximate`] for the underlying
+    /// adapters and [`QueryStats`](crate::stats::QueryStats) fields
+    /// `stop_reason` / `approx_inflation_prunes` for the early-
+    /// termination accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or non-finite, `delta` is outside
+    /// `[0, 1]`, the query length mismatches, or the configuration is
+    /// invalid.
+    pub fn search_approximate_bounded(
+        &self,
+        query: &[f32],
+        epsilon: f32,
+        delta: f32,
+        config: &crate::config::QueryConfig,
+    ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
+        let spec = crate::exec::QuerySpec::approximate(epsilon, delta);
+        let (mut answers, stats) = self.run_single(query, &spec, config);
+        (
+            answers.pop().expect("approximate search always answers"),
+            stats,
+        )
+    }
+
+    /// δ-ε-approximate 1-NN search under banded DTW: the same contract as
+    /// [`MessiIndex::search_approximate_bounded`], with distances (and
+    /// the `(1+epsilon)` guarantee) measured in DTW terms.
+    ///
+    /// # Panics
+    ///
+    /// As [`MessiIndex::search_approximate_bounded`].
+    pub fn search_approximate_bounded_dtw(
+        &self,
+        query: &[f32],
+        epsilon: f32,
+        delta: f32,
+        params: messi_series::distance::dtw::DtwParams,
+        config: &crate::config::QueryConfig,
+    ) -> (crate::exact::QueryAnswer, crate::stats::QueryStats) {
+        let spec = crate::exec::QuerySpec::approximate(epsilon, delta).with_dtw(params);
+        let (mut answers, stats) = self.run_single(query, &spec, config);
+        (
+            answers.pop().expect("approximate search always answers"),
+            stats,
+        )
     }
 
     /// Converts a query series to `(iSAX word, PAA)` using this index's
@@ -329,9 +398,12 @@ impl MessiIndex {
         (word, paa.to_vec())
     }
 
-    /// Low-level [`MessiIndex::search_approximate`] for callers that
-    /// already computed the query's iSAX word and PAA: returns
-    /// `(squared distance, position)` — the initial BSF of Alg. 5.
+    /// Low-level ng-approximate search for callers that already computed
+    /// the query's iSAX word and PAA: returns
+    /// `(squared distance, position)` — the initial BSF of Alg. 5. This is
+    /// the single objective-backed home-leaf path; the exact-search
+    /// seeding, the ParIS baselines, and every approximate mode all
+    /// funnel through it (via [`MessiIndex::home_leaf_entries`]).
     #[doc(hidden)]
     pub fn seed_approximate(
         &self,
@@ -340,36 +412,56 @@ impl MessiIndex {
         query_paa: &[f32],
         kernel: Kernel,
     ) -> (f32, u32) {
+        self.scan_entries_ed(self.home_leaf_entries(query_sax, query_paa), query, kernel)
+    }
+
+    /// Scans a slice of leaf entries with the early-abandoning Euclidean
+    /// kernel, returning the best `(squared distance, position)`.
+    pub(crate) fn scan_entries_ed(
+        &self,
+        entries: &[LeafEntry],
+        query: &[f32],
+        kernel: Kernel,
+    ) -> (f32, u32) {
+        let mut best = (f32::INFINITY, u32::MAX);
+        for e in entries {
+            let d = ed_sq_early_abandon_with(
+                kernel,
+                query,
+                self.dataset.series(e.pos as usize),
+                best.0,
+            );
+            if d < best.0 {
+                best = (d, e.pos);
+            }
+        }
+        best
+    }
+
+    /// The packed entries of the query's *home leaf*: one descent from
+    /// the query's root subtree following its summary bits. When the home
+    /// subtree is empty the walk falls back to the subtree with the
+    /// smallest node mindist and descends greedily by mindist — the
+    /// returned leaf always holds real series. This is the one home-leaf
+    /// walk in the repository: ED and DTW seeding and all approximate
+    /// modes scan exactly this slice (each with its own distance
+    /// cascade).
+    pub(crate) fn home_leaf_entries(&self, query_sax: &SaxWord, query_paa: &[f32]) -> &[LeafEntry] {
         let key = root_key(query_sax, self.sax_config.segments);
         let arena = match self.root(key) {
             Some(a) => a,
             None => {
                 // Empty home subtree: greedy-best entry point instead.
-                let best = self
-                    .arenas
+                self.arenas
                     .iter()
                     .min_by(|a, b| {
                         let da = mindist_sq_node(query_paa, &self.scales, a.word(TreeArena::ROOT));
                         let db = mindist_sq_node(query_paa, &self.scales, b.word(TreeArena::ROOT));
                         da.total_cmp(&db)
                     })
-                    .expect("index is never empty");
-                best
+                    .expect("index is never empty")
             }
         };
-        let entries = self.descend(arena, query_sax, query_paa);
-        self.scan_leaf(entries, query, kernel)
-    }
-
-    /// Descends from the arena's root to a leaf, following the query's
-    /// summary bits where possible and the smaller-mindist child
-    /// otherwise. Returns the leaf's packed entries.
-    fn descend<'a>(
-        &self,
-        arena: &'a TreeArena,
-        query_sax: &SaxWord,
-        query_paa: &[f32],
-    ) -> &'a [LeafEntry] {
         let segments = self.sax_config.segments;
         let mut id = TreeArena::ROOT;
         while !arena.is_leaf(id) {
@@ -388,24 +480,6 @@ impl MessiIndex {
             id = if dl <= dr { left } else { right };
         }
         arena.leaf_entries(id)
-    }
-
-    /// Computes real distances between the query and every entry in a
-    /// leaf, returning the minimum and its position.
-    fn scan_leaf(&self, entries: &[LeafEntry], query: &[f32], kernel: Kernel) -> (f32, u32) {
-        let mut best = (f32::INFINITY, u32::MAX);
-        for e in entries {
-            let d = ed_sq_early_abandon_with(
-                kernel,
-                query,
-                self.dataset.series(e.pos as usize),
-                best.0,
-            );
-            if d < best.0 {
-                best = (d, e.pos);
-            }
-        }
-        best
     }
 }
 

@@ -20,7 +20,6 @@ use crate::engine::{
 };
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
-use crate::node::TreeArena;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
@@ -167,18 +166,18 @@ pub fn exact_knn_with<'a>(
 
     // Seed: scan the query's home leaf so the bound starts tight, exactly
     // like 1-NN's approximate search but keeping all k candidates.
-    seed_from_home_leaf(index, &query_sax, &mut |pos| {
+    for e in index.home_leaf_entries(&query_sax, &query_paa) {
         let bound = knn.bound();
         let d = ed_sq_early_abandon_with(
             config.kernel,
             query,
-            index.dataset.series(pos as usize),
+            index.dataset.series(e.pos as usize),
             bound,
         );
         if d < bound {
-            knn.offer(d, pos);
+            knn.offer(d, e.pos);
         }
-    });
+    }
     let initial_bound = knn.bound();
 
     let scratch = ctx.prepare(
@@ -253,24 +252,24 @@ pub fn exact_knn_dtw_with<'a>(
     let t_start = Instant::now();
     let segments = index.sax_config().segments;
 
-    let (query_sax, _) = index.summarize_query(query);
+    let (query_sax, query_paa) = index.summarize_query(query);
     let env = Envelope::new(query, params);
     let paa_lower = paa(&env.lower, segments);
     let paa_upper = paa(&env.upper, segments);
     let knn = KnnSet::new(k);
 
     // Seed from the home leaf through the LB_Keogh → DTW cascade.
-    seed_from_home_leaf(index, &query_sax, &mut |pos| {
+    for e in index.home_leaf_entries(&query_sax, &query_paa) {
         let bound = knn.bound();
-        let candidate = index.dataset.series(pos as usize);
+        let candidate = index.dataset.series(e.pos as usize);
         if lb_keogh_sq_early_abandon(&env, candidate, bound) >= bound {
-            return;
+            continue;
         }
         let d = dtw_sq_early_abandon(query, candidate, params, bound);
         if d < bound {
-            knn.offer(d, pos);
+            knn.offer(d, e.pos);
         }
-    });
+    }
     let initial_bound = knn.bound();
 
     let scratch = ctx.prepare(
@@ -315,26 +314,6 @@ pub fn exact_knn_dtw_with<'a>(
         stats.initial_bsf_dist_sq = initial_bound;
     }
     (answers, stats)
-}
-
-/// Descends to the query's home leaf (following its summary bits) and
-/// feeds every entry position to `offer`. A no-op when the home subtree
-/// is empty — the main pass then does all the work from a `+inf` bound.
-fn seed_from_home_leaf(
-    index: &MessiIndex,
-    query_sax: &messi_sax::word::SaxWord,
-    offer: &mut dyn FnMut(u32),
-) {
-    let segments = index.sax_config().segments;
-    let key = messi_sax::root_key::root_key(query_sax, segments);
-    let arena = match index.root(key) {
-        Some(a) => a,
-        None => return,
-    };
-    let id = arena.descend_by_sax(TreeArena::ROOT, query_sax, segments);
-    for e in arena.leaf_entries(id) {
-        offer(e.pos);
-    }
 }
 
 #[cfg(test)]

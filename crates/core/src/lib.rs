@@ -50,6 +50,10 @@
 //! * [`range`] — exact ε-range search (the companion similarity-search
 //!   primitive of the iSAX index family), Euclidean and DTW; an adapter
 //!   over [`engine`] in its queue-less mode.
+//! * [`approximate`] — ng- and δ-ε-approximate 1-NN search with error
+//!   bounds (the journal version's fourth query mode), Euclidean and
+//!   DTW; an adapter over [`engine`] with an ε-inflated bound and a
+//!   δ-derived early-termination budget.
 //! * [`exec`] — the pooled query-execution layer: a
 //!   [`exec::QueryExecutor`] owning warm per-worker contexts, serving
 //!   any objective × metric as single queries or batches under
@@ -67,6 +71,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod approximate;
 pub mod batch;
 pub mod build;
 pub mod config;
@@ -88,4 +93,4 @@ pub use exact::QueryAnswer;
 pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
 pub use persist::{load_index, save_index, PersistError};
-pub use stats::{BuildStats, QueryStats, TimeBreakdown};
+pub use stats::{BuildStats, QueryStats, StopReason, TimeBreakdown};

@@ -87,7 +87,23 @@ impl std::ops::Add for TimeBreakdown {
     }
 }
 
-/// Statistics of one exact-search query.
+/// How an *approximate* search stopped (exact objectives never stop
+/// early, so their [`QueryStats::stop_reason`] is `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// ng-approximate (δ = 0): only the query's home leaf was visited —
+    /// the tree pass never ran.
+    HomeLeafOnly,
+    /// The queue phase drained naturally: every leaf that survived the
+    /// (possibly ε-inflated) bound was scanned. When δ = 1 this is the
+    /// only possible outcome, and the `(1+ε)` guarantee is deterministic.
+    Completed,
+    /// The δ-derived leaf-visit budget ran out before the queues drained;
+    /// the best-so-far at that moment is the answer.
+    BudgetExhausted,
+}
+
+/// Statistics of one search query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
     /// Lower-bound (mindist) distance calculations performed, counting
@@ -110,6 +126,12 @@ pub struct QueryStats {
     /// §III-B observes it is "very close to its final value". Zero when
     /// the algorithm has no approximate-search stage.
     pub initial_bsf_dist_sq: f32,
+    /// Lower-bound prunes (tree nodes and popped queue entries) that only
+    /// the ε-inflated approximate bound allowed — the raw BSF would have
+    /// kept them. Always 0 for exact objectives and at ε = 0.
+    pub approx_inflation_prunes: u64,
+    /// How an approximate search stopped; `None` for exact objectives.
+    pub stop_reason: Option<StopReason>,
     /// Optional per-phase breakdown (collected when
     /// `QueryConfig::collect_breakdown` is set).
     pub breakdown: Option<TimeBreakdown>,
@@ -210,6 +232,8 @@ impl SharedQueryStats {
             nodes_filtered_on_pop: self.nodes_filtered_on_pop.get(),
             total_time,
             initial_bsf_dist_sq: 0.0,
+            approx_inflation_prunes: 0,
+            stop_reason: None,
             breakdown: with_breakdown.then(|| TimeBreakdown {
                 init_ns,
                 tree_pass_ns: self.tree_pass_ns.get() / workers.max(1),
@@ -233,6 +257,11 @@ pub struct QueryStatsAggregate {
     pub real_distance_calcs: u64,
     /// Sum of BSF updates.
     pub bsf_updates: u64,
+    /// Sum of ε-inflation prunes over the batch (approximate queries).
+    pub approx_inflation_prunes: u64,
+    /// Queries that stopped early on the δ budget
+    /// ([`StopReason::BudgetExhausted`]).
+    pub budget_stops: u64,
     /// Sum of query wall times.
     pub total_time: Duration,
     /// Component-wise sum of the per-query Fig. 13 breakdowns; present
@@ -252,6 +281,8 @@ impl QueryStatsAggregate {
             lb_distance_calcs: s.lb_distance_calcs,
             real_distance_calcs: s.real_distance_calcs,
             bsf_updates: s.bsf_updates,
+            approx_inflation_prunes: s.approx_inflation_prunes,
+            budget_stops: (s.stop_reason == Some(StopReason::BudgetExhausted)) as u64,
             total_time: s.total_time,
             breakdown: s.breakdown,
         }
@@ -272,6 +303,8 @@ impl QueryStatsAggregate {
             lb_distance_calcs,
             real_distance_calcs,
             bsf_updates,
+            approx_inflation_prunes,
+            budget_stops,
             total_time,
             breakdown,
         } = other;
@@ -279,6 +312,8 @@ impl QueryStatsAggregate {
         self.lb_distance_calcs += lb_distance_calcs;
         self.real_distance_calcs += real_distance_calcs;
         self.bsf_updates += bsf_updates;
+        self.approx_inflation_prunes += approx_inflation_prunes;
+        self.budget_stops += budget_stops;
         self.total_time += *total_time;
         self.breakdown = match (self.breakdown, *breakdown) {
             (Some(a), Some(b)) => Some(a + b),
@@ -411,6 +446,29 @@ mod tests {
         assert_eq!(sum.total_ns(), 2 * b.total_ns());
         let mean = agg.mean_breakdown().expect("collected");
         assert_eq!(mean.dist_calc_ns, 100 / 3);
+    }
+
+    #[test]
+    fn aggregate_counts_approximate_accounting() {
+        let mut agg = QueryStatsAggregate::default();
+        agg.add(&QueryStats {
+            approx_inflation_prunes: 4,
+            stop_reason: Some(StopReason::BudgetExhausted),
+            ..Default::default()
+        });
+        agg.add(&QueryStats {
+            approx_inflation_prunes: 1,
+            stop_reason: Some(StopReason::Completed),
+            ..Default::default()
+        });
+        agg.add(&QueryStats::default()); // an exact query
+        assert_eq!(agg.approx_inflation_prunes, 5);
+        assert_eq!(agg.budget_stops, 1);
+        let mut total = QueryStatsAggregate::default();
+        total.merge(&agg);
+        total.merge(&agg);
+        assert_eq!(total.approx_inflation_prunes, 10);
+        assert_eq!(total.budget_stops, 2);
     }
 
     #[test]

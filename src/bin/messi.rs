@@ -6,18 +6,20 @@
 //! messi info        --data data.mds [--load index.msx]
 //! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx]
 //! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx]
-//! messi bench-query --data data.mds --objective {exact|knn|range} --schedule {intra|inter} [--dtw] [--load index.msx]
+//! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx]
 //! ```
 //!
 //! Datasets live in the `.mds` container of `messi::series::io`; built
 //! indexes persist in the `.msx` snapshot container of
 //! `messi::index::persist` (`build --save` writes one, `--load` answers
 //! from it without rebuilding). Queries can come from a second file or be
-//! generated on the fly. All searches are exact; per-query pruning
-//! statistics are printed. `bench-query` drives the pooled query executor
-//! over a whole batch — any objective × metric × schedule — and reports
-//! aggregate throughput plus the paper's Fig. 13 per-phase breakdown
-//! (`--breakdown`).
+//! generated on the fly. Searches are exact unless `--objective approx`
+//! selects the δ-ε-approximate mode; per-query pruning statistics are
+//! printed. `bench-query` drives the pooled query executor over a whole
+//! batch — any objective × metric × schedule — and reports aggregate
+//! throughput plus the paper's Fig. 13 per-phase breakdown
+//! (`--breakdown`); for the approximate objective it additionally
+//! reports observed recall and approximation ratio against brute force.
 
 use messi::prelude::*;
 use messi::series::io::{read_dataset, write_dataset};
@@ -72,16 +74,21 @@ USAGE:
   messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
                     [--load <file.msx>]
   messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
-                    [--objective <exact|knn|range>] [--k <K>] [--epsilon <dist>]
-                    [--schedule <intra|inter>] [--parallelism <P>] [--workers <Ns>]
-                    [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
+                    [--objective <exact|knn|range|approx>] [--k <K>] [--epsilon <dist|ratio>]
+                    [--delta <0..=1>] [--schedule <intra|inter>] [--parallelism <P>]
+                    [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
 
 Generated queries come from the same family as --kind (members + noise
-for real-data stand-ins). All searches are exact. bench-query answers
-the whole batch through the pooled query executor: `--schedule intra`
-runs queries one by one, each on all --workers search workers (the
-paper's protocol); `--schedule inter` dispenses queries across
---parallelism single-threaded workers for throughput.
+for real-data stand-ins). Searches are exact except `--objective approx`:
+there --epsilon is the *relative* error bound (the answer is within
+(1+ε) of the true nearest neighbor) and --delta the confidence in [0, 1]
+(1 = deterministic guarantee, 0 = home-leaf-only ng-approximate);
+observed recall and approximation ratio are reported against brute
+force. bench-query answers the whole batch through the pooled query
+executor: `--schedule intra` runs queries one by one, each on all
+--workers search workers (the paper's protocol); `--schedule inter`
+dispenses queries across --parallelism single-threaded workers for
+throughput.
 
 `build --save` persists the finished index as a versioned, checksummed
 snapshot; `--load` on the query commands answers from the snapshot
@@ -404,7 +411,26 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
                 epsilon_sq: epsilon * epsilon,
             }
         }
-        other => return Err(format!("unknown objective `{other}` (exact|knn|range)")),
+        "approx" => {
+            // For the approximate objective, --epsilon is the *relative*
+            // error bound (a ratio, not a distance) and --delta the
+            // confidence; the defaults give the deterministic ε-approximate
+            // mode with a 5% error bound.
+            let epsilon: f32 = opts.parsed("epsilon", 0.05f32)?;
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err("--epsilon must be a finite non-negative ratio".into());
+            }
+            let delta: f32 = opts.parsed("delta", 1.0f32)?;
+            if !(0.0..=1.0).contains(&delta) {
+                return Err("--delta must be within [0, 1]".into());
+            }
+            Objective::Approx { epsilon, delta }
+        }
+        other => {
+            return Err(format!(
+                "unknown objective `{other}` (exact|knn|range|approx)"
+            ))
+        }
     };
     let metric = if opts.get("dtw").is_some() {
         MetricSpec::Dtw(DtwParams::paper_default(data.series_len()))
@@ -478,6 +504,55 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
         agg.mean_real_calcs(),
         agg.bsf_updates as f64 / n
     );
+    if let Objective::Approx { epsilon, delta } = objective {
+        // Quality report (outside the timed window): brute-force the true
+        // 1-NN per query and compare. DTW brute force is intentionally
+        // skipped — it would dwarf the measured batch.
+        match metric {
+            MetricSpec::Euclidean => {
+                let mut within_bound = 0usize;
+                let mut exact_hits = 0usize;
+                let mut ratio_sum = 0.0f64;
+                let mut ratio_max = 0.0f64;
+                let factor = (1.0 + epsilon as f64) * (1.0 + epsilon as f64);
+                for (qi, q) in queries.iter().enumerate() {
+                    let (_, true_nn) = data.nearest_neighbor_brute_force(q);
+                    let got = answers[qi][0].dist_sq as f64;
+                    let ratio = if true_nn > 0.0 {
+                        (got / true_nn as f64).sqrt()
+                    } else {
+                        1.0
+                    };
+                    ratio_sum += ratio;
+                    ratio_max = ratio_max.max(ratio);
+                    if got <= true_nn as f64 * (1.0 + 1e-3) {
+                        exact_hits += 1;
+                    }
+                    if got <= factor * true_nn as f64 * (1.0 + 1e-3) {
+                        within_bound += 1;
+                    }
+                }
+                println!(
+                    "quality: recall@1 {:.1}% · within (1+ε) {:.1}% (δ target {:.1}%) · \
+                     approx ratio mean {:.4} / max {:.4}",
+                    100.0 * exact_hits as f64 / n,
+                    100.0 * within_bound as f64 / n,
+                    100.0 * delta as f64,
+                    ratio_sum / n,
+                    ratio_max
+                );
+            }
+            MetricSpec::Dtw(_) => {
+                println!("quality: (skipped — DTW brute force would dwarf the batch)");
+            }
+        }
+        println!(
+            "approx:  {} / {} queries stopped on the δ budget · {:.1} ε-inflation prunes/query",
+            agg.budget_stops,
+            agg.queries,
+            agg.approx_inflation_prunes as f64 / n
+        );
+    }
     if let Some(b) = agg.mean_breakdown() {
         println!(
             "breakdown (mean µs/query): init {:.0} · tree pass {:.0} · pq insert {:.0} · \
@@ -498,6 +573,9 @@ fn describe_objective(objective: &Objective) -> String {
         Objective::Knn { k } => format!("objective=knn (k={k})"),
         Objective::Range { epsilon_sq } => {
             format!("objective=range (ε={})", epsilon_sq.sqrt())
+        }
+        Objective::Approx { epsilon, delta } => {
+            format!("objective=approx (ε={epsilon}, δ={delta})")
         }
     }
 }

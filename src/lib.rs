@@ -72,7 +72,7 @@ pub mod sync {
 pub use messi_core::{
     load_index, save_index, BuildStats, IndexConfig, MessiIndex, MetricSpec, Objective,
     PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec, QueryStats,
-    Schedule,
+    Schedule, StopReason,
 };
 
 /// The commonly needed imports in one place.
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use messi_core::{
         load_index, save_index, BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex,
         MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor,
-        QuerySpec, QueryStats, QueuePolicy, Schedule,
+        QuerySpec, QueryStats, QueuePolicy, Schedule, StopReason,
     };
     pub use messi_series::distance::dtw::DtwParams;
     pub use messi_series::distance::Kernel;

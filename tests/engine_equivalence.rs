@@ -12,7 +12,11 @@
 //! * batches through the pooled executor — every objective × metric ×
 //!   schedule × worker count — are element-wise identical to the
 //!   sequential single-query answers, and the pooled contexts record
-//!   zero `alloc_events` after warm-up.
+//!   zero `alloc_events` after warm-up;
+//! * the approximate objective at its exact corner
+//!   (`Approx { epsilon: 0, delta: 1 }`) is bit-identical to `Exact` —
+//!   answers *and* pruning counters — for every metric × schedule ×
+//!   worker count.
 
 use messi::prelude::*;
 use messi::series::distance::euclidean::ed_sq_scalar;
@@ -274,6 +278,84 @@ proptest! {
                         close(g.dist_sq, w.dist_sq),
                         "intra batch {} vs single {} ({:?} query {})",
                         g.dist_sq, w.dist_sq, spec, qi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_exact_corner_is_bit_identical_to_exact(s in scenario()) {
+        // `Approx { epsilon: 0, delta: 1 }` has a bound scale of exactly
+        // 1.0 and an unlimited leaf budget: every comparison the driver
+        // makes is the one exact search makes. The observable consequence
+        // — here made a property over the full metric × schedule × worker
+        // matrix — is bit-identical answers AND pruning counters.
+        let (data, index) = build_index(&s);
+        let config = query_config(&s);
+        let queries =
+            messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 3, s.seed ^ 3);
+        let params = DtwParams::paper_default(data.series_len());
+        let exec = index.executor();
+
+        for (exact_spec, approx_spec) in [
+            (QuerySpec::exact(), QuerySpec::approximate(0.0, 1.0)),
+            (
+                QuerySpec::exact().with_dtw(params),
+                QuerySpec::approximate(0.0, 1.0).with_dtw(params),
+            ),
+        ] {
+            // --- Per-query, single-worker (fully deterministic): every
+            // pruning counter must agree, not just the answers.
+            let per_query = QueryConfig { num_workers: 1, num_queues: 1, ..config.clone() };
+            for q in queries.iter() {
+                let (a, sa) = exec.run_one(q, &exact_spec, &per_query);
+                let (b, sb) = exec.run_one(q, &approx_spec, &per_query);
+                prop_assert_eq!(&a, &b, "answers diverged ({:?})", s);
+                prop_assert_eq!(sa.lb_distance_calcs, sb.lb_distance_calcs, "lb calcs");
+                prop_assert_eq!(sa.real_distance_calcs, sb.real_distance_calcs, "real calcs");
+                prop_assert_eq!(sa.bsf_updates, sb.bsf_updates, "bsf updates");
+                prop_assert_eq!(sa.nodes_inserted, sb.nodes_inserted, "queue insertions");
+                prop_assert_eq!(sa.nodes_popped, sb.nodes_popped, "queue pops");
+                prop_assert_eq!(sa.nodes_filtered_on_pop, sb.nodes_filtered_on_pop, "second filtering");
+                prop_assert_eq!(
+                    sa.initial_bsf_dist_sq.to_bits(), sb.initial_bsf_dist_sq.to_bits(),
+                    "home-leaf seed"
+                );
+                prop_assert_eq!(sb.approx_inflation_prunes, 0u64, "ε = 0 never inflates");
+                prop_assert_eq!(sb.stop_reason, Some(StopReason::Completed), "δ = 1 never stops early");
+            }
+
+            // --- Inter-query schedule at the scenario's worker count:
+            // each query runs single-threaded, so the whole batch is
+            // deterministic for any parallelism — bit-identical again.
+            let (a, sa) = exec.run_batch(
+                &queries, &exact_spec,
+                Schedule::InterQuery { parallelism: s.num_workers }, &config,
+            );
+            let (b, sb) = exec.run_batch(
+                &queries, &approx_spec,
+                Schedule::InterQuery { parallelism: s.num_workers }, &config,
+            );
+            prop_assert_eq!(&a, &b, "inter-batch answers diverged ({:?})", s);
+            prop_assert_eq!(sa.lb_distance_calcs, sb.lb_distance_calcs);
+            prop_assert_eq!(sa.real_distance_calcs, sb.real_distance_calcs);
+            prop_assert_eq!(sa.bsf_updates, sb.bsf_updates);
+
+            // --- Intra-query schedule at the scenario's worker count:
+            // multi-worker runs race the shared BSF, so exact distance
+            // ties may resolve to different positions and counters may
+            // wobble — but the minimal distance is unique, so the
+            // distances must still agree bit for bit.
+            let (a, _) = exec.run_batch(&queries, &exact_spec, Schedule::IntraQuery, &config);
+            let (b, _) = exec.run_batch(&queries, &approx_spec, Schedule::IntraQuery, &config);
+            prop_assert_eq!(a.len(), b.len());
+            for (qa, qb) in a.iter().zip(&b) {
+                prop_assert_eq!(qa.len(), qb.len());
+                for (x, y) in qa.iter().zip(qb) {
+                    prop_assert_eq!(
+                        x.dist_sq.to_bits(), y.dist_sq.to_bits(),
+                        "intra distances diverged ({:?})", s
                     );
                 }
             }
