@@ -112,6 +112,26 @@ impl<'a> QueryExecutor<'a> {
         out
     }
 
+    /// As [`QueryExecutor::run_one`], additionally reporting the
+    /// context's allocation-event delta across this query — the
+    /// zero-allocation-after-warm-up invariant as a live per-query
+    /// observable (0 on a warm context). The serve daemon sums it into
+    /// its `messi_query_alloc_events_total` metric, so a dashboard shows
+    /// scratch churn the moment a regression ships.
+    pub fn run_one_traced(
+        &self,
+        query: &[f32],
+        spec: &QuerySpec,
+        config: &QueryConfig,
+    ) -> (Vec<QueryAnswer>, QueryStats, u64) {
+        let mut ctx = self.contexts.checkout().unwrap_or_default();
+        let before = ctx.alloc_events();
+        let (answers, stats) = answer_one(self.index, query, spec, config, &mut ctx);
+        let delta = ctx.alloc_events().saturating_sub(before);
+        self.contexts.checkin(ctx);
+        (answers, stats, delta)
+    }
+
     /// Answers a whole batch of queries under `schedule`.
     ///
     /// Returns one answer list per query, in query order, plus the
@@ -412,6 +432,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_queries_report_their_alloc_delta() {
+        let (_, index, queries) = setup();
+        let config = QueryConfig::for_tests();
+        let exec = QueryExecutor::with_capacity(&index, 1);
+        // Cold context: the first query builds its scratch.
+        let (ans, _, cold_delta) =
+            exec.run_one_traced(queries.series(0), &QuerySpec::exact(), &config);
+        assert_eq!(ans.len(), 1);
+        assert!(cold_delta > 0, "cold query must report its allocations");
+        // Warm repeat of the same spec: zero allocations, observable live.
+        let (_, _, warm_delta) =
+            exec.run_one_traced(queries.series(1), &QuerySpec::exact(), &config);
+        assert_eq!(warm_delta, 0, "warm query allocated scratch");
     }
 
     #[test]

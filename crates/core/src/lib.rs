@@ -66,6 +66,10 @@
 //! * [`stats`] — build/query statistics: distance-calculation counters
 //!   (Fig. 17) and per-phase time breakdown (Fig. 13), now reported
 //!   uniformly by every objective.
+//! * [`serve`] — the index service daemon: a hand-rolled HTTP/1.1
+//!   frontend over one prewarmed [`exec::QueryExecutor`] with readiness
+//!   gating, a bounded load-shedding admission gate, Prometheus metrics,
+//!   graceful drain, and the matching load-smoke client.
 //! * [`validate`] — index invariant checker used by the test suite.
 
 #![warn(missing_docs)]
@@ -84,6 +88,7 @@ pub mod knn;
 pub mod node;
 pub mod persist;
 pub mod range;
+pub mod serve;
 pub mod stats;
 pub mod validate;
 
@@ -93,4 +98,5 @@ pub use exact::QueryAnswer;
 pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
 pub use persist::{load_index, save_index, PersistError};
+pub use serve::{IndexServer, ServeConfig, ServeSummary};
 pub use stats::{BuildStats, QueryStats, StopReason, TimeBreakdown};

@@ -1,0 +1,144 @@
+//! Bounded admission with load-shedding.
+//!
+//! The daemon puts a fixed-capacity admission gate in front of the query
+//! dispenser: at most `capacity` queries may be in flight (executing on a
+//! handler thread or about to). When the gate is full, the caller sheds
+//! the request — a `503` with a `Retry-After` hint — instead of queueing
+//! unboundedly and letting latency collapse. Capacity `0` is the
+//! *drain mode*: every query sheds while health and metrics stay up,
+//! which is how an operator (or the CI harness) takes a node out of
+//! rotation deterministically.
+
+use messi_sync::Counter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity admission gate with shed accounting.
+#[derive(Debug)]
+pub struct Admission {
+    capacity: usize,
+    inflight: AtomicUsize,
+    admitted: Counter,
+    sheds: Counter,
+}
+
+impl Admission {
+    /// Creates a gate admitting at most `capacity` concurrent queries
+    /// (`0` = drain mode, shed everything).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inflight: AtomicUsize::new(0),
+            admitted: Counter::new(),
+            sheds: Counter::new(),
+        }
+    }
+
+    /// Tries to admit one query. `None` means the gate is full and the
+    /// request was counted as shed.
+    pub fn try_acquire(&self) -> Option<AdmissionPermit<'_>> {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity {
+                self.sheds.inc();
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.inc();
+                    return Some(AdmissionPermit(self));
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Maximum concurrent admitted queries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queries currently holding a permit.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Total queries ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.get()
+    }
+
+    /// Total queries shed at the gate.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.get()
+    }
+}
+
+/// An admitted query's slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a>(&'a Admission);
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let gate = Admission::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let b = gate.try_acquire().expect("slot 2");
+        assert_eq!(gate.inflight(), 2);
+        assert!(gate.try_acquire().is_none(), "full gate sheds");
+        assert_eq!(gate.sheds(), 1);
+        drop(a);
+        let c = gate.try_acquire().expect("freed slot is reusable");
+        assert_eq!(gate.inflight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(gate.inflight(), 0);
+        assert_eq!(gate.admitted(), 3);
+        assert_eq!(gate.sheds(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_drain_mode() {
+        let gate = Admission::new(0);
+        for _ in 0..5 {
+            assert!(gate.try_acquire().is_none());
+        }
+        assert_eq!(gate.sheds(), 5);
+        assert_eq!(gate.admitted(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquisition_never_exceeds_capacity() {
+        use std::sync::atomic::AtomicUsize;
+        let gate = Admission::new(3);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        if let Some(permit) = gate.try_acquire() {
+                            peak.fetch_max(gate.inflight(), Ordering::SeqCst);
+                            std::hint::black_box(&permit);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "capacity breached");
+        assert_eq!(gate.inflight(), 0, "all permits released");
+        assert!(gate.admitted() > 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Server-side counters and their Prometheus text exposition.
+//!
+//! `/metrics` exports two families of numbers: the HTTP frontend's own
+//! counters (requests, sheds, in-flight gauge) and the executor's
+//! [`QueryStatsAggregate`] — the same throughput / Fig. 13 phase
+//! breakdown / prune-rate / budget-stop counters the CLI bench reports,
+//! so a dashboard over the daemon reads exactly what the offline harness
+//! prints. [`encode_prometheus`] destructures the aggregate exhaustively:
+//! adding a stats field without exporting it is a compile error, not a
+//! silent observability gap.
+
+use crate::stats::{QueryStats, QueryStatsAggregate, TimeBreakdown};
+use messi_sync::Counter;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+use super::admission::Admission;
+
+/// Counters the HTTP frontend maintains, plus the folded query stats.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// When the server started (for the uptime gauge).
+    pub started: Instant,
+    /// Every request that produced a response, any route or status.
+    pub http_requests: Counter,
+    /// Requests answered with a 4xx (bad JSON, unknown route, oversized
+    /// body, wrong method).
+    pub http_client_errors: Counter,
+    /// Queries that failed inside the engine (500s).
+    pub query_failures: Counter,
+    /// Per-query scratch allocation events observed after warm-up —
+    /// stays 0 on a healthy daemon (the zero-alloc invariant, live).
+    pub query_alloc_events: Counter,
+    /// The folded stats of every answered query.
+    agg: Mutex<QueryStatsAggregate>,
+}
+
+impl ServerMetrics {
+    /// Fresh counters, uptime starting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            http_requests: Counter::new(),
+            http_client_errors: Counter::new(),
+            query_failures: Counter::new(),
+            query_alloc_events: Counter::new(),
+            agg: Mutex::new(QueryStatsAggregate::default()),
+        }
+    }
+
+    /// Folds one answered query into the aggregate; `alloc_delta` is the
+    /// context's allocation-event delta across the query.
+    pub fn record_query(&self, stats: &QueryStats, alloc_delta: u64) {
+        self.agg.lock().add(stats);
+        self.query_alloc_events.add(alloc_delta);
+    }
+
+    /// A snapshot of the folded query stats.
+    pub fn aggregate(&self) -> QueryStatsAggregate {
+        self.agg.lock().clone()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One metric family: `# HELP` + `# TYPE` + one sample line.
+fn family(out: &mut String, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// Renders the Prometheus text exposition ([text format 0.0.4]) of the
+/// server's state.
+///
+/// [text format 0.0.4]: https://prometheus.io/docs/instrumenting/exposition_formats/
+pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: bool) -> String {
+    let mut out = String::with_capacity(4096);
+
+    family(
+        &mut out,
+        "messi_ready",
+        "gauge",
+        "1 once the snapshot is loaded and the context pool is prewarmed.",
+        ready as u8,
+    );
+    family(
+        &mut out,
+        "messi_uptime_seconds",
+        "gauge",
+        "Seconds since the daemon started.",
+        format_args!("{:.3}", metrics.started.elapsed().as_secs_f64()),
+    );
+    family(
+        &mut out,
+        "messi_http_requests_total",
+        "counter",
+        "HTTP requests answered, any route or status.",
+        metrics.http_requests.get(),
+    );
+    family(
+        &mut out,
+        "messi_http_client_errors_total",
+        "counter",
+        "Requests answered with a 4xx status.",
+        metrics.http_client_errors.get(),
+    );
+    family(
+        &mut out,
+        "messi_query_failures_total",
+        "counter",
+        "Queries that failed inside the engine (5xx).",
+        metrics.query_failures.get(),
+    );
+    family(
+        &mut out,
+        "messi_queries_shed_total",
+        "counter",
+        "Queries shed at the admission gate (503).",
+        admission.sheds(),
+    );
+    family(
+        &mut out,
+        "messi_admission_inflight",
+        "gauge",
+        "Queries currently holding an admission permit.",
+        admission.inflight(),
+    );
+    family(
+        &mut out,
+        "messi_admission_capacity",
+        "gauge",
+        "Admission gate capacity (0 = drain mode).",
+        admission.capacity(),
+    );
+    family(
+        &mut out,
+        "messi_query_alloc_events_total",
+        "counter",
+        "Per-query scratch allocations observed after warm-up (should stay 0).",
+        metrics.query_alloc_events.get(),
+    );
+
+    // The executor aggregate, destructured exhaustively: a new stats
+    // field fails this function (and the covering unit test) at compile
+    // time until it is exported below.
+    let QueryStatsAggregate {
+        queries,
+        lb_distance_calcs,
+        real_distance_calcs,
+        bsf_updates,
+        approx_inflation_prunes,
+        budget_stops,
+        total_time,
+        breakdown,
+    } = metrics.aggregate();
+    family(
+        &mut out,
+        "messi_queries_total",
+        "counter",
+        "Queries answered successfully.",
+        queries,
+    );
+    family(
+        &mut out,
+        "messi_query_lb_distance_calcs_total",
+        "counter",
+        "Lower-bound (mindist) distance calculations (Fig. 17a).",
+        lb_distance_calcs,
+    );
+    family(
+        &mut out,
+        "messi_query_real_distance_calcs_total",
+        "counter",
+        "Real (ED/DTW) distance calculations (Fig. 17b).",
+        real_distance_calcs,
+    );
+    family(
+        &mut out,
+        "messi_query_bsf_updates_total",
+        "counter",
+        "Successful shared-BSF improvements.",
+        bsf_updates,
+    );
+    family(
+        &mut out,
+        "messi_query_approx_inflation_prunes_total",
+        "counter",
+        "Prunes only the ε-inflated approximate bound allowed.",
+        approx_inflation_prunes,
+    );
+    family(
+        &mut out,
+        "messi_query_budget_stops_total",
+        "counter",
+        "Approximate queries stopped by the δ leaf-visit budget.",
+        budget_stops,
+    );
+    family(
+        &mut out,
+        "messi_query_seconds_total",
+        "counter",
+        "Summed query wall time in seconds.",
+        format_args!("{:.6}", total_time.as_secs_f64()),
+    );
+
+    // The Fig. 13 per-phase breakdown, likewise exhaustively
+    // destructured. Absent (no query ran with collect_breakdown) it
+    // exports as all-zero rather than disappearing, so dashboards keep a
+    // stable series set.
+    let TimeBreakdown {
+        init_ns,
+        tree_pass_ns,
+        pq_insert_ns,
+        pq_remove_ns,
+        dist_calc_ns,
+    } = breakdown.unwrap_or_default();
+    let phase = |out: &mut String, label: &str, ns: u64| {
+        out.push_str(&format!(
+            "messi_query_phase_seconds_total{{phase=\"{label}\"}} {:.6}\n",
+            ns as f64 / 1e9
+        ));
+    };
+    out.push_str("# HELP messi_query_phase_seconds_total Summed per-phase query time (Fig. 13 breakdown).\n# TYPE messi_query_phase_seconds_total counter\n");
+    phase(&mut out, "init", init_ns);
+    phase(&mut out, "tree_pass", tree_pass_ns);
+    phase(&mut out, "pq_insert", pq_insert_ns);
+    phase(&mut out, "pq_remove", pq_remove_ns);
+    phase(&mut out, "dist_calc", dist_calc_ns);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StopReason;
+    use std::time::Duration;
+
+    fn sample_metrics() -> (ServerMetrics, Admission) {
+        let metrics = ServerMetrics::new();
+        metrics.http_requests.add(7);
+        metrics.http_client_errors.add(2);
+        metrics.record_query(
+            &QueryStats {
+                lb_distance_calcs: 100,
+                real_distance_calcs: 40,
+                bsf_updates: 11,
+                approx_inflation_prunes: 3,
+                stop_reason: Some(StopReason::BudgetExhausted),
+                total_time: Duration::from_millis(5),
+                breakdown: Some(TimeBreakdown {
+                    init_ns: 1_000,
+                    tree_pass_ns: 2_000,
+                    pq_insert_ns: 3_000,
+                    pq_remove_ns: 4_000,
+                    dist_calc_ns: 5_000,
+                }),
+                ..Default::default()
+            },
+            0,
+        );
+        let admission = Admission::new(4);
+        let _ = admission.try_acquire().map(std::mem::forget); // pin inflight = 1
+        (metrics, admission)
+    }
+
+    /// Every aggregate field maps to exactly one metric family, and every
+    /// family appears exactly once. The destructuring makes a new
+    /// `QueryStatsAggregate` / `TimeBreakdown` field a compile error
+    /// here until its expected sample line is added.
+    #[test]
+    fn every_counter_is_exported_exactly_once() {
+        let (metrics, admission) = sample_metrics();
+        let text = encode_prometheus(&metrics, &admission, true);
+
+        let QueryStatsAggregate {
+            queries,
+            lb_distance_calcs,
+            real_distance_calcs,
+            bsf_updates,
+            approx_inflation_prunes,
+            budget_stops,
+            total_time: _,
+            breakdown,
+        } = metrics.aggregate();
+        let TimeBreakdown {
+            init_ns,
+            tree_pass_ns,
+            pq_insert_ns,
+            pq_remove_ns,
+            dist_calc_ns,
+        } = breakdown.expect("sample query collected a breakdown");
+
+        let expect_exactly_once = |line: String| {
+            let hits = text.matches(&line).count();
+            assert_eq!(hits, 1, "`{line}` appears {hits}× in:\n{text}");
+        };
+        expect_exactly_once(format!("\nmessi_queries_total {queries}\n"));
+        expect_exactly_once(format!(
+            "\nmessi_query_lb_distance_calcs_total {lb_distance_calcs}\n"
+        ));
+        expect_exactly_once(format!(
+            "\nmessi_query_real_distance_calcs_total {real_distance_calcs}\n"
+        ));
+        expect_exactly_once(format!("\nmessi_query_bsf_updates_total {bsf_updates}\n"));
+        expect_exactly_once(format!(
+            "\nmessi_query_approx_inflation_prunes_total {approx_inflation_prunes}\n"
+        ));
+        expect_exactly_once(format!("\nmessi_query_budget_stops_total {budget_stops}\n"));
+        expect_exactly_once("\nmessi_query_seconds_total 0.005000\n".to_string());
+        for (label, ns) in [
+            ("init", init_ns),
+            ("tree_pass", tree_pass_ns),
+            ("pq_insert", pq_insert_ns),
+            ("pq_remove", pq_remove_ns),
+            ("dist_calc", dist_calc_ns),
+        ] {
+            expect_exactly_once(format!(
+                "\nmessi_query_phase_seconds_total{{phase=\"{label}\"}} {:.6}\n",
+                ns as f64 / 1e9
+            ));
+        }
+
+        // Server-side families.
+        expect_exactly_once("\nmessi_ready 1\n".to_string());
+        expect_exactly_once("\nmessi_http_requests_total 7\n".to_string());
+        expect_exactly_once("\nmessi_http_client_errors_total 2\n".to_string());
+        expect_exactly_once("\nmessi_query_failures_total 0\n".to_string());
+        expect_exactly_once("\nmessi_queries_shed_total 0\n".to_string());
+        expect_exactly_once("\nmessi_admission_inflight 1\n".to_string());
+        expect_exactly_once("\nmessi_admission_capacity 4\n".to_string());
+        expect_exactly_once("\nmessi_query_alloc_events_total 0\n".to_string());
+
+        // Exposition-format hygiene: every sample has HELP + TYPE.
+        let samples = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        let types = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        let helps = text.lines().filter(|l| l.starts_with("# HELP ")).count();
+        assert_eq!(types, helps);
+        // The phase family contributes 5 samples under one TYPE.
+        assert_eq!(samples, types + 4);
+    }
+
+    #[test]
+    fn missing_breakdown_exports_zeroed_phases() {
+        let metrics = ServerMetrics::new();
+        metrics.record_query(&QueryStats::default(), 0);
+        let text = encode_prometheus(&metrics, &Admission::new(1), false);
+        assert!(text.contains("messi_ready 0\n"));
+        assert!(
+            text.contains("messi_query_phase_seconds_total{phase=\"init\"} 0.000000\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn alloc_events_accumulate() {
+        let metrics = ServerMetrics::new();
+        metrics.record_query(&QueryStats::default(), 3);
+        metrics.record_query(&QueryStats::default(), 0);
+        assert_eq!(metrics.query_alloc_events.get(), 3);
+        assert_eq!(metrics.aggregate().queries, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! The index service daemon: serve a built (or snapshot-loaded) MESSI
+//! index over the network.
+//!
+//! The paper's evaluation answers queries from an offline harness; a
+//! production deployment answers them from a long-running process. This
+//! module is that process, built entirely on `std::net` + the crate's
+//! own synchronization primitives (no HTTP framework):
+//!
+//! - [`http`] — minimal HTTP/1.1 framing (request parsing, fixed-length
+//!   responses), unit-tested byte-for-byte without sockets.
+//! - [`json`] — a small strict JSON parser for query bodies.
+//! - [`proto`] — the query wire protocol: JSON body ⇄
+//!   [`QuerySpec`](crate::exec::QuerySpec) + query series, and answer
+//!   encoding.
+//! - [`admission`] — the bounded admission gate with load-shedding
+//!   (503 + `Retry-After`) and drain mode.
+//! - [`metrics`] — frontend counters + Prometheus text exposition of
+//!   the executor's [`QueryStatsAggregate`](crate::stats::QueryStatsAggregate).
+//! - [`server`] — the daemon itself: acceptor + bounded handler pool
+//!   over a [`messi_sync::BoundedChannel`], readiness gating, graceful
+//!   drain on SIGTERM/SIGINT.
+//! - [`client`] — the matching blocking client and the `load-smoke`
+//!   driver (concurrent connections, p50/p99 latency, shed accounting).
+
+pub mod admission;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use admission::{Admission, AdmissionPermit};
+pub use client::{run_load_smoke, wait_ready, Client, ClientResponse, SmokeConfig, SmokeReport};
+pub use server::{shutdown_flag, IndexServer, ServeConfig, ServeSummary};

@@ -1,0 +1,538 @@
+//! The index service daemon: a long-running network frontend over one
+//! prewarmed [`QueryExecutor`].
+//!
+//! One acceptor thread plus a bounded pool of connection handlers (both
+//! running on a dedicated [`messi_sync::WorkerPool`], handed connections
+//! through a [`messi_sync::BoundedChannel`]) serve three endpoints:
+//!
+//! | endpoint | behaviour |
+//! |---|---|
+//! | `POST /query` | decode a JSON query body into a [`QuerySpec`], answer from the warm context pool |
+//! | `GET /healthz` | `200 ok` only after the index is loaded and the pool prewarmed, `503` before |
+//! | `GET /metrics` | Prometheus text exposition of the executor + frontend counters |
+//!
+//! Queries pass a bounded [`Admission`] gate: when `admission` permits
+//! are in flight, further queries get `503` + `Retry-After` instead of
+//! queueing unboundedly. Handlers answer queries *on their own thread*
+//! (`query_workers = 1` runs the engine inline, no pool dispatch), so
+//! concurrency comes from the handler pool and stays bounded end to end.
+//!
+//! Shutdown is cooperative: when the `shutdown` flag flips (SIGTERM /
+//! Ctrl-C via [`shutdown_flag`], or any writer in-process), the acceptor
+//! stops, in-flight requests finish and are answered, idle keep-alive
+//! connections are closed at their next read-timeout tick, and
+//! [`IndexServer::serve`] returns a [`ServeSummary`] for the final stats
+//! line.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use messi_sync::{BoundedChannel, WorkerPool};
+
+use super::admission::Admission;
+use super::http::{self, Request, Response};
+use super::metrics::{encode_prometheus, ServerMetrics};
+use super::proto;
+use crate::config::QueryConfig;
+use crate::exec::{QueryExecutor, QuerySpec};
+use crate::index::MessiIndex;
+use crate::stats::QueryStatsAggregate;
+
+/// How long an idle keep-alive connection may sit between requests
+/// before the handler re-checks the shutdown flag. Bounds drain latency.
+const IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// Tuning knobs of the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-handler threads (each answers one request at a time).
+    pub threads: usize,
+    /// Admission-gate capacity for `/query` (`0` = drain mode: shed
+    /// every query while health/metrics stay up).
+    pub admission: usize,
+    /// Search workers *per query* (default 1: the engine runs inline on
+    /// the handler thread and concurrency comes from `threads`).
+    pub query_workers: usize,
+    /// Collect the Fig. 13 per-phase breakdown for every query so
+    /// `/metrics` exports per-phase time (small timing overhead).
+    pub collect_breakdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = crate::config::available_cores();
+        Self {
+            threads: cores,
+            admission: 2 * cores,
+            query_workers: 1,
+            collect_breakdown: false,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, for the final stats line.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Queries answered successfully.
+    pub served: u64,
+    /// Queries shed at the admission gate.
+    pub shed: u64,
+    /// Queries that failed inside the engine.
+    pub failures: u64,
+    /// The folded per-query statistics.
+    pub aggregate: QueryStatsAggregate,
+}
+
+/// A bound-but-not-yet-serving daemon (separate from [`IndexServer::serve`]
+/// so callers — tests, the CLI — can learn the ephemeral port first).
+#[derive(Debug)]
+pub struct IndexServer {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl IndexServer {
+    /// Binds the listening socket.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `shutdown` flips to `true`, then drains in-flight
+    /// requests and returns the lifetime summary.
+    ///
+    /// Readiness (`/healthz` → 200) is reached after the executor pool
+    /// has been prewarmed against `index`, so a load balancer polling
+    /// health never routes to a cold daemon.
+    pub fn serve(self, index: &MessiIndex, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
+        let threads = self.config.threads.max(1);
+        let state = ServeState::new(index, &self.config);
+        state.prewarm(index);
+
+        self.listener.set_nonblocking(true)?;
+        let conns: BoundedChannel<TcpStream> = BoundedChannel::new(2 * threads);
+        // A dedicated pool: monopolizing the process-global one for the
+        // daemon's lifetime would starve every other caller.
+        let pool = WorkerPool::new(threads + 1);
+        let state_ref = &state;
+        let conns_ref = &conns;
+        let listener_ref = &self.listener;
+        pool.run(threads + 1, &|pid| {
+            if pid == 0 {
+                accept_loop(listener_ref, conns_ref, shutdown);
+                conns_ref.close(); // acceptor done → handlers drain + exit
+            } else {
+                while let Some(stream) = conns_ref.pop() {
+                    handle_connection(state_ref, stream, shutdown);
+                }
+            }
+        });
+        Ok(state.summary())
+    }
+}
+
+/// Everything a request handler needs, shared across handler threads.
+struct ServeState<'a> {
+    executor: QueryExecutor<'a>,
+    series_len: usize,
+    query_config: QueryConfig,
+    metrics: ServerMetrics,
+    admission: Admission,
+    ready: AtomicBool,
+}
+
+impl<'a> ServeState<'a> {
+    fn new(index: &'a MessiIndex, config: &ServeConfig) -> Self {
+        let query_workers = config.query_workers.max(1);
+        Self {
+            executor: QueryExecutor::with_capacity(index, config.threads.max(1)),
+            series_len: index.dataset().series_len(),
+            query_config: QueryConfig {
+                num_workers: query_workers,
+                num_queues: query_workers,
+                collect_breakdown: config.collect_breakdown,
+                ..QueryConfig::default()
+            },
+            metrics: ServerMetrics::new(),
+            admission: Admission::new(config.admission),
+            ready: AtomicBool::new(false),
+        }
+    }
+
+    /// Warms every pooled context so the first real query of every
+    /// handler thread runs allocation-free, then flips readiness.
+    fn prewarm(&self, index: &MessiIndex) {
+        let warm_query: Vec<f32> = if index.num_series() > 0 {
+            index.dataset().series(0).to_vec()
+        } else {
+            vec![0.0; self.series_len]
+        };
+        self.executor
+            .prewarm(&warm_query, &QuerySpec::exact(), &self.query_config);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn summary(&self) -> ServeSummary {
+        let aggregate = self.metrics.aggregate();
+        ServeSummary {
+            served: aggregate.queries,
+            shed: self.admission.sheds(),
+            failures: self.metrics.query_failures.get(),
+            aggregate,
+        }
+    }
+}
+
+/// Accepts connections until shutdown, handing them to the handler pool.
+fn accept_loop(listener: &TcpListener, conns: &BoundedChannel<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(mut stream) = conns.try_push(stream) {
+                    // Handler pool and hand-off buffer both full: shed at
+                    // the door (best effort — the client may already be
+                    // gone) rather than queue unboundedly.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = Response::error(503, "server saturated")
+                        .with_retry_after(1)
+                        .write_to(&mut stream, true);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE): back off and
+                // keep the daemon alive.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Serves one (possibly keep-alive) connection to completion.
+fn handle_connection(state: &ServeState<'_>, stream: TcpStream, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(IDLE_TICK)).is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // Idle tick: wait for the next request to start (or the peer to
+        // leave) without committing to a full parse, so drain latency is
+        // bounded by IDLE_TICK even with idle keep-alive clients parked.
+        match reader.fill_buf() {
+            Ok([]) => break, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        match http::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                // Force close while draining so the client re-connects
+                // elsewhere instead of parking on a dying daemon.
+                let close = req.close || shutdown.load(Ordering::Relaxed);
+                let response = route(state, &req);
+                state.metrics.http_requests.inc();
+                if (400..500).contains(&response.status) {
+                    state.metrics.http_client_errors.inc();
+                }
+                if response.write_to(&mut write_half, close).is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    state.metrics.http_requests.inc();
+                    state.metrics.http_client_errors.inc();
+                    let _ = Response::error(status, &e.detail()).write_to(&mut write_half, true);
+                }
+                break; // framing is lost either way
+            }
+        }
+    }
+}
+
+/// Maps one request to one response. Pure with respect to the socket, so
+/// the whole routing table is unit-testable without I/O.
+fn route(state: &ServeState<'_>, req: &Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            if state.ready.load(Ordering::Acquire) {
+                Response::text(200, "ok\n")
+            } else {
+                Response::text(503, "warming up\n").with_retry_after(1)
+            }
+        }
+        ("GET", "/metrics") => Response::text(
+            200,
+            encode_prometheus(
+                &state.metrics,
+                &state.admission,
+                state.ready.load(Ordering::Acquire),
+            ),
+        ),
+        ("POST", "/query") => answer_query(state, req),
+        ("GET" | "POST", "/healthz" | "/metrics" | "/query") => {
+            Response::error(405, &format!("{} not allowed on {path}", req.method))
+        }
+        _ => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+/// The `/query` endpoint: admission gate → decode → prewarmed executor.
+fn answer_query(state: &ServeState<'_>, req: &Request) -> Response {
+    if !state.ready.load(Ordering::Acquire) {
+        return Response::error(503, "index not ready").with_retry_after(1);
+    }
+    // Shed before parsing: under overload the cheap path must win.
+    let Some(_permit) = state.admission.try_acquire() else {
+        return Response::error(503, "overloaded: admission gate full").with_retry_after(1);
+    };
+    let (spec, series) = match proto::decode_query(&req.body, state.series_len) {
+        Ok(decoded) => decoded,
+        Err(e) => return Response::error(400, &e.0),
+    };
+    // A panicking query (engine invariant violation) must not take the
+    // daemon down with it; the checked-out context is sacrificed and the
+    // pool rebuilds a fresh one on the next checkout.
+    match catch_unwind(AssertUnwindSafe(|| {
+        state
+            .executor
+            .run_one_traced(&series, &spec, &state.query_config)
+    })) {
+        Ok((answers, stats, alloc_delta)) => {
+            state.metrics.record_query(&stats, alloc_delta);
+            Response::json(200, proto::encode_answer(&spec, &answers, &stats))
+        }
+        Err(_) => {
+            state.metrics.query_failures.inc();
+            Response::error(500, "query execution failed")
+        }
+    }
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Returns the process-wide shutdown flag, wiring SIGINT and SIGTERM to
+/// it on Unix (no-op installation elsewhere — the flag can still be
+/// flipped programmatically). Idempotent.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` is async-signal-safe (single atomic store)
+        // and matches the C `void (*)(int)` handler ABI.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+    &SHUTDOWN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+
+    fn test_index() -> MessiIndex {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 11));
+        MessiIndex::build(data, &IndexConfig::for_tests()).0
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            body: Vec::new(),
+            close: false,
+        }
+    }
+
+    fn post_query(body: String) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    fn query_body(index: &MessiIndex, fields: &str) -> String {
+        let series: Vec<String> = index
+            .dataset()
+            .series(0)
+            .iter()
+            .map(|x| format!("{x}"))
+            .collect();
+        format!("{{{fields}\"series\":[{}]}}", series.join(","))
+    }
+
+    #[test]
+    fn healthz_gates_on_readiness() {
+        let index = test_index();
+        let state = ServeState::new(&index, &ServeConfig::default());
+        let resp = route(&state, &get("/healthz"));
+        assert_eq!(resp.status, 503, "not ready before prewarm");
+        assert_eq!(resp.retry_after, Some(1));
+        let resp = route(&state, &post_query(query_body(&index, "")));
+        assert_eq!(resp.status, 503, "queries are also gated on readiness");
+
+        state.prewarm(&index);
+        let resp = route(&state, &get("/healthz"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+    }
+
+    #[test]
+    fn query_route_answers_like_the_index() {
+        let index = test_index();
+        let state = ServeState::new(&index, &ServeConfig::default());
+        state.prewarm(&index);
+
+        let resp = route(&state, &post_query(query_body(&index, "")));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc =
+            super::super::json::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let answers = doc.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers.len(), 1);
+        // Query = series 0 of the dataset, so the 1-NN is series 0 itself.
+        assert_eq!(answers[0].get("pos").unwrap().as_f64(), Some(0.0));
+        assert_eq!(state.metrics.aggregate().queries, 1);
+
+        let resp = route(
+            &state,
+            &post_query(query_body(&index, "\"objective\":\"knn\",\"k\":4,")),
+        );
+        let doc =
+            super::super::json::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("answers").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn router_maps_errors_to_statuses() {
+        let index = test_index();
+        let state = ServeState::new(&index, &ServeConfig::default());
+        state.prewarm(&index);
+        assert_eq!(route(&state, &get("/nope")).status, 404);
+        assert_eq!(route(&state, &get("/query")).status, 405);
+        let mut req = get("/healthz");
+        req.method = "POST".into();
+        assert_eq!(route(&state, &req).status, 405);
+        assert_eq!(
+            route(&state, &post_query("not json".into())).status,
+            400,
+            "malformed body"
+        );
+        assert_eq!(
+            route(&state, &post_query(query_body(&index, "\"k\":3,"))).status,
+            400,
+            "contradictory fields"
+        );
+    }
+
+    #[test]
+    fn drain_mode_sheds_queries_with_retry_hint_but_serves_health() {
+        let index = test_index();
+        let state = ServeState::new(
+            &index,
+            &ServeConfig {
+                admission: 0,
+                ..ServeConfig::default()
+            },
+        );
+        state.prewarm(&index);
+        let resp = route(&state, &post_query(query_body(&index, "")));
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(1));
+        assert!(String::from_utf8_lossy(&resp.body).contains("overloaded"));
+        assert_eq!(state.admission.sheds(), 1);
+        assert_eq!(route(&state, &get("/healthz")).status, 200);
+        let metrics = route(&state, &get("/metrics"));
+        assert!(String::from_utf8_lossy(&metrics.body).contains("messi_queries_shed_total 1"));
+    }
+
+    #[test]
+    fn metrics_expose_query_counters() {
+        let index = test_index();
+        let state = ServeState::new(&index, &ServeConfig::default());
+        state.prewarm(&index);
+        let _ = route(&state, &post_query(query_body(&index, "")));
+        let text = route(&state, &get("/metrics"));
+        let body = String::from_utf8(text.body).unwrap();
+        assert!(body.contains("messi_queries_total 1"), "{body}");
+        assert!(body.contains("messi_ready 1"), "{body}");
+        assert!(
+            body.contains("messi_query_real_distance_calcs_total"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn summary_reflects_served_and_shed() {
+        let index = test_index();
+        let state = ServeState::new(
+            &index,
+            &ServeConfig {
+                admission: 0,
+                ..ServeConfig::default()
+            },
+        );
+        state.prewarm(&index);
+        let _ = route(&state, &post_query(query_body(&index, "")));
+        let summary = state.summary();
+        assert_eq!(summary.served, 0);
+        assert_eq!(summary.shed, 1);
+        assert_eq!(summary.failures, 0);
+    }
+}

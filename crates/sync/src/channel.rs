@@ -1,0 +1,268 @@
+//! A bounded blocking MPMC channel with explicit close semantics.
+//!
+//! The serve frontend needs a hand-off point between the acceptor thread
+//! and the bounded pool of connection handlers: the acceptor pushes
+//! accepted connections, handlers pop them, and shutdown must wake every
+//! blocked party exactly once. None of the existing primitives fit — the
+//! [`crate::Dispenser`] hands out *indices* of a fixed-size batch and the
+//! [`crate::SlotPool`] never blocks — so this is the third hand-off
+//! shape: a classic bounded buffer (Mutex + two condvars), generic so the
+//! future live-ingest path can reuse it for delta-log records.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking multi-producer/multi-consumer channel.
+///
+/// [`BoundedChannel::push`] blocks while the channel is full;
+/// [`BoundedChannel::pop`] blocks while it is empty. [`BoundedChannel::close`]
+/// wakes every blocked thread: pushes start failing immediately, pops keep
+/// draining what is already buffered and then return `None`.
+///
+/// ```
+/// use messi_sync::BoundedChannel;
+/// use std::sync::Arc;
+///
+/// let ch = Arc::new(BoundedChannel::new(2));
+/// ch.push(1).unwrap();
+/// ch.push(2).unwrap();
+/// ch.close();
+/// assert_eq!(ch.push(3), Err(3)); // closed
+/// assert_eq!(ch.pop(), Some(1));  // drains the buffer…
+/// assert_eq!(ch.pop(), Some(2));
+/// assert_eq!(ch.pop(), None); // …then reports closed
+/// ```
+pub struct BoundedChannel<T> {
+    capacity: usize,
+    state: Mutex<ChannelState<T>>,
+    /// Signalled when an item arrives or the channel closes (pop side).
+    items: Condvar,
+    /// Signalled when space frees up or the channel closes (push side).
+    space: Condvar,
+}
+
+impl<T> BoundedChannel<T> {
+    /// Creates a channel buffering at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            items: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently buffered items.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until there is space, then enqueues `value`. Returns the
+    /// value back if the channel is (or gets) closed while waiting.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(value);
+            }
+            if st.queue.len() < self.capacity {
+                st.queue.push_back(value);
+                drop(st);
+                self.items.notify_one();
+                return Ok(());
+            }
+            self.space.wait(&mut st);
+        }
+    }
+
+    /// Enqueues without blocking. Returns the value back if the channel
+    /// is full or closed.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        if st.closed || st.queue.len() >= self.capacity {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and dequeues it. Returns `None`
+    /// once the channel is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.space.notify_one();
+                return Some(value);
+            }
+            if st.closed {
+                return None;
+            }
+            self.items.wait(&mut st);
+        }
+    }
+
+    /// Closes the channel and wakes every blocked producer and consumer.
+    /// Buffered items remain poppable; further pushes fail.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.items.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Whether [`BoundedChannel::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedChannel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("BoundedChannel")
+            .field("capacity", &self.capacity)
+            .field("len", &st.queue.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ch = BoundedChannel::new(3);
+        for i in 0..3 {
+            ch.push(i).unwrap();
+        }
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.try_push(99), Err(99), "full channel rejects try_push");
+        for i in 0..3 {
+            assert_eq!(ch.pop(), Some(i));
+        }
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_consumers_and_rejects_producers() {
+        let ch = Arc::new(BoundedChannel::<u32>::new(2));
+        let waiter = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.pop())
+        };
+        // Give the consumer a moment to block on the empty channel.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ch.close();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert_eq!(ch.push(1), Err(1));
+        assert!(ch.is_closed());
+    }
+
+    #[test]
+    fn close_drains_buffered_items_first() {
+        let ch = BoundedChannel::new(4);
+        ch.push('a').unwrap();
+        ch.push('b').unwrap();
+        ch.close();
+        assert_eq!(ch.pop(), Some('a'));
+        assert_eq!(ch.pop(), Some('b'));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_space_or_close() {
+        let ch = Arc::new(BoundedChannel::new(1));
+        ch.push(0).unwrap();
+        let producer = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.push(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ch.pop(), Some(0), "frees the slot the producer waits on");
+        assert_eq!(producer.join().unwrap(), Ok(()));
+
+        let blocked = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.push(2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ch.close();
+        assert_eq!(blocked.join().unwrap(), Err(2), "closed while waiting");
+    }
+
+    #[test]
+    fn mpmc_transfers_every_item_exactly_once() {
+        let ch = Arc::new(BoundedChannel::new(4));
+        let received = Arc::new(AtomicUsize::new(0));
+        const PER_PRODUCER: usize = 200;
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let ch = Arc::clone(&ch);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        ch.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..CONSUMERS)
+                .map(|_| {
+                    let ch = Arc::clone(&ch);
+                    let received = Arc::clone(&received);
+                    s.spawn(move || {
+                        while ch.pop().is_some() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            // Producers are done once their handles would join; close after
+            // the push count is reached by polling the received total.
+            while received.load(Ordering::SeqCst) + ch.len() < PRODUCERS * PER_PRODUCER {
+                std::thread::yield_now();
+            }
+            ch.close();
+            for c in consumers {
+                c.join().unwrap();
+            }
+        });
+        assert_eq!(received.load(Ordering::SeqCst), PRODUCERS * PER_PRODUCER);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = BoundedChannel::<u8>::new(0);
+    }
+}

@@ -28,6 +28,9 @@
 //! * [`slots::SlotPool`] — a lock-free checkout/checkin pool, the handoff
 //!   between incoming queries and the warm per-worker `QueryContext`
 //!   scratch of the pooled query-execution layer.
+//! * [`channel::BoundedChannel`] — a bounded blocking MPMC channel with
+//!   close semantics, the hand-off between the serve frontend's acceptor
+//!   and its connection-handler pool.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -35,6 +38,7 @@
 pub mod barrier;
 pub mod bsf;
 pub mod buffers;
+pub mod channel;
 pub mod counters;
 pub mod dispenser;
 pub mod pool;
@@ -44,6 +48,7 @@ pub mod slots;
 pub use barrier::SenseBarrier;
 pub use bsf::{AtomicBsf, BestSoFar, LockedBsf};
 pub use buffers::{BufferPart, PartitionedBuffers};
+pub use channel::BoundedChannel;
 pub use counters::Counter;
 pub use dispenser::Dispenser;
 pub use pool::WorkerPool;

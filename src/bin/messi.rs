@@ -6,7 +6,9 @@
 //! messi info        --data data.mds [--load index.msx]
 //! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx]
 //! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx]
-//! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx]
+//! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx] [--json out.json]
+//! messi serve       --data data.mds [--load index.msx] [--addr 127.0.0.1:7700] [--threads N] [--admission N]
+//! messi load-smoke  --addr 127.0.0.1:7700 --data data.mds [--clients N] [--per-client M] [--objective …]
 //! ```
 //!
 //! Datasets live in the `.mds` container of `messi::series::io`; built
@@ -20,9 +22,17 @@
 //! throughput plus the paper's Fig. 13 per-phase breakdown
 //! (`--breakdown`); for the approximate objective it additionally
 //! reports observed recall and approximation ratio against brute force.
+//!
+//! `serve` turns the same executor into a long-running daemon (see the
+//! README's Serving section); `load-smoke` is its counterpart client.
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, bad data, smoke
+//! assertion), `2` usage error (unknown/contradictory/invalid flags).
 
+use messi::index::serve::{self, SmokeConfig};
 use messi::prelude::*;
 use messi::series::io::{read_dataset, write_dataset};
+use messi::{IndexServer, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,34 +41,125 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let opts = match Opts::parse(rest) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "build" => cmd_build(&opts),
-        "info" => cmd_info(&opts),
-        "query" => cmd_query(&opts),
-        "range" => cmd_range(&opts),
-        "bench-query" => cmd_bench_query(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        other => Err(format!("unknown command `{other}`")),
-    };
+    let result = run(command, rest);
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}\n\nRun `messi help` for the full usage.");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
+    if matches!(command, "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let opts = Opts::parse(rest)?;
+    match command {
+        "generate" => {
+            opts.expect_keys(command, &["kind", "count", "out", "len", "seed"])?;
+            cmd_generate(&opts)
+        }
+        "build" => {
+            opts.expect_keys(command, &["data", "save"])?;
+            cmd_build(&opts)
+        }
+        "info" => {
+            opts.expect_keys(command, &["data", "load"])?;
+            cmd_info(&opts)
+        }
+        "query" => {
+            opts.expect_keys(
+                command,
+                &["data", "queries", "num-queries", "k", "dtw", "seed", "load"],
+            )?;
+            cmd_query(&opts)
+        }
+        "range" => {
+            opts.expect_keys(
+                command,
+                &[
+                    "data",
+                    "queries",
+                    "num-queries",
+                    "epsilon",
+                    "dtw",
+                    "seed",
+                    "load",
+                ],
+            )?;
+            cmd_range(&opts)
+        }
+        "bench-query" => {
+            opts.expect_keys(
+                command,
+                &[
+                    "data",
+                    "queries",
+                    "num-queries",
+                    "objective",
+                    "k",
+                    "epsilon",
+                    "delta",
+                    "schedule",
+                    "parallelism",
+                    "workers",
+                    "dtw",
+                    "breakdown",
+                    "seed",
+                    "load",
+                    "json",
+                ],
+            )?;
+            cmd_bench_query(&opts)
+        }
+        "serve" => {
+            opts.expect_keys(
+                command,
+                &[
+                    "data",
+                    "load",
+                    "addr",
+                    "threads",
+                    "admission",
+                    "query-workers",
+                    "breakdown",
+                ],
+            )?;
+            cmd_serve(&opts)
+        }
+        "load-smoke" => {
+            opts.expect_keys(
+                command,
+                &[
+                    "addr",
+                    "data",
+                    "clients",
+                    "per-client",
+                    "num-queries",
+                    "seed",
+                    "objective",
+                    "k",
+                    "epsilon",
+                    "delta",
+                    "dtw",
+                    "no-retry",
+                    "min-shed",
+                    "max-attempts",
+                    "wait-ready",
+                ],
+            )?;
+            cmd_load_smoke(&opts)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -77,6 +178,13 @@ USAGE:
                     [--objective <exact|knn|range|approx>] [--k <K>] [--epsilon <dist|ratio>]
                     [--delta <0..=1>] [--schedule <intra|inter>] [--parallelism <P>]
                     [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
+                    [--json <out.json>]
+  messi serve       --data <file.mds> [--load <file.msx>] [--addr <host:port>]
+                    [--threads <N>] [--admission <N>] [--query-workers <N>] [--breakdown]
+  messi load-smoke  --addr <host:port> --data <file.mds> [--clients <N>] [--per-client <M>]
+                    [--num-queries <N>] [--objective <exact|knn|range|approx>] [--k <K>]
+                    [--epsilon <dist|ratio>] [--delta <0..=1>] [--dtw] [--no-retry]
+                    [--min-shed <N>] [--max-attempts <N>] [--wait-ready <seconds>] [--seed <u64>]
 
 Generated queries come from the same family as --kind (members + noise
 for real-data stand-ins). Searches are exact except `--objective approx`:
@@ -88,32 +196,87 @@ force. bench-query answers the whole batch through the pooled query
 executor: `--schedule intra` runs queries one by one, each on all
 --workers search workers (the paper's protocol); `--schedule inter`
 dispenses queries across --parallelism single-threaded workers for
-throughput.
+throughput. `--json` additionally writes the aggregate as one JSON
+object (the CI benchmark-trajectory artifact).
 
 `build --save` persists the finished index as a versioned, checksummed
 snapshot; `--load` on the query commands answers from the snapshot
 without rebuilding (the raw dataset is still required — snapshots store
-tree structure, and the loader verifies the data fingerprint).";
+tree structure, and the loader verifies the data fingerprint).
+
+`serve` answers queries over HTTP until SIGTERM/SIGINT, then drains:
+POST /query (JSON body), GET /healthz (ready only after prewarm),
+GET /metrics (Prometheus text). `--admission 0` is drain mode (every
+query sheds with 503 + Retry-After). `load-smoke` floods a running
+daemon with concurrent clients and reports ok/shed/error counts and
+p50/p99 latency; it exits non-zero on any client/server error, or when
+fewer than --min-shed sheds were observed.
+
+Contradictory flags are rejected with exit code 2: an option a command
+does not know, or one whose objective does not apply (e.g. --epsilon
+with --objective exact, --delta with knn, --k with range).";
+
+/// CLI failure, split by exit code: usage errors (bad/contradictory
+/// flags) exit 2, runtime errors (I/O, bad data, failed assertions)
+/// exit 1.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 /// Parsed `--key value` options.
 struct Opts(Vec<(String, String)>);
 
+/// Options that are bare flags (no value).
+const FLAG_KEYS: &[&str] = &["dtw", "breakdown", "no-retry"];
+
 impl Opts {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut out = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
-                return Err(format!("expected --option, got `{key}`"));
+                return Err(usage(format!("expected --option, got `{key}`")));
             };
-            if name == "dtw" || name == "breakdown" {
+            if FLAG_KEYS.contains(&name) {
                 out.push((name.to_string(), "true".to_string()));
                 continue;
             }
-            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| usage(format!("--{name} needs a value")))?;
             out.push((name.to_string(), value.clone()));
         }
         Ok(Self(out))
+    }
+
+    /// Rejects any option the command does not understand — the
+    /// alternative is a flag that silently does nothing.
+    fn expect_keys(&self, command: &str, allowed: &[&str]) -> Result<(), CliError> {
+        for (key, _) in &self.0 {
+            if !allowed.contains(&key.as_str()) {
+                return Err(usage(format!(
+                    "`messi {command}` does not accept --{key} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -123,40 +286,45 @@ impl Opts {
             .map(|(_, v)| v.as_str())
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| usage(format!("missing --{name}")))
     }
 
-    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid --{name}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("invalid --{name}: `{v}`"))),
         }
     }
 }
 
-fn kind_from(name: &str) -> Result<DatasetKind, String> {
+fn kind_from(name: &str) -> Result<DatasetKind, CliError> {
     match name {
         "random" | "random-walk" => Ok(DatasetKind::RandomWalk),
         "seismic" => Ok(DatasetKind::Seismic),
         "sald" => Ok(DatasetKind::Sald),
-        other => Err(format!("unknown kind `{other}` (random|seismic|sald)")),
+        other => Err(usage(format!(
+            "unknown kind `{other}` (random|seismic|sald)"
+        ))),
     }
 }
 
-fn load(opts: &Opts) -> Result<Arc<Dataset>, String> {
+fn load(opts: &Opts) -> Result<Arc<Dataset>, CliError> {
     let path = PathBuf::from(opts.required("data")?);
     read_dataset(&path)
         .map(Arc::new)
-        .map_err(|e| format!("{}: {e}", path.display()))
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))
 }
 
-fn cmd_generate(opts: &Opts) -> Result<(), String> {
+fn cmd_generate(opts: &Opts) -> Result<(), CliError> {
     let kind = kind_from(opts.required("kind")?)?;
     let count: usize = opts
         .required("count")?
         .parse()
-        .map_err(|_| "invalid --count")?;
+        .map_err(|_| usage("invalid --count"))?;
     let out = PathBuf::from(opts.required("out")?);
     let len: usize = opts.parsed("len", kind.paper_series_len())?;
     let seed: u64 = opts.parsed("seed", 42u64)?;
@@ -180,11 +348,11 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 fn obtain_index(
     opts: &Opts,
     data: &Arc<Dataset>,
-) -> Result<(MessiIndex, Option<BuildStats>), String> {
+) -> Result<(MessiIndex, Option<BuildStats>), CliError> {
     if let Some(path) = opts.get("load") {
         let t = std::time::Instant::now();
         let index = messi::index::persist::load_index(&PathBuf::from(path), Arc::clone(data))
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
         println!("index loaded from {path} in {:.2?}", t.elapsed());
         Ok((index, None))
     } else {
@@ -193,14 +361,14 @@ fn obtain_index(
     }
 }
 
-fn cmd_build(opts: &Opts) -> Result<(), String> {
+fn cmd_build(opts: &Opts) -> Result<(), CliError> {
     let data = load(opts)?;
     let out = PathBuf::from(opts.required("save")?);
     if let Some((pos, idx)) = data.find_non_finite() {
-        return Err(format!(
+        return Err(CliError::Runtime(format!(
             "series {pos} has a non-finite value at point {idx}; \
              similarity search over NaN/∞ is undefined"
-        ));
+        )));
     }
     let (index, stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
     println!(
@@ -220,7 +388,7 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(opts: &Opts) -> Result<(), String> {
+fn cmd_info(opts: &Opts) -> Result<(), CliError> {
     let data = load(opts)?;
     println!(
         "dataset: {} series × {} points, {} MB raw",
@@ -229,10 +397,10 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         data.raw_bytes() / (1 << 20)
     );
     if let Some((pos, idx)) = data.find_non_finite() {
-        return Err(format!(
+        return Err(CliError::Runtime(format!(
             "series {pos} has a non-finite value at point {idx}; \
              similarity search over NaN/∞ is undefined"
-        ));
+        )));
     }
     let (index, stats) = obtain_index(opts, &data)?;
     if let Some(stats) = stats {
@@ -261,21 +429,22 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn queries_for_cli(opts: &Opts, data: &Arc<Dataset>) -> Result<Dataset, String> {
+fn queries_for_cli(opts: &Opts, data: &Arc<Dataset>) -> Result<Dataset, CliError> {
     if let Some(qpath) = opts.get("queries") {
-        let qs = read_dataset(&PathBuf::from(qpath)).map_err(|e| format!("{qpath}: {e}"))?;
+        let qs = read_dataset(&PathBuf::from(qpath))
+            .map_err(|e| CliError::Runtime(format!("{qpath}: {e}")))?;
         if qs.series_len() != data.series_len() {
-            return Err(format!(
+            return Err(CliError::Runtime(format!(
                 "query length {} ≠ dataset length {}",
                 qs.series_len(),
                 data.series_len()
-            ));
+            )));
         }
         return Ok(qs);
     }
     let n: usize = opts.parsed("num-queries", 10usize)?;
     if n == 0 {
-        return Err("--num-queries must be positive".into());
+        return Err(usage("--num-queries must be positive"));
     }
     let seed: u64 = opts.parsed("seed", 42u64)?;
     Ok(messi::series::gen::queries::noisy_queries_from_dataset(
@@ -283,7 +452,7 @@ fn queries_for_cli(opts: &Opts, data: &Arc<Dataset>) -> Result<Dataset, String> 
     ))
 }
 
-fn cmd_query(opts: &Opts) -> Result<(), String> {
+fn cmd_query(opts: &Opts) -> Result<(), CliError> {
     let data = load(opts)?;
     let queries = queries_for_cli(opts, &data)?;
     let k: usize = opts.parsed("k", 1usize)?;
@@ -343,14 +512,14 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_range(opts: &Opts) -> Result<(), String> {
+fn cmd_range(opts: &Opts) -> Result<(), CliError> {
     let data = load(opts)?;
     let epsilon: f32 = opts
         .required("epsilon")?
         .parse()
-        .map_err(|_| "invalid --epsilon")?;
+        .map_err(|_| usage("invalid --epsilon"))?;
     if epsilon.is_nan() || epsilon < 0.0 {
-        return Err("--epsilon must be non-negative".into());
+        return Err(usage("--epsilon must be non-negative"));
     }
     let use_dtw = opts.get("dtw").is_some();
     let queries = queries_for_cli(opts, &data)?;
@@ -382,34 +551,75 @@ fn cmd_range(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
-    let data = load(opts)?;
-    let queries = queries_for_cli(opts, &data)?;
-    if queries.is_empty() {
-        return Err("bench-query needs at least one query".into());
+/// Rejects objective-dependent flags that the selected objective does
+/// not use — they would otherwise be accepted and silently ignored.
+fn validate_objective_flags(opts: &Opts, objective: &str) -> Result<(), CliError> {
+    let reject = |flag: &str, why: &str| -> Result<(), CliError> {
+        if opts.get(flag).is_some() {
+            Err(usage(format!(
+                "--{flag} does not apply to --objective {objective} ({why})"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match objective {
+        "exact" => {
+            reject("k", "--k selects the knn objective's answer count")?;
+            reject(
+                "epsilon",
+                "--epsilon is the range radius or approx error bound",
+            )?;
+            reject("delta", "--delta is the approx confidence")?;
+        }
+        "knn" => {
+            reject(
+                "epsilon",
+                "--epsilon is the range radius or approx error bound",
+            )?;
+            reject("delta", "--delta is the approx confidence")?;
+        }
+        "range" => {
+            reject("k", "--k selects the knn objective's answer count")?;
+            reject("delta", "--delta is the approx confidence")?;
+        }
+        "approx" => {
+            reject("k", "--k selects the knn objective's answer count")?;
+        }
+        other => {
+            return Err(usage(format!(
+                "unknown objective `{other}` (exact|knn|range|approx)"
+            )))
+        }
     }
+    Ok(())
+}
 
-    // ---- What to run: one cell of the Objective × Metric matrix ----
-    let objective = match opts.get("objective").unwrap_or("exact") {
-        "exact" => Objective::Exact,
+/// Parses `--objective` and its dependent flags into an [`Objective`],
+/// rejecting contradictory combinations.
+fn objective_from(opts: &Opts) -> Result<Objective, CliError> {
+    let name = opts.get("objective").unwrap_or("exact");
+    validate_objective_flags(opts, name)?;
+    match name {
+        "exact" => Ok(Objective::Exact),
         "knn" => {
             let k: usize = opts.parsed("k", 10usize)?;
             if k == 0 {
-                return Err("--k must be positive".into());
+                return Err(usage("--k must be positive"));
             }
-            Objective::Knn { k }
+            Ok(Objective::Knn { k })
         }
         "range" => {
             let epsilon: f32 = opts
                 .required("epsilon")?
                 .parse()
-                .map_err(|_| "invalid --epsilon")?;
+                .map_err(|_| usage("invalid --epsilon"))?;
             if epsilon.is_nan() || epsilon < 0.0 {
-                return Err("--epsilon must be non-negative".into());
+                return Err(usage("--epsilon must be non-negative"));
             }
-            Objective::Range {
+            Ok(Objective::Range {
                 epsilon_sq: epsilon * epsilon,
-            }
+            })
         }
         "approx" => {
             // For the approximate objective, --epsilon is the *relative*
@@ -418,20 +628,29 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
             // mode with a 5% error bound.
             let epsilon: f32 = opts.parsed("epsilon", 0.05f32)?;
             if !epsilon.is_finite() || epsilon < 0.0 {
-                return Err("--epsilon must be a finite non-negative ratio".into());
+                return Err(usage("--epsilon must be a finite non-negative ratio"));
             }
             let delta: f32 = opts.parsed("delta", 1.0f32)?;
             if !(0.0..=1.0).contains(&delta) {
-                return Err("--delta must be within [0, 1]".into());
+                return Err(usage("--delta must be within [0, 1]"));
             }
-            Objective::Approx { epsilon, delta }
+            Ok(Objective::Approx { epsilon, delta })
         }
-        other => {
-            return Err(format!(
-                "unknown objective `{other}` (exact|knn|range|approx)"
-            ))
-        }
-    };
+        _ => unreachable!("validate_objective_flags rejected unknown objectives"),
+    }
+}
+
+fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
+    let data = load(opts)?;
+    let queries = queries_for_cli(opts, &data)?;
+    if queries.is_empty() {
+        return Err(CliError::Runtime(
+            "bench-query needs at least one query".into(),
+        ));
+    }
+
+    // ---- What to run: one cell of the Objective × Metric matrix ----
+    let objective = objective_from(opts)?;
     let metric = if opts.get("dtw").is_some() {
         MetricSpec::Dtw(DtwParams::paper_default(data.series_len()))
     } else {
@@ -443,14 +662,31 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let parallelism: usize = opts.parsed("parallelism", cores)?;
-    if parallelism == 0 {
-        return Err("--parallelism must be positive".into());
-    }
-    let schedule = match opts.get("schedule").unwrap_or("intra") {
-        "intra" => Schedule::IntraQuery,
-        "inter" => Schedule::InterQuery { parallelism },
-        other => return Err(format!("unknown schedule `{other}` (intra|inter)")),
+    let schedule_name = opts.get("schedule").unwrap_or("intra");
+    let schedule = match schedule_name {
+        "intra" => {
+            if opts.get("parallelism").is_some() {
+                return Err(usage(
+                    "--parallelism only applies to --schedule inter \
+                     (intra parallelizes inside each query via --workers)",
+                ));
+            }
+            Schedule::IntraQuery
+        }
+        "inter" => {
+            if opts.get("workers").is_some() {
+                return Err(usage(
+                    "--workers only applies to --schedule intra \
+                     (inter runs each query single-threaded via --parallelism)",
+                ));
+            }
+            let parallelism: usize = opts.parsed("parallelism", cores)?;
+            if parallelism == 0 {
+                return Err(usage("--parallelism must be positive"));
+            }
+            Schedule::InterQuery { parallelism }
+        }
+        other => return Err(usage(format!("unknown schedule `{other}` (intra|inter)"))),
     };
     let config = QueryConfig {
         num_workers: opts.parsed("workers", QueryConfig::default().num_workers)?,
@@ -563,6 +799,243 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), String> {
             b.pq_remove_ns as f64 / 1e3,
             b.dist_calc_ns as f64 / 1e3,
         );
+    }
+
+    // ---- Machine-readable aggregate for the CI benchmark trajectory ----
+    if let Some(json_path) = opts.get("json") {
+        let breakdown = agg.mean_breakdown().map(|b| {
+            format!(
+                ",\"phase_mean_ns\":{{\"init\":{},\"tree_pass\":{},\"pq_insert\":{},\
+                 \"pq_remove\":{},\"dist_calc\":{}}}",
+                b.init_ns, b.tree_pass_ns, b.pq_insert_ns, b.pq_remove_ns, b.dist_calc_ns
+            )
+        });
+        let line = format!(
+            "{{\"objective\":\"{}\",\"metric\":\"{}\",\"schedule\":\"{}\",\"queries\":{},\
+             \"wall_us\":{},\"qps\":{:.3},\"mean_query_us\":{},\"lb_calcs_per_query\":{:.3},\
+             \"real_calcs_per_query\":{:.3},\"bsf_updates\":{},\"budget_stops\":{},\
+             \"total_answers\":{}{}}}",
+            match objective {
+                Objective::Exact => "exact",
+                Objective::Knn { .. } => "knn",
+                Objective::Range { .. } => "range",
+                Objective::Approx { .. } => "approx",
+            },
+            if matches!(metric, MetricSpec::Euclidean) {
+                "ed"
+            } else {
+                "dtw"
+            },
+            schedule_name,
+            agg.queries,
+            wall.as_micros(),
+            n / wall.as_secs_f64(),
+            agg.mean_time().as_micros(),
+            agg.mean_lb_calcs(),
+            agg.mean_real_calcs(),
+            agg.bsf_updates,
+            agg.budget_stops,
+            total_answers,
+            breakdown.unwrap_or_default(),
+        );
+        std::fs::write(json_path, format!("{line}\n")).map_err(|e| format!("{json_path}: {e}"))?;
+        println!("json: aggregate written to {json_path}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7700").to_string();
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        threads: opts.parsed("threads", defaults.threads)?,
+        admission: opts.parsed("admission", defaults.admission)?,
+        query_workers: opts.parsed("query-workers", defaults.query_workers)?,
+        collect_breakdown: opts.get("breakdown").is_some(),
+    };
+    if config.threads == 0 {
+        return Err(usage("--threads must be positive"));
+    }
+    if config.query_workers == 0 {
+        return Err(usage("--query-workers must be positive"));
+    }
+
+    // Install the SIGTERM/SIGINT handler before any long-running work so
+    // an early signal still drains cleanly.
+    let shutdown = serve::shutdown_flag();
+
+    let data = load(opts)?;
+    if let Some((pos, idx)) = data.find_non_finite() {
+        return Err(CliError::Runtime(format!(
+            "series {pos} has a non-finite value at point {idx}; refusing to serve"
+        )));
+    }
+    let (index, build) = obtain_index(opts, &data)?;
+    if let Some(build) = build {
+        println!(
+            "index: {} series built in {:.2?}",
+            data.len(),
+            build.total_time
+        );
+    }
+    let server = IndexServer::bind(addr.as_str(), config.clone())
+        .map_err(|e| CliError::Runtime(format!("bind {addr}: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
+    println!(
+        "serve: listening on {bound} (threads={} admission={} query-workers={}{})",
+        config.threads,
+        config.admission,
+        config.query_workers,
+        if config.admission == 0 {
+            ", DRAIN MODE"
+        } else {
+            ""
+        },
+    );
+    // The boot and stats lines must reach a supervising harness promptly
+    // even when stdout is a pipe (block-buffered).
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server
+        .serve(&index, shutdown)
+        .map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+    println!(
+        "serve: drained cleanly — served={} shed={} failures={} \
+         lb_calcs={} real_calcs={} query_seconds={:.3}",
+        summary.served,
+        summary.shed,
+        summary.failures,
+        summary.aggregate.lb_distance_calcs,
+        summary.aggregate.real_distance_calcs,
+        summary.aggregate.total_time.as_secs_f64(),
+    );
+    let _ = std::io::stdout().flush();
+    Ok(())
+}
+
+fn cmd_load_smoke(opts: &Opts) -> Result<(), CliError> {
+    let addr = opts.required("addr")?.to_string();
+    let data = load(opts)?;
+    let n: usize = opts.parsed("num-queries", 10usize)?;
+    if n == 0 {
+        return Err(usage("--num-queries must be positive"));
+    }
+    let seed: u64 = opts.parsed("seed", 42u64)?;
+    let objective = opts.get("objective").unwrap_or("exact");
+    validate_objective_flags(opts, objective)?;
+
+    // Build the JSON query bodies the daemon's /query endpoint expects.
+    let queries = messi::series::gen::queries::noisy_queries_from_dataset(&data, n, 0.1, seed);
+    let mut fields: Vec<String> = vec![format!("\"objective\":\"{objective}\"")];
+    match objective {
+        "exact" => {}
+        "knn" => {
+            let k: usize = opts.parsed("k", 10usize)?;
+            if k == 0 {
+                return Err(usage("--k must be positive"));
+            }
+            fields.push(format!("\"k\":{k}"));
+        }
+        "range" => {
+            let epsilon: f32 = opts
+                .required("epsilon")?
+                .parse()
+                .map_err(|_| usage("invalid --epsilon"))?;
+            if epsilon.is_nan() || epsilon < 0.0 {
+                return Err(usage("--epsilon must be non-negative"));
+            }
+            fields.push(format!("\"epsilon\":{epsilon}"));
+        }
+        "approx" => {
+            let epsilon: f32 = opts.parsed("epsilon", 0.05f32)?;
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err(usage("--epsilon must be a finite non-negative ratio"));
+            }
+            let delta: f32 = opts.parsed("delta", 1.0f32)?;
+            if !(0.0..=1.0).contains(&delta) {
+                return Err(usage("--delta must be within [0, 1]"));
+            }
+            fields.push(format!("\"epsilon\":{epsilon}"));
+            fields.push(format!("\"delta\":{delta}"));
+        }
+        _ => unreachable!("validate_objective_flags rejected unknown objectives"),
+    }
+    if opts.get("dtw").is_some() {
+        fields.push("\"metric\":\"dtw\"".to_string());
+    }
+    let bodies: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            let series: Vec<String> = q.iter().map(|x| format!("{x}")).collect();
+            format!("{{{},\"series\":[{}]}}", fields.join(","), series.join(",")).into_bytes()
+        })
+        .collect();
+
+    let smoke = SmokeConfig {
+        clients: opts.parsed("clients", 4usize)?,
+        per_client: opts.parsed("per-client", 25usize)?,
+        retry: opts.get("no-retry").is_none(),
+        max_attempts: opts.parsed("max-attempts", 50usize)?,
+    };
+    if smoke.clients == 0 || smoke.per_client == 0 {
+        return Err(usage("--clients and --per-client must be positive"));
+    }
+    let min_shed: u64 = opts.parsed("min-shed", 0u64)?;
+    let wait_ready_secs: u64 = opts.parsed("wait-ready", 0u64)?;
+
+    if wait_ready_secs > 0 {
+        let timeout = std::time::Duration::from_secs(wait_ready_secs);
+        if !serve::wait_ready(&addr, timeout) {
+            return Err(CliError::Runtime(format!(
+                "daemon at {addr} not ready within {wait_ready_secs}s"
+            )));
+        }
+        println!("load-smoke: {addr} ready");
+    }
+
+    println!(
+        "load-smoke: {} clients × {} queries ({} bodies, objective={objective}{}) against {addr}",
+        smoke.clients,
+        smoke.per_client,
+        bodies.len(),
+        if opts.get("dtw").is_some() {
+            ", dtw"
+        } else {
+            ""
+        },
+    );
+    let report = serve::run_load_smoke(&addr, &bodies, &smoke);
+    println!("{}", report.render());
+
+    // The smoke contract: every query accounted for, no errors, and (when
+    // demanded) proof that the admission gate actually shed load.
+    let expected = (smoke.clients * smoke.per_client) as u64;
+    if report.client_errors > 0 || report.server_errors > 0 {
+        return Err(CliError::Runtime(format!(
+            "{} client errors, {} server errors (expected none)",
+            report.client_errors, report.server_errors
+        )));
+    }
+    if report.shed < min_shed {
+        return Err(CliError::Runtime(format!(
+            "observed {} sheds, required at least {min_shed}",
+            report.shed
+        )));
+    }
+    let landed_or_shed = if smoke.retry {
+        report.ok
+    } else {
+        report.ok + report.shed
+    };
+    if landed_or_shed < expected {
+        return Err(CliError::Runtime(format!(
+            "only {landed_or_shed} of {expected} queries accounted for \
+             ({} transport errors)",
+            report.transport_errors
+        )));
     }
     Ok(())
 }

@@ -70,9 +70,9 @@ pub mod sync {
 }
 
 pub use messi_core::{
-    load_index, save_index, BuildStats, IndexConfig, MessiIndex, MetricSpec, Objective,
-    PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec, QueryStats,
-    Schedule, StopReason,
+    load_index, save_index, BuildStats, IndexConfig, IndexServer, MessiIndex, MetricSpec,
+    Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec,
+    QueryStats, Schedule, ServeConfig, ServeSummary, StopReason,
 };
 
 /// The commonly needed imports in one place.
