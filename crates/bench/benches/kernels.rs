@@ -7,7 +7,9 @@ use messi_sax::convert::{sax_word, SaxConfig};
 use messi_sax::mindist::{mindist_sq_leaf_scalar, segment_scales, MindistTable};
 use messi_series::distance::dtw::{dtw_sq, dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::{ed_sq_early_abandon_with, ed_sq_scalar, ed_sq_with};
-use messi_series::distance::lb_keogh::{lb_keogh_sq, Envelope};
+use messi_series::distance::lb_keogh::{
+    lb_keogh_sq, lb_keogh_sq_early_abandon_with, lb_keogh_sq_with, Envelope,
+};
 use messi_series::distance::Kernel;
 use messi_series::gen::{generate, queries::generate_queries, DatasetKind};
 use messi_series::paa::{paa, paa_into};
@@ -70,6 +72,32 @@ fn bench_mindist(c: &mut Criterion) {
             acc
         })
     });
+    // The struct-of-arrays batch: the same table swept 8 entries per
+    // call over transposed symbol columns — the layout the tree leaves
+    // store, so this is the engine's actual leaf-scan lower-bound path.
+    let n = words.len();
+    let mut cols = vec![0u8; 16 * n];
+    for (j, w) in words.iter().enumerate() {
+        for (s, &sym) in w.symbols().iter().enumerate() {
+            cols[s * n + j] = sym;
+        }
+    }
+    for (name, use_simd) in [("table_soa_simd", true), ("table_soa_scalar", false)] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                let mut out = [0.0f32; 8];
+                let mut base = 0;
+                while base < n {
+                    let len = (n - base).min(8);
+                    table.mindist_sq_soa(black_box(&cols), n, base, len, use_simd, &mut out);
+                    acc += out[..len].iter().sum::<f32>();
+                    base += len;
+                }
+                acc
+            })
+        });
+    }
     g.finish();
     c.bench_function("mindist_table_build", |bch| {
         bch.iter(|| MindistTable::new(black_box(&qp), config))
@@ -104,9 +132,27 @@ fn bench_dtw(c: &mut Criterion) {
     });
     g.finish();
     let env = Envelope::new(a, params);
-    c.bench_function("lb_keogh_256", |bch| {
+    // LB_Keogh in its three spellings: the branchy reference formula,
+    // the lane-mirrored scalar twin, and the AVX2+FMA kernel (the latter
+    // two are bit-identical by construction).
+    let mut lb = c.benchmark_group("lb_keogh_256");
+    lb.throughput(Throughput::Elements(256));
+    lb.bench_function("branchy", |bch| {
         bch.iter(|| lb_keogh_sq(black_box(&env), black_box(b)))
     });
+    lb.bench_function("scalar_twin", |bch| {
+        bch.iter(|| lb_keogh_sq_with(Kernel::Scalar, black_box(&env), black_box(b)))
+    });
+    lb.bench_function("simd", |bch| {
+        bch.iter(|| lb_keogh_sq_with(Kernel::Simd, black_box(&env), black_box(b)))
+    });
+    let exact = lb_keogh_sq(&env, b);
+    lb.bench_function("simd_early_abandon_tight", |bch| {
+        bch.iter(|| {
+            lb_keogh_sq_early_abandon_with(Kernel::Simd, black_box(&env), black_box(b), exact / 8.0)
+        })
+    });
+    lb.finish();
     c.bench_function("envelope_build_256", |bch| {
         bch.iter(|| Envelope::new(black_box(a), params))
     });

@@ -10,8 +10,11 @@ use messi_baselines::paris::{build_paris, ParisBuildVariant};
 use messi_baselines::ucr;
 use messi_core::exec::{QuerySpec, Schedule};
 use messi_core::{BsfPolicy, IndexConfig, MessiIndex, QueryConfig};
+use messi_sax::mindist::MindistTable;
+use messi_series::distance::dtw::DtwParams;
 use messi_series::distance::Kernel;
 use messi_series::gen::{generate, queries::generate_queries, DatasetKind};
+use messi_series::paa::paa;
 use std::sync::Arc;
 
 const N: usize = 50_000;
@@ -93,6 +96,21 @@ fn bench_ablations(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| b.iter(|| messi.search(q, &config)));
     }
+    // The same kernel ablation under DTW: with the vectorized LB_Keogh
+    // and batched envelope mindist the SIMD-vs-SISD contrast is now
+    // symmetric across metrics (the Fig. 18 ablation for Fig. 19's
+    // cascade).
+    let params = DtwParams::paper_default(data.series_len());
+    for (name, kernel) in [
+        ("dtw_kernel_simd", Kernel::Simd),
+        ("dtw_kernel_sisd", Kernel::Scalar),
+    ] {
+        let config = QueryConfig {
+            kernel,
+            ..QueryConfig::default()
+        };
+        g.bench_function(name, |b| b.iter(|| messi.search_dtw(q, params, &config)));
+    }
     g.finish();
 }
 
@@ -170,6 +188,67 @@ fn bench_leaf_scan(c: &mut Criterion) {
         b.iter(|| messi.search_range(q, nn * 16.0, &qc))
     });
     g.bench_function("exact_1worker", |b| b.iter(|| messi.search(q, &one_worker)));
+
+    // SoA vs AoS lower-bound sweep: the same mindist table swept over
+    // every leaf, either per entry through the interleaved AoS words or
+    // 8 entries at a time through the struct-of-arrays symbol columns —
+    // the isolated win of the leaf-layout transpose, without any search
+    // logic around it.
+    let segments = messi.sax_config().segments;
+    let qp = paa(q, segments);
+    let table = MindistTable::new(&qp, messi.sax_config());
+    g.bench_function("mindist_sweep_aos", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &key in messi.touched_keys() {
+                messi.root(key).unwrap().for_each_leaf(&mut |l| {
+                    for e in l.entries {
+                        acc += table.mindist_sq(&e.sax);
+                    }
+                });
+            }
+            acc
+        })
+    });
+    for (name, use_simd) in [
+        ("mindist_sweep_soa_simd", true),
+        ("mindist_sweep_soa_scalar", false),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                let mut out = [0.0f32; 8];
+                for &key in messi.touched_keys() {
+                    messi.root(key).unwrap().for_each_leaf(&mut |l| {
+                        let n = l.entries.len();
+                        let mut base = 0;
+                        while base < n {
+                            let len = (n - base).min(8);
+                            table.mindist_sq_soa(l.cols, n, base, len, use_simd, &mut out);
+                            acc += out[..len].iter().sum::<f32>();
+                            base += len;
+                        }
+                    });
+                }
+                acc
+            })
+        });
+    }
+
+    // The DTW cascade end to end, SIMD vs forced-scalar: batched SoA
+    // envelope mindist + LB_Keogh + banded DTW on one worker, so the
+    // kernel difference is not hidden by thread scheduling.
+    let params = DtwParams::paper_default(data.series_len());
+    for (name, kernel) in [
+        ("dtw_1worker_simd", Kernel::Simd),
+        ("dtw_1worker_sisd", Kernel::Scalar),
+    ] {
+        let config = QueryConfig {
+            kernel,
+            ..one_worker.clone()
+        };
+        g.bench_function(name, |b| b.iter(|| messi.search_dtw(q, params, &config)));
+    }
     g.finish();
 }
 

@@ -252,8 +252,16 @@ pub fn approx_search_dtw_with<'a>(
 
     // Seed from the home leaf through the LB_Keogh → DTW cascade.
     let stats = SharedQueryStats::new();
-    let (d0, p0) =
-        crate::dtw::seed_bsf_dtw(index, query, &query_sax, &query_paa, &env, params, &stats);
+    let (d0, p0) = crate::dtw::seed_bsf_dtw(
+        index,
+        query,
+        &query_sax,
+        &query_paa,
+        &env,
+        params,
+        config.kernel,
+        &stats,
+    );
     if delta == 0.0 {
         // ng mode still reports the cascade's seed-scan counters.
         let mut out = ng_answer(d0, p0, t_start, config);
@@ -280,6 +288,7 @@ pub fn approx_search_dtw_with<'a>(
         &paa_lower,
         &paa_upper,
         scratch.table,
+        config.kernel,
     );
     let init_ns = t_start.elapsed().as_nanos() as u64;
 

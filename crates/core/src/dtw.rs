@@ -23,7 +23,8 @@ use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
-use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
+use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon_with, Envelope};
+use messi_series::distance::Kernel;
 use messi_series::paa::paa;
 use std::time::Instant;
 
@@ -71,7 +72,16 @@ pub fn exact_search_dtw_with<'a>(
 
     // Initial BSF: cascade-scan the query's home leaf.
     let stats = SharedQueryStats::new();
-    let (d0, p0) = seed_bsf_dtw(index, query, &query_sax, &query_paa, &env, params, &stats);
+    let (d0, p0) = seed_bsf_dtw(
+        index,
+        query,
+        &query_sax,
+        &query_paa,
+        &env,
+        params,
+        config.kernel,
+        &stats,
+    );
     let objective = NearestObjective::new(config.bsf, d0, p0);
 
     let scratch = ctx.prepare(
@@ -87,6 +97,7 @@ pub fn exact_search_dtw_with<'a>(
         &paa_lower,
         &paa_upper,
         scratch.table,
+        config.kernel,
     );
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
@@ -120,6 +131,7 @@ pub fn exact_search_dtw_with<'a>(
 /// the BSF — the shared [`MessiIndex::home_leaf_entries`] walk (greedy
 /// fallback when the home subtree is empty) with DTW's distance cascade.
 /// Also the ng-approximate answer under DTW ([`crate::approximate`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn seed_bsf_dtw(
     index: &MessiIndex,
     query: &[f32],
@@ -127,13 +139,14 @@ pub(crate) fn seed_bsf_dtw(
     query_paa: &[f32],
     env: &Envelope,
     params: DtwParams,
+    kernel: Kernel,
     stats: &SharedQueryStats,
 ) -> (f32, u32) {
     let mut best = (f32::INFINITY, u32::MAX);
     for e in index.home_leaf_entries(query_sax, query_paa) {
         let candidate = index.dataset.series(e.pos as usize);
         stats.lb_distance_calcs.inc();
-        if lb_keogh_sq_early_abandon(env, candidate, best.0) >= best.0 {
+        if lb_keogh_sq_early_abandon_with(kernel, env, candidate, best.0) >= best.0 {
             continue;
         }
         stats.real_distance_calcs.inc();

@@ -23,7 +23,7 @@ use crate::index::MessiIndex;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
-use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon, Envelope};
+use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon_with, Envelope};
 use messi_series::paa::paa;
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
@@ -262,7 +262,7 @@ pub fn exact_knn_dtw_with<'a>(
     for e in index.home_leaf_entries(&query_sax, &query_paa) {
         let bound = knn.bound();
         let candidate = index.dataset.series(e.pos as usize);
-        if lb_keogh_sq_early_abandon(&env, candidate, bound) >= bound {
+        if lb_keogh_sq_early_abandon_with(config.kernel, &env, candidate, bound) >= bound {
             continue;
         }
         let d = dtw_sq_early_abandon(query, candidate, params, bound);
@@ -285,6 +285,7 @@ pub fn exact_knn_dtw_with<'a>(
         &paa_lower,
         &paa_upper,
         scratch.table,
+        config.kernel,
     );
     let objective = KnnObjective::new(&knn);
     let stats = SharedQueryStats::new();

@@ -13,11 +13,15 @@
 //! one heap allocation per node (`Box<Node>`) and one `Vec` per leaf, a
 //! whole root subtree lives in a [`TreeArena`] — one contiguous node
 //! array in preorder (parent before children, left subtree before right)
-//! plus one packed [`LeafEntry`] pool in the same leaf order. A subtree
-//! is **two** allocations instead of thousands; inner-node traversal
-//! walks an index-linked flat array, leaf scans walk flat slices, and
-//! `for_each_leaf` is a linear sweep of the node array. The flat layout
-//! is also what makes the index serializable ([`crate::persist`]).
+//! plus one packed [`LeafEntry`] pool in the same leaf order, plus a
+//! struct-of-arrays transposition of the pool's SAX symbols (16
+//! contiguous segment-columns per leaf) that the batched mindist cascade
+//! streams cache-line by cache-line. A subtree is **three** allocations
+//! instead of thousands; inner-node traversal walks an index-linked flat
+//! array, leaf scans walk flat slices, and `for_each_leaf` is a linear
+//! sweep of the node array. The flat layout is also what makes the index
+//! serializable ([`crate::persist`]) — the SoA pool is derived data,
+//! rebuilt rather than stored.
 //!
 //! Construction still follows the paper's incremental protocol (Alg. 4:
 //! insert, split overflowing leaves): [`SubtreeBuilder`] runs exactly the
@@ -28,6 +32,7 @@
 
 use messi_sax::split::choose_split;
 use messi_sax::word::{NodeWord, SaxWord};
+use messi_sax::MAX_SEGMENTS;
 
 /// A `(iSAX summary, series position)` pair — the unit the index stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,19 +75,70 @@ pub struct LeafRef<'a> {
     pub word: &'a NodeWord,
     /// The stored `(summary, position)` pairs, contiguous in the pool.
     pub entries: &'a [LeafEntry],
+    /// The leaf's struct-of-arrays symbol block: `MAX_SEGMENTS` columns of
+    /// `entries.len()` bytes each, column `s` starting at
+    /// `s * entries.len()`. `cols[s * n + j] == entries[j].sax.symbol(s)`
+    /// — the transposed copy the mindist cascade streams instead of
+    /// striding over interleaved [`SaxWord`]s.
+    pub cols: &'a [u8],
+}
+
+/// The slice of one leaf a search worker scans: packed entries plus the
+/// matching SoA symbol block (what the priority queues carry).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LeafSlice<'a> {
+    /// The leaf's `(summary, position)` pairs.
+    pub(crate) entries: &'a [LeafEntry],
+    /// The leaf's transposed symbol columns (see [`LeafRef::cols`]).
+    pub(crate) cols: &'a [u8],
 }
 
 /// A root subtree flattened into contiguous storage: node records in
-/// preorder plus one packed leaf-entry pool — two allocations total.
+/// preorder, one packed leaf-entry pool, and the pool's struct-of-arrays
+/// symbol transposition — three allocations total.
 ///
 /// Node accessors take a [`NodeId`]; traversal starts at
 /// [`TreeArena::ROOT`] and follows [`TreeArena::children`]. Leaves are in
 /// depth-first (left-to-right) order both in the node array and in the
 /// pool, so [`TreeArena::for_each_leaf`] is a linear sweep.
+///
+/// The `cols` pool mirrors `entries` segment-major *per leaf*: the leaf
+/// with pool range `[lo, hi)` (n = hi − lo entries) owns the byte block
+/// `[lo·16, hi·16)`, inside which column `s` occupies
+/// `[lo·16 + s·n, lo·16 + (s+1)·n)`. The batched mindist kernel thus
+/// reads each segment's symbols as one sequential run of cache lines
+/// instead of striding 20 bytes per entry through interleaved
+/// [`SaxWord`]s. `cols` is derived data — rebuilt on load, never
+/// serialized — and always uses all [`MAX_SEGMENTS`] columns regardless
+/// of the configured segment count, so the layout needs no config to
+/// decode.
 #[derive(Debug)]
 pub struct TreeArena {
     nodes: Vec<NodeRecord>,
     entries: Vec<LeafEntry>,
+    cols: Vec<u8>,
+}
+
+/// Builds the SoA symbol pool for a finished node/entry layout (see
+/// [`TreeArena`] docs for the block layout). Shared by
+/// [`SubtreeBuilder::finish`] and [`TreeArena::from_raw`]; exactly one
+/// exact-sized allocation.
+fn transpose_cols(nodes: &[NodeRecord], entries: &[LeafEntry]) -> Vec<u8> {
+    let mut cols = vec![0u8; entries.len() * MAX_SEGMENTS];
+    for n in nodes {
+        if n.tag != LEAF_TAG {
+            continue;
+        }
+        let (lo, hi) = (n.lo as usize, n.hi as usize);
+        let len = hi - lo;
+        let block = &mut cols[lo * MAX_SEGMENTS..hi * MAX_SEGMENTS];
+        for (j, e) in entries[lo..hi].iter().enumerate() {
+            for (s, &sym) in e.sax.symbols().iter().enumerate() {
+                block[s * len + j] = sym;
+            }
+        }
+    }
+    cols
 }
 
 impl TreeArena {
@@ -167,6 +223,19 @@ impl TreeArena {
         &self.entries[n.lo as usize..n.hi as usize]
     }
 
+    /// A leaf's SoA symbol block (`MAX_SEGMENTS` columns of
+    /// `entries.len()` bytes; see [`LeafRef::cols`] for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is an inner node.
+    #[inline]
+    pub fn leaf_cols(&self, id: NodeId) -> &[u8] {
+        let n = &self.nodes[id as usize];
+        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_cols of an inner node");
+        &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS]
+    }
+
     /// Borrowed view of the leaf at `id`.
     ///
     /// # Panics
@@ -177,6 +246,23 @@ impl TreeArena {
         LeafRef {
             word: self.word(id),
             entries: self.leaf_entries(id),
+            cols: self.leaf_cols(id),
+        }
+    }
+
+    /// The scannable slice of the leaf at `id` — what gets pushed onto
+    /// the search priority queues.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `id` is an inner node.
+    #[inline]
+    pub(crate) fn leaf_slice(&self, id: NodeId) -> LeafSlice<'_> {
+        let n = &self.nodes[id as usize];
+        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_slice of an inner node");
+        LeafSlice {
+            entries: &self.entries[n.lo as usize..n.hi as usize],
+            cols: &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS],
         }
     }
 
@@ -189,6 +275,7 @@ impl TreeArena {
                 f(LeafRef {
                     word: &n.word,
                     entries: &self.entries[n.lo as usize..n.hi as usize],
+                    cols: &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS],
                 });
             }
         }
@@ -214,13 +301,15 @@ impl TreeArena {
         id
     }
 
-    /// Whether both backing allocations are capacity-tight (length ==
-    /// capacity) — true for every arena produced by
+    /// Whether all three backing allocations are capacity-tight (length
+    /// == capacity) — true for every arena produced by
     /// [`SubtreeBuilder::finish`], which allocates each exactly once at
     /// its final size. The build tests assert this "allocation-flat"
     /// invariant on whole indexes.
     pub fn allocation_flat(&self) -> bool {
-        self.nodes.capacity() == self.nodes.len() && self.entries.capacity() == self.entries.len()
+        self.nodes.capacity() == self.nodes.len()
+            && self.entries.capacity() == self.entries.len()
+            && self.cols.capacity() == self.cols.len()
     }
 
     /// Bytes held by the node array (capacity, i.e. the allocation).
@@ -231,6 +320,11 @@ impl TreeArena {
     /// Bytes held by the leaf-entry pool (capacity).
     pub fn entry_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<LeafEntry>()
+    }
+
+    /// Bytes held by the SoA symbol pool (capacity).
+    pub fn col_bytes(&self) -> usize {
+        self.cols.capacity()
     }
 
     /// A leaf's `[start, end)` range in the entry pool (validation and
@@ -349,7 +443,14 @@ impl TreeArena {
                 nn - expect
             ));
         }
-        Ok(Self { nodes, entries })
+        // The SoA symbol pool is derived data: rebuild it from the (now
+        // validated) records instead of trusting serialized bytes.
+        let cols = transpose_cols(&nodes, &entries);
+        Ok(Self {
+            nodes,
+            entries,
+            cols,
+        })
     }
 }
 
@@ -401,9 +502,10 @@ impl<'a> Iterator for SaxLinkIter<'a> {
 ///
 /// The builder's scratch (index-linked entry lists, a flat scratch-node
 /// array) is retained across subtrees: `begin` → `insert`* → `finish`
-/// cycles reuse the same buffers, and `finish` performs **exactly two**
-/// exact-capacity allocations — the arena's node array and entry pool —
-/// regardless of how many nodes the subtree has (debug-asserted).
+/// cycles reuse the same buffers, and `finish` performs **exactly three**
+/// exact-capacity allocations — the arena's node array, entry pool, and
+/// SoA symbol pool — regardless of how many nodes the subtree has
+/// (debug-asserted).
 #[derive(Debug)]
 pub struct SubtreeBuilder {
     /// Number of PAA segments (the paper's w).
@@ -587,11 +689,12 @@ impl SubtreeBuilder {
     }
 
     /// Flattens the finished subtree into a [`TreeArena`] (preorder node
-    /// array + packed leaf pool) and resets the scratch for the next
-    /// subtree.
+    /// array + packed leaf pool + SoA symbol pool) and resets the scratch
+    /// for the next subtree.
     ///
-    /// The arena is built with exactly two exact-capacity allocations —
-    /// the node-count and entry-count are known — which debug assertions
+    /// The arena is built with exactly three exact-capacity allocations —
+    /// the node-count and entry-count are known, and the SoA transposition
+    /// is a post-pass over the emitted leaves — which debug assertions
     /// verify (the "allocation-flat subtree" invariant).
     ///
     /// # Panics
@@ -610,9 +713,11 @@ impl SubtreeBuilder {
         self.nodes.clear();
         self.entries.clear();
         self.next.clear();
+        let cols = transpose_cols(&nodes, &pool);
         TreeArena {
             nodes,
             entries: pool,
+            cols,
         }
     }
 
@@ -833,6 +938,48 @@ mod tests {
         if let Some(last_leaf) = bad.iter().rposition(|n| n.tag == LEAF_TAG) {
             bad[last_leaf].hi += 1; // range past the pool
             assert!(TreeArena::from_raw(bad, pool).is_err());
+        }
+    }
+
+    #[test]
+    fn soa_columns_mirror_leaf_entries() {
+        let config = SaxConfig::new(4, 32);
+        let mut groups: std::collections::HashMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..300u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups.entry(root_key(&e.sax, 4)).or_default().push(e);
+        }
+        let mut builder = SubtreeBuilder::new(4, 8);
+        for (key, entries) in groups {
+            let arena =
+                builder.build_subtree(node_word_for_root_key(key, 4), entries.iter().copied());
+            assert!(arena.allocation_flat());
+            assert_eq!(arena.col_bytes(), arena.num_entries() * MAX_SEGMENTS);
+            let mut total = 0usize;
+            arena.for_each_leaf(&mut |leaf| {
+                let n = leaf.entries.len();
+                assert_eq!(leaf.cols.len(), n * MAX_SEGMENTS);
+                for (j, e) in leaf.entries.iter().enumerate() {
+                    for s in 0..MAX_SEGMENTS {
+                        assert_eq!(
+                            leaf.cols[s * n + j],
+                            e.sax.symbol(s),
+                            "key {key} entry {j} segment {s}"
+                        );
+                    }
+                }
+                total += n;
+            });
+            assert_eq!(total, arena.num_entries());
+            // The round-tripped arena rebuilds an identical SoA pool.
+            let back =
+                TreeArena::from_raw(arena.raw_nodes().to_vec(), arena.raw_entries().to_vec())
+                    .expect("valid arena");
+            for id in 0..arena.num_nodes() as NodeId {
+                if arena.is_leaf(id) {
+                    assert_eq!(arena.leaf_cols(id), back.leaf_cols(id));
+                }
+            }
         }
     }
 

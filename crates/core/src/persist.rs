@@ -50,7 +50,15 @@ use std::sync::Arc;
 /// File magic: `MESSIIDX`.
 const MAGIC: [u8; 8] = *b"MESSIIDX";
 /// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 marks builds whose arenas carry the struct-of-arrays leaf
+/// symbol columns. The columns are *derived* state — rebuilt by
+/// `TreeArena::from_raw` at load, never serialized (a snapshot cannot
+/// smuggle in columns that disagree with its entries) — so the payload
+/// is byte-identical to version 1 and version-1 files still load.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Serialized bytes per node record: word (16×u16 + 16×u8) + tag + lo + hi.
 const NODE_WIRE_BYTES: usize = 2 * MAX_SEGMENTS + MAX_SEGMENTS + 1 + 4 + 4;
@@ -162,7 +170,7 @@ pub fn load_index(path: &Path, dataset: Arc<Dataset>) -> Result<MessiIndex, Pers
         return Err(PersistError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::Version {
             found: version,
             expected: FORMAT_VERSION,
@@ -559,6 +567,28 @@ mod tests {
                 assert_eq!(expected, FORMAT_VERSION);
             }
             other => panic!("expected Version, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loads_version_1_snapshots() {
+        // The v1 → v2 bump only marks the SoA-column derivation; the
+        // payload is unchanged, so a v1-stamped file must load. The
+        // checksum covers the payload only, so re-stamping the header
+        // version byte needs no reseal.
+        let (data, index) = build_small();
+        let path = tmp("v1.msx");
+        save_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_index(&path, Arc::clone(&data)).unwrap();
+        assert_eq!(loaded.num_entries(), index.num_entries());
+        // The derived SoA columns are rebuilt regardless of file version.
+        for &key in loaded.touched_keys() {
+            let arena = loaded.root(key).unwrap();
+            assert!(arena.col_bytes() >= arena.num_entries());
         }
         std::fs::remove_file(&path).ok();
     }

@@ -163,6 +163,7 @@ pub fn range_search_dtw_with<'a>(
         &paa_lower,
         &paa_upper,
         scratch.table,
+        config.kernel,
     );
     let stats = SharedQueryStats::new();
     let init_ns = t_start.elapsed().as_nanos() as u64;

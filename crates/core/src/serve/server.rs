@@ -40,6 +40,7 @@ use crate::config::QueryConfig;
 use crate::exec::{QueryExecutor, QuerySpec};
 use crate::index::MessiIndex;
 use crate::stats::QueryStatsAggregate;
+use messi_series::distance::Kernel;
 
 /// How long an idle keep-alive connection may sit between requests
 /// before the handler re-checks the shutdown flag. Bounds drain latency.
@@ -59,6 +60,11 @@ pub struct ServeConfig {
     /// Collect the Fig. 13 per-phase breakdown for every query so
     /// `/metrics` exports per-phase time (small timing overhead).
     pub collect_breakdown: bool,
+    /// Distance-kernel dispatch for every served query (`Auto` resolves
+    /// to SIMD when the CPU has AVX2+FMA). Answers are identical either
+    /// way — the scalar twins are bit-identical — so this is an
+    /// operational/ablation knob, not a correctness one.
+    pub kernel: Kernel,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +75,7 @@ impl Default for ServeConfig {
             admission: 2 * cores,
             query_workers: 1,
             collect_breakdown: false,
+            kernel: Kernel::Auto,
         }
     }
 }
@@ -161,6 +168,7 @@ impl<'a> ServeState<'a> {
                 num_workers: query_workers,
                 num_queues: query_workers,
                 collect_breakdown: config.collect_breakdown,
+                kernel: config.kernel,
                 ..QueryConfig::default()
             },
             metrics: ServerMetrics::new(),

@@ -34,6 +34,10 @@ use messi_sax::root_key::{node_word_for_root_key, root_key};
 /// 7. **Arena layout**: each arena's leaves partition its entry pool in
 ///    depth-first order, so leaf scans and `for_each_leaf` walk flat,
 ///    gapless slices.
+/// 8. **SoA mirror**: each leaf's struct-of-arrays symbol columns agree
+///    byte-for-byte with the interleaved entry words — the batched
+///    mindist kernels read the columns, so a divergence would silently
+///    change pruning bounds.
 pub fn validate(index: &MessiIndex) -> Vec<String> {
     let mut errors = Vec::new();
     let mut conv = SaxConverter::new(index.sax_config());
@@ -155,9 +159,20 @@ pub(crate) fn check_subtree_semantics(
                 ));
             }
         }
-        for e in leaf.entries {
+        let len = leaf.entries.len();
+        for (j, e) in leaf.entries.iter().enumerate() {
             let pos = e.pos as usize;
             record(pos)?;
+            // SoA mirror (8).
+            for (s, &sym) in e.sax.symbols().iter().enumerate() {
+                if leaf.cols[s * len + j] != sym {
+                    return Err(format!(
+                        "key {key}: entry {pos} segment {s}: SoA column byte {} \
+                         disagrees with AoS symbol {sym}",
+                        leaf.cols[s * len + j]
+                    ));
+                }
+            }
             // Containment (3).
             if !leaf.word.contains(&e.sax, segments) {
                 return Err(format!("key {key}: entry {pos} not contained in leaf word"));

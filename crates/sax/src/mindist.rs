@@ -318,6 +318,108 @@ impl MindistTable {
             _mm_cvtss_f32(s1)
         }
     }
+
+    /// Lower bounds for a chunk of up to 8 entries of a struct-of-arrays
+    /// leaf.
+    ///
+    /// `cols` is the leaf's transposed symbol block — column `s` starts at
+    /// `s * n` and holds one byte per entry — `n` is the leaf's entry
+    /// count, `base` the chunk's first entry, and `len <= 8` the chunk
+    /// size. One bound per entry is written into `out[..len]`.
+    ///
+    /// The AVX2 variant maps the 8 *entries* to gather lanes and walks the
+    /// segment columns sequentially, so each lane accumulates its segment
+    /// contributions in ascending segment order — exactly the order of
+    /// [`MindistTable::mindist_sq_scalar`]. SIMD and scalar results are
+    /// therefore **bit-identical** per entry; full chunks use AVX2 when
+    /// `use_simd` is set, partial chunks always take the scalar twin (in
+    /// both dispatch arms, so forced-SIMD and forced-scalar runs agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of bounds or `cols` is shorter than
+    /// `segments * n`.
+    #[inline]
+    pub fn mindist_sq_soa(
+        &self,
+        cols: &[u8],
+        n: usize,
+        base: usize,
+        len: usize,
+        use_simd: bool,
+        out: &mut [f32; 8],
+    ) {
+        assert!(len <= 8 && base + len <= n, "SoA chunk out of bounds");
+        assert!(
+            cols.len() >= self.segments * n,
+            "SoA column block too short"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if use_simd && len == 8 {
+            // SAFETY: bounds asserted above; `use_simd` is only true after
+            // `simd_available()` confirmed AVX2 (via `Kernel::uses_simd`).
+            unsafe { self.mindist_sq_soa_avx2(cols, n, base, out) };
+            return;
+        }
+        let _ = use_simd;
+        self.mindist_sq_soa_scalar(cols, n, base, len, out);
+    }
+
+    /// Scalar twin of the SoA batch kernel: per entry, segment
+    /// contributions summed in ascending segment order, reading the
+    /// transposed columns. Bit-identical to both
+    /// [`MindistTable::mindist_sq_scalar`] (on the entry's word) and the
+    /// AVX2 batch lanes.
+    pub fn mindist_sq_soa_scalar(
+        &self,
+        cols: &[u8],
+        n: usize,
+        base: usize,
+        len: usize,
+        out: &mut [f32; 8],
+    ) {
+        for (lane, slot) in out.iter_mut().take(len).enumerate() {
+            let mut sum = 0.0f32;
+            for s in 0..self.segments {
+                let sym = cols[s * n + base + lane] as usize;
+                sum += self.table[s * MAX_CARDINALITY + sym];
+            }
+            *slot = sum;
+        }
+    }
+
+    /// AVX2 SoA batch kernel: 8 entries per call, one gather per segment
+    /// column, plain (non-reassociating) adds so every lane matches the
+    /// scalar accumulation order bit for bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 on the executing CPU; `base + 8 <= n` and
+    /// `cols.len() >= segments * n` (asserted by the public dispatcher).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mindist_sq_soa_avx2(&self, cols: &[u8], n: usize, base: usize, out: &mut [f32; 8]) {
+        #[allow(clippy::wildcard_imports)]
+        use core::arch::x86_64::*;
+        // SAFETY (whole block): per segment `s < segments`, the 8-byte load
+        // at `s*n + base` stays inside `cols` (`base + 8 <= n`, block len
+        // `>= segments*n`); gather indices are `sym + 256·s < segments·256`
+        // = table length; `out` has exactly 8 lanes for the store.
+        unsafe {
+            let mut acc = _mm256_setzero_ps();
+            let tbl = self.table.as_ptr();
+            for s in 0..self.segments {
+                let p = cols.as_ptr().add(s * n + base);
+                let syms = _mm_loadl_epi64(p as *const __m128i);
+                let idx = _mm256_add_epi32(
+                    _mm256_cvtepu8_epi32(syms),
+                    _mm256_set1_epi32((s * MAX_CARDINALITY) as i32),
+                );
+                acc = _mm256_add_ps(acc, _mm256_i32gather_ps(tbl, idx, 4));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr(), acc);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +535,74 @@ mod tests {
                 approx_eq(scalar, dispatched, 1e-5),
                 "cs={cs}: {scalar} vs {dispatched}"
             );
+        }
+    }
+
+    /// Transposes words into an SoA column block (column `s` at `s * n`).
+    fn transpose(words: &[SaxWord], segments: usize) -> Vec<u8> {
+        let n = words.len();
+        let mut cols = vec![0u8; segments * n];
+        for (j, w) in words.iter().enumerate() {
+            for (s, col) in cols.chunks_exact_mut(n).enumerate() {
+                col[j] = w.symbol(s);
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn soa_batch_is_bit_identical_to_per_entry_scalar() {
+        let config = SaxConfig::new(16, 256);
+        let q = mk_series(256, 21);
+        let table = MindistTable::new(&paa(&q, 16), config);
+        // 19 entries: two full chunks of 8 plus a partial chunk of 3.
+        let words: Vec<SaxWord> = (0..19u32)
+            .map(|cs| sax_word(&mk_series(256, cs + 100), config))
+            .collect();
+        let n = words.len();
+        let cols = transpose(&words, 16);
+        for use_simd in [false, messi_series::distance::simd::simd_available()] {
+            let mut base = 0;
+            while base < n {
+                let len = (n - base).min(8);
+                let mut out = [0.0f32; 8];
+                table.mindist_sq_soa(&cols, n, base, len, use_simd, &mut out);
+                for lane in 0..len {
+                    let expected = table.mindist_sq_scalar(&words[base + lane]);
+                    assert_eq!(
+                        out[lane].to_bits(),
+                        expected.to_bits(),
+                        "use_simd={use_simd} base={base} lane={lane}"
+                    );
+                }
+                base += len;
+            }
+        }
+    }
+
+    #[test]
+    fn soa_batch_works_for_eight_segments() {
+        // Non-16 segment counts must take the same code path (unlike the
+        // per-entry gather kernel, the SoA kernel has no 16-row special
+        // case).
+        let config = SaxConfig::new(8, 64);
+        let q = mk_series(64, 31);
+        let table = MindistTable::new(&paa(&q, 8), config);
+        let words: Vec<SaxWord> = (0..8u32)
+            .map(|cs| sax_word(&mk_series(64, cs + 40), config))
+            .collect();
+        let cols = transpose(&words, 8);
+        let mut out = [0.0f32; 8];
+        table.mindist_sq_soa(
+            &cols,
+            8,
+            0,
+            8,
+            messi_series::distance::simd::simd_available(),
+            &mut out,
+        );
+        for (lane, w) in words.iter().enumerate() {
+            assert_eq!(out[lane].to_bits(), table.mindist_sq_scalar(w).to_bits());
         }
     }
 

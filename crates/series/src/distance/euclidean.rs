@@ -4,6 +4,14 @@
 //! is equivalent to `d < bound` for non-negative distances, and skipping
 //! the square root in the innermost loop is one of the standard
 //! optimizations the paper inherits from the UCR Suite.
+//!
+//! The scalar kernels are *bit-identical twins* of the AVX2+FMA kernels
+//! in [`super::simd`]: they walk the same 8-lane blocks, fuse each
+//! multiply-add with [`f32::mul_add`] (one rounding, exactly like
+//! `vfmadd231ps`), and reduce the lane block in the same order as the
+//! SIMD horizontal sum. A forced-scalar run therefore returns the same
+//! bits as a forced-SIMD run — the `Kernel` ablation measures work, not
+//! rounding drift.
 
 use super::simd;
 use super::Kernel;
@@ -11,10 +19,11 @@ use super::Kernel;
 /// Scalar (SISD) squared Euclidean distance.
 ///
 /// This is the reference implementation and the code path that the
-/// ParIS-SISD configuration of Fig. 18 uses. It is written as a simple
-/// indexed loop **with a branch-free body**, but callers wanting the paper's
-/// SISD behaviour should use it through [`ed_sq_with`] with
-/// [`Kernel::Scalar`].
+/// ParIS-SISD configuration of Fig. 18 uses. It is the bit-identical twin
+/// of `simd::avx::ed_sq`: 8 virtual lanes accumulated with
+/// [`f32::mul_add`], reduced in the SIMD horizontal-sum order, then a
+/// plain scalar tail. Callers wanting the paper's SISD behaviour should
+/// use it through [`ed_sq_with`] with [`Kernel::Scalar`].
 ///
 /// # Panics
 ///
@@ -22,9 +31,20 @@ use super::Kernel;
 #[inline]
 pub fn ed_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut sum = 0.0f32;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        let d = x - y;
+    let n = a.len();
+    let lanes = n / 8 * 8;
+    let mut acc = [0.0f32; 8];
+    let mut i = 0;
+    while i < lanes {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let d = a[i + l] - b[i + l];
+            *slot = d.mul_add(d, *slot);
+        }
+        i += 8;
+    }
+    let mut sum = simd::hsum_lanes(acc);
+    for j in lanes..n {
+        let d = a[j] - b[j];
         sum += d * d;
     }
     sum
@@ -33,32 +53,51 @@ pub fn ed_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// Scalar early-abandoning squared Euclidean distance.
 ///
 /// Returns the exact squared distance if it is `< bound`; otherwise some
-/// partial sum `>= bound`. The bound is checked every 8 points, mirroring
-/// the SIMD kernel's stride so both variants abandon at similar places.
+/// partial sum `>= bound`. Bit-identical twin of
+/// `simd::avx::ed_sq_early_abandon`: the bound is checked every
+/// [`simd::ABANDON_STRIDE`] points, then a whole-lane-block tail and a
+/// scalar remainder follow, so both variants abandon at the same places
+/// with the same partial sums.
 #[inline]
 pub fn ed_sq_early_abandon_scalar(a: &[f32], b: &[f32], bound: f32) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut sum = 0.0f32;
-    let mut processed = 0;
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
-        let base = c * 8;
-        let mut block = 0.0f32;
-        for j in 0..8 {
-            let d = a[base + j] - b[base + j];
-            block += d * d;
+    let n = a.len();
+    let mut total = 0.0f32;
+    let mut i = 0;
+    // Blocks of ABANDON_STRIDE points (4 lane blocks) between checks.
+    while i + simd::ABANDON_STRIDE <= n {
+        let mut acc = [0.0f32; 8];
+        let mut j = i;
+        while j < i + simd::ABANDON_STRIDE {
+            for (l, slot) in acc.iter_mut().enumerate() {
+                let d = a[j + l] - b[j + l];
+                *slot = d.mul_add(d, *slot);
+            }
+            j += 8;
         }
-        sum += block;
-        processed += 8;
-        if sum >= bound {
-            return sum;
+        total += simd::hsum_lanes(acc);
+        if total >= bound {
+            return total;
         }
+        i += simd::ABANDON_STRIDE;
     }
-    for j in processed..a.len() {
-        let d = a[j] - b[j];
-        sum += d * d;
+    // Tail: whole lane blocks, then scalar remainder.
+    let lanes = (n - i) / 8 * 8 + i;
+    let mut acc = [0.0f32; 8];
+    let mut j = i;
+    while j < lanes {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let d = a[j + l] - b[j + l];
+            *slot = d.mul_add(d, *slot);
+        }
+        j += 8;
     }
-    sum
+    total += simd::hsum_lanes(acc);
+    for k in lanes..n {
+        let d = a[k] - b[k];
+        total += d * d;
+    }
+    total
 }
 
 /// Squared Euclidean distance with explicit kernel selection.
@@ -129,6 +168,26 @@ mod tests {
     }
 
     #[test]
+    fn scalar_matches_simple_sum_of_squares() {
+        // The lane-blocked twin must still compute the same quantity as a
+        // plain accumulation loop (up to rounding).
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33, 64, 100, 256, 317] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let simple: f32 = a.iter().zip(&b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+            assert!(approx_eq(ed_sq_scalar(&a, &b), simple, 1e-4), "n={n}");
+            assert!(
+                approx_eq(
+                    ed_sq_early_abandon_scalar(&a, &b, f32::INFINITY),
+                    simple,
+                    1e-4
+                ),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
     fn early_abandon_is_exact_below_bound() {
         let a: Vec<f32> = (0..77).map(|i| (i as f32 * 0.7).sin()).collect();
         let b: Vec<f32> = (0..77).map(|i| (i as f32 * 0.3).cos()).collect();
@@ -167,5 +226,33 @@ mod tests {
         assert_eq!(ed_sq(&[], &[]), 0.0);
         assert_eq!(ed_sq(&[1.0], &[4.0]), 9.0);
         assert_eq!(ed_sq_early_abandon(&[1.0], &[4.0], 100.0), 9.0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn scalar_twin_is_bit_identical_to_avx() {
+        if !crate::distance::simd::simd_available() {
+            return;
+        }
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33, 63, 64, 100, 255, 256, 1024] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).cos() * 2.0).collect();
+            // SAFETY: guarded by simd_available().
+            let simd = unsafe { simd::avx::ed_sq(&a, &b) };
+            assert_eq!(
+                ed_sq_scalar(&a, &b).to_bits(),
+                simd.to_bits(),
+                "ed_sq n={n}"
+            );
+            for bound in [f32::INFINITY, 1.0, 50.0] {
+                // SAFETY: guarded by simd_available().
+                let simd = unsafe { simd::avx::ed_sq_early_abandon(&a, &b, bound) };
+                assert_eq!(
+                    ed_sq_early_abandon_scalar(&a, &b, bound).to_bits(),
+                    simd.to_bits(),
+                    "ed_sq_early_abandon n={n} bound={bound}"
+                );
+            }
+        }
     }
 }

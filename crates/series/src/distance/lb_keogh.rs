@@ -17,6 +17,8 @@
 //! window algorithm (O(n) instead of O(n·r)).
 
 use super::dtw::DtwParams;
+use super::simd;
+use super::Kernel;
 use std::collections::VecDeque;
 
 /// Upper/lower envelope of a series under a warping window.
@@ -153,6 +155,136 @@ pub fn lb_keogh_sq_early_abandon(env: &Envelope, candidate: &[f32], bound: f32) 
     sum
 }
 
+/// Scalar twin of the AVX LB_Keogh kernel: clamp-into-envelope form,
+/// 8 virtual lanes fused with [`f32::mul_add`], reduced in the SIMD
+/// horizontal-sum order. Bit-identical to
+/// `simd::avx::lb_keogh_sq` on the same inputs.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn lb_keogh_sq_scalar(env: &Envelope, candidate: &[f32]) -> f32 {
+    assert_eq!(env.upper.len(), candidate.len());
+    let (lower, upper) = (env.lower.as_slice(), env.upper.as_slice());
+    let n = candidate.len();
+    let lanes = n / 8 * 8;
+    let mut acc = [0.0f32; 8];
+    let mut i = 0;
+    while i < lanes {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let c = candidate[i + l];
+            let d = c - c.max(lower[i + l]).min(upper[i + l]);
+            *slot = d.mul_add(d, *slot);
+        }
+        i += 8;
+    }
+    let mut sum = simd::hsum_lanes(acc);
+    for j in lanes..n {
+        let c = candidate[j];
+        let d = c - c.max(lower[j]).min(upper[j]);
+        sum += d * d;
+    }
+    sum
+}
+
+/// Scalar twin of the AVX early-abandoning LB_Keogh kernel: bound checks
+/// every [`simd::ABANDON_STRIDE`] points, whole-lane-block tail, scalar
+/// remainder — abandoning at the same places with the same partial sums
+/// as `simd::avx::lb_keogh_sq_early_abandon`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn lb_keogh_sq_early_abandon_scalar(env: &Envelope, candidate: &[f32], bound: f32) -> f32 {
+    assert_eq!(env.upper.len(), candidate.len());
+    let (lower, upper) = (env.lower.as_slice(), env.upper.as_slice());
+    let n = candidate.len();
+    let mut total = 0.0f32;
+    let mut i = 0;
+    while i + simd::ABANDON_STRIDE <= n {
+        let mut acc = [0.0f32; 8];
+        let mut j = i;
+        while j < i + simd::ABANDON_STRIDE {
+            for (l, slot) in acc.iter_mut().enumerate() {
+                let c = candidate[j + l];
+                let d = c - c.max(lower[j + l]).min(upper[j + l]);
+                *slot = d.mul_add(d, *slot);
+            }
+            j += 8;
+        }
+        total += simd::hsum_lanes(acc);
+        if total >= bound {
+            return total;
+        }
+        i += simd::ABANDON_STRIDE;
+    }
+    // Tail: whole lane blocks, then scalar remainder.
+    let lanes = (n - i) / 8 * 8 + i;
+    let mut acc = [0.0f32; 8];
+    let mut j = i;
+    while j < lanes {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let c = candidate[j + l];
+            let d = c - c.max(lower[j + l]).min(upper[j + l]);
+            *slot = d.mul_add(d, *slot);
+        }
+        j += 8;
+    }
+    total += simd::hsum_lanes(acc);
+    for k in lanes..n {
+        let c = candidate[k];
+        let d = c - c.max(lower[k]).min(upper[k]);
+        total += d * d;
+    }
+    total
+}
+
+/// Squared LB_Keogh with explicit kernel selection: the AVX2+FMA kernel
+/// when `kernel` resolves to SIMD, its bit-identical scalar twin
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn lb_keogh_sq_with(kernel: Kernel, env: &Envelope, candidate: &[f32]) -> f32 {
+    assert_eq!(env.upper.len(), candidate.len());
+    #[cfg(target_arch = "x86_64")]
+    if kernel.uses_simd() {
+        // SAFETY: `uses_simd` returned true, so AVX2+FMA are available;
+        // lengths were just asserted equal.
+        return unsafe { simd::avx::lb_keogh_sq(&env.lower, &env.upper, candidate) };
+    }
+    let _ = kernel;
+    lb_keogh_sq_scalar(env, candidate)
+}
+
+/// Early-abandoning squared LB_Keogh with explicit kernel selection. See
+/// [`lb_keogh_sq_early_abandon_scalar`] for the return contract.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn lb_keogh_sq_early_abandon_with(
+    kernel: Kernel,
+    env: &Envelope,
+    candidate: &[f32],
+    bound: f32,
+) -> f32 {
+    assert_eq!(env.upper.len(), candidate.len());
+    #[cfg(target_arch = "x86_64")]
+    if kernel.uses_simd() {
+        // SAFETY: `uses_simd` returned true, so AVX2+FMA are available;
+        // lengths were just asserted equal.
+        return unsafe {
+            simd::avx::lb_keogh_sq_early_abandon(&env.lower, &env.upper, candidate, bound)
+        };
+    }
+    let _ = kernel;
+    lb_keogh_sq_early_abandon_scalar(env, candidate, bound)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +365,76 @@ mod tests {
         assert!(d >= exact / 10.0);
         let d = lb_keogh_sq_early_abandon(&env, &c, exact * 2.0);
         assert!(approx_eq(d, exact, 1e-4));
+    }
+
+    #[test]
+    fn scalar_twin_matches_simple_formula() {
+        for n in [1usize, 7, 8, 9, 31, 32, 33, 64, 100, 255, 317] {
+            let q = series(n, 0.23);
+            let c: Vec<f32> = series(n, 0.47).iter().map(|v| v * 1.4 - 0.2).collect();
+            let env = Envelope::new(&q, DtwParams { window: n / 8 });
+            let simple = lb_keogh_sq(&env, &c);
+            assert!(
+                approx_eq(lb_keogh_sq_scalar(&env, &c), simple, 1e-4),
+                "n={n}"
+            );
+            assert!(
+                approx_eq(
+                    lb_keogh_sq_early_abandon_scalar(&env, &c, f32::INFINITY),
+                    simple,
+                    1e-4
+                ),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatchers_agree_for_all_kernels() {
+        let q = series(256, 0.19);
+        let c: Vec<f32> = series(256, 0.37).iter().map(|v| v * 1.3 + 0.1).collect();
+        let env = Envelope::new(&q, DtwParams { window: 16 });
+        let reference = lb_keogh_sq(&env, &c);
+        for kernel in [Kernel::Auto, Kernel::Simd, Kernel::Scalar] {
+            assert!(approx_eq(
+                lb_keogh_sq_with(kernel, &env, &c),
+                reference,
+                1e-4
+            ));
+            let ea = lb_keogh_sq_early_abandon_with(kernel, &env, &c, f32::INFINITY);
+            assert!(approx_eq(ea, reference, 1e-4));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn scalar_twin_is_bit_identical_to_avx() {
+        if !simd::simd_available() {
+            return;
+        }
+        for n in [1usize, 7, 8, 9, 31, 32, 33, 63, 64, 100, 255, 256, 1024] {
+            let q = series(n, 0.29);
+            let c: Vec<f32> = series(n, 0.53).iter().map(|v| v * 1.6 - 0.4).collect();
+            let env = Envelope::new(&q, DtwParams { window: n / 10 });
+            // SAFETY: guarded by simd_available().
+            let simd_val = unsafe { simd::avx::lb_keogh_sq(&env.lower, &env.upper, &c) };
+            assert_eq!(
+                lb_keogh_sq_scalar(&env, &c).to_bits(),
+                simd_val.to_bits(),
+                "lb_keogh_sq n={n}"
+            );
+            for bound in [f32::INFINITY, 0.5, 10.0] {
+                // SAFETY: guarded by simd_available().
+                let simd_val = unsafe {
+                    simd::avx::lb_keogh_sq_early_abandon(&env.lower, &env.upper, &c, bound)
+                };
+                assert_eq!(
+                    lb_keogh_sq_early_abandon_scalar(&env, &c, bound).to_bits(),
+                    simd_val.to_bits(),
+                    "early_abandon n={n} bound={bound}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,23 @@ impl Kernel {
     }
 }
 
+impl std::str::FromStr for Kernel {
+    type Err = String;
+
+    /// Parses the CLI spelling: `auto`, `simd`, or `scalar` (alias
+    /// `sisd`, the paper's name for the configuration).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Kernel::Auto),
+            "simd" => Ok(Kernel::Simd),
+            "scalar" | "sisd" => Ok(Kernel::Scalar),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected auto, simd, or scalar)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,20 @@
 //! Ad-hoc layout throughput probe: times the leaf-scan-heavy paths the
-//! arena layout targets, over a shallow paper-default index and a deep
-//! split-heavy one. Used to record the before/after numbers in README's
-//! bench notes (run it at the pre-arena commit for "before").
+//! storage layouts target, over a shallow paper-default index and a
+//! deep split-heavy one. Since the struct-of-arrays transpose the probe
+//! contrasts the two leaf layouts directly: the same per-query mindist
+//! table swept over every leaf through the interleaved AoS entry
+//! records versus the packed SoA symbol columns, next to the footprint
+//! each layout pays per entry. Used to record the numbers in README's
+//! bench notes.
 
+use messi::index::node::LeafEntry;
 use messi::prelude::*;
+use messi::sax::mindist::MindistTable;
+use messi::series::paa::paa;
 use std::sync::Arc;
 use std::time::Instant;
+
+const CACHE_LINE: usize = 64;
 
 fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
     let t = Instant::now();
@@ -13,46 +22,116 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
     let build = t.elapsed();
     let queries = messi::series::gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 12);
     let q = queries.series(0);
-    let qc = QueryConfig::default();
     let one = QueryConfig {
         num_workers: 1,
         num_queues: 1,
         ..QueryConfig::default()
     };
-    let (_, nn) = data.nearest_neighbor_brute_force(q);
 
-    // Full leaf sweep: pure storage traversal.
+    // Footprint per entry, per layout. The AoS record interleaves the
+    // SAX word with the result payload (pos); the SoA pool stores the
+    // bound-relevant symbols alone, so one cache line of column bytes
+    // covers 64 entries' segment-s symbols instead of 4 whole records.
+    let entries: usize = index
+        .touched_keys()
+        .iter()
+        .map(|&k| index.root(k).unwrap().num_entries())
+        .sum();
+    let aos_bytes = std::mem::size_of::<LeafEntry>();
+    let col_bytes: usize = index
+        .touched_keys()
+        .iter()
+        .map(|&k| index.root(k).unwrap().col_bytes())
+        .sum();
+    println!(
+        "{label}: {entries} entries · AoS {aos_bytes} B/entry \
+         ({:.1} entries/cache-line) · SoA {} B/entry \
+         ({CACHE_LINE} entries/cache-line per segment)",
+        CACHE_LINE as f64 / aos_bytes as f64,
+        col_bytes / entries.max(1),
+    );
+
+    // The mindist sweep both layouts exist to serve: one table, every
+    // leaf, lower bounds for all entries. AoS walks the records one by
+    // one; SoA batches 8 per kernel call over the symbol columns.
+    let segments = index.sax_config().segments;
+    let table = MindistTable::new(&paa(q, segments), index.sax_config());
     let iters = 200u32;
+
     let t = Instant::now();
-    let mut acc = 0u64;
     for _ in 0..iters {
+        let mut acc = 0.0f32;
         for &key in index.touched_keys() {
-            index
-                .root(key)
-                .unwrap()
-                .for_each_leaf(&mut |l| acc += l.entries.iter().map(|e| e.pos as u64).sum::<u64>());
+            index.root(key).unwrap().for_each_leaf(&mut |l| {
+                for e in l.entries {
+                    acc += table.mindist_sq(&e.sax);
+                }
+            });
         }
+        std::hint::black_box(acc);
     }
-    let sweep = t.elapsed() / iters;
+    let aos_sweep = t.elapsed() / iters;
 
+    let mut soa_times = Vec::new();
+    for use_simd in [true, false] {
+        let t = Instant::now();
+        for _ in 0..iters {
+            let mut acc = 0.0f32;
+            let mut out = [0.0f32; 8];
+            for &key in index.touched_keys() {
+                index.root(key).unwrap().for_each_leaf(&mut |l| {
+                    let n = l.entries.len();
+                    let mut base = 0;
+                    while base < n {
+                        let len = (n - base).min(8);
+                        table.mindist_sq_soa(l.cols, n, base, len, use_simd, &mut out);
+                        acc += out[..len].iter().sum::<f32>();
+                        base += len;
+                    }
+                });
+            }
+            std::hint::black_box(acc);
+        }
+        soa_times.push(t.elapsed() / iters);
+    }
+
+    // Sanity: both layouts produce the same bounds (f64 accumulation so
+    // the check isn't at the mercy of 50k-term f32 summation order).
+    let mut aos_sum = 0.0f64;
+    let mut soa_sum = 0.0f64;
+    let mut out = [0.0f32; 8];
+    for &key in index.touched_keys() {
+        index.root(key).unwrap().for_each_leaf(&mut |l| {
+            let n = l.entries.len();
+            for e in l.entries {
+                aos_sum += f64::from(table.mindist_sq(&e.sax));
+            }
+            let mut base = 0;
+            while base < n {
+                let len = (n - base).min(8);
+                table.mindist_sq_soa(l.cols, n, base, len, true, &mut out);
+                soa_sum += out[..len].iter().map(|&v| f64::from(v)).sum::<f64>();
+                base += len;
+            }
+        });
+    }
+    assert!((aos_sum - soa_sum).abs() <= 1e-3 * aos_sum.abs() + 1e-3);
+
+    let t = Instant::now();
     let iters = 50u32;
-    let t = Instant::now();
-    for _ in 0..iters {
-        let _ = index.search_range(q, nn * 16.0, &qc);
-    }
-    let range = t.elapsed() / iters;
-
-    let t = Instant::now();
     for _ in 0..iters {
         let _ = index.search(q, &one);
     }
     let exact = t.elapsed() / iters;
 
     println!(
-        "{label}: build {build:.2?} · leaves {} · height {} · sweep {sweep:.3?} · \
-         range_wide {range:.3?} · exact_1w {exact:.3?} (acc {acc})",
+        "  build {build:.2?} · leaves {} · height {} · mindist sweep: \
+         aos {aos_sweep:.3?} · soa_simd {:.3?} · soa_scalar {:.3?} · \
+         exact_1w {exact:.3?}",
         index.num_leaves(),
-        index.max_height()
+        index.max_height(),
+        soa_times[0],
+        soa_times[1],
     );
 }
 

@@ -79,7 +79,16 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
         "query" => {
             opts.expect_keys(
                 command,
-                &["data", "queries", "num-queries", "k", "dtw", "seed", "load"],
+                &[
+                    "data",
+                    "queries",
+                    "num-queries",
+                    "k",
+                    "dtw",
+                    "seed",
+                    "load",
+                    "kernel",
+                ],
             )?;
             cmd_query(&opts)
         }
@@ -117,6 +126,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "seed",
                     "load",
                     "json",
+                    "kernel",
                 ],
             )?;
             cmd_bench_query(&opts)
@@ -132,6 +142,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "admission",
                     "query-workers",
                     "breakdown",
+                    "kernel",
                 ],
             )?;
             cmd_serve(&opts)
@@ -172,15 +183,17 @@ USAGE:
   messi info        --data <file.mds> [--load <file.msx>]
   messi query       --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--k <K>] [--dtw] [--seed <u64>] [--load <file.msx>]
+                    [--kernel <auto|simd|scalar>]
   messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
                     [--load <file.msx>]
   messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--objective <exact|knn|range|approx>] [--k <K>] [--epsilon <dist|ratio>]
                     [--delta <0..=1>] [--schedule <intra|inter>] [--parallelism <P>]
                     [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
-                    [--json <out.json>]
+                    [--json <out.json>] [--kernel <auto|simd|scalar>]
   messi serve       --data <file.mds> [--load <file.msx>] [--addr <host:port>]
                     [--threads <N>] [--admission <N>] [--query-workers <N>] [--breakdown]
+                    [--kernel <auto|simd|scalar>]
   messi load-smoke  --addr <host:port> --data <file.mds> [--clients <N>] [--per-client <M>]
                     [--num-queries <N>] [--objective <exact|knn|range|approx>] [--k <K>]
                     [--epsilon <dist|ratio>] [--delta <0..=1>] [--dtw] [--no-retry]
@@ -211,6 +224,12 @@ query sheds with 503 + Retry-After). `load-smoke` floods a running
 daemon with concurrent clients and reports ok/shed/error counts and
 p50/p99 latency; it exits non-zero on any client/server error, or when
 fewer than --min-shed sheds were observed.
+
+`--kernel` forces the distance-kernel dispatch on query, bench-query and
+serve: `auto` (default) uses AVX2+FMA when the CPU has it, `simd` asks
+for it explicitly, `scalar` (alias `sisd`, the paper's name) forces the
+bit-identical scalar twins — the Fig. 18 SIMD-vs-SISD ablation as a
+flag. Answers are identical either way; only the speed changes.
 
 Contradictory flags are rejected with exit code 2: an option a command
 does not know, or one whose objective does not apply (e.g. --epsilon
@@ -298,6 +317,15 @@ impl Opts {
                 .parse()
                 .map_err(|_| usage(format!("invalid --{name}: `{v}`"))),
         }
+    }
+}
+
+/// Parses `--kernel`, defaulting to auto-dispatch. Unknown spellings are
+/// usage errors (exit 2), like any other contradictory flag.
+fn kernel_from(opts: &Opts) -> Result<Kernel, CliError> {
+    match opts.get("kernel") {
+        None => Ok(Kernel::Auto),
+        Some(v) => v.parse().map_err(usage),
     }
 }
 
@@ -462,7 +490,10 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
         println!("index built in {:.2?}", build.total_time);
     }
     println!("answering {} queries…", queries.len());
-    let config = QueryConfig::default();
+    let config = QueryConfig {
+        kernel: kernel_from(opts)?,
+        ..QueryConfig::default()
+    };
     for (qi, q) in queries.iter().enumerate() {
         if use_dtw && k > 1 {
             let params = DtwParams::paper_default(data.series_len());
@@ -691,6 +722,7 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
     let config = QueryConfig {
         num_workers: opts.parsed("workers", QueryConfig::default().num_workers)?,
         collect_breakdown: opts.get("breakdown").is_some(),
+        kernel: kernel_from(opts)?,
         ..QueryConfig::default()
     };
 
@@ -811,7 +843,8 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
             )
         });
         let line = format!(
-            "{{\"objective\":\"{}\",\"metric\":\"{}\",\"schedule\":\"{}\",\"queries\":{},\
+            "{{\"objective\":\"{}\",\"metric\":\"{}\",\"schedule\":\"{}\",\"kernel\":\"{}\",\
+             \"queries\":{},\
              \"wall_us\":{},\"qps\":{:.3},\"mean_query_us\":{},\"lb_calcs_per_query\":{:.3},\
              \"real_calcs_per_query\":{:.3},\"bsf_updates\":{},\"budget_stops\":{},\
              \"total_answers\":{}{}}}",
@@ -827,6 +860,11 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
                 "dtw"
             },
             schedule_name,
+            match config.kernel {
+                Kernel::Auto => "auto",
+                Kernel::Simd => "simd",
+                Kernel::Scalar => "scalar",
+            },
             agg.queries,
             wall.as_micros(),
             n / wall.as_secs_f64(),
@@ -852,6 +890,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         admission: opts.parsed("admission", defaults.admission)?,
         query_workers: opts.parsed("query-workers", defaults.query_workers)?,
         collect_breakdown: opts.get("breakdown").is_some(),
+        kernel: kernel_from(opts)?,
     };
     if config.threads == 0 {
         return Err(usage("--threads must be positive"));

@@ -73,6 +73,7 @@ fn daemon_answers_every_objective_over_real_sockets() {
             admission: 8,
             query_workers: 1,
             collect_breakdown: true,
+            ..ServeConfig::default()
         },
         &index,
         |addr| {
@@ -235,6 +236,7 @@ fn concurrent_load_smoke_answers_everything_once_warm() {
             admission: 8,
             query_workers: 1,
             collect_breakdown: false,
+            ..ServeConfig::default()
         },
         &index,
         |addr| {
