@@ -109,7 +109,13 @@ pub fn sims_search(
         total_time: t_start.elapsed(),
         ..QueryStats::default()
     };
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: u64::from(pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

@@ -138,7 +138,13 @@ pub fn ts_search(
 
     let (dist_sq, pos) = bsf.load_with_pos();
     let stats = stats.finish(t_start.elapsed(), 0, config.num_workers as u64, false);
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: u64::from(pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

@@ -168,7 +168,7 @@ fn merge(results: Vec<(f32, u32)>) -> (f32, u32) {
 fn answer(best: (f32, u32), scanned: u64, t_start: Instant) -> (QueryAnswer, QueryStats) {
     (
         QueryAnswer {
-            pos: best.1,
+            pos: u64::from(best.1),
             dist_sq: best.0,
         },
         QueryStats {

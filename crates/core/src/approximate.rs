@@ -33,11 +33,13 @@
 //! the exact objectives.
 
 use crate::config::QueryConfig;
+use crate::engine::ShardSlot;
 use crate::engine::{
     self, ApproxObjective, DtwMetric, Engine, EuclideanMetric, QueryContext, TableSpec,
 };
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
+use crate::shard::global_pos;
 use crate::stats::{QueryStats, SharedQueryStats, StopReason, TimeBreakdown};
 use messi_series::distance::dtw::DtwParams;
 use messi_series::distance::lb_keogh::Envelope;
@@ -61,7 +63,9 @@ pub(crate) fn validate_params(epsilon: f32, delta: f32) {
 /// The queue-phase leaf-visit budget for `delta`: `None` (unlimited) at
 /// `delta = 1`, else `ceil(delta · total leaves)`. Each leaf enters the
 /// queues at most once, so an unlimited budget can never terminate a
-/// query early.
+/// query early. Under sharding each shard derives its budget from its
+/// *own* leaf count, so the δ fraction of visited leaves is preserved
+/// collection-wide.
 fn budget_for(index: &MessiIndex, delta: f32) -> Option<u64> {
     if delta >= 1.0 {
         None
@@ -75,7 +79,7 @@ fn budget_for(index: &MessiIndex, delta: f32) -> Option<u64> {
 /// its initialization phase.
 fn ng_answer(
     dist_sq: f32,
-    pos: u32,
+    pos: u64,
     t_start: Instant,
     config: &QueryConfig,
 ) -> (QueryAnswer, QueryStats) {
@@ -146,6 +150,27 @@ pub fn approx_search_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (QueryAnswer, QueryStats) {
+    approx_search_sharded(index, query, epsilon, delta, config, ctx, ShardSlot::solo())
+}
+
+/// [`approx_search_with`] as one shard of a sharded scatter: positions
+/// are globalized through `slot.offset`, and the ε-inflated pruning
+/// bound composes with the cross-shard BSF when `slot.shared` is set
+/// (the shared bound holds raw distances; inflation is applied at read
+/// time). In ng mode (`delta = 0`) every shard scans its *own* home
+/// leaf and the gather step keeps the best — a (free) strengthening of
+/// the single-index ng answer. [`ShardSlot::solo`] *is* the
+/// single-index search, byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn approx_search_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    slot: ShardSlot<'_>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     validate_params(epsilon, delta);
     let t_start = Instant::now();
@@ -155,7 +180,7 @@ pub fn approx_search_with<'a>(
     if delta == 0.0 {
         let entries = index.home_leaf_entries(&query_sax, &query_paa);
         let (d0, p0) = index.scan_entries_ed(entries, query, config.kernel);
-        let mut out = ng_answer(d0, p0, t_start, config);
+        let mut out = ng_answer(d0, global_pos(slot.offset, p0), t_start, config);
         // The mode's entire work is the leaf scan: one early-abandoning
         // real distance per entry — report it, matching the DTW ng path
         // (exact search deliberately leaves its seed scan uncounted, so
@@ -164,8 +189,18 @@ pub fn approx_search_with<'a>(
         return out;
     }
     let (d0, p0) = index.seed_approximate(query, &query_sax, &query_paa, config.kernel);
+    if let Some(shared) = slot.shared {
+        shared.update_min(d0);
+    }
 
-    let objective = ApproxObjective::new(config.bsf, d0, p0, epsilon, budget_for(index, delta));
+    let objective = ApproxObjective::new(
+        config.bsf,
+        d0,
+        p0,
+        epsilon,
+        budget_for(index, delta),
+        slot.shared,
+    );
     let scratch = ctx.prepare(
         index.sax_config(),
         TableSpec::Point(&query_paa),
@@ -198,7 +233,13 @@ pub fn approx_search_with<'a>(
     stats.initial_bsf_dist_sq = d0;
     stats.approx_inflation_prunes = objective.inflation_prunes();
     stats.stop_reason = Some(objective.stop_reason());
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: global_pos(slot.offset, pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 /// δ-ε-approximate 1-NN search under banded DTW: the same contract as
@@ -242,6 +283,31 @@ pub fn approx_search_dtw_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (QueryAnswer, QueryStats) {
+    approx_search_dtw_sharded(
+        index,
+        query,
+        epsilon,
+        delta,
+        params,
+        config,
+        ctx,
+        ShardSlot::solo(),
+    )
+}
+
+/// [`approx_search_dtw_with`] as one shard of a sharded scatter; see
+/// [`approx_search_sharded`] for the slot contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn approx_search_dtw_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon: f32,
+    delta: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    slot: ShardSlot<'_>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     validate_params(epsilon, delta);
     let t_start = Instant::now();
@@ -264,17 +330,27 @@ pub fn approx_search_dtw_with<'a>(
     );
     if delta == 0.0 {
         // ng mode still reports the cascade's seed-scan counters.
-        let mut out = ng_answer(d0, p0, t_start, config);
+        let mut out = ng_answer(d0, global_pos(slot.offset, p0), t_start, config);
         out.1.lb_distance_calcs = stats.lb_distance_calcs.get();
         out.1.real_distance_calcs = stats.real_distance_calcs.get();
         return out;
+    }
+    if let Some(shared) = slot.shared {
+        shared.update_min(d0);
     }
 
     // The envelope PAAs feed the engine's mindist table — only the full
     // traversal needs them, so ng mode above never pays for them.
     let paa_lower = paa(&env.lower, segments);
     let paa_upper = paa(&env.upper, segments);
-    let objective = ApproxObjective::new(config.bsf, d0, p0, epsilon, budget_for(index, delta));
+    let objective = ApproxObjective::new(
+        config.bsf,
+        d0,
+        p0,
+        epsilon,
+        budget_for(index, delta),
+        slot.shared,
+    );
     let scratch = ctx.prepare(
         index.sax_config(),
         TableSpec::Envelope(&paa_lower, &paa_upper),
@@ -317,7 +393,13 @@ pub fn approx_search_dtw_with<'a>(
     }
     stats.approx_inflation_prunes = objective.inflation_prunes();
     stats.stop_reason = Some(objective.stop_reason());
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: global_pos(slot.offset, pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -385,7 +467,7 @@ mod tests {
             let (sax, paa) = index.summarize_query(q);
             let (d, p) = index.seed_approximate(q, &sax, &paa, config.kernel);
             assert_eq!(ans.dist_sq.to_bits(), d.to_bits());
-            assert_eq!(ans.pos, p);
+            assert_eq!(ans.pos, u64::from(p));
         }
     }
 

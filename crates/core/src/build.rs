@@ -42,8 +42,9 @@ use std::time::Instant;
 pub(crate) fn assert_positions_fit(dataset: &Dataset) {
     assert!(
         dataset.len() <= u32::MAX as usize,
-        "dataset has {} series but positions are stored as u32 (max {}); \
-         shard the collection before indexing",
+        "dataset has {} series but a single MessiIndex stores positions as u32 (max {}); \
+         build a sharded index instead (`ShardedIndex::build` / `--shards N`), which splits \
+         the collection into independent u32-position shards and reports u64 global positions",
         dataset.len(),
         u32::MAX
     );

@@ -18,9 +18,12 @@
 //! [`crate::range::range_search_dtw`].
 
 use crate::config::QueryConfig;
-use crate::engine::{self, DtwMetric, Engine, NearestObjective, QueryContext, TableSpec};
+use crate::engine::{
+    self, DtwMetric, Engine, NearestObjective, QueryContext, ShardSlot, TableSpec,
+};
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
+use crate::shard::global_pos;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::lb_keogh::{lb_keogh_sq_early_abandon_with, Envelope};
@@ -60,6 +63,19 @@ pub fn exact_search_dtw_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (QueryAnswer, QueryStats) {
+    exact_search_dtw_sharded(index, query, params, config, ctx, ShardSlot::solo())
+}
+
+/// [`exact_search_dtw_with`] as one shard of a sharded scatter; see
+/// [`crate::exact::exact_search_sharded`] for the slot contract.
+pub(crate) fn exact_search_dtw_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    slot: ShardSlot<'_>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     let t_start = Instant::now();
     let segments = index.sax_config().segments;
@@ -82,7 +98,10 @@ pub fn exact_search_dtw_with<'a>(
         config.kernel,
         &stats,
     );
-    let objective = NearestObjective::new(config.bsf, d0, p0);
+    if let Some(shared) = slot.shared {
+        shared.update_min(d0);
+    }
+    let objective = NearestObjective::new(config.bsf, d0, p0, slot.shared);
 
     let scratch = ctx.prepare(
         index.sax_config(),
@@ -124,7 +143,13 @@ pub fn exact_search_dtw_with<'a>(
     if d0.is_finite() {
         stats.initial_bsf_dist_sq = d0;
     }
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: global_pos(slot.offset, pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 /// Scans the query's home leaf with the LB_Keogh → DTW cascade to seed

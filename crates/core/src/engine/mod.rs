@@ -38,4 +38,6 @@ pub use context::QueryContext;
 pub(crate) use context::TableSpec;
 pub(crate) use driver::{run, Engine};
 pub(crate) use metric::{DtwMetric, EuclideanMetric};
-pub(crate) use objective::{ApproxObjective, KnnObjective, NearestObjective, RangeObjective};
+pub(crate) use objective::{
+    ApproxObjective, KnnObjective, NearestObjective, RangeObjective, ShardSlot, SharedBound,
+};

@@ -28,10 +28,70 @@
 use crate::config::BsfPolicy;
 use crate::exact::QueryAnswer;
 use crate::knn::KnnSet;
+use crate::shard::global_pos;
 use crate::stats::StopReason;
 use messi_sync::{AtomicBsf, BestSoFar, Counter, LockedBsf};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
+
+/// A cross-shard best-so-far *distance* (no position): the f32 bits of
+/// the tightest squared distance any shard has found, shrunk with a
+/// single `fetch_min`. Non-negative floats order like their bit
+/// patterns, so the atomic integer min *is* the float min.
+///
+/// This is the one piece of shared state behind sharded scatter-gather
+/// pruning ([`crate::shard`]): every shard's 1-NN/approximate objective
+/// publishes its BSF improvements here and reads its pruning bound from
+/// here, so a tight early answer in one shard prunes every other
+/// shard's traversal. Positions stay shard-local (the gather step
+/// globalizes the winning shard's position); k-NN shares its
+/// [`KnnSet`] instead, and range search has a fixed bound and shares
+/// nothing.
+#[derive(Debug)]
+pub(crate) struct SharedBound(AtomicU32);
+
+impl SharedBound {
+    pub(crate) fn new() -> Self {
+        Self(AtomicU32::new(f32::INFINITY.to_bits()))
+    }
+
+    /// The current global bound.
+    #[inline]
+    pub(crate) fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Shrinks the bound to `dist_sq` if tighter. `dist_sq` must be a
+    /// non-negative, non-NaN squared distance.
+    #[inline]
+    pub(crate) fn update_min(&self, dist_sq: f32) {
+        self.0.fetch_min(dist_sq.to_bits(), Ordering::AcqRel);
+    }
+}
+
+/// Where one single-index search sits inside a sharded scatter: the
+/// shard's global position offset plus the cross-shard bound it shares
+/// (if its objective shares one). [`ShardSlot::solo`] — offset 0, no
+/// shared bound — makes every adapter byte-for-byte the classic
+/// single-index search, so the solo path pays nothing for shardability.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardSlot<'s> {
+    /// Global position of this shard's first series
+    /// (see [`crate::shard::global_pos`]).
+    pub offset: u64,
+    /// Cross-shard 1-NN/approximate bound, when part of a scatter.
+    pub shared: Option<&'s SharedBound>,
+}
+
+impl ShardSlot<'_> {
+    /// The single-index (non-sharded) slot.
+    pub(crate) fn solo() -> Self {
+        Self {
+            offset: 0,
+            shared: None,
+        }
+    }
+}
 
 /// BSF implementation selected by [`BsfPolicy`], with static dispatch in
 /// the hot paths.
@@ -119,36 +179,59 @@ pub(crate) trait SearchObjective: Sync {
 }
 
 /// Exact 1-NN: a scalar shrinking BSF seeded by the approximate search.
+///
+/// Inside a sharded scatter the objective additionally mirrors every BSF
+/// improvement into the cross-shard [`SharedBound`] and prunes against
+/// it. The shared bound is the min over *all* shards' offers and seeds,
+/// so it is always `<=` the local BSF — pruning against it is both
+/// correct (it can never undercut the true global answer distance) and
+/// strictly tighter than the local bound.
 #[derive(Debug)]
-pub(crate) struct NearestObjective {
+pub(crate) struct NearestObjective<'s> {
     bsf: Bsf,
+    shared: Option<&'s SharedBound>,
 }
 
-impl NearestObjective {
-    pub(crate) fn new(policy: BsfPolicy, dist_sq: f32, pos: u32) -> Self {
+impl<'s> NearestObjective<'s> {
+    pub(crate) fn new(
+        policy: BsfPolicy,
+        dist_sq: f32,
+        pos: u32,
+        shared: Option<&'s SharedBound>,
+    ) -> Self {
         Self {
             bsf: Bsf::new(policy, dist_sq, pos),
+            shared,
         }
     }
 
-    /// The final `(squared distance, position)` answer.
+    /// The final shard-local `(squared distance, position)` answer.
     pub(crate) fn answer(&self) -> (f32, u32) {
         self.bsf.load_with_pos()
     }
 }
 
-impl SearchObjective for NearestObjective {
+impl SearchObjective for NearestObjective<'_> {
     type Local = ();
     const USES_QUEUES: bool = true;
 
     #[inline]
     fn bound(&self) -> f32 {
-        self.bsf.load()
+        match self.shared {
+            Some(shared) => shared.load(),
+            None => self.bsf.load(),
+        }
     }
 
     #[inline]
     fn offer(&self, _local: &mut (), dist_sq: f32, pos: u32) -> bool {
-        self.bsf.update_min(dist_sq, pos)
+        let improved = self.bsf.update_min(dist_sq, pos);
+        if improved {
+            if let Some(shared) = self.shared {
+                shared.update_min(dist_sq);
+            }
+        }
+        improved
     }
 
     fn absorb(&self, _local: ()) {}
@@ -156,13 +239,22 @@ impl SearchObjective for NearestObjective {
 
 /// Exact k-NN: the bound is the k-th best distance of a shared
 /// [`KnnSet`] (`+inf` until k candidates exist).
+///
+/// Under sharding the *same* `KnnSet` is shared by every shard's
+/// objective — the k-th-best bound is then automatically the global one
+/// — and `offset` globalizes the shard-local positions on the way in
+/// (shard ranges are disjoint, so the set's position dedup still
+/// works). Solo searches pass offset 0, making globalization the
+/// identity.
 pub(crate) struct KnnObjective<'s> {
     set: &'s KnnSet,
+    /// Global position of this shard's first series; 0 when solo.
+    offset: u64,
 }
 
 impl<'s> KnnObjective<'s> {
-    pub(crate) fn new(set: &'s KnnSet) -> Self {
-        Self { set }
+    pub(crate) fn new(set: &'s KnnSet, offset: u64) -> Self {
+        Self { set, offset }
     }
 }
 
@@ -177,18 +269,24 @@ impl SearchObjective for KnnObjective<'_> {
 
     #[inline]
     fn offer(&self, _local: &mut (), dist_sq: f32, pos: u32) -> bool {
-        self.set.offer(dist_sq, pos)
+        self.set.offer(dist_sq, global_pos(self.offset, pos))
     }
 
     fn absorb(&self, _local: ()) {}
 }
 
 /// ε-range: a fixed bound; every surviving distance is a match.
+///
+/// Range shares nothing across shards — the bound never moves — so the
+/// only shard awareness is `offset`, which globalizes hit positions as
+/// they are recorded (identity when solo).
 #[derive(Debug)]
 pub(crate) struct RangeObjective {
     /// `next_up(ε²)` — fixed for the whole query, so the driver's strict
     /// comparisons accept `d <= ε²` and prune `lb > ε²` exactly.
     bound: f32,
+    /// Global position of this shard's first series; 0 when solo.
+    offset: u64,
     hits: Mutex<Vec<QueryAnswer>>,
 }
 
@@ -196,13 +294,14 @@ impl RangeObjective {
     /// # Panics
     ///
     /// Panics if `epsilon_sq` is negative or NaN.
-    pub(crate) fn new(epsilon_sq: f32) -> Self {
+    pub(crate) fn new(epsilon_sq: f32, offset: u64) -> Self {
         assert!(
             epsilon_sq >= 0.0 && !epsilon_sq.is_nan(),
             "epsilon_sq must be a non-negative number"
         );
         Self {
             bound: next_up(epsilon_sq),
+            offset,
             hits: Mutex::new(Vec::new()),
         }
     }
@@ -226,7 +325,10 @@ impl SearchObjective for RangeObjective {
 
     #[inline]
     fn offer(&self, local: &mut Vec<QueryAnswer>, dist_sq: f32, pos: u32) -> bool {
-        local.push(QueryAnswer { pos, dist_sq });
+        local.push(QueryAnswer {
+            pos: global_pos(self.offset, pos),
+            dist_sq,
+        });
         // The bound is fixed: finding a match never improves it, so range
         // queries report zero BSF updates (there is no BSF).
         false
@@ -271,8 +373,16 @@ pub(crate) struct ApproxLocal {
 ///   gracefully as δ shrinks: each queue is drained best-bound-first, so
 ///   the budget goes to (approximately, under the multi-queue
 ///   configuration — exactly, single-queue) the most promising leaves.
-pub(crate) struct ApproxObjective {
+///
+/// Under sharding the ε-inflation composes with the cross-shard
+/// [`SharedBound`]: the pruning bound becomes `shared/(1+ε)²`, and BSF
+/// improvements are mirrored into the shared bound (raw, uninflated —
+/// the inflation is applied at read time, once). The δ budget stays
+/// per-shard: each shard's budget is derived from *its own* leaf count.
+pub(crate) struct ApproxObjective<'s> {
     bsf: Bsf,
+    /// Cross-shard raw BSF, when part of a sharded scatter.
+    shared: Option<&'s SharedBound>,
     /// `(1+ε)⁻²`, multiplied into the BSF to form the pruning bound.
     /// Exactly `1.0` when ε = 0.
     bound_scale: f32,
@@ -285,7 +395,7 @@ pub(crate) struct ApproxObjective {
     inflation_prunes: Counter,
 }
 
-impl ApproxObjective {
+impl<'s> ApproxObjective<'s> {
     /// # Panics
     ///
     /// Panics if `epsilon` is negative or non-finite.
@@ -295,6 +405,7 @@ impl ApproxObjective {
         pos: u32,
         epsilon: f32,
         budget: Option<u64>,
+        shared: Option<&'s SharedBound>,
     ) -> Self {
         assert!(
             epsilon >= 0.0 && epsilon.is_finite(),
@@ -303,6 +414,7 @@ impl ApproxObjective {
         let one_plus = 1.0 + epsilon;
         Self {
             bsf: Bsf::new(policy, dist_sq, pos),
+            shared,
             bound_scale: 1.0 / (one_plus * one_plus),
             budget: budget.map(|b| AtomicI64::new(b.min(i64::MAX as u64) as i64)),
             exhausted: AtomicBool::new(false),
@@ -310,7 +422,17 @@ impl ApproxObjective {
         }
     }
 
-    /// The final `(squared distance, position)` answer.
+    /// The raw (uninflated) BSF this objective prunes relative to: the
+    /// cross-shard bound when sharded, the local BSF when solo.
+    #[inline]
+    fn raw_bound(&self) -> f32 {
+        match self.shared {
+            Some(shared) => shared.load(),
+            None => self.bsf.load(),
+        }
+    }
+
+    /// The final shard-local `(squared distance, position)` answer.
     pub(crate) fn answer(&self) -> (f32, u32) {
         self.bsf.load_with_pos()
     }
@@ -330,25 +452,31 @@ impl ApproxObjective {
     }
 }
 
-impl SearchObjective for ApproxObjective {
+impl SearchObjective for ApproxObjective<'_> {
     type Local = ApproxLocal;
     const USES_QUEUES: bool = true;
 
     #[inline]
     fn bound(&self) -> f32 {
-        self.bsf.load() * self.bound_scale
+        self.raw_bound() * self.bound_scale
     }
 
     #[inline]
     fn offer(&self, _local: &mut ApproxLocal, dist_sq: f32, pos: u32) -> bool {
-        self.bsf.update_min(dist_sq, pos)
+        let improved = self.bsf.update_min(dist_sq, pos);
+        if improved {
+            if let Some(shared) = self.shared {
+                shared.update_min(dist_sq);
+            }
+        }
+        improved
     }
 
     #[inline]
     fn on_prune(&self, local: &mut ApproxLocal, lb: f32) {
         // The raw BSF would have kept this candidate; only the inflation
         // cut it. Never fires at ε = 0, where bound() == bsf.
-        if lb < self.bsf.load() {
+        if lb < self.raw_bound() {
             local.inflation_prunes += 1;
         }
     }
@@ -419,7 +547,7 @@ mod tests {
 
     #[test]
     fn range_objective_with_infinite_radius_accepts_everything() {
-        let o = RangeObjective::new(f32::INFINITY);
+        let o = RangeObjective::new(f32::INFINITY, 0);
         let mut local = Vec::new();
         assert!(1e30 < o.bound());
         assert!(!o.offer(&mut local, 1e30, 9));
@@ -429,7 +557,7 @@ mod tests {
 
     #[test]
     fn nearest_objective_shrinks_monotonically() {
-        let o = NearestObjective::new(BsfPolicy::Atomic, 10.0, 3);
+        let o = NearestObjective::new(BsfPolicy::Atomic, 10.0, 3, None);
         assert_eq!(o.bound(), 10.0);
         assert!(o.offer(&mut (), 4.0, 7));
         assert!(!o.offer(&mut (), 6.0, 9), "worse than bound");
@@ -438,7 +566,7 @@ mod tests {
 
     #[test]
     fn range_objective_accepts_boundary_distance() {
-        let o = RangeObjective::new(2.0);
+        let o = RangeObjective::new(2.0, 0);
         let mut local = Vec::new();
         // `d <= ε²` must pass the driver's strict `d < bound()` test.
         assert!(2.0 < o.bound());
@@ -453,14 +581,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn range_objective_rejects_negative_epsilon() {
-        RangeObjective::new(-1.0);
+        RangeObjective::new(-1.0, 0);
     }
 
     #[test]
     fn approx_objective_at_exact_corner_matches_nearest() {
         // ε = 0, δ = 1: the bound is the raw BSF bit-for-bit and every
         // leaf is admitted — the NearestObjective contract exactly.
-        let o = ApproxObjective::new(BsfPolicy::Atomic, 10.0, 3, 0.0, None);
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 10.0, 3, 0.0, None, None);
         assert_eq!(o.bound().to_bits(), 10.0f32.to_bits());
         let mut local = ApproxLocal::default();
         assert!(o.admit_leaf(&mut local));
@@ -476,7 +604,7 @@ mod tests {
 
     #[test]
     fn approx_objective_inflates_the_bound_and_counts_it() {
-        let o = ApproxObjective::new(BsfPolicy::Atomic, 9.0, 1, 0.5, None);
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 9.0, 1, 0.5, None, None);
         // bound = 9 / 1.5² = 4.
         assert!((o.bound() - 4.0).abs() < 1e-6);
         let mut local = ApproxLocal::default();
@@ -490,7 +618,7 @@ mod tests {
 
     #[test]
     fn approx_objective_budget_vetoes_after_exhaustion() {
-        let o = ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, 0.0, Some(2));
+        let o = ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, 0.0, Some(2), None);
         let mut local = ApproxLocal::default();
         assert!(o.admit_leaf(&mut local));
         assert!(o.admit_leaf(&mut local));
@@ -503,6 +631,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite non-negative")]
     fn approx_objective_rejects_negative_epsilon() {
-        ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, -0.1, None);
+        ApproxObjective::new(BsfPolicy::Atomic, 1.0, 0, -0.1, None, None);
     }
 }

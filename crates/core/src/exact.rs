@@ -20,16 +20,24 @@
 //! approximate search (Fig. 4a).
 
 use crate::config::QueryConfig;
-use crate::engine::{self, Engine, EuclideanMetric, NearestObjective, QueryContext, TableSpec};
+use crate::engine::{
+    self, Engine, EuclideanMetric, NearestObjective, QueryContext, ShardSlot, TableSpec,
+};
 use crate::index::MessiIndex;
+use crate::shard::global_pos;
 use crate::stats::{QueryStats, SharedQueryStats};
 use std::time::Instant;
 
 /// The result of an exact similarity-search query.
+///
+/// `pos` is a *global* position: u64 so that sharded collections can
+/// exceed the per-shard u32 position cap (each shard still stores local
+/// u32 positions; see [`crate::shard::global_pos`]). For a single
+/// [`MessiIndex`] it is the plain dataset position.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryAnswer {
-    /// Position of the nearest series in the dataset.
-    pub pos: u32,
+    /// Global position of the nearest series in the dataset.
+    pub pos: u64,
     /// Squared distance to it (Euclidean, or DTW for DTW queries).
     pub dist_sq: f32,
 }
@@ -68,13 +76,31 @@ pub fn exact_search_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (QueryAnswer, QueryStats) {
+    exact_search_sharded(index, query, config, ctx, ShardSlot::solo())
+}
+
+/// [`exact_search_with`] running as one shard of a sharded scatter: hit
+/// positions are globalized through `slot.offset` and, when
+/// `slot.shared` is set, the BSF is published to / pruned against the
+/// cross-shard bound. With [`ShardSlot::solo`] this *is* the
+/// single-index search, byte for byte.
+pub(crate) fn exact_search_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    slot: ShardSlot<'_>,
+) -> (QueryAnswer, QueryStats) {
     config.validate();
     let t_start = Instant::now();
 
     // ---- Initialization: summarize the query, seed the BSF (Fig. 4a) ----
     let (query_sax, query_paa) = index.summarize_query(query);
     let (d0, p0) = index.seed_approximate(query, &query_sax, &query_paa, config.kernel);
-    let objective = NearestObjective::new(config.bsf, d0, p0);
+    if let Some(shared) = slot.shared {
+        shared.update_min(d0);
+    }
+    let objective = NearestObjective::new(config.bsf, d0, p0, slot.shared);
     let scratch = ctx.prepare(
         index.sax_config(),
         TableSpec::Point(&query_paa),
@@ -106,7 +132,13 @@ pub fn exact_search_with<'a>(
         config.collect_breakdown,
     );
     stats.initial_bsf_dist_sq = d0;
-    (QueryAnswer { pos, dist_sq }, stats)
+    (
+        QueryAnswer {
+            pos: global_pos(slot.offset, pos),
+            dist_sq,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

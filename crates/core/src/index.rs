@@ -316,7 +316,10 @@ impl MessiIndex {
     pub fn search_approximate(&self, query: &[f32], kernel: Kernel) -> crate::exact::QueryAnswer {
         let (sax, paa) = self.summarize_query(query);
         let (dist_sq, pos) = self.seed_approximate(query, &sax, &paa, kernel);
-        crate::exact::QueryAnswer { pos, dist_sq }
+        crate::exact::QueryAnswer {
+            pos: u64::from(pos),
+            dist_sq,
+        }
     }
 
     /// δ-ε-approximate 1-NN search (journal version of the paper): the

@@ -20,6 +20,7 @@ use crate::engine::{
 };
 use crate::exact::QueryAnswer;
 use crate::index::MessiIndex;
+use crate::shard::global_pos;
 use crate::stats::{QueryStats, SharedQueryStats};
 use messi_series::distance::dtw::{dtw_sq_early_abandon, DtwParams};
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
@@ -30,11 +31,13 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
-/// Max-heap item: the worst current candidate sits on top.
+/// Max-heap item: the worst current candidate sits on top. Positions
+/// are global u64s (see [`crate::shard::global_pos`]) so one `KnnSet`
+/// can be shared by every shard of a sharded scatter.
 #[derive(Debug, PartialEq)]
 struct Candidate {
     dist_sq: f32,
-    pos: u32,
+    pos: u64,
 }
 
 impl Eq for Candidate {}
@@ -77,10 +80,12 @@ impl KnnSet {
         f32::from_bits(self.bound_bits.load(Ordering::Acquire))
     }
 
-    /// Offers a candidate; ignores duplicates of an already-present
-    /// position (a leaf may be scanned via the seeding phase *and* the
-    /// queue phase). Returns whether the set changed.
-    pub(crate) fn offer(&self, dist_sq: f32, pos: u32) -> bool {
+    /// Offers a candidate under its *global* position; ignores
+    /// duplicates of an already-present position (a leaf may be scanned
+    /// via the seeding phase *and* the queue phase — and under sharding
+    /// every shard seeds its own home leaf). Returns whether the set
+    /// changed.
+    pub(crate) fn offer(&self, dist_sq: f32, pos: u64) -> bool {
         if dist_sq >= self.bound() {
             return false;
         }
@@ -157,12 +162,29 @@ pub fn exact_knn_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (Vec<QueryAnswer>, QueryStats) {
+    let knn = KnnSet::new(k);
+    let stats = exact_knn_shared(index, query, &knn, 0, config, ctx);
+    (knn.into_sorted(), stats)
+}
+
+/// [`exact_knn_with`] running as one shard of a sharded scatter: the
+/// caller owns the [`KnnSet`] (shared by every shard, so the k-th-best
+/// bound is automatically global) and reads the merged answers out of
+/// it after all shards finish; `offset` globalizes this shard's
+/// positions. With an unshared set and offset 0 this *is* the
+/// single-index search, byte for byte.
+pub(crate) fn exact_knn_shared<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    knn: &KnnSet,
+    offset: u64,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> QueryStats {
     config.validate();
-    assert!(k > 0, "k must be positive");
     let t_start = Instant::now();
 
     let (query_sax, query_paa) = index.summarize_query(query);
-    let knn = KnnSet::new(k);
 
     // Seed: scan the query's home leaf so the bound starts tight, exactly
     // like 1-NN's approximate search but keeping all k candidates.
@@ -175,7 +197,7 @@ pub fn exact_knn_with<'a>(
             bound,
         );
         if d < bound {
-            knn.offer(d, e.pos);
+            knn.offer(d, global_pos(offset, e.pos));
         }
     }
     let initial_bound = knn.bound();
@@ -186,7 +208,7 @@ pub fn exact_knn_with<'a>(
         Some(config),
     );
     let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
-    let objective = KnnObjective::new(&knn);
+    let objective = KnnObjective::new(knn, offset);
     let stats = SharedQueryStats::new();
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
@@ -203,7 +225,6 @@ pub fn exact_knn_with<'a>(
         &objective,
     );
 
-    let answers = knn.into_sorted();
     let mut stats = stats.finish(
         t_start.elapsed(),
         init_ns,
@@ -213,7 +234,7 @@ pub fn exact_knn_with<'a>(
     if initial_bound.is_finite() {
         stats.initial_bsf_dist_sq = initial_bound;
     }
-    (answers, stats)
+    stats
 }
 
 /// Exact k-NN under banded DTW: the k series minimizing the DTW distance
@@ -247,8 +268,23 @@ pub fn exact_knn_dtw_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (Vec<QueryAnswer>, QueryStats) {
+    let knn = KnnSet::new(k);
+    let stats = exact_knn_dtw_shared(index, query, &knn, 0, params, config, ctx);
+    (knn.into_sorted(), stats)
+}
+
+/// [`exact_knn_dtw_with`] as one shard of a sharded scatter; see
+/// [`exact_knn_shared`] for the sharing contract.
+pub(crate) fn exact_knn_dtw_shared<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    knn: &KnnSet,
+    offset: u64,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+) -> QueryStats {
     config.validate();
-    assert!(k > 0, "k must be positive");
     let t_start = Instant::now();
     let segments = index.sax_config().segments;
 
@@ -256,7 +292,6 @@ pub fn exact_knn_dtw_with<'a>(
     let env = Envelope::new(query, params);
     let paa_lower = paa(&env.lower, segments);
     let paa_upper = paa(&env.upper, segments);
-    let knn = KnnSet::new(k);
 
     // Seed from the home leaf through the LB_Keogh → DTW cascade.
     for e in index.home_leaf_entries(&query_sax, &query_paa) {
@@ -267,7 +302,7 @@ pub fn exact_knn_dtw_with<'a>(
         }
         let d = dtw_sq_early_abandon(query, candidate, params, bound);
         if d < bound {
-            knn.offer(d, e.pos);
+            knn.offer(d, global_pos(offset, e.pos));
         }
     }
     let initial_bound = knn.bound();
@@ -287,7 +322,7 @@ pub fn exact_knn_dtw_with<'a>(
         scratch.table,
         config.kernel,
     );
-    let objective = KnnObjective::new(&knn);
+    let objective = KnnObjective::new(knn, offset);
     let stats = SharedQueryStats::new();
     let init_ns = t_start.elapsed().as_nanos() as u64;
 
@@ -304,7 +339,6 @@ pub fn exact_knn_dtw_with<'a>(
         &objective,
     );
 
-    let answers = knn.into_sorted();
     let mut stats = stats.finish(
         t_start.elapsed(),
         init_ns,
@@ -314,7 +348,7 @@ pub fn exact_knn_dtw_with<'a>(
     if initial_bound.is_finite() {
         stats.initial_bsf_dist_sq = initial_bound;
     }
-    (answers, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -357,7 +391,7 @@ mod tests {
                     assert!(w[0].dist_sq <= w[1].dist_sq + 1e-6);
                 }
                 // No duplicate positions.
-                let mut positions: Vec<u32> = got.iter().map(|a| a.pos).collect();
+                let mut positions: Vec<u64> = got.iter().map(|a| a.pos).collect();
                 positions.sort_unstable();
                 positions.dedup();
                 assert_eq!(positions.len(), k, "duplicate positions in k-NN answer");

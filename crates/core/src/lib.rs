@@ -67,9 +67,16 @@
 //!   (Fig. 17) and per-phase time breakdown (Fig. 13), now reported
 //!   uniformly by every objective.
 //! * [`serve`] — the index service daemon: a hand-rolled HTTP/1.1
-//!   frontend over one prewarmed [`exec::QueryExecutor`] with readiness
-//!   gating, a bounded load-shedding admission gate, Prometheus metrics,
-//!   graceful drain, and the matching load-smoke client.
+//!   frontend over one prewarmed sharded executor with readiness
+//!   gating, a bounded load-shedding admission gate, Prometheus metrics
+//!   (including per-shard counter families), graceful drain, and the
+//!   matching load-smoke client.
+//! * [`shard`] — sharded multi-index scatter-gather: a [`ShardedIndex`]
+//!   of N independent [`MessiIndex`] shards over contiguous position
+//!   ranges, built in parallel, queried by fanning each query out to
+//!   per-shard engines that share one atomic cross-shard BSF for
+//!   pruning, and persisted as a per-shard snapshot directory with a
+//!   checksummed manifest.
 //! * [`validate`] — index invariant checker used by the test suite.
 
 #![warn(missing_docs)]
@@ -89,6 +96,7 @@ pub mod node;
 pub mod persist;
 pub mod range;
 pub mod serve;
+pub mod shard;
 pub mod stats;
 pub mod validate;
 
@@ -99,4 +107,5 @@ pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
 pub use persist::{load_index, save_index, PersistError};
 pub use serve::{IndexServer, ServeConfig, ServeSummary};
+pub use shard::{global_pos, load_sharded, save_sharded, ShardedExecutor, ShardedIndex};
 pub use stats::{BuildStats, QueryStats, StopReason, TimeBreakdown};

@@ -68,9 +68,25 @@ pub fn range_search_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (Vec<QueryAnswer>, QueryStats) {
+    range_search_sharded(index, query, epsilon_sq, config, ctx, 0)
+}
+
+/// [`range_search_with`] as one shard of a sharded scatter: hit
+/// positions are globalized through `offset`
+/// ([`crate::shard::global_pos`]). Range search shares no bound across
+/// shards — ε is fixed — so the gather step simply merges the per-shard
+/// sorted hit lists. Offset 0 *is* the single-index search.
+pub(crate) fn range_search_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    offset: u64,
+) -> (Vec<QueryAnswer>, QueryStats) {
     config.validate();
     let t_start = Instant::now();
-    let objective = RangeObjective::new(epsilon_sq);
+    let objective = RangeObjective::new(epsilon_sq, offset);
     let (_, query_paa) = index.summarize_query(query);
     let scratch = ctx.prepare(index.sax_config(), TableSpec::Point(&query_paa), None);
     let metric = EuclideanMetric::new(index, query, &query_paa, scratch.table, config.kernel);
@@ -138,10 +154,25 @@ pub fn range_search_dtw_with<'a>(
     config: &QueryConfig,
     ctx: &mut QueryContext<'a>,
 ) -> (Vec<QueryAnswer>, QueryStats) {
+    range_search_dtw_sharded(index, query, epsilon_sq, params, config, ctx, 0)
+}
+
+/// [`range_search_dtw_with`] as one shard of a sharded scatter; see
+/// [`range_search_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn range_search_dtw_sharded<'a>(
+    index: &'a MessiIndex,
+    query: &[f32],
+    epsilon_sq: f32,
+    params: DtwParams,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    offset: u64,
+) -> (Vec<QueryAnswer>, QueryStats) {
     config.validate();
     let t_start = Instant::now();
     let segments = index.sax_config().segments;
-    let objective = RangeObjective::new(epsilon_sq);
+    let objective = RangeObjective::new(epsilon_sq, offset);
     assert_eq!(
         query.len(),
         index.sax_config().series_len,
@@ -209,11 +240,11 @@ mod tests {
         data: &messi_series::Dataset,
         query: &[f32],
         epsilon_sq: f32,
-    ) -> Vec<(u32, f32)> {
-        let mut out: Vec<(u32, f32)> = data
+    ) -> Vec<(u64, f32)> {
+        let mut out: Vec<(u64, f32)> = data
             .iter()
             .enumerate()
-            .map(|(i, s)| (i as u32, ed_sq_scalar(query, s)))
+            .map(|(i, s)| (i as u64, ed_sq_scalar(query, s)))
             .filter(|(_, d)| *d <= epsilon_sq)
             .collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -317,10 +348,10 @@ mod tests {
                 let eps = nn * factor;
                 let (got, stats) =
                     range_search_dtw(&index, q, eps, params, &QueryConfig::for_tests());
-                let expect: Vec<(u32, f32)> = data
+                let expect: Vec<(u64, f32)> = data
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| (i as u32, dtw_sq(q, s, params)))
+                    .map(|(i, s)| (i as u64, dtw_sq(q, s, params)))
                     .filter(|(_, d)| *d <= eps)
                     .collect();
                 assert!(!got.is_empty(), "ε above the 1-NN distance must match");

@@ -1,13 +1,16 @@
 //! Server-side counters and their Prometheus text exposition.
 //!
-//! `/metrics` exports two families of numbers: the HTTP frontend's own
-//! counters (requests, sheds, in-flight gauge) and the executor's
+//! `/metrics` exports three families of numbers: the HTTP frontend's own
+//! counters (requests, sheds, in-flight gauge), the executor's
 //! [`QueryStatsAggregate`] — the same throughput / Fig. 13 phase
 //! breakdown / prune-rate / budget-stop counters the CLI bench reports,
 //! so a dashboard over the daemon reads exactly what the offline harness
-//! prints. [`encode_prometheus`] destructures the aggregate exhaustively:
-//! adding a stats field without exporting it is a compile error, not a
-//! silent observability gap.
+//! prints — and, when the daemon serves a sharded index, per-shard
+//! labeled counters (`messi_shard_*_total{shard="i"}`) folded from the
+//! scatter's per-shard [`QueryStats`], so load imbalance and cross-shard
+//! pruning effectiveness are visible per shard. [`encode_prometheus`]
+//! destructures the aggregate exhaustively: adding a stats field without
+//! exporting it is a compile error, not a silent observability gap.
 
 use crate::stats::{QueryStats, QueryStatsAggregate, TimeBreakdown};
 use messi_sync::Counter;
@@ -33,11 +36,15 @@ pub struct ServerMetrics {
     pub query_alloc_events: Counter,
     /// The folded stats of every answered query.
     agg: Mutex<QueryStatsAggregate>,
+    /// Per-shard folds of the same queries (index = shard id), fed by
+    /// the scatter's per-shard [`QueryStats`].
+    shard_aggs: Vec<Mutex<QueryStatsAggregate>>,
 }
 
 impl ServerMetrics {
-    /// Fresh counters, uptime starting now.
-    pub fn new() -> Self {
+    /// Fresh counters for a daemon over `num_shards` shards, uptime
+    /// starting now.
+    pub fn new(num_shards: usize) -> Self {
         Self {
             started: Instant::now(),
             http_requests: Counter::new(),
@@ -45,25 +52,37 @@ impl ServerMetrics {
             query_failures: Counter::new(),
             query_alloc_events: Counter::new(),
             agg: Mutex::new(QueryStatsAggregate::default()),
+            shard_aggs: (0..num_shards)
+                .map(|_| Mutex::new(QueryStatsAggregate::default()))
+                .collect(),
         }
     }
 
     /// Folds one answered query into the aggregate; `alloc_delta` is the
-    /// context's allocation-event delta across the query.
-    pub fn record_query(&self, stats: &QueryStats, alloc_delta: u64) {
+    /// context's allocation-event delta across the query and `per_shard`
+    /// the scatter's per-shard stats (one entry per shard).
+    pub fn record_query(&self, stats: &QueryStats, alloc_delta: u64, per_shard: &[QueryStats]) {
         self.agg.lock().add(stats);
         self.query_alloc_events.add(alloc_delta);
+        for (agg, shard_stats) in self.shard_aggs.iter().zip(per_shard) {
+            agg.lock().add(shard_stats);
+        }
     }
 
     /// A snapshot of the folded query stats.
     pub fn aggregate(&self) -> QueryStatsAggregate {
         self.agg.lock().clone()
     }
+
+    /// Snapshots of the per-shard folds, indexed by shard id.
+    pub fn shard_aggregates(&self) -> Vec<QueryStatsAggregate> {
+        self.shard_aggs.iter().map(|a| a.lock().clone()).collect()
+    }
 }
 
 impl Default for ServerMetrics {
     fn default() -> Self {
-        Self::new()
+        Self::new(1)
     }
 }
 
@@ -232,6 +251,45 @@ pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: 
     phase(&mut out, "pq_remove", pq_remove_ns);
     phase(&mut out, "dist_calc", dist_calc_ns);
 
+    // Per-shard counter families, one labeled sample per shard. The
+    // scatter hands every query's per-shard stats to `record_query`, so
+    // per-shard `queries` counters advance in lockstep while the work
+    // counters split by shard — imbalance and cross-shard pruning (a
+    // shard pruned by another's BSF shows few real-distance calcs) read
+    // straight off the label dimension.
+    let shard_aggs = metrics.shard_aggregates();
+    let labeled =
+        |out: &mut String, name: &str, help: &str, value: fn(&QueryStatsAggregate) -> String| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (i, agg) in shard_aggs.iter().enumerate() {
+                out.push_str(&format!("{name}{{shard=\"{i}\"}} {}\n", value(agg)));
+            }
+        };
+    labeled(
+        &mut out,
+        "messi_shard_queries_total",
+        "Queries this shard participated in answering.",
+        |a| a.queries.to_string(),
+    );
+    labeled(
+        &mut out,
+        "messi_shard_query_lb_distance_calcs_total",
+        "Lower-bound (mindist) calculations performed by this shard.",
+        |a| a.lb_distance_calcs.to_string(),
+    );
+    labeled(
+        &mut out,
+        "messi_shard_query_real_distance_calcs_total",
+        "Real (ED/DTW) distance calculations performed by this shard.",
+        |a| a.real_distance_calcs.to_string(),
+    );
+    labeled(
+        &mut out,
+        "messi_shard_query_seconds_total",
+        "Summed per-shard query wall time in seconds.",
+        |a| format!("{:.6}", a.total_time.as_secs_f64()),
+    );
+
     out
 }
 
@@ -242,7 +300,7 @@ mod tests {
     use std::time::Duration;
 
     fn sample_metrics() -> (ServerMetrics, Admission) {
-        let metrics = ServerMetrics::new();
+        let metrics = ServerMetrics::new(2);
         metrics.http_requests.add(7);
         metrics.http_client_errors.add(2);
         metrics.record_query(
@@ -263,6 +321,18 @@ mod tests {
                 ..Default::default()
             },
             0,
+            &[
+                QueryStats {
+                    lb_distance_calcs: 60,
+                    real_distance_calcs: 39,
+                    ..Default::default()
+                },
+                QueryStats {
+                    lb_distance_calcs: 40,
+                    real_distance_calcs: 1,
+                    ..Default::default()
+                },
+            ],
         );
         let admission = Admission::new(4);
         let _ = admission.try_acquire().map(std::mem::forget); // pin inflight = 1
@@ -336,6 +406,20 @@ mod tests {
         expect_exactly_once("\nmessi_admission_capacity 4\n".to_string());
         expect_exactly_once("\nmessi_query_alloc_events_total 0\n".to_string());
 
+        // Per-shard families: the scatter's per-shard stats land under
+        // their own shard label, and both shards count the query.
+        expect_exactly_once("\nmessi_shard_queries_total{shard=\"0\"} 1\n".to_string());
+        expect_exactly_once("messi_shard_queries_total{shard=\"1\"} 1\n".to_string());
+        expect_exactly_once(
+            "messi_shard_query_real_distance_calcs_total{shard=\"0\"} 39\n".to_string(),
+        );
+        expect_exactly_once(
+            "messi_shard_query_real_distance_calcs_total{shard=\"1\"} 1\n".to_string(),
+        );
+        expect_exactly_once(
+            "messi_shard_query_lb_distance_calcs_total{shard=\"0\"} 60\n".to_string(),
+        );
+
         // Exposition-format hygiene: every sample has HELP + TYPE.
         let samples = text
             .lines()
@@ -344,14 +428,16 @@ mod tests {
         let types = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
         let helps = text.lines().filter(|l| l.starts_with("# HELP ")).count();
         assert_eq!(types, helps);
-        // The phase family contributes 5 samples under one TYPE.
-        assert_eq!(samples, types + 4);
+        // The phase family contributes 5 samples under one TYPE; each of
+        // the 4 per-shard families contributes one sample per shard (2
+        // shards here).
+        assert_eq!(samples, types + 4 + 4);
     }
 
     #[test]
     fn missing_breakdown_exports_zeroed_phases() {
-        let metrics = ServerMetrics::new();
-        metrics.record_query(&QueryStats::default(), 0);
+        let metrics = ServerMetrics::new(1);
+        metrics.record_query(&QueryStats::default(), 0, &[QueryStats::default()]);
         let text = encode_prometheus(&metrics, &Admission::new(1), false);
         assert!(text.contains("messi_ready 0\n"));
         assert!(
@@ -362,10 +448,11 @@ mod tests {
 
     #[test]
     fn alloc_events_accumulate() {
-        let metrics = ServerMetrics::new();
-        metrics.record_query(&QueryStats::default(), 3);
-        metrics.record_query(&QueryStats::default(), 0);
+        let metrics = ServerMetrics::new(1);
+        metrics.record_query(&QueryStats::default(), 3, &[QueryStats::default()]);
+        metrics.record_query(&QueryStats::default(), 0, &[QueryStats::default()]);
         assert_eq!(metrics.query_alloc_events.get(), 3);
         assert_eq!(metrics.aggregate().queries, 2);
+        assert_eq!(metrics.shard_aggregates()[0].queries, 2);
     }
 }

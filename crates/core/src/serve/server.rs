@@ -1,5 +1,6 @@
 //! The index service daemon: a long-running network frontend over one
-//! prewarmed [`QueryExecutor`].
+//! prewarmed [`ShardedExecutor`] (a single-index deployment is just the
+//! one-shard case, [`crate::shard::ShardedIndex::from_single`]).
 //!
 //! One acceptor thread plus a bounded pool of connection handlers (both
 //! running on a dedicated [`messi_sync::WorkerPool`], handed connections
@@ -9,7 +10,7 @@
 //! |---|---|
 //! | `POST /query` | decode a JSON query body into a [`QuerySpec`], answer from the warm context pool |
 //! | `GET /healthz` | `200 ok` only after the index is loaded and the pool prewarmed, `503` before |
-//! | `GET /metrics` | Prometheus text exposition of the executor + frontend counters |
+//! | `GET /metrics` | Prometheus text exposition of the executor + frontend counters, including per-shard `messi_shard_*{shard="i"}` families |
 //!
 //! Queries pass a bounded [`Admission`] gate: when `admission` permits
 //! are in flight, further queries get `503` + `Retry-After` instead of
@@ -37,8 +38,8 @@ use super::http::{self, Request, Response};
 use super::metrics::{encode_prometheus, ServerMetrics};
 use super::proto;
 use crate::config::QueryConfig;
-use crate::exec::{QueryExecutor, QuerySpec};
-use crate::index::MessiIndex;
+use crate::exec::QuerySpec;
+use crate::shard::{ShardedExecutor, ShardedIndex};
 use crate::stats::QueryStatsAggregate;
 use messi_series::distance::Kernel;
 
@@ -119,9 +120,9 @@ impl IndexServer {
     /// requests and returns the lifetime summary.
     ///
     /// Readiness (`/healthz` → 200) is reached after the executor pool
-    /// has been prewarmed against `index`, so a load balancer polling
-    /// health never routes to a cold daemon.
-    pub fn serve(self, index: &MessiIndex, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
+    /// has been prewarmed against every shard of `index`, so a load
+    /// balancer polling health never routes to a cold daemon.
+    pub fn serve(self, index: &ShardedIndex, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
         let threads = self.config.threads.max(1);
         let state = ServeState::new(index, &self.config);
         state.prewarm(index);
@@ -150,7 +151,7 @@ impl IndexServer {
 
 /// Everything a request handler needs, shared across handler threads.
 struct ServeState<'a> {
-    executor: QueryExecutor<'a>,
+    executor: ShardedExecutor<'a>,
     series_len: usize,
     query_config: QueryConfig,
     metrics: ServerMetrics,
@@ -159,10 +160,10 @@ struct ServeState<'a> {
 }
 
 impl<'a> ServeState<'a> {
-    fn new(index: &'a MessiIndex, config: &ServeConfig) -> Self {
+    fn new(index: &'a ShardedIndex, config: &ServeConfig) -> Self {
         let query_workers = config.query_workers.max(1);
         Self {
-            executor: QueryExecutor::with_capacity(index, config.threads.max(1)),
+            executor: ShardedExecutor::with_capacity(index, config.threads.max(1)),
             series_len: index.dataset().series_len(),
             query_config: QueryConfig {
                 num_workers: query_workers,
@@ -171,15 +172,16 @@ impl<'a> ServeState<'a> {
                 kernel: config.kernel,
                 ..QueryConfig::default()
             },
-            metrics: ServerMetrics::new(),
+            metrics: ServerMetrics::new(index.num_shards()),
             admission: Admission::new(config.admission),
             ready: AtomicBool::new(false),
         }
     }
 
-    /// Warms every pooled context so the first real query of every
-    /// handler thread runs allocation-free, then flips readiness.
-    fn prewarm(&self, index: &MessiIndex) {
+    /// Warms every pooled context of every shard so the first real query
+    /// of every handler thread runs allocation-free, then flips
+    /// readiness.
+    fn prewarm(&self, index: &ShardedIndex) {
         let warm_query: Vec<f32> = if index.num_series() > 0 {
             index.dataset().series(0).to_vec()
         } else {
@@ -342,8 +344,8 @@ fn answer_query(state: &ServeState<'_>, req: &Request) -> Response {
             .executor
             .run_one_traced(&series, &spec, &state.query_config)
     })) {
-        Ok((answers, stats, alloc_delta)) => {
-            state.metrics.record_query(&stats, alloc_delta);
+        Ok((answers, stats, alloc_delta, per_shard)) => {
+            state.metrics.record_query(&stats, alloc_delta, &per_shard);
             Response::json(200, proto::encode_answer(&spec, &answers, &stats))
         }
         Err(_) => {
@@ -388,9 +390,9 @@ mod tests {
     use messi_series::gen::{self, DatasetKind};
     use std::sync::Arc;
 
-    fn test_index() -> MessiIndex {
+    fn test_index() -> ShardedIndex {
         let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 11));
-        MessiIndex::build(data, &IndexConfig::for_tests()).0
+        ShardedIndex::build(data, 2, &IndexConfig::for_tests()).0
     }
 
     fn get(path: &str) -> Request {
@@ -411,7 +413,7 @@ mod tests {
         }
     }
 
-    fn query_body(index: &MessiIndex, fields: &str) -> String {
+    fn query_body(index: &ShardedIndex, fields: &str) -> String {
         let series: Vec<String> = index
             .dataset()
             .series(0)

@@ -1,0 +1,631 @@
+//! The [`ShardedExecutor`]: scatter-gather query answering over a
+//! [`ShardedIndex`].
+
+use super::ShardedIndex;
+use crate::config::QueryConfig;
+use crate::engine::{QueryContext, ShardSlot, SharedBound};
+use crate::exact::QueryAnswer;
+use crate::exec::{MetricSpec, Objective, QuerySpec, Schedule};
+use crate::index::MessiIndex;
+use crate::knn::KnnSet;
+use crate::stats::{QueryStats, QueryStatsAggregate, StopReason};
+use messi_series::Dataset;
+use messi_sync::{Dispenser, SlotPool, WorkerPool};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// What one shard hands back from a scatter: its local answers, its
+/// [`QueryStats`], and the context allocation-event delta.
+type ShardReturn = (Vec<QueryAnswer>, QueryStats, u64);
+
+/// A pooled scatter-gather frontend over one [`ShardedIndex`]: the
+/// sharded counterpart of [`crate::exec::QueryExecutor`], answering the
+/// full [`QuerySpec`] matrix under both [`Schedule`]s.
+///
+/// Per query, the executor fans out to every shard's engine and merges:
+///
+/// * Under [`Schedule::IntraQuery`] (and [`ShardedExecutor::run_one`])
+///   the shards run *concurrently*, splitting `config.num_workers`
+///   between them; 1-NN objectives share one atomic cross-shard BSF, so
+///   whichever shard tightens the bound first prunes the others in
+///   flight.
+/// * Under [`Schedule::InterQuery`] each batch worker owns whole
+///   queries and walks the shards *sequentially* (one engine worker per
+///   shard); the shared BSF then makes shard `i`'s answer prune shards
+///   `i+1..` almost entirely — the cross-shard pruning throughput win.
+///
+/// k-NN scatters over one shared `KnnSet` keyed by global positions
+/// (the k-th-best bound is automatically collection-global); range
+/// search shares nothing (the bound is the fixed ε²) and concatenates.
+/// Per-shard [`QueryStats`] are summed through the same counters the
+/// single-index path reports, so batch aggregation flows through
+/// [`QueryStatsAggregate`] unchanged.
+///
+/// With one shard the executor delegates straight to the single-index
+/// adapters (no shared bound, full worker complement) — byte-identical
+/// to [`crate::exec::QueryExecutor`].
+#[derive(Debug)]
+pub struct ShardedExecutor<'a> {
+    index: &'a ShardedIndex,
+    /// One warm-context pool per shard: contexts are sized by the shard
+    /// they serve (queue sets, mindist tables), so they park next to it.
+    contexts: Vec<SlotPool<QueryContext<'a>>>,
+}
+
+impl<'a> ShardedExecutor<'a> {
+    /// Creates an executor whose per-shard context pools match the
+    /// process worker pool (2 × cores each).
+    pub fn new(index: &'a ShardedIndex) -> Self {
+        Self::with_capacity(index, 2 * crate::config::available_cores())
+    }
+
+    /// Creates an executor holding at most `capacity` warm contexts per
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(index: &'a ShardedIndex, capacity: usize) -> Self {
+        Self {
+            index,
+            contexts: (0..index.num_shards())
+                .map(|_| SlotPool::new(capacity))
+                .collect(),
+        }
+    }
+
+    /// The sharded index this executor serves.
+    pub fn index(&self) -> &'a ShardedIndex {
+        self.index
+    }
+
+    /// Number of currently parked warm contexts across all shard pools.
+    pub fn warm_contexts(&self) -> usize {
+        self.contexts.iter().map(SlotPool::parked).sum()
+    }
+
+    /// Answers one query with a concurrent shard scatter: exact 1-NN
+    /// and approximate return exactly one answer; k-NN up to `k`,
+    /// ascending; range every match, ascending. Positions are global.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::exec::QueryExecutor::run_one`].
+    pub fn run_one(
+        &self,
+        query: &[f32],
+        spec: &QuerySpec,
+        config: &QueryConfig,
+    ) -> (Vec<QueryAnswer>, QueryStats) {
+        let (answers, stats, _, _) = self.run_one_scattered(query, spec, config);
+        (answers, stats)
+    }
+
+    /// As [`ShardedExecutor::run_one`], additionally reporting the
+    /// summed context allocation-event delta (the zero-alloc-after-
+    /// warm-up observable) and the raw per-shard [`QueryStats`] — the
+    /// serve daemon feeds the latter into its per-shard Prometheus
+    /// counter families.
+    pub fn run_one_traced(
+        &self,
+        query: &[f32],
+        spec: &QuerySpec,
+        config: &QueryConfig,
+    ) -> (Vec<QueryAnswer>, QueryStats, u64, Vec<QueryStats>) {
+        self.run_one_scattered(query, spec, config)
+    }
+
+    /// The concurrent scatter behind `run_one` / `run_one_traced`.
+    fn run_one_scattered(
+        &self,
+        query: &[f32],
+        spec: &QuerySpec,
+        config: &QueryConfig,
+    ) -> (Vec<QueryAnswer>, QueryStats, u64, Vec<QueryStats>) {
+        let n = self.index.num_shards();
+        let t_start = Instant::now();
+        let knn = make_knn(spec);
+
+        if n == 1 {
+            // Solo fast path: the single-index search, byte for byte.
+            let mut ctx = self.contexts[0].checkout().unwrap_or_default();
+            let before = ctx.alloc_events();
+            let (answers, stats) = run_shard(
+                self.index.shard(0),
+                query,
+                spec,
+                config,
+                &mut ctx,
+                ShardSlot::solo(),
+                knn.as_ref(),
+            );
+            let delta = ctx.alloc_events().saturating_sub(before);
+            self.contexts[0].checkin(ctx);
+            let per_shard = vec![stats.clone()];
+            let answers = gather(spec, answers, knn);
+            return (answers, stats, delta, per_shard);
+        }
+
+        // Split the worker complement between the concurrent shards.
+        let shard_config = QueryConfig {
+            num_workers: (config.num_workers / n).max(1),
+            ..config.clone()
+        };
+        let shared = SharedBound::new();
+        let slots: Vec<Mutex<Option<ShardReturn>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // One pool party per shard; each shard's engine either runs
+        // inline (one worker) or forks scoped threads for its share.
+        WorkerPool::global().run(n, &|shard_id| {
+            let shard = self.index.shard(shard_id);
+            let slot = ShardSlot {
+                offset: self.index.shard_offset(shard_id),
+                shared: Some(&shared),
+            };
+            let mut ctx = self.contexts[shard_id].checkout().unwrap_or_default();
+            let before = ctx.alloc_events();
+            let out = run_shard(
+                shard,
+                query,
+                spec,
+                &shard_config,
+                &mut ctx,
+                slot,
+                knn.as_ref(),
+            );
+            let delta = ctx.alloc_events().saturating_sub(before);
+            self.contexts[shard_id].checkin(ctx);
+            *slots[shard_id].lock() = Some((out.0, out.1, delta));
+        });
+
+        let mut per_shard_answers = Vec::new();
+        let mut per_shard_stats = Vec::with_capacity(n);
+        let mut alloc_delta = 0u64;
+        for slot in slots {
+            let (answers, stats, delta) = slot.into_inner().expect("every shard answered");
+            per_shard_answers.extend(answers);
+            per_shard_stats.push(stats);
+            alloc_delta += delta;
+        }
+        let merged = merge_shard_stats(&per_shard_stats, t_start.elapsed());
+        let answers = gather(spec, per_shard_answers, knn);
+        (answers, merged, alloc_delta, per_shard_stats)
+    }
+
+    /// Answers one query by walking the shards *sequentially* with the
+    /// given (already inter-query-shaped) config — the per-batch-worker
+    /// path where the shared BSF carries shard `i`'s answer into shard
+    /// `i+1`'s pruning. `ctxs` holds one checked-out context per shard.
+    fn answer_sequential(
+        &self,
+        query: &[f32],
+        spec: &QuerySpec,
+        config: &QueryConfig,
+        ctxs: &mut [QueryContext<'a>],
+    ) -> (Vec<QueryAnswer>, QueryStats) {
+        let n = self.index.num_shards();
+        let knn = make_knn(spec);
+        if n == 1 {
+            let (answers, stats) = run_shard(
+                self.index.shard(0),
+                query,
+                spec,
+                config,
+                &mut ctxs[0],
+                ShardSlot::solo(),
+                knn.as_ref(),
+            );
+            return (gather(spec, answers, knn), stats);
+        }
+        let t_start = Instant::now();
+        let shared = SharedBound::new();
+        let mut per_shard_answers = Vec::with_capacity(n);
+        let mut per_shard_stats = Vec::with_capacity(n);
+        for (shard_id, ctx) in ctxs.iter_mut().enumerate() {
+            let slot = ShardSlot {
+                offset: self.index.shard_offset(shard_id),
+                shared: Some(&shared),
+            };
+            let (answers, stats) = run_shard(
+                self.index.shard(shard_id),
+                query,
+                spec,
+                config,
+                ctx,
+                slot,
+                knn.as_ref(),
+            );
+            per_shard_answers.extend(answers);
+            per_shard_stats.push(stats);
+        }
+        let merged = merge_shard_stats(&per_shard_stats, t_start.elapsed());
+        (gather(spec, per_shard_answers, knn), merged)
+    }
+
+    /// Answers a whole batch of queries under `schedule`; the sharded
+    /// counterpart of [`crate::exec::QueryExecutor::run_batch`], with
+    /// the same contract (answers in query order, aggregate statistics
+    /// merged through [`QueryStatsAggregate`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedExecutor::run_one`]; additionally if an inter-query
+    /// schedule's `parallelism` is zero.
+    pub fn run_batch(
+        &self,
+        queries: &Dataset,
+        spec: &QuerySpec,
+        schedule: Schedule,
+        config: &QueryConfig,
+    ) -> (Vec<Vec<QueryAnswer>>, QueryStatsAggregate) {
+        match schedule {
+            Schedule::IntraQuery => {
+                let mut answers = Vec::with_capacity(queries.len());
+                let mut agg = QueryStatsAggregate::default();
+                for q in queries.iter() {
+                    let (ans, stats, _, _) = self.run_one_scattered(q, spec, config);
+                    agg.add(&stats);
+                    answers.push(ans);
+                }
+                (answers, agg)
+            }
+            Schedule::InterQuery { parallelism } => {
+                self.run_batch_inter(queries, spec, parallelism, config)
+            }
+        }
+    }
+
+    /// Inter-query scheduling: queries parallel across batch workers,
+    /// shards sequential inside each query (one engine worker each).
+    fn run_batch_inter(
+        &self,
+        queries: &Dataset,
+        spec: &QuerySpec,
+        parallelism: usize,
+        config: &QueryConfig,
+    ) -> (Vec<Vec<QueryAnswer>>, QueryStatsAggregate) {
+        assert!(parallelism > 0, "parallelism must be positive");
+        let n = self.index.num_shards();
+        let per_query = QueryConfig {
+            num_workers: 1,
+            num_queues: 1,
+            ..config.clone()
+        };
+        let dispenser = Dispenser::new(queries.len());
+        let slots: Vec<Mutex<Option<Vec<QueryAnswer>>>> =
+            (0..queries.len()).map(|_| Mutex::new(None)).collect();
+        let agg = Mutex::new(QueryStatsAggregate::default());
+        WorkerPool::global().run(parallelism.min(queries.len().max(1)), &|_pid| {
+            let mut local_agg = QueryStatsAggregate::default();
+            let mut ctxs: Vec<QueryContext<'a>> = (0..n)
+                .map(|i| self.contexts[i].checkout().unwrap_or_default())
+                .collect();
+            while let Some(qi) = dispenser.next() {
+                let (ans, stats) =
+                    self.answer_sequential(queries.series(qi), spec, &per_query, &mut ctxs);
+                local_agg.add(&stats);
+                *slots[qi].lock() = Some(ans);
+            }
+            agg.lock().merge(&local_agg);
+            for (i, ctx) in ctxs.into_iter().enumerate() {
+                self.contexts[i].checkin(ctx);
+            }
+        });
+        let answers = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every query answered"))
+            .collect();
+        (answers, agg.into_inner())
+    }
+
+    /// Warms every slot of every shard pool by running `query` against
+    /// the owning shard once per slot, then parks all contexts — the
+    /// sharded counterpart of
+    /// [`crate::exec::QueryExecutor::prewarm`], used by the serve
+    /// daemon so first real queries run allocation-free.
+    pub fn prewarm(&self, query: &[f32], spec: &QuerySpec, config: &QueryConfig) {
+        for (shard_id, pool) in self.contexts.iter().enumerate() {
+            let shard = self.index.shard(shard_id);
+            let mut held = Vec::with_capacity(pool.capacity());
+            for _ in 0..pool.capacity() {
+                let mut ctx = pool.checkout().unwrap_or_default();
+                let knn = make_knn(spec);
+                let _ = run_shard(
+                    shard,
+                    query,
+                    spec,
+                    config,
+                    &mut ctx,
+                    ShardSlot::solo(),
+                    knn.as_ref(),
+                );
+                held.push(ctx);
+            }
+            for ctx in held {
+                pool.checkin(ctx);
+            }
+        }
+    }
+}
+
+/// The shared k-NN set for `spec`, if the objective is k-NN.
+fn make_knn(spec: &QuerySpec) -> Option<KnnSet> {
+    match spec.objective {
+        Objective::Knn { k } => Some(KnnSet::new(k)),
+        _ => None,
+    }
+}
+
+/// Runs one shard's share of a query: the sharded Metric × Objective
+/// dispatch, mirroring the single-index chokepoint in
+/// [`crate::exec`] but through the `*_sharded` adapters. k-NN answers
+/// land in the shared set (the returned list is empty); everything else
+/// returns globalized answers directly.
+fn run_shard<'a>(
+    shard: &'a MessiIndex,
+    query: &[f32],
+    spec: &QuerySpec,
+    config: &QueryConfig,
+    ctx: &mut QueryContext<'a>,
+    slot: ShardSlot<'_>,
+    knn: Option<&KnnSet>,
+) -> (Vec<QueryAnswer>, QueryStats) {
+    match (spec.metric, spec.objective) {
+        (MetricSpec::Euclidean, Objective::Exact) => {
+            let (ans, stats) = crate::exact::exact_search_sharded(shard, query, config, ctx, slot);
+            (vec![ans], stats)
+        }
+        (MetricSpec::Euclidean, Objective::Knn { .. }) => {
+            let set = knn.expect("k-NN scatter owns a shared set");
+            let stats = crate::knn::exact_knn_shared(shard, query, set, slot.offset, config, ctx);
+            (Vec::new(), stats)
+        }
+        (MetricSpec::Euclidean, Objective::Range { epsilon_sq }) => {
+            crate::range::range_search_sharded(shard, query, epsilon_sq, config, ctx, slot.offset)
+        }
+        (MetricSpec::Euclidean, Objective::Approx { epsilon, delta }) => {
+            let (ans, stats) = crate::approximate::approx_search_sharded(
+                shard, query, epsilon, delta, config, ctx, slot,
+            );
+            (vec![ans], stats)
+        }
+        (MetricSpec::Dtw(params), Objective::Exact) => {
+            let (ans, stats) =
+                crate::dtw::exact_search_dtw_sharded(shard, query, params, config, ctx, slot);
+            (vec![ans], stats)
+        }
+        (MetricSpec::Dtw(params), Objective::Knn { .. }) => {
+            let set = knn.expect("k-NN scatter owns a shared set");
+            let stats = crate::knn::exact_knn_dtw_shared(
+                shard,
+                query,
+                set,
+                slot.offset,
+                params,
+                config,
+                ctx,
+            );
+            (Vec::new(), stats)
+        }
+        (MetricSpec::Dtw(params), Objective::Range { epsilon_sq }) => {
+            crate::range::range_search_dtw_sharded(
+                shard,
+                query,
+                epsilon_sq,
+                params,
+                config,
+                ctx,
+                slot.offset,
+            )
+        }
+        (MetricSpec::Dtw(params), Objective::Approx { epsilon, delta }) => {
+            let (ans, stats) = crate::approximate::approx_search_dtw_sharded(
+                shard, query, epsilon, delta, params, config, ctx, slot,
+            );
+            (vec![ans], stats)
+        }
+    }
+}
+
+/// Merges per-shard partial answers into the final, globally-ordered
+/// answer list.
+fn gather(spec: &QuerySpec, per_shard: Vec<QueryAnswer>, knn: Option<KnnSet>) -> Vec<QueryAnswer> {
+    match spec.objective {
+        Objective::Knn { .. } => knn.expect("k-NN scatter owns a shared set").into_sorted(),
+        Objective::Exact | Objective::Approx { .. } => {
+            let best = per_shard
+                .into_iter()
+                .min_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.pos.cmp(&b.pos)))
+                .expect("at least one shard answers");
+            vec![best]
+        }
+        Objective::Range { .. } => {
+            let mut all = per_shard;
+            all.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.pos.cmp(&b.pos)));
+            all
+        }
+    }
+}
+
+/// Folds per-shard [`QueryStats`] into one query-level record: counters
+/// sum (they flow into the same [`QueryStatsAggregate`] fields the
+/// single-index path feeds), `total_time` is the scatter's wall clock,
+/// the initial BSF is the tightest seed any shard produced, breakdowns
+/// sum component-wise, and the stop reason merges pessimistically
+/// (any shard budget-exhausted ⇒ budget-exhausted; all home-leaf-only ⇒
+/// home-leaf-only; else completed).
+fn merge_shard_stats(per_shard: &[QueryStats], total_time: std::time::Duration) -> QueryStats {
+    let mut out = QueryStats {
+        total_time,
+        ..QueryStats::default()
+    };
+    let mut initial = f32::INFINITY;
+    for s in per_shard {
+        out.lb_distance_calcs += s.lb_distance_calcs;
+        out.real_distance_calcs += s.real_distance_calcs;
+        out.bsf_updates += s.bsf_updates;
+        out.nodes_inserted += s.nodes_inserted;
+        out.nodes_popped += s.nodes_popped;
+        out.nodes_filtered_on_pop += s.nodes_filtered_on_pop;
+        out.approx_inflation_prunes += s.approx_inflation_prunes;
+        initial = initial.min(s.initial_bsf_dist_sq);
+        out.breakdown = match (out.breakdown.take(), s.breakdown) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        out.stop_reason = merge_stop(out.stop_reason, s.stop_reason);
+    }
+    if initial.is_finite() {
+        out.initial_bsf_dist_sq = initial;
+    }
+    out
+}
+
+fn merge_stop(a: Option<StopReason>, b: Option<StopReason>) -> Option<StopReason> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(StopReason::BudgetExhausted), _) | (_, Some(StopReason::BudgetExhausted)) => {
+            Some(StopReason::BudgetExhausted)
+        }
+        (Some(StopReason::HomeLeafOnly), Some(StopReason::HomeLeafOnly)) => {
+            Some(StopReason::HomeLeafOnly)
+        }
+        _ => Some(StopReason::Completed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use messi_series::gen::{self, DatasetKind};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn stats_with(real: u64, initial: f32, stop: Option<StopReason>) -> QueryStats {
+        QueryStats {
+            real_distance_calcs: real,
+            initial_bsf_dist_sq: initial,
+            stop_reason: stop,
+            ..QueryStats::default()
+        }
+    }
+
+    #[test]
+    fn merged_stats_sum_counters_and_take_tightest_seed() {
+        let merged = merge_shard_stats(
+            &[
+                stats_with(10, 4.0, None),
+                stats_with(7, 2.5, None),
+                stats_with(0, 9.0, None),
+            ],
+            Duration::from_millis(3),
+        );
+        assert_eq!(merged.real_distance_calcs, 17);
+        assert_eq!(merged.initial_bsf_dist_sq, 2.5);
+        assert_eq!(merged.total_time, Duration::from_millis(3));
+        assert_eq!(merged.stop_reason, None);
+    }
+
+    #[test]
+    fn stop_reasons_merge_pessimistically() {
+        use StopReason::*;
+        let m = |reasons: &[StopReason]| {
+            merge_shard_stats(
+                &reasons
+                    .iter()
+                    .map(|&r| stats_with(0, 1.0, Some(r)))
+                    .collect::<Vec<_>>(),
+                Duration::ZERO,
+            )
+            .stop_reason
+        };
+        assert_eq!(m(&[Completed, Completed]), Some(Completed));
+        assert_eq!(m(&[Completed, BudgetExhausted]), Some(BudgetExhausted));
+        assert_eq!(m(&[HomeLeafOnly, HomeLeafOnly]), Some(HomeLeafOnly));
+        assert_eq!(m(&[HomeLeafOnly, Completed]), Some(Completed));
+    }
+
+    #[test]
+    fn sharded_exact_matches_brute_force_with_global_positions() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 500, 42));
+        let (sharded, _) = ShardedIndex::build(Arc::clone(&data), 3, &IndexConfig::for_tests());
+        let exec = sharded.executor();
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 5, 42);
+        let config = QueryConfig::for_tests();
+        for q in queries.iter() {
+            let (ans, stats) = exec.run_one(q, &QuerySpec::exact(), &config);
+            let (bf_pos, bf_dist) = data.nearest_neighbor_brute_force(q);
+            assert_eq!(ans.len(), 1);
+            assert!(
+                (ans[0].dist_sq - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0),
+                "{} vs {bf_dist}",
+                ans[0].dist_sq
+            );
+            if ans[0].pos != bf_pos as u64 {
+                let d =
+                    messi_series::distance::euclidean::ed_sq(q, data.series(ans[0].pos as usize));
+                assert!(
+                    (d - bf_dist).abs() <= 1e-3 * bf_dist.max(1.0),
+                    "non-tie mismatch"
+                );
+            }
+            assert!(stats.lb_distance_calcs > 0);
+            assert!(stats.total_time.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_knn_positions_are_global_and_deduplicated() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 51));
+        let (sharded, _) = ShardedIndex::build(Arc::clone(&data), 4, &IndexConfig::for_tests());
+        let exec = sharded.executor();
+        let q = data.series(317).to_vec(); // lives in a late shard
+        let (ans, _) = exec.run_one(&q, &QuerySpec::knn(5), &QueryConfig::for_tests());
+        assert_eq!(ans.len(), 5);
+        assert_eq!(
+            ans[0].pos, 317,
+            "member query's nearest is itself, globally"
+        );
+        assert_eq!(ans[0].dist_sq, 0.0);
+        let mut positions: Vec<u64> = ans.iter().map(|a| a.pos).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        assert_eq!(positions.len(), 5, "global positions must not collide");
+    }
+
+    #[test]
+    fn both_schedules_agree_on_a_sharded_index() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 63));
+        let (sharded, _) = ShardedIndex::build(Arc::clone(&data), 2, &IndexConfig::for_tests());
+        let exec = sharded.executor();
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 63);
+        let config = QueryConfig::for_tests();
+        let (_, nn) = data.nearest_neighbor_brute_force(queries.series(0));
+        for spec in [
+            QuerySpec::exact(),
+            QuerySpec::knn(3),
+            QuerySpec::range(nn * 2.0),
+            QuerySpec::approximate(0.0, 1.0),
+        ] {
+            let (intra, agg_a) = exec.run_batch(&queries, &spec, Schedule::IntraQuery, &config);
+            let (inter, agg_b) = exec.run_batch(
+                &queries,
+                &spec,
+                Schedule::InterQuery { parallelism: 3 },
+                &config,
+            );
+            assert_eq!(agg_a.queries, queries.len() as u64);
+            assert_eq!(agg_b.queries, queries.len() as u64);
+            for (qi, (a, b)) in intra.iter().zip(&inter).enumerate() {
+                assert_eq!(a.len(), b.len(), "{spec:?} query {qi}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.dist_sq.to_bits(),
+                        y.dist_sq.to_bits(),
+                        "{spec:?} query {qi}: schedules must agree bit-for-bit"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Per-shard snapshot persistence: a sharded index saves as a
+//! *directory* of single-index snapshots plus a checksummed manifest.
+//!
+//! Layout of a snapshot directory:
+//!
+//! ```text
+//! dir/
+//!   manifest.messi   MESSISHD container: the partition table
+//!   shard-0.messi    ordinary crate::persist container (shard 0)
+//!   shard-1.messi    ...one per shard, loadable individually
+//! ```
+//!
+//! Each `shard-N.messi` is a regular [`crate::persist`] snapshot whose
+//! dataset fingerprint covers that shard's sub-range only, so
+//! [`load_sharded`] reconstructs the same sub-datasets from the
+//! partition recorded in the manifest and loads every shard in
+//! parallel. A corrupt, missing, or swapped shard file fails the load
+//! loudly with the offending path in the error.
+
+use super::index::{shard_dataset, shard_ranges, ShardedIndex};
+use crate::persist::{load_index, save_index, PersistError};
+use messi_series::io::{fnv1a64, PayloadReader, PayloadWriter};
+use messi_series::Dataset;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic prefix of a sharded-snapshot manifest.
+const MANIFEST_MAGIC: [u8; 8] = *b"MESSISHD";
+/// Current manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+/// Manifest file name inside a snapshot directory.
+const MANIFEST_NAME: &str = "manifest.messi";
+
+/// File name of shard `i`'s snapshot inside a snapshot directory.
+fn shard_file_name(i: usize) -> String {
+    format!("shard-{i}.messi")
+}
+
+/// Saves `index` as a sharded snapshot directory at `dir` (created if
+/// absent): one `shard-N.messi` per shard plus a checksummed
+/// `manifest.messi` recording the partition.
+///
+/// Every file is written through the same tmp-file + rename discipline
+/// as [`save_index`], and the manifest is written *last*, so a
+/// directory with a valid manifest always has valid shard files newer
+/// than it — an interrupted save leaves no loadable-but-wrong state.
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory or writing its files.
+pub fn save_sharded(index: &ShardedIndex, dir: &Path) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    for (i, shard) in index.shards().iter().enumerate() {
+        save_index(shard, &dir.join(shard_file_name(i)))?;
+    }
+
+    let mut w = PayloadWriter::new();
+    w.put_u32(index.num_shards() as u32);
+    w.put_u32(index.dataset().series_len() as u32);
+    w.put_u64(index.num_series());
+    for (i, shard) in index.shards().iter().enumerate() {
+        w.put_u64(index.shard_offset(i));
+        w.put_u64(shard.num_series() as u64);
+    }
+    let payload = w.into_bytes();
+
+    let path = dir.join(MANIFEST_NAME);
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = std::io::BufWriter::new(file);
+        out.write_all(&MANIFEST_MAGIC)?;
+        out.write_all(&MANIFEST_VERSION.to_le_bytes())?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&payload)?;
+        out.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        out.flush()?;
+        out.into_inner()
+            .map_err(|e| std::io::Error::other(format!("flush failed: {e}")))?
+            .sync_all()?;
+        std::fs::rename(&tmp, &path)
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Loads a sharded snapshot directory previously written by
+/// [`save_sharded`], pairing it with the *full* `dataset` (shard
+/// sub-datasets are reconstructed from the manifest's partition table).
+/// Shards load in parallel, one thread each.
+///
+/// # Errors
+///
+/// As [`load_index`], plus [`PersistError::Corrupt`] when the manifest
+/// is damaged or its partition disagrees with itself, and
+/// [`PersistError::DatasetMismatch`] when the manifest was written over
+/// a different collection shape. Per-shard failures are annotated with
+/// the shard file's path, so one bad shard out of N names itself.
+pub fn load_sharded(dir: &Path, dataset: Arc<Dataset>) -> Result<ShardedIndex, PersistError> {
+    let manifest = read_manifest(&dir.join(MANIFEST_NAME))?;
+    if manifest.series_len != dataset.series_len() {
+        return Err(PersistError::DatasetMismatch(format!(
+            "manifest records series length {}, dataset has {}",
+            manifest.series_len,
+            dataset.series_len()
+        )));
+    }
+    if manifest.total_series != dataset.len() as u64 {
+        return Err(PersistError::DatasetMismatch(format!(
+            "manifest records {} series, dataset has {}",
+            manifest.total_series,
+            dataset.len()
+        )));
+    }
+    // The partition must be exactly what ShardedIndex::build produces
+    // for this (len, n): contiguous from zero, covering everything.
+    let expected: Vec<(u64, u64)> = shard_ranges(dataset.len(), manifest.shards.len())
+        .into_iter()
+        .map(|(start, end)| (start as u64, (end - start) as u64))
+        .collect();
+    if manifest.shards != expected {
+        return Err(PersistError::Corrupt(format!(
+            "manifest partition {:?} is not the canonical split of {} series into {} shards",
+            manifest.shards,
+            dataset.len(),
+            manifest.shards.len()
+        )));
+    }
+
+    let n = manifest.shards.len();
+    let slots: Vec<Mutex<Option<Result<crate::MessiIndex, PersistError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.iter().enumerate() {
+            let (offset, len) = manifest.shards[i];
+            let sub = shard_dataset(&dataset, offset as usize, (offset + len) as usize);
+            let path = dir.join(shard_file_name(i));
+            scope.spawn(move || {
+                let loaded = load_index(&path, sub).map_err(|e| annotate(&path, e));
+                *slot.lock() = Some(loaded);
+            });
+        }
+    });
+
+    let mut shards = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let shard = slot.into_inner().expect("every shard load ran")?;
+        if shard.num_series() as u64 != manifest.shards[i].1 {
+            return Err(PersistError::Corrupt(format!(
+                "{}: holds {} series, manifest promises {}",
+                dir.join(shard_file_name(i)).display(),
+                shard.num_series(),
+                manifest.shards[i].1
+            )));
+        }
+        offsets.push(manifest.shards[i].0);
+        shards.push(shard);
+    }
+    Ok(ShardedIndex::from_parts(shards, offsets, dataset))
+}
+
+/// Decoded `manifest.messi` contents: per-shard `(offset, len)` in
+/// global positions, plus the collection shape it was written over.
+struct Manifest {
+    series_len: usize,
+    total_series: u64,
+    shards: Vec<(u64, u64)>,
+}
+
+/// Reads and verifies the manifest container (magic, version, length,
+/// checksum), then decodes the partition table.
+fn read_manifest(path: &Path) -> Result<Manifest, PersistError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 20 || bytes[..8] != MANIFEST_MAGIC {
+        if bytes.len() >= 8 && bytes[..8] == MANIFEST_MAGIC {
+            return Err(PersistError::Corrupt("truncated manifest header".into()));
+        }
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != MANIFEST_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            expected: MANIFEST_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let expected_total = 20usize
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| PersistError::Corrupt("manifest payload length overflows".into()))?;
+    if bytes.len() != expected_total {
+        return Err(PersistError::Corrupt(format!(
+            "manifest is {} bytes, header promises {expected_total}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[20..20 + payload_len];
+    let stored = u64::from_le_bytes(bytes[20 + payload_len..].try_into().expect("8 bytes"));
+    let actual = fnv1a64(payload);
+    if stored != actual {
+        return Err(PersistError::Corrupt(format!(
+            "manifest checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+
+    let corrupt = |what: &str| PersistError::Corrupt(format!("manifest: {what}"));
+    let mut r = PayloadReader::new(payload);
+    let num_shards = r.take_u32().map_err(corrupt)? as usize;
+    if num_shards == 0 {
+        return Err(corrupt("zero shards"));
+    }
+    let series_len = r.take_u32().map_err(corrupt)? as usize;
+    let total_series = r.take_u64().map_err(corrupt)?;
+    let mut shards = Vec::with_capacity(num_shards);
+    let mut expected_offset = 0u64;
+    for i in 0..num_shards {
+        let offset = r.take_u64().map_err(corrupt)?;
+        let len = r.take_u64().map_err(corrupt)?;
+        if offset != expected_offset {
+            return Err(corrupt(&format!(
+                "shard {i} starts at {offset}, expected {expected_offset}"
+            )));
+        }
+        if len == 0 {
+            return Err(corrupt(&format!("shard {i} is empty")));
+        }
+        expected_offset += len;
+        shards.push((offset, len));
+    }
+    if expected_offset != total_series {
+        return Err(corrupt(&format!(
+            "partition covers {expected_offset} series, manifest promises {total_series}"
+        )));
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after partition table"));
+    }
+    Ok(Manifest {
+        series_len,
+        total_series,
+        shards,
+    })
+}
+
+/// Prefixes a per-shard load error with the shard file's path, folding
+/// non-string variants into [`PersistError::Corrupt`] so the message
+/// always names the file that failed.
+fn annotate(path: &Path, e: PersistError) -> PersistError {
+    let at = path.display();
+    match e {
+        PersistError::Corrupt(s) => PersistError::Corrupt(format!("{at}: {s}")),
+        PersistError::DatasetMismatch(s) => PersistError::DatasetMismatch(format!("{at}: {s}")),
+        other => PersistError::Corrupt(format!("{at}: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IndexConfig, QueryConfig};
+    use crate::exec::QuerySpec;
+    use messi_series::gen::{self, DatasetKind};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("messi-shard-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_answers() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 99));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 3, &IndexConfig::for_tests());
+        let dir = tmp_dir("roundtrip");
+        save_sharded(&built, &dir).expect("save");
+        let loaded = load_sharded(&dir, Arc::clone(&data)).expect("load");
+        assert_eq!(loaded.num_shards(), 3);
+        assert_eq!(loaded.num_series(), 400);
+
+        let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 3, 99);
+        let config = QueryConfig::for_tests();
+        let (e_built, e_loaded) = (built.executor(), loaded.executor());
+        for q in queries.iter() {
+            let (a, _) = e_built.run_one(q, &QuerySpec::exact(), &config);
+            let (b, _) = e_loaded.run_one(q, &QuerySpec::exact(), &config);
+            assert_eq!(a[0].pos, b[0].pos);
+            assert_eq!(a[0].dist_sq.to_bits(), b[0].dist_sq.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupting_one_shard_fails_loudly_naming_the_file() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 7));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 3, &IndexConfig::for_tests());
+        let dir = tmp_dir("corrupt");
+        save_sharded(&built, &dir).expect("save");
+
+        // Flip one payload byte in shard 1's snapshot.
+        let victim = dir.join(shard_file_name(1));
+        let mut bytes = std::fs::read(&victim).expect("read shard");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        std::fs::write(&victim, &bytes).expect("rewrite shard");
+
+        let err = load_sharded(&dir, Arc::clone(&data)).expect_err("must fail");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("shard-1.messi"),
+            "error must name the corrupt file, got: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_shard_file_names_itself() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 200, 11));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 2, &IndexConfig::for_tests());
+        let dir = tmp_dir("missing");
+        save_sharded(&built, &dir).expect("save");
+        std::fs::remove_file(dir.join(shard_file_name(0))).expect("remove");
+        let err = load_sharded(&dir, Arc::clone(&data)).expect_err("must fail");
+        assert!(err.to_string().contains("shard-0.messi"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_checksum_guards_partition_table() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 200, 13));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 2, &IndexConfig::for_tests());
+        let dir = tmp_dir("manifest");
+        save_sharded(&built, &dir).expect("save");
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = std::fs::read(&path).expect("read manifest");
+        let mid = 20 + (bytes.len() - 28) / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite manifest");
+        match load_sharded(&dir, Arc::clone(&data)) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt(checksum), got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_dataset_is_rejected_at_the_manifest() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 200, 17));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 2, &IndexConfig::for_tests());
+        let dir = tmp_dir("mismatch");
+        save_sharded(&built, &dir).expect("save");
+        let other = Arc::new(gen::generate(DatasetKind::RandomWalk, 150, 17));
+        match load_sharded(&dir, other) {
+            Err(PersistError::DatasetMismatch(_)) => {}
+            other => panic!("expected DatasetMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

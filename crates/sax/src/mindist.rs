@@ -327,13 +327,16 @@ impl MindistTable {
     /// count, `base` the chunk's first entry, and `len <= 8` the chunk
     /// size. One bound per entry is written into `out[..len]`.
     ///
-    /// The AVX2 variant maps the 8 *entries* to gather lanes and walks the
+    /// The SIMD variants map *entries* to vector lanes and walk the
     /// segment columns sequentially, so each lane accumulates its segment
     /// contributions in ascending segment order — exactly the order of
     /// [`MindistTable::mindist_sq_scalar`]. SIMD and scalar results are
-    /// therefore **bit-identical** per entry; full chunks use AVX2 when
-    /// `use_simd` is set, partial chunks always take the scalar twin (in
-    /// both dispatch arms, so forced-SIMD and forced-scalar runs agree).
+    /// therefore **bit-identical** per entry. When `use_simd` is set,
+    /// full chunks of 8 use the AVX2 gather kernel and 4–7-entry
+    /// remainders use the 4-wide SSE tail kernel; 1–3-entry remainders
+    /// always take the scalar twin (too short for a quad — and the same
+    /// arm in both dispatch modes, so forced-SIMD and forced-scalar runs
+    /// agree).
     ///
     /// # Panics
     ///
@@ -355,11 +358,20 @@ impl MindistTable {
             "SoA column block too short"
         );
         #[cfg(target_arch = "x86_64")]
-        if use_simd && len == 8 {
-            // SAFETY: bounds asserted above; `use_simd` is only true after
-            // `simd_available()` confirmed AVX2 (via `Kernel::uses_simd`).
-            unsafe { self.mindist_sq_soa_avx2(cols, n, base, out) };
-            return;
+        if use_simd {
+            if len == 8 {
+                // SAFETY: bounds asserted above; `use_simd` is only true
+                // after `simd_available()` confirmed AVX2 (via
+                // `Kernel::uses_simd`).
+                unsafe { self.mindist_sq_soa_avx2(cols, n, base, out) };
+                return;
+            }
+            if len >= 4 {
+                // SAFETY: bounds asserted above; the tail kernel needs
+                // only SSE2, which is baseline on x86_64.
+                unsafe { self.mindist_sq_soa_tail_sse(cols, n, base, len, out) };
+                return;
+            }
         }
         let _ = use_simd;
         self.mindist_sq_soa_scalar(cols, n, base, len, out);
@@ -367,9 +379,9 @@ impl MindistTable {
 
     /// Scalar twin of the SoA batch kernel: per entry, segment
     /// contributions summed in ascending segment order, reading the
-    /// transposed columns. Bit-identical to both
-    /// [`MindistTable::mindist_sq_scalar`] (on the entry's word) and the
-    /// AVX2 batch lanes.
+    /// transposed columns. Bit-identical to
+    /// [`MindistTable::mindist_sq_scalar`] (on the entry's word), to the
+    /// AVX2 batch lanes, and to the SSE tail quad.
     pub fn mindist_sq_soa_scalar(
         &self,
         cols: &[u8],
@@ -379,6 +391,63 @@ impl MindistTable {
         out: &mut [f32; 8],
     ) {
         for (lane, slot) in out.iter_mut().take(len).enumerate() {
+            let mut sum = 0.0f32;
+            for s in 0..self.segments {
+                let sym = cols[s * n + base + lane] as usize;
+                sum += self.table[s * MAX_CARDINALITY + sym];
+            }
+            *slot = sum;
+        }
+    }
+
+    /// 4-wide SSE tail kernel for partial SoA chunks of 4–7 entries: the
+    /// first four entries ride one `__m128` accumulator (SSE2 has no
+    /// gather, so the four table lookups per segment are scalar loads
+    /// packed into a lane quad), entries 4..len finish on the scalar
+    /// loop. Every lane still sums its contributions in ascending
+    /// segment order with plain per-lane adds, so the result is
+    /// bit-identical to [`MindistTable::mindist_sq_soa_scalar`].
+    ///
+    /// # Safety
+    ///
+    /// `4 <= len <= 7`, `base + len <= n`, and
+    /// `cols.len() >= segments * n` (asserted by the public dispatcher).
+    /// SSE2 is baseline on `x86_64`, so no runtime feature check is
+    /// needed.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn mindist_sq_soa_tail_sse(
+        &self,
+        cols: &[u8],
+        n: usize,
+        base: usize,
+        len: usize,
+        out: &mut [f32; 8],
+    ) {
+        #[allow(clippy::wildcard_imports)]
+        use core::arch::x86_64::*;
+        debug_assert!((4..8).contains(&len));
+        // SAFETY (whole block): per segment `s < segments`, the four byte
+        // reads at `s*n + base .. +4` stay inside `cols` (`base + 4 <=
+        // base + len <= n`, block len `>= segments*n`); each table index
+        // is `sym + 256·s < segments·256` = table length; the store
+        // writes lanes 0..4 of the 8-lane `out`.
+        unsafe {
+            let mut acc = _mm_setzero_ps();
+            let tbl = self.table.as_ptr();
+            for s in 0..self.segments {
+                let p = cols.as_ptr().add(s * n + base);
+                let row = tbl.add(s * MAX_CARDINALITY);
+                let quad = _mm_setr_ps(
+                    *row.add(usize::from(*p)),
+                    *row.add(usize::from(*p.add(1))),
+                    *row.add(usize::from(*p.add(2))),
+                    *row.add(usize::from(*p.add(3))),
+                );
+                acc = _mm_add_ps(acc, quad);
+            }
+            _mm_storeu_ps(out.as_mut_ptr(), acc);
+        }
+        for (lane, slot) in out.iter_mut().enumerate().take(len).skip(4) {
             let mut sum = 0.0f32;
             for s in 0..self.segments {
                 let sym = cols[s * n + base + lane] as usize;
@@ -576,6 +645,36 @@ mod tests {
                     );
                 }
                 base += len;
+            }
+        }
+    }
+
+    #[test]
+    fn sse_tail_quad_covers_every_partial_length() {
+        // Remainder chunks of 4–7 entries take the SSE tail kernel under
+        // SIMD dispatch; 1–3 stay scalar in both arms. Every length must
+        // be bit-identical to the per-entry scalar path.
+        let config = SaxConfig::new(16, 256);
+        let q = mk_series(256, 51);
+        let table = MindistTable::new(&paa(&q, 16), config);
+        for len in 1..8usize {
+            // `n = 8 + len`: one full chunk, then a partial of exactly `len`.
+            let n = 8 + len;
+            let words: Vec<SaxWord> = (0..n as u32)
+                .map(|cs| sax_word(&mk_series(256, cs + 200), config))
+                .collect();
+            let cols = transpose(&words, 16);
+            for use_simd in [false, messi_series::distance::simd::simd_available()] {
+                let mut out = [0.0f32; 8];
+                table.mindist_sq_soa(&cols, n, 8, len, use_simd, &mut out);
+                for lane in 0..len {
+                    let expected = table.mindist_sq_scalar(&words[8 + lane]);
+                    assert_eq!(
+                        out[lane].to_bits(),
+                        expected.to_bits(),
+                        "use_simd={use_simd} len={len} lane={lane}"
+                    );
+                }
             }
         }
     }

@@ -7,16 +7,33 @@
 //! index tree stores next to each iSAX summary.
 
 use crate::error::{Error, Result};
+use std::sync::Arc;
 
 /// A collection of fixed-length data series stored contiguously in memory.
 ///
 /// This mirrors the paper's `RawData` array: series `i` occupies the flat
 /// value range `[i * series_len, (i + 1) * series_len)`. All MESSI and
 /// baseline algorithms operate on positions into this array.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The backing buffer is reference-counted, so a dataset can expose a
+/// zero-copy **window** over a contiguous sub-range of another dataset's
+/// series ([`Dataset::view`]) — sharded index builds partition millions
+/// of series without duplicating a single float. Equality compares the
+/// *visible* values, so a view equals an owned copy of the same range.
+#[derive(Debug, Clone)]
 pub struct Dataset {
-    values: Vec<f32>,
+    values: Arc<Vec<f32>>,
+    /// First visible value inside `values` (0 for owned datasets).
+    offset: usize,
+    /// Number of visible values (a whole number of series).
+    len_values: usize,
     series_len: usize,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.series_len == other.series_len && self.as_flat() == other.as_flat()
+    }
 }
 
 impl Dataset {
@@ -36,7 +53,37 @@ impl Dataset {
                 series_len,
             });
         }
-        Ok(Self { values, series_len })
+        let len_values = values.len();
+        Ok(Self {
+            values: Arc::new(values),
+            offset: 0,
+            len_values,
+            series_len,
+        })
+    }
+
+    /// A zero-copy window over series `[start, end)` of this dataset:
+    /// the returned dataset shares the backing buffer and exposes only
+    /// that contiguous sub-range, renumbering its series from 0.
+    ///
+    /// A view of a view windows the same root buffer (offsets compose),
+    /// so chains never accumulate indirection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn view(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= self.len(),
+            "view [{start}, {end}) out of bounds for {} series",
+            self.len()
+        );
+        Self {
+            values: Arc::clone(&self.values),
+            offset: self.offset + start * self.series_len,
+            len_values: (end - start) * self.series_len,
+            series_len: self.series_len,
+        }
     }
 
     /// Creates a dataset from individual series, all of the same length.
@@ -72,19 +119,19 @@ impl Dataset {
             }
             values.extend_from_slice(s);
         }
-        Ok(Self { values, series_len })
+        Self::from_flat(values, series_len)
     }
 
     /// Number of series in the dataset.
     #[inline]
     pub fn len(&self) -> usize {
-        self.values.len() / self.series_len
+        self.len_values / self.series_len
     }
 
     /// Whether the dataset holds no series.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len_values == 0
     }
 
     /// Length (number of points) of every series.
@@ -101,25 +148,28 @@ impl Dataset {
     #[inline]
     pub fn series(&self, pos: usize) -> &[f32] {
         let start = pos * self.series_len;
-        &self.values[start..start + self.series_len]
+        &self.as_flat()[start..start + self.series_len]
     }
 
-    /// The whole flat buffer, series back to back.
+    /// The visible flat buffer, series back to back (for a view, just
+    /// its window).
     #[inline]
     pub fn as_flat(&self) -> &[f32] {
-        &self.values
+        &self.values[self.offset..self.offset + self.len_values]
     }
 
     /// Iterates over all series in position order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
-        self.values.chunks_exact(self.series_len)
+        self.as_flat().chunks_exact(self.series_len)
     }
 
-    /// Total size of the raw data in bytes (the paper reports dataset
-    /// sizes in GB of raw `float` data; this is the equivalent figure).
+    /// Total size of the visible raw data in bytes (the paper reports
+    /// dataset sizes in GB of raw `float` data; this is the equivalent
+    /// figure). Views report their window, not the shared backing
+    /// buffer.
     #[inline]
     pub fn raw_bytes(&self) -> usize {
-        self.values.len() * std::mem::size_of::<f32>()
+        self.len_values * std::mem::size_of::<f32>()
     }
 
     /// Splits the position space into `chunk_size`-sized chunks, exactly as
@@ -225,10 +275,8 @@ impl DatasetBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> Dataset {
-        Dataset {
-            values: self.values,
-            series_len: self.series_len,
-        }
+        Dataset::from_flat(self.values, self.series_len)
+            .expect("builder maintains a whole number of series")
     }
 }
 
@@ -305,6 +353,38 @@ mod tests {
         let (pos, d) = ds.nearest_neighbor_brute_force(&[1.0, 1.0]);
         assert_eq!(pos, 1);
         assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn views_window_without_copying() {
+        let ds = Dataset::from_flat((0..20).map(|v| v as f32).collect(), 4).unwrap();
+        let v = ds.view(1, 4);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.series_len(), 4);
+        assert_eq!(v.series(0), ds.series(1));
+        assert_eq!(v.series(2), ds.series(3));
+        assert_eq!(v.as_flat(), &ds.as_flat()[4..16]);
+        assert_eq!(v.raw_bytes(), 12 * 4);
+        // Same backing allocation — zero copy.
+        assert!(std::ptr::eq(v.series(0).as_ptr(), ds.series(1).as_ptr()));
+        // A view equals an owned dataset over the same values.
+        let owned = Dataset::from_flat(ds.as_flat()[4..16].to_vec(), 4).unwrap();
+        assert_eq!(v, owned);
+        // Views of views compose offsets against the root buffer.
+        let vv = v.view(1, 3);
+        assert_eq!(vv.len(), 2);
+        assert_eq!(vv.series(0), ds.series(2));
+        assert!(std::ptr::eq(vv.series(0).as_ptr(), ds.series(2).as_ptr()));
+        // Full-range and empty views are fine.
+        assert_eq!(ds.view(0, 5), ds);
+        assert!(ds.view(2, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_rejects_out_of_bounds() {
+        let ds = Dataset::from_flat(vec![0.0; 8], 4).unwrap();
+        let _ = ds.view(1, 3);
     }
 
     #[test]

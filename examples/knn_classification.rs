@@ -53,7 +53,7 @@ fn main() {
         );
     }
     let library = Arc::new(Dataset::from_flat(flat, series_len).expect("well-shaped"));
-    let label_of = |pos: u32| (pos as usize / per_class).min(CLASSES.len() - 1);
+    let label_of = |pos: u64| (pos as usize / per_class).min(CLASSES.len() - 1);
 
     let (index, build) = MessiIndex::build(Arc::clone(&library), &IndexConfig::default());
     println!("library indexed in {:?}\n", build.total_time);

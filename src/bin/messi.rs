@@ -2,19 +2,24 @@
 //!
 //! ```text
 //! messi generate    --kind random --count 100000 --out data.mds [--len 256] [--seed 42]
-//! messi build       --data data.mds --save index.msx
-//! messi info        --data data.mds [--load index.msx]
-//! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx]
-//! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx]
-//! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx] [--json out.json]
-//! messi serve       --data data.mds [--load index.msx] [--addr 127.0.0.1:7700] [--threads N] [--admission N]
+//! messi build       --data data.mds --save index.msx [--shards N]
+//! messi info        --data data.mds [--load index.msx] [--shards N]
+//! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx] [--shards N]
+//! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx] [--shards N]
+//! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx] [--shards N] [--json out.json]
+//! messi serve       --data data.mds [--load index.msx] [--addr 127.0.0.1:7700] [--threads N] [--admission N] [--shards N]
 //! messi load-smoke  --addr 127.0.0.1:7700 --data data.mds [--clients N] [--per-client M] [--objective …]
 //! ```
 //!
 //! Datasets live in the `.mds` container of `messi::series::io`; built
 //! indexes persist in the `.msx` snapshot container of
 //! `messi::index::persist` (`build --save` writes one, `--load` answers
-//! from it without rebuilding). Queries can come from a second file or be
+//! from it without rebuilding). With `--shards N` the collection is
+//! partitioned into N independently-built index shards queried by
+//! scatter-gather with a shared cross-shard best-so-far; `--save` then
+//! writes a snapshot *directory* (`shard-I.messi` files plus a
+//! checksummed manifest) and `--load` of a directory restores it,
+//! loading shards in parallel. Queries can come from a second file or be
 //! generated on the fly. Searches are exact unless `--objective approx`
 //! selects the δ-ε-approximate mode; per-query pruning statistics are
 //! printed. `bench-query` drives the pooled query executor over a whole
@@ -69,11 +74,11 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
             cmd_generate(&opts)
         }
         "build" => {
-            opts.expect_keys(command, &["data", "save"])?;
+            opts.expect_keys(command, &["data", "save", "shards"])?;
             cmd_build(&opts)
         }
         "info" => {
-            opts.expect_keys(command, &["data", "load"])?;
+            opts.expect_keys(command, &["data", "load", "shards"])?;
             cmd_info(&opts)
         }
         "query" => {
@@ -88,6 +93,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "seed",
                     "load",
                     "kernel",
+                    "shards",
                 ],
             )?;
             cmd_query(&opts)
@@ -103,6 +109,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "dtw",
                     "seed",
                     "load",
+                    "shards",
                 ],
             )?;
             cmd_range(&opts)
@@ -127,6 +134,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "load",
                     "json",
                     "kernel",
+                    "shards",
                 ],
             )?;
             cmd_bench_query(&opts)
@@ -143,6 +151,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "query-workers",
                     "breakdown",
                     "kernel",
+                    "shards",
                 ],
             )?;
             cmd_serve(&opts)
@@ -179,21 +188,21 @@ const USAGE: &str = "messi — in-memory data series indexing (MESSI, ICDE 2020)
 USAGE:
   messi generate    --kind <random|seismic|sald> --count <N> --out <file.mds>
                     [--len <points>] [--seed <u64>]
-  messi build       --data <file.mds> --save <file.msx>
-  messi info        --data <file.mds> [--load <file.msx>]
+  messi build       --data <file.mds> --save <file.msx|dir> [--shards <N>]
+  messi info        --data <file.mds> [--load <file.msx|dir>] [--shards <N>]
   messi query       --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
-                    [--k <K>] [--dtw] [--seed <u64>] [--load <file.msx>]
-                    [--kernel <auto|simd|scalar>]
+                    [--k <K>] [--dtw] [--seed <u64>] [--load <file.msx|dir>]
+                    [--kernel <auto|simd|scalar>] [--shards <N>]
   messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
-                    [--load <file.msx>]
+                    [--load <file.msx|dir>] [--shards <N>]
   messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--objective <exact|knn|range|approx>] [--k <K>] [--epsilon <dist|ratio>]
                     [--delta <0..=1>] [--schedule <intra|inter>] [--parallelism <P>]
-                    [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx>]
-                    [--json <out.json>] [--kernel <auto|simd|scalar>]
-  messi serve       --data <file.mds> [--load <file.msx>] [--addr <host:port>]
+                    [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx|dir>]
+                    [--json <out.json>] [--kernel <auto|simd|scalar>] [--shards <N>]
+  messi serve       --data <file.mds> [--load <file.msx|dir>] [--addr <host:port>]
                     [--threads <N>] [--admission <N>] [--query-workers <N>] [--breakdown]
-                    [--kernel <auto|simd|scalar>]
+                    [--kernel <auto|simd|scalar>] [--shards <N>]
   messi load-smoke  --addr <host:port> --data <file.mds> [--clients <N>] [--per-client <M>]
                     [--num-queries <N>] [--objective <exact|knn|range|approx>] [--k <K>]
                     [--epsilon <dist|ratio>] [--delta <0..=1>] [--dtw] [--no-retry]
@@ -216,6 +225,16 @@ object (the CI benchmark-trajectory artifact).
 snapshot; `--load` on the query commands answers from the snapshot
 without rebuilding (the raw dataset is still required — snapshots store
 tree structure, and the loader verifies the data fingerprint).
+
+`--shards N` partitions the collection into N contiguous ranges, builds
+one independent index per range in parallel, and answers every query by
+scatter-gather: shards share one atomic best-so-far, so an answer found
+in one shard prunes the others, and merged answers are identical to a
+single index's. With `--shards`, `--save` writes a snapshot *directory*
+(one shard-I.messi per shard plus a checksummed manifest.messi) instead
+of a single file; `--load` of a directory restores the sharded index,
+loading the shards in parallel (the shard count then comes from the
+manifest, so combining --load with --shards is rejected).
 
 `serve` answers queries over HTTP until SIGTERM/SIGINT, then drains:
 POST /query (JSON body), GET /healthz (ready only after prewarm),
@@ -371,20 +390,57 @@ fn cmd_generate(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Builds the index or loads it from a `--load` snapshot. Build stats
-/// are only available when the index was actually built.
+/// Parses and validates `--shards` (default 1 — a single index).
+fn shards_from(opts: &Opts, data: &Arc<Dataset>) -> Result<usize, CliError> {
+    let shards: usize = opts.parsed("shards", 1usize)?;
+    if shards == 0 {
+        return Err(usage("--shards must be positive"));
+    }
+    if shards > data.len() {
+        return Err(usage(format!(
+            "--shards {shards} exceeds the collection size ({} series)",
+            data.len()
+        )));
+    }
+    Ok(shards)
+}
+
+/// Builds the (possibly sharded) index or loads it from a `--load`
+/// snapshot — a single `.msx` file becomes the one-shard case, a
+/// snapshot directory restores the recorded partition. Build stats are
+/// only available when the index was actually built.
 fn obtain_index(
     opts: &Opts,
     data: &Arc<Dataset>,
-) -> Result<(MessiIndex, Option<BuildStats>), CliError> {
+) -> Result<(ShardedIndex, Option<BuildStats>), CliError> {
     if let Some(path) = opts.get("load") {
+        if opts.get("shards").is_some() {
+            return Err(usage(
+                "--shards does not combine with --load \
+                 (a snapshot's manifest fixes its shard count)",
+            ));
+        }
         let t = std::time::Instant::now();
-        let index = messi::index::persist::load_index(&PathBuf::from(path), Arc::clone(data))
-            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
-        println!("index loaded from {path} in {:.2?}", t.elapsed());
+        let path_buf = PathBuf::from(path);
+        let index = if path_buf.is_dir() {
+            messi::index::shard::load_sharded(&path_buf, Arc::clone(data))
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?
+        } else {
+            ShardedIndex::from_single(
+                messi::index::persist::load_index(&path_buf, Arc::clone(data))
+                    .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?,
+            )
+        };
+        println!(
+            "index loaded from {path} ({} shard{}) in {:.2?}",
+            index.num_shards(),
+            if index.num_shards() == 1 { "" } else { "s" },
+            t.elapsed()
+        );
         Ok((index, None))
     } else {
-        let (index, stats) = MessiIndex::build(Arc::clone(data), &IndexConfig::default());
+        let shards = shards_from(opts, data)?;
+        let (index, stats) = ShardedIndex::build(Arc::clone(data), shards, &IndexConfig::default());
         Ok((index, Some(stats)))
     }
 }
@@ -398,21 +454,51 @@ fn cmd_build(opts: &Opts) -> Result<(), CliError> {
              similarity search over NaN/∞ is undefined"
         )));
     }
-    let (index, stats) = MessiIndex::build(Arc::clone(&data), &IndexConfig::default());
+    let sharded = opts.get("shards").is_some();
+    let shards = shards_from(opts, &data)?;
+    let (index, stats) = ShardedIndex::build(Arc::clone(&data), shards, &IndexConfig::default());
     println!(
-        "index: {} series built in {:.2?} (summaries {:.2?} + tree {:.2?})",
-        stats.num_series, stats.total_time, stats.summarize_time, stats.tree_time
+        "index: {} series built in {:.2?} across {} shard{} (summaries {:.2?} + tree {:.2?})",
+        stats.num_series,
+        stats.total_time,
+        shards,
+        if shards == 1 { "" } else { "s" },
+        stats.summarize_time,
+        stats.tree_time
     );
     let t = std::time::Instant::now();
-    messi::index::persist::save_index(&index, &out)
-        .map_err(|e| format!("{}: {e}", out.display()))?;
-    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
-    println!(
-        "snapshot: {:.1} MB written to {} in {:.2?}",
-        bytes as f64 / (1 << 20) as f64,
-        out.display(),
-        t.elapsed()
-    );
+    if sharded {
+        // --shards selects the directory snapshot even at N = 1, so a
+        // sharded deployment's layout does not flip on the shard count.
+        messi::index::shard::save_sharded(&index, &out)
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        let bytes: u64 = std::fs::read_dir(&out)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0);
+        println!(
+            "snapshot: {:.1} MB across {} shard files written to {}/ in {:.2?}",
+            bytes as f64 / (1 << 20) as f64,
+            index.num_shards(),
+            out.display(),
+            t.elapsed()
+        );
+    } else {
+        messi::index::persist::save_index(index.shard(0), &out)
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "snapshot: {:.1} MB written to {} in {:.2?}",
+            bytes as f64 / (1 << 20) as f64,
+            out.display(),
+            t.elapsed()
+        );
+    }
     Ok(())
 }
 
@@ -437,16 +523,30 @@ fn cmd_info(opts: &Opts) -> Result<(), CliError> {
             stats.total_time, stats.summarize_time, stats.tree_time
         );
     }
+    let root_subtrees: usize = index.shards().iter().map(|s| s.touched_keys().len()).sum();
     println!(
-        "shape:   {} leaves across {} root subtrees, height ≤ {}",
+        "shape:   {} shard{}, {} leaves across {} root subtrees, height ≤ {}",
+        index.num_shards(),
+        if index.num_shards() == 1 { "" } else { "s" },
         index.num_leaves(),
-        index.touched_keys().len(),
+        root_subtrees,
         index.max_height()
     );
+    if index.num_shards() > 1 {
+        for (i, shard) in index.shards().iter().enumerate() {
+            println!(
+                "         shard {i}: positions {}..{} ({} series, {} leaves)",
+                index.shard_offset(i),
+                index.shard_offset(i) + shard.num_series() as u64,
+                shard.num_series(),
+                shard.num_leaves()
+            );
+        }
+    }
     println!(
         "         leaf fill factor {:.1}% (capacity {}), {} entries",
         100.0 * index.leaf_fill_factor(),
-        index.config().leaf_capacity,
+        index.shard(0).config().leaf_capacity,
         index.num_entries()
     );
     println!(
@@ -494,44 +594,32 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
         kernel: kernel_from(opts)?,
         ..QueryConfig::default()
     };
+    let mut spec = if k > 1 {
+        QuerySpec::knn(k)
+    } else {
+        QuerySpec::exact()
+    };
+    if use_dtw {
+        spec = spec.with_dtw(DtwParams::paper_default(data.series_len()));
+    }
+    let exec = index.executor();
+    let tag = if use_dtw { "dtw " } else { "" };
     for (qi, q) in queries.iter().enumerate() {
-        if use_dtw && k > 1 {
-            let params = DtwParams::paper_default(data.series_len());
-            let (answers, stats) = index.search_knn_dtw(q, k, params, &config);
+        let (answers, stats) = exec.run_one(q, &spec, &config);
+        if k > 1 {
             let list: Vec<String> = answers
                 .iter()
                 .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
                 .collect();
             println!(
-                "query {qi}: dtw top-{k} [{}] in {:.2?}",
-                list.join(", "),
-                stats.total_time
-            );
-        } else if use_dtw {
-            let params = DtwParams::paper_default(data.series_len());
-            let (ans, stats) = index.search_dtw(q, params, &config);
-            println!(
-                "query {qi}: dtw-nn=series#{} dist={:.4} in {:.2?} ({} DTW computations)",
-                ans.pos,
-                ans.distance(),
-                stats.total_time,
-                stats.real_distance_calcs
-            );
-        } else if k > 1 {
-            let (answers, stats) = index.search_knn(q, k, &config);
-            let list: Vec<String> = answers
-                .iter()
-                .map(|a| format!("#{}@{:.3}", a.pos, a.distance()))
-                .collect();
-            println!(
-                "query {qi}: top-{k} [{}] in {:.2?}",
+                "query {qi}: {tag}top-{k} [{}] in {:.2?}",
                 list.join(", "),
                 stats.total_time
             );
         } else {
-            let (ans, stats) = index.search(q, &config);
+            let ans = &answers[0];
             println!(
-                "query {qi}: nn=series#{} dist={:.4} in {:.2?} ({} real distances, {:.2}% pruned)",
+                "query {qi}: {tag}nn=series#{} dist={:.4} in {:.2?} ({} real distances, {:.2}% pruned)",
                 ans.pos,
                 ans.distance(),
                 stats.total_time,
@@ -558,13 +646,13 @@ fn cmd_range(opts: &Opts) -> Result<(), CliError> {
     let config = QueryConfig::default();
     // User supplies a distance; the search APIs want it squared.
     let epsilon_sq = epsilon * epsilon;
+    let mut spec = QuerySpec::range(epsilon_sq);
+    if use_dtw {
+        spec = spec.with_dtw(DtwParams::paper_default(data.series_len()));
+    }
+    let exec = index.executor();
     for (qi, q) in queries.iter().enumerate() {
-        let (matches, stats) = if use_dtw {
-            let params = DtwParams::paper_default(data.series_len());
-            index.search_range_dtw(q, epsilon_sq, params, &config)
-        } else {
-            index.search_range(q, epsilon_sq, &config)
-        };
+        let (matches, stats) = exec.run_one(q, &spec, &config);
         let preview: Vec<String> = matches
             .iter()
             .take(8)
@@ -728,13 +816,15 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
 
     let (index, build) = obtain_index(opts, &data)?;
     println!(
-        "bench-query: {} queries · {} · {} · {}",
+        "bench-query: {} queries · {} · {} · {} · {} shard{}",
         queries.len(),
         describe_objective(&objective),
         describe_metric(&metric),
         describe_schedule(&schedule, config.num_workers),
+        index.num_shards(),
+        if index.num_shards() == 1 { "" } else { "s" },
     );
-    match build {
+    match &build {
         Some(build) => println!(
             "index: {} series built in {:.2?}",
             data.len(),
@@ -751,7 +841,7 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
         Schedule::IntraQuery => 1,
         Schedule::InterQuery { parallelism } => parallelism,
     };
-    let exec = QueryExecutor::with_capacity(&index, pool_size);
+    let exec = ShardedExecutor::with_capacity(&index, pool_size);
     exec.prewarm(queries.series(0), &spec, &config);
     let t = std::time::Instant::now();
     let (answers, agg) = exec.run_batch(&queries, &spec, schedule, &config);
@@ -842,12 +932,16 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
                 b.init_ns, b.tree_pass_ns, b.pq_insert_ns, b.pq_remove_ns, b.dist_calc_ns
             )
         });
+        let build_field = build
+            .as_ref()
+            .map(|b| format!(",\"build_us\":{}", b.total_time.as_micros()))
+            .unwrap_or_default();
         let line = format!(
             "{{\"objective\":\"{}\",\"metric\":\"{}\",\"schedule\":\"{}\",\"kernel\":\"{}\",\
-             \"queries\":{},\
+             \"shards\":{},\"queries\":{},\
              \"wall_us\":{},\"qps\":{:.3},\"mean_query_us\":{},\"lb_calcs_per_query\":{:.3},\
              \"real_calcs_per_query\":{:.3},\"bsf_updates\":{},\"budget_stops\":{},\
-             \"total_answers\":{}{}}}",
+             \"total_answers\":{}{}{}}}",
             match objective {
                 Objective::Exact => "exact",
                 Objective::Knn { .. } => "knn",
@@ -865,6 +959,7 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
                 Kernel::Simd => "simd",
                 Kernel::Scalar => "scalar",
             },
+            index.num_shards(),
             agg.queries,
             wall.as_micros(),
             n / wall.as_secs_f64(),
@@ -874,6 +969,7 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
             agg.bsf_updates,
             agg.budget_stops,
             total_answers,
+            build_field,
             breakdown.unwrap_or_default(),
         );
         std::fs::write(json_path, format!("{line}\n")).map_err(|e| format!("{json_path}: {e}"))?;
@@ -923,10 +1019,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
     println!(
-        "serve: listening on {bound} (threads={} admission={} query-workers={}{})",
+        "serve: listening on {bound} (threads={} admission={} query-workers={} shards={}{})",
         config.threads,
         config.admission,
         config.query_workers,
+        index.num_shards(),
         if config.admission == 0 {
             ", DRAIN MODE"
         } else {

@@ -70,17 +70,19 @@ pub mod sync {
 }
 
 pub use messi_core::{
-    load_index, save_index, BuildStats, IndexConfig, IndexServer, MessiIndex, MetricSpec,
-    Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor, QuerySpec,
-    QueryStats, Schedule, ServeConfig, ServeSummary, StopReason,
+    load_index, load_sharded, save_index, save_sharded, BuildStats, IndexConfig, IndexServer,
+    MessiIndex, MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext,
+    QueryExecutor, QuerySpec, QueryStats, Schedule, ServeConfig, ServeSummary, ShardedExecutor,
+    ShardedIndex, StopReason,
 };
 
 /// The commonly needed imports in one place.
 pub mod prelude {
     pub use messi_core::{
-        load_index, save_index, BsfPolicy, BuildStats, BuildVariant, IndexConfig, MessiIndex,
-        MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor,
-        QuerySpec, QueryStats, QueuePolicy, Schedule, StopReason,
+        load_index, load_sharded, save_index, save_sharded, BsfPolicy, BuildStats, BuildVariant,
+        IndexConfig, MessiIndex, MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig,
+        QueryContext, QueryExecutor, QuerySpec, QueryStats, QueuePolicy, Schedule, ShardedExecutor,
+        ShardedIndex, StopReason,
     };
     pub use messi_series::distance::dtw::DtwParams;
     pub use messi_series::distance::Kernel;

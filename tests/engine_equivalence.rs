@@ -155,7 +155,7 @@ proptest! {
             for w in knn.windows(2) {
                 prop_assert!(w[0].dist_sq <= w[1].dist_sq + 1e-6);
             }
-            let mut positions: Vec<u32> = knn.iter().map(|a| a.pos).collect();
+            let mut positions: Vec<u64> = knn.iter().map(|a| a.pos).collect();
             positions.sort_unstable();
             positions.dedup();
             prop_assert_eq!(positions.len(), k, "duplicate k-NN positions");
@@ -207,7 +207,7 @@ proptest! {
         let (knn, _) = index.search_knn(&q, 1, &config);
         prop_assert_eq!(knn[0].dist_sq, 0.0);
         let (hits, _) = index.search_range(&q, 0.0, &config);
-        prop_assert!(hits.iter().any(|h| h.pos == probe as u32));
+        prop_assert!(hits.iter().any(|h| h.pos == probe as u64));
     }
 }
 

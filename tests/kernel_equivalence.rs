@@ -116,6 +116,45 @@ proptest! {
     }
 
     #[test]
+    fn soa_mindist_tail_lengths_are_bit_identical(
+        seed in 0u64..1_000_000,
+        segments_pick in 0usize..3,
+    ) {
+        // Pin every remainder length explicitly: 4–7 dispatch to the
+        // 4-wide SSE tail kernel under SIMD, 1–3 stay on the scalar
+        // twin in both arms. Each must match the scalar path bit for
+        // bit at every lane.
+        let segments = [8usize, 12, 16][segments_pick];
+        let series_len = segments * 16;
+        let config = SaxConfig::new(segments, series_len);
+        let q = series(series_len, seed, 1.0);
+        let paa = messi::series::paa::paa(&q, segments);
+        let table = MindistTable::new(&paa, config);
+
+        for tail in 1..8usize {
+            let entries = 8 + tail; // one full chunk + the pinned tail
+            let mut state = seed.wrapping_add(tail as u64) | 1;
+            let mut cols = vec![0u8; segments * entries];
+            for byte in cols.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *byte = (state >> 32) as u8;
+            }
+            let mut simd_out = [0.0f32; 8];
+            let mut scalar_out = [0.0f32; 8];
+            table.mindist_sq_soa(&cols, entries, 8, tail, true, &mut simd_out);
+            table.mindist_sq_soa(&cols, entries, 8, tail, false, &mut scalar_out);
+            for lane in 0..tail {
+                prop_assert_eq!(
+                    simd_out[lane].to_bits(), scalar_out[lane].to_bits(),
+                    "soa tail segs={} tail={} lane={}", segments, tail, lane
+                );
+            }
+        }
+    }
+
+    #[test]
     fn soa_mindist_batch_is_bit_identical(
         shape in (1usize..40, 0u64..1_000_000),
         segments_pick in 0usize..3,
@@ -170,7 +209,7 @@ fn kernel_forced(kernel: Kernel) -> QueryConfig {
     }
 }
 
-fn assert_same_answer(tag: &str, a: (u32, f32), b: (u32, f32)) {
+fn assert_same_answer(tag: &str, a: (u64, f32), b: (u64, f32)) {
     assert_eq!(a.0, b.0, "{tag}: position diverged");
     assert_eq!(
         a.1.to_bits(),

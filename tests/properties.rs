@@ -167,7 +167,7 @@ proptest! {
         for w in answers.windows(2) {
             prop_assert!(w[0].dist_sq <= w[1].dist_sq + 1e-6);
         }
-        let mut pos: Vec<u32> = answers.iter().map(|a| a.pos).collect();
+        let mut pos: Vec<u64> = answers.iter().map(|a| a.pos).collect();
         pos.sort_unstable();
         pos.dedup();
         prop_assert_eq!(pos.len(), answers.len());

@@ -13,7 +13,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, MessiIndex) {
+/// The daemon serves a sharded index (2 shards here), so these tests
+/// cover the scatter-gather path end to end; `ShardedIndex::from_single`
+/// deployments go through the same code with the scatter skipped.
+fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, ShardedIndex) {
     let data = Arc::new(messi::series::gen::generate(
         DatasetKind::RandomWalk,
         count,
@@ -26,7 +29,7 @@ fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, MessiIndex) {
         leaf_capacity: 32,
         ..IndexConfig::default()
     };
-    let (index, _) = MessiIndex::build(Arc::clone(&data), &config);
+    let (index, _) = ShardedIndex::build(Arc::clone(&data), 2, &config);
     (data, index)
 }
 
@@ -34,7 +37,7 @@ fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, MessiIndex) {
 /// down afterwards and returns the serve summary.
 fn with_daemon<T>(
     config: ServeConfig,
-    index: &MessiIndex,
+    index: &ShardedIndex,
     f: impl FnOnce(&str) -> T,
 ) -> (T, ServeSummary) {
     let server = IndexServer::bind("127.0.0.1:0", config).expect("bind ephemeral");
