@@ -55,7 +55,7 @@ pub fn ts_search(
     // Nodes inserted but not yet fully processed; termination requires
     // empty queue *and* zero pending (a popped inner node may still push).
     let pending = AtomicUsize::new(0);
-    let dispenser = Dispenser::new(paris.tree.touched_keys().len());
+    let dispenser = Dispenser::new(paris.tree.arenas().len());
     let stats = messi_core::stats::SharedQueryStats::new();
 
     messi_sync::WorkerPool::global().run(config.num_workers, &|_pid| {
@@ -67,10 +67,10 @@ pub fn ts_search(
         let query_paa = &query_paa;
         let scales = paris.tree.scales();
         let mut local = messi_core::stats::LocalStats::default();
-        // Seed: push unpruned root children.
+        // Seed: push each arena root once (a forest arena covers several
+        // touched keys; pushing per key would enqueue it repeatedly).
         while let Some(i) = dispenser.next() {
-            let key = paris.tree.touched_keys()[i];
-            let arena = paris.tree.root(key).expect("touched ⇒ present");
+            let arena = &paris.tree.arenas()[i];
             let d = mindist_sq_node(query_paa, scales, arena.word(TreeArena::ROOT));
             local.lb += 1;
             if d < bsf.load() {

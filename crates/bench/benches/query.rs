@@ -176,8 +176,8 @@ fn bench_leaf_scan(c: &mut Criterion) {
     g.bench_function("full_leaf_sweep", |b| {
         b.iter(|| {
             let mut acc = 0u64;
-            for &key in messi.touched_keys() {
-                messi.root(key).unwrap().for_each_leaf(&mut |l| {
+            for arena in messi.arenas() {
+                arena.for_each_leaf(&mut |l| {
                     acc += l.entries.iter().map(|e| e.pos as u64).sum::<u64>()
                 });
             }
@@ -200,8 +200,8 @@ fn bench_leaf_scan(c: &mut Criterion) {
     g.bench_function("mindist_sweep_aos", |b| {
         b.iter(|| {
             let mut acc = 0.0f32;
-            for &key in messi.touched_keys() {
-                messi.root(key).unwrap().for_each_leaf(&mut |l| {
+            for arena in messi.arenas() {
+                arena.for_each_leaf(&mut |l| {
                     for e in l.entries {
                         acc += table.mindist_sq(&e.sax);
                     }
@@ -218,13 +218,20 @@ fn bench_leaf_scan(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0.0f32;
                 let mut out = [0.0f32; 8];
-                for &key in messi.touched_keys() {
-                    messi.root(key).unwrap().for_each_leaf(&mut |l| {
+                for arena in messi.arenas() {
+                    arena.for_each_leaf(&mut |l| {
                         let n = l.entries.len();
                         let mut base = 0;
                         while base < n {
                             let len = (n - base).min(8);
-                            table.mindist_sq_soa(l.cols, n, base, len, use_simd, &mut out);
+                            table.mindist_sq_soa(
+                                l.cols,
+                                l.stride,
+                                l.base + base,
+                                len,
+                                use_simd,
+                                &mut out,
+                            );
                             acc += out[..len].iter().sum::<f32>();
                             base += len;
                         }

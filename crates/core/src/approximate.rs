@@ -218,6 +218,7 @@ pub(crate) fn approx_search_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,
@@ -376,6 +377,7 @@ pub(crate) fn approx_search_dtw_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,

@@ -235,8 +235,8 @@ mod tests {
         let (index, stats) = build_with(&IndexConfig::for_tests(), 500, 3);
         assert_eq!(stats.num_series, 500);
         let mut seen = vec![false; 500];
-        for &key in index.touched_keys() {
-            index.root(key).unwrap().for_each_leaf(&mut |leaf| {
+        for arena in index.arenas() {
+            arena.for_each_leaf(&mut |leaf| {
                 for e in leaf.entries {
                     assert!(!seen[e.pos as usize], "pos {} twice", e.pos);
                     seen[e.pos as usize] = true;
@@ -351,21 +351,16 @@ mod tests {
         // capacity equals length — no per-node or per-leaf allocations
         // survive into the finished index.
         let (index, _) = build_with(&IndexConfig::for_tests(), 800, 21);
-        for &key in index.touched_keys() {
-            let arena = index.root(key).unwrap();
+        for (i, arena) in index.arenas().iter().enumerate() {
             assert!(
                 arena.allocation_flat(),
-                "key {key}: arena storage is not capacity-tight"
+                "arena {i}: storage is not capacity-tight"
             );
         }
         // Storage totals are consistent with the per-arena sums.
         assert_eq!(
             index.node_storage_bytes(),
-            index
-                .touched_keys()
-                .iter()
-                .map(|&k| index.root(k).unwrap().node_bytes())
-                .sum::<usize>()
+            index.arenas().iter().map(|a| a.node_bytes()).sum::<usize>()
         );
         assert_eq!(index.num_entries(), 800);
     }

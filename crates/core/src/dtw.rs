@@ -128,6 +128,7 @@ pub(crate) fn exact_search_dtw_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,

@@ -9,9 +9,9 @@
 //! freshly *reset* (not reallocated) views each query.
 //!
 //! The context is tied to the index lifetime `'a` because the queues
-//! hold `LeafSlice<'a>` leaf views (the packed entry slice plus the SoA
-//! symbol columns of the arenas' pools) between the traversal and
-//! processing phases. Create one
+//! hold `LeafRun<'a>` views (spans of one or more member leaves of an
+//! arena leaf run — the packed entry slice plus the run's SoA symbol
+//! block) between the traversal and processing phases. Create one
 //! context per batch (or per pool worker for
 //! inter-query parallelism) and pass it to the `*_with` query variants —
 //! or let the pooled [`crate::exec::QueryExecutor`] manage a whole
@@ -22,7 +22,7 @@
 //! query.
 
 use crate::config::{QueryConfig, QueuePolicy};
-use crate::node::LeafSlice;
+use crate::node::LeafRun;
 use messi_sax::convert::SaxConfig;
 use messi_sax::mindist::MindistTable;
 use messi_sync::{QueueSet, SenseBarrier};
@@ -38,7 +38,7 @@ pub(crate) enum TableSpec<'q> {
 /// Borrowed, query-ready views into a [`QueryContext`]'s scratch.
 pub(crate) struct Scratch<'c, 'a> {
     /// Empty, unfinished queues — `None` for queue-less objectives.
-    pub(crate) queues: Option<&'c QueueSet<LeafSlice<'a>>>,
+    pub(crate) queues: Option<&'c QueueSet<LeafRun<'a>>>,
     /// A barrier armed for the query's worker count — `None` when no
     /// queue phase (and hence no phase transition) exists.
     pub(crate) barrier: Option<&'c SenseBarrier>,
@@ -74,7 +74,7 @@ pub(crate) struct Scratch<'c, 'a> {
 /// ```
 #[derive(Default)]
 pub struct QueryContext<'a> {
-    queues: Option<QueueSet<LeafSlice<'a>>>,
+    queues: Option<QueueSet<LeafRun<'a>>>,
     barrier: Option<SenseBarrier>,
     table: Option<MindistTable>,
     alloc_events: u64,

@@ -7,15 +7,28 @@
 //!    nodes whose metric lower bound reaches the objective's bound, and
 //!    either insert surviving *leaves* into the shared priority queues
 //!    (round-robin, Alg. 7) or — in queue-less mode — scan them on the
-//!    spot.
+//!    spot. Adjacent surviving leaves of the same arena leaf run are
+//!    coalesced into one queued [`LeafRun`], so the batched mindist
+//!    kernel later sees full 8-wide chunks instead of ~6-entry
+//!    fragments (disabled by `MESSI_NO_RUN_BATCH`, per-query policy, or
+//!    a δ-budgeted objective — see
+//!    [`SearchObjective::coalescing_allowed`]).
 //! 2. **Barrier** — queued objectives only: insertion must complete
 //!    before ordered processing starts (Alg. 6 line 7).
-//! 3. **Queue processing** — pop the minimum-bound leaf, re-check its
-//!    bound (*second filtering*), scan the leaf through the metric's
+//! 3. **Queue processing** — pop the minimum-bound run, re-check its
+//!    bound (*second filtering*), scan it through the metric's
 //!    lower-bound → real-distance cascade, and offer survivors to the
 //!    objective. A popped bound at or above the objective's bound
 //!    finishes the whole queue; workers hop to the next unfinished queue
 //!    with randomization to avoid convoying (§III-B).
+//!
+//! Coalescing preserves the answers bit for bit: a queued run's key is
+//! the *minimum* member-leaf mindist, so second filtering never cuts a
+//! run whose best member would have survived alone, and any member with
+//! a larger mindist that gets scanned anyway is re-pruned entry by entry
+//! (each entry's batched lower bound is at least its leaf's word
+//! mindist). The per-entry bound re-fetch and pruning counters are
+//! unchanged.
 //!
 //! The paper's three deliberate contrasts with ParIS-TS (§IV-A) live
 //! here once, for every objective: the complete lower-bound pass happens
@@ -31,7 +44,7 @@ use super::metric::Metric;
 use super::objective::SearchObjective;
 use crate::config::QueuePolicy;
 use crate::index::MessiIndex;
-use crate::node::{LeafSlice, NodeId, TreeArena};
+use crate::node::{LeafRun, NodeId, TreeArena};
 use crate::stats::{LocalStats, SharedQueryStats};
 use messi_sync::{ConcurrentMinQueue, Dispenser, QueueSet, SenseBarrier};
 use std::time::Instant;
@@ -44,6 +57,25 @@ pub(crate) struct Engine<'e, 'a> {
     pub(crate) queue_policy: QueuePolicy,
     pub(crate) num_workers: usize,
     pub(crate) collect_breakdown: bool,
+    /// Whether adjacent surviving leaves of one run may be coalesced
+    /// into a single queued/scanned [`LeafRun`] (the per-query
+    /// [`RunBatchPolicy`](crate::config::RunBatchPolicy) and the
+    /// `MESSI_NO_RUN_BATCH` escape hatch, resolved by the adapter).
+    /// The driver additionally honors the objective's veto.
+    pub(crate) coalesce: bool,
+}
+
+/// A run of consecutive surviving leaves accumulated during the tree
+/// pass, not yet queued/scanned. Holds only ordinals, so it is
+/// assembled into a borrowed [`LeafRun`] at flush time.
+#[derive(Clone, Copy)]
+struct PendingRun {
+    run_id: u32,
+    ord_lo: u32,
+    ord_hi: u32,
+    /// Minimum member-leaf mindist — the queue key, so second filtering
+    /// is exactly as tight as for the best member alone.
+    key: f32,
 }
 
 /// Per-worker wall-time accumulators, flushed into the shared stats at
@@ -98,7 +130,7 @@ pub(crate) fn run<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
 ) {
-    let dispenser = Dispenser::new(engine.index.touched.len());
+    let dispenser = Dispenser::new(engine.index.arenas.len());
     let worker = |pid: usize| {
         let mut local = LocalStats::default();
         let mut timers = PhaseTimers::new(engine.collect_breakdown);
@@ -149,7 +181,7 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
     timers: &mut PhaseTimers,
     results: &mut O::Local,
 ) {
-    let queues: &QueueSet<LeafSlice<'a>> = engine
+    let queues: &QueueSet<LeafRun<'a>> = engine
         .scratch
         .queues
         .expect("queued objective requires queue scratch");
@@ -158,14 +190,17 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
         .barrier
         .expect("queued objective requires a barrier");
     let nq = queues.len();
+    let coalesce = engine.coalesce && objective.coalescing_allowed();
 
     // Phase A: tree pass (Alg. 6 lines 3–6). Under the local-queue
     // policy the cursor is pinned to the worker's own queue and the
-    // traversal never advances it.
+    // traversal never advances it. Workers own disjoint subtrees, so a
+    // pending run never spans two workers' leaves.
     let t_phase = Instant::now();
     let mut cursor = pid % nq;
     while let Some(i) = dispenser.next() {
         let arena = &engine.index.arenas[i];
+        let mut pending: Option<PendingRun> = None;
         insert_subtree(
             engine,
             metric,
@@ -173,11 +208,16 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
             queues,
             arena,
             TreeArena::ROOT,
+            coalesce,
+            &mut pending,
             &mut cursor,
             local,
             timers,
             results,
         );
+        if let Some(p) = pending {
+            push_pending(engine, queues, arena, p, &mut cursor, local, timers);
+        }
     }
     if timers.enabled {
         // Tree-pass time excludes the queue insertions counted separately.
@@ -217,7 +257,7 @@ fn queued_worker<'a, M: Metric, O: SearchObjective>(
 
 /// One search worker in queue-less mode (fixed-bound objectives): the
 /// traversal *is* the whole algorithm — surviving leaves are scanned on
-/// the spot, no ordering, no barrier.
+/// the spot (coalesced into runs when allowed), no ordering, no barrier.
 fn scan_worker<M: Metric, O: SearchObjective>(
     engine: &Engine<'_, '_>,
     metric: &M,
@@ -227,18 +267,25 @@ fn scan_worker<M: Metric, O: SearchObjective>(
     timers: &mut PhaseTimers,
     results: &mut O::Local,
 ) {
+    let coalesce = engine.coalesce && objective.coalescing_allowed();
     let t_phase = Instant::now();
     while let Some(i) = dispenser.next() {
         let arena = &engine.index.arenas[i];
+        let mut pending: Option<PendingRun> = None;
         scan_subtree(
             metric,
             objective,
             arena,
             TreeArena::ROOT,
+            coalesce,
+            &mut pending,
             local,
             timers,
             results,
         );
+        if let Some(p) = pending {
+            scan_pending(metric, objective, arena, p, local, timers, results);
+        }
     }
     if timers.enabled {
         // The leaf scans are counted as distance-calculation time.
@@ -247,18 +294,96 @@ fn scan_worker<M: Metric, O: SearchObjective>(
     }
 }
 
+/// Extends `pending` with the surviving leaf `ord` (mindist `d`) when it
+/// is the next consecutive member of the same arena run, else returns
+/// the pending run to flush and restarts accumulation at `ord`. With
+/// coalescing off, every leaf flushes its predecessor — single-leaf
+/// runs, the pre-batching behavior.
+#[inline]
+fn accumulate(
+    arena: &TreeArena,
+    pending: &mut Option<PendingRun>,
+    coalesce: bool,
+    ord: u32,
+    d: f32,
+) -> Option<PendingRun> {
+    let run_id = arena.run_of(ord);
+    match pending {
+        Some(p) if coalesce && p.run_id == run_id && p.ord_hi == ord => {
+            p.ord_hi = ord + 1;
+            p.key = p.key.min(d);
+            None
+        }
+        _ => pending.replace(PendingRun {
+            run_id,
+            ord_lo: ord,
+            ord_hi: ord + 1,
+            key: d,
+        }),
+    }
+}
+
+/// Pushes an accumulated run onto the queues (timed as queue-insertion
+/// work, like the per-leaf pushes it replaces). `inserted` counts
+/// member leaves, not queue operations, so the counter is independent
+/// of coalescing.
+#[inline]
+fn push_pending<'a>(
+    engine: &Engine<'_, 'a>,
+    queues: &QueueSet<LeafRun<'a>>,
+    arena: &'a TreeArena,
+    p: PendingRun,
+    cursor: &mut usize,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+) {
+    let run = arena.leaf_run(p.ord_lo, p.ord_hi);
+    timers.timed(
+        |t| &mut t.pq_insert_ns,
+        || match engine.queue_policy {
+            QueuePolicy::SharedRoundRobin => queues.push_round_robin(cursor, p.key, run),
+            QueuePolicy::PerWorkerLocal => queues.queue(*cursor).push(p.key, run),
+        },
+    );
+    local.inserted += u64::from(p.ord_hi - p.ord_lo);
+}
+
+/// Scans an accumulated run immediately (queue-less mode), timed as
+/// distance-calculation work.
+#[inline]
+fn scan_pending<M: Metric, O: SearchObjective>(
+    metric: &M,
+    objective: &O,
+    arena: &TreeArena,
+    p: PendingRun,
+    local: &mut LocalStats,
+    timers: &mut PhaseTimers,
+    results: &mut O::Local,
+) {
+    let run = arena.leaf_run(p.ord_lo, p.ord_hi);
+    timers.timed(
+        |t| &mut t.dist_calc_ns,
+        || scan_run(metric, objective, run, local, results),
+    );
+}
+
 /// Recursive subtree traversal (Alg. 7): prune by node lower bound,
 /// insert surviving leaves into the queues round-robin. Queue entries
-/// are [`LeafSlice`]s — the leaf's packed entry slice plus its SoA
-/// symbol columns, all a later scan needs, flat in the arena's pools.
+/// are [`LeafRun`]s — one or more consecutive member leaves of an arena
+/// leaf run, viewed through the run's SoA symbol block, all a later
+/// scan needs, flat in the arena's pools. The preorder walk visits
+/// leaves in ascending ordinal order, which is what lets `pending`
+/// coalesce neighbors with a plain consecutiveness check.
 #[allow(clippy::too_many_arguments)]
 fn insert_subtree<'a, M: Metric, O: SearchObjective>(
     engine: &Engine<'_, 'a>,
     metric: &M,
     objective: &O,
-    queues: &QueueSet<LeafSlice<'a>>,
+    queues: &QueueSet<LeafRun<'a>>,
     arena: &'a TreeArena,
     id: NodeId,
+    coalesce: bool,
+    pending: &mut Option<PendingRun>,
     cursor: &mut usize,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
@@ -271,33 +396,33 @@ fn insert_subtree<'a, M: Metric, O: SearchObjective>(
         return; // the whole subtree is pruned
     }
     if arena.is_leaf(id) {
-        let leaf = arena.leaf_slice(id);
-        timers.timed(
-            |t| &mut t.pq_insert_ns,
-            || match engine.queue_policy {
-                QueuePolicy::SharedRoundRobin => queues.push_round_robin(cursor, d, leaf),
-                QueuePolicy::PerWorkerLocal => queues.queue(*cursor).push(d, leaf),
-            },
-        );
-        local.inserted += 1;
+        let ord = arena.leaf_ordinal(id);
+        if let Some(p) = accumulate(arena, pending, coalesce, ord, d) {
+            push_pending(engine, queues, arena, p, cursor, local, timers);
+        }
     } else {
         let (left, right) = arena.children(id);
         insert_subtree(
-            engine, metric, objective, queues, arena, left, cursor, local, timers, results,
+            engine, metric, objective, queues, arena, left, coalesce, pending, cursor, local,
+            timers, results,
         );
         insert_subtree(
-            engine, metric, objective, queues, arena, right, cursor, local, timers, results,
+            engine, metric, objective, queues, arena, right, coalesce, pending, cursor, local,
+            timers, results,
         );
     }
 }
 
 /// Queue-less traversal: prune by node lower bound, scan surviving
-/// leaves immediately.
+/// leaves immediately (coalesced into runs when allowed).
+#[allow(clippy::too_many_arguments)]
 fn scan_subtree<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
     arena: &TreeArena,
     id: NodeId,
+    coalesce: bool,
+    pending: &mut Option<PendingRun>,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
     results: &mut O::Local,
@@ -309,14 +434,18 @@ fn scan_subtree<M: Metric, O: SearchObjective>(
         return;
     }
     if arena.is_leaf(id) {
-        timers.timed(
-            |t| &mut t.dist_calc_ns,
-            || scan_leaf(metric, objective, arena.leaf_slice(id), local, results),
-        );
+        let ord = arena.leaf_ordinal(id);
+        if let Some(p) = accumulate(arena, pending, coalesce, ord, d) {
+            scan_pending(metric, objective, arena, p, local, timers, results);
+        }
     } else {
         let (left, right) = arena.children(id);
-        scan_subtree(metric, objective, arena, left, local, timers, results);
-        scan_subtree(metric, objective, arena, right, local, timers, results);
+        scan_subtree(
+            metric, objective, arena, left, coalesce, pending, local, timers, results,
+        );
+        scan_subtree(
+            metric, objective, arena, right, coalesce, pending, local, timers, results,
+        );
     }
 }
 
@@ -325,7 +454,7 @@ fn scan_subtree<M: Metric, O: SearchObjective>(
 fn process_queue<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
-    queue: &ConcurrentMinQueue<LeafSlice<'_>>,
+    queue: &ConcurrentMinQueue<LeafRun<'_>>,
     local: &mut LocalStats,
     timers: &mut PhaseTimers,
     results: &mut O::Local,
@@ -341,7 +470,7 @@ fn process_queue<M: Metric, O: SearchObjective>(
                 queue.mark_finished();
                 return;
             }
-            Some((dist, leaf)) => {
+            Some((dist, run)) => {
                 local.popped += 1;
                 if dist >= objective.bound() {
                     // Second filtering: every remaining entry is worse.
@@ -350,44 +479,59 @@ fn process_queue<M: Metric, O: SearchObjective>(
                     queue.mark_finished();
                     return;
                 }
-                if !objective.admit_leaf(results) {
+                // Budgeted objectives admit member leaves one at a time
+                // — exactly one charge per leaf, coalesced or not. (With
+                // a finite budget coalescing is vetoed, so runs here are
+                // single leaves; the prefix path is pure defense.)
+                let mut admitted = 0;
+                while admitted < run.leaf_count() && objective.admit_leaf(results) {
+                    admitted += 1;
+                }
+                let vetoed = admitted < run.leaf_count();
+                if admitted > 0 {
+                    let run = if vetoed { run.prefix(admitted) } else { run };
+                    timers.timed(
+                        |t| &mut t.dist_calc_ns,
+                        || scan_run(metric, objective, run, local, results),
+                    );
+                }
+                if vetoed {
                     // Early termination (δ-budgeted objectives): the
                     // visit budget is spent, so this queue — and, via
                     // the same veto, every other — winds down.
                     queue.mark_finished();
                     return;
                 }
-                timers.timed(
-                    |t| &mut t.dist_calc_ns,
-                    || scan_leaf(metric, objective, leaf, local, results),
-                );
             }
         }
     }
 }
 
-/// Scans one leaf (Alg. 9): the metric's first lower bound runs
-/// *batched*, 8 entries at a time, over the leaf's struct-of-arrays
-/// symbol columns; each survivor then continues through the metric's
-/// remaining cascade and its early-abandoning real distance, offered to
-/// the objective on survival. The bound is re-fetched per entry, so a
-/// concurrent BSF improvement tightens pruning mid-leaf exactly as the
-/// old entry-at-a-time sweep did.
+/// Scans one leaf run (Alg. 9): the metric's first lower bound runs
+/// *batched*, 8 entries at a time, over the run's struct-of-arrays
+/// symbol block — full-width chunks straddle member-leaf boundaries,
+/// which is the whole point of coalescing; each survivor then continues
+/// through the metric's remaining cascade and its early-abandoning real
+/// distance, offered to the objective on survival. The bound is
+/// re-fetched per entry, so a concurrent BSF improvement tightens
+/// pruning mid-run exactly as the old entry-at-a-time sweep did, and
+/// each per-entry lower bound is computed independently of the chunking
+/// (bit-identical whether the entry is scanned alone or mid-run).
 #[inline]
-fn scan_leaf<M: Metric, O: SearchObjective>(
+fn scan_run<M: Metric, O: SearchObjective>(
     metric: &M,
     objective: &O,
-    leaf: LeafSlice<'_>,
+    run: LeafRun<'_>,
     local: &mut LocalStats,
     results: &mut O::Local,
 ) {
-    let n = leaf.entries.len();
+    let n = run.entries.len();
     let mut lbs = [0.0f32; 8];
     let mut base = 0;
     while base < n {
         let len = (n - base).min(8);
-        metric.leaf_lower_bounds(&leaf, base, len, &mut lbs);
-        for (lb, entry) in lbs[..len].iter().zip(&leaf.entries[base..base + len]) {
+        metric.leaf_lower_bounds(&run, base, len, &mut lbs);
+        for (lb, entry) in lbs[..len].iter().zip(&run.entries[base..base + len]) {
             local.lb += 1;
             let bound = objective.bound();
             if *lb >= bound {

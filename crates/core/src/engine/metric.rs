@@ -21,7 +21,7 @@
 //! either kernel returns the same answers.
 
 use crate::index::MessiIndex;
-use crate::node::{LeafEntry, LeafSlice};
+use crate::node::{LeafEntry, LeafRun};
 use crate::stats::LocalStats;
 use messi_sax::mindist::{mindist_sq_node, mindist_sq_node_env, MindistTable};
 use messi_sax::word::NodeWord;
@@ -38,10 +38,11 @@ pub(crate) trait Metric: Sync {
     fn node_lower_bound(&self, word: &NodeWord) -> f32;
 
     /// Mindist lower bounds for the chunk `[base, base + len)` (with
-    /// `len <= 8`) of a leaf, written into `out[..len]` — computed from
-    /// the leaf's SoA symbol columns, one table gather per segment, so
-    /// the cascade's first level streams sequential cache lines.
-    fn leaf_lower_bounds(&self, leaf: &LeafSlice<'_>, base: usize, len: usize, out: &mut [f32; 8]);
+    /// `len <= 8`) of a leaf run's entry span, written into `out[..len]`
+    /// — computed from the run's SoA symbol block, one table gather per
+    /// segment, so the cascade's first level streams sequential cache
+    /// lines across every member leaf of the run.
+    fn leaf_lower_bounds(&self, run: &LeafRun<'_>, base: usize, len: usize, out: &mut [f32; 8]);
 
     /// Continues the cascade for one entry that survived the batched
     /// mindist: any remaining lower bounds against `bound`, then the
@@ -89,9 +90,15 @@ impl Metric for EuclideanMetric<'_> {
     }
 
     #[inline]
-    fn leaf_lower_bounds(&self, leaf: &LeafSlice<'_>, base: usize, len: usize, out: &mut [f32; 8]) {
-        self.table
-            .mindist_sq_soa(leaf.cols, leaf.entries.len(), base, len, self.use_simd, out);
+    fn leaf_lower_bounds(&self, run: &LeafRun<'_>, base: usize, len: usize, out: &mut [f32; 8]) {
+        self.table.mindist_sq_soa(
+            run.cols,
+            run.stride as usize,
+            run.base as usize + base,
+            len,
+            self.use_simd,
+            out,
+        );
     }
 
     #[inline]
@@ -156,10 +163,16 @@ impl Metric for DtwMetric<'_> {
     }
 
     #[inline]
-    fn leaf_lower_bounds(&self, leaf: &LeafSlice<'_>, base: usize, len: usize, out: &mut [f32; 8]) {
+    fn leaf_lower_bounds(&self, run: &LeafRun<'_>, base: usize, len: usize, out: &mut [f32; 8]) {
         // Level 1: envelope mindist on the iSAX summaries, batched.
-        self.table
-            .mindist_sq_soa(leaf.cols, leaf.entries.len(), base, len, self.use_simd, out);
+        self.table.mindist_sq_soa(
+            run.cols,
+            run.stride as usize,
+            run.base as usize + base,
+            len,
+            self.use_simd,
+            out,
+        );
     }
 
     #[inline]

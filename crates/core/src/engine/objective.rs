@@ -167,9 +167,23 @@ pub(crate) trait SearchObjective: Sync {
     /// Asks permission to scan one more leaf during queue processing.
     /// Returning `false` finishes the worker's current queue — the early
     /// termination hook of the δ-budgeted approximate objective. Exact
-    /// objectives always proceed.
+    /// objectives always proceed. The driver charges one call per
+    /// *member leaf* of a popped run, so accounting is independent of
+    /// coalescing.
     #[inline]
     fn admit_leaf(&self, _local: &mut Self::Local) -> bool {
+        true
+    }
+
+    /// Whether the driver may coalesce adjacent surviving leaves into
+    /// multi-leaf queued runs for this objective. Exact objectives
+    /// always allow it (run keys are member-minimum mindists, so
+    /// pruning and answers are unchanged); a δ-budgeted objective
+    /// vetoes it, because the budget's *order* of leaf charges — and
+    /// hence which leaves a tiny budget reaches — must match the
+    /// per-leaf schedule exactly.
+    #[inline]
+    fn coalescing_allowed(&self) -> bool {
         true
     }
 
@@ -479,6 +493,14 @@ impl SearchObjective for ApproxObjective<'_> {
         if lb < self.raw_bound() {
             local.inflation_prunes += 1;
         }
+    }
+
+    #[inline]
+    fn coalescing_allowed(&self) -> bool {
+        // A finite δ-budget charges leaves in pop order; coalescing
+        // would reorder which leaves a tiny budget reaches. δ = 1
+        // (no budget) has nothing to preserve and keeps the batching.
+        self.budget.is_none()
     }
 
     #[inline]

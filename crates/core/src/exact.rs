@@ -119,6 +119,7 @@ pub(crate) fn exact_search_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,

@@ -1,7 +1,7 @@
 //! The [`MessiIndex`] handle: the finished tree plus approximate search.
 
 use crate::config::IndexConfig;
-use crate::node::{LeafEntry, TreeArena};
+use crate::node::{assemble_forest, forest_groups, LeafEntry, NodeId, NodeRecord, TreeArena};
 use crate::stats::BuildStats;
 use messi_sax::convert::{SaxConfig, SaxConverter};
 use messi_sax::mindist::mindist_sq_node;
@@ -34,9 +34,12 @@ pub struct MessiIndex {
     pub(crate) sax_config: SaxConfig,
     /// Segment lengths as f32 (mindist scale factors).
     pub(crate) scales: Vec<f32>,
-    /// One arena per non-empty root subtree, parallel to `touched`.
+    /// The forest arenas, in ascending key order. Consecutive sparse
+    /// root subtrees share one arena under a synthetic trie spine (see
+    /// [`crate::node`]'s forest docs); a dense subtree gets its own.
     pub(crate) arenas: Vec<TreeArena>,
     /// Root key → index into `arenas` ([`EMPTY_SLOT`] = empty subtree).
+    /// Several member keys of one forest map to the same arena.
     pub(crate) slots: Vec<u32>,
     /// Keys of the non-empty root subtrees, ascending.
     pub(crate) touched: Vec<usize>,
@@ -63,6 +66,12 @@ impl MessiIndex {
     /// snapshot loader. `subtrees` pairs each root key with its arena, in
     /// any order; empty keys are simply absent.
     ///
+    /// This is the single grouping chokepoint: consecutive sparse
+    /// subtrees are regrouped here into forest arenas by the
+    /// deterministic rule shared with validation, so every construction
+    /// path (parallel build, baselines, snapshot load) produces the same
+    /// forests for the same per-key trees.
+    ///
     /// # Panics
     ///
     /// Panics on out-of-range or duplicate keys, or an invalid
@@ -80,12 +89,32 @@ impl MessiIndex {
         subtrees.sort_by_key(|(key, _)| *key);
         let mut slots = vec![EMPTY_SLOT; num_keys];
         let mut touched = Vec::with_capacity(subtrees.len());
-        let mut arenas = Vec::with_capacity(subtrees.len());
-        for (key, arena) in subtrees {
+        for &(key, _) in &subtrees {
             assert!(key < num_keys, "root key {key} out of range (< {num_keys})");
-            assert_eq!(slots[key], EMPTY_SLOT, "subtree {key} provided twice");
-            slots[key] = arenas.len() as u32;
+            assert!(touched.last() != Some(&key), "subtree {key} provided twice");
             touched.push(key);
+        }
+        let counts: Vec<usize> = subtrees.iter().map(|(_, a)| a.num_entries()).collect();
+        let groups = forest_groups(&counts);
+        let mut arenas = Vec::with_capacity(groups.len());
+        let mut remaining = subtrees.into_iter();
+        for range in groups {
+            let group: Vec<(usize, TreeArena)> = remaining.by_ref().take(range.len()).collect();
+            for &(key, _) in &group {
+                slots[key] = arenas.len() as u32;
+            }
+            let arena = if group.len() == 1 {
+                group.into_iter().next().expect("one member").1
+            } else {
+                let parts = group
+                    .into_iter()
+                    .map(|(key, arena)| {
+                        let (nodes, entries) = arena.into_raw();
+                        (key, nodes, entries)
+                    })
+                    .collect();
+                assemble_forest(parts, config.segments)
+            };
             arenas.push(arena);
         }
         Self {
@@ -129,12 +158,56 @@ impl MessiIndex {
         &self.touched
     }
 
-    /// The subtree arena for `key`, if non-empty.
+    /// The arena holding `key`'s subtree, if non-empty. With forest
+    /// grouping this may be shared by several member keys — walks that
+    /// must stay per-key use [`MessiIndex::key_root`] instead.
     pub fn root(&self, key: usize) -> Option<&TreeArena> {
         match self.slots.get(key) {
             Some(&slot) if slot != EMPTY_SLOT => Some(&self.arenas[slot as usize]),
             _ => None,
         }
+    }
+
+    /// All arenas, in ascending key order — the iteration unit for
+    /// whole-index sweeps (each leaf appears exactly once, whereas
+    /// iterating [`MessiIndex::root`] per touched key revisits a shared
+    /// forest arena once per member).
+    pub fn arenas(&self) -> &[TreeArena] {
+        &self.arenas
+    }
+
+    /// The per-key subtree root of `key`, if non-empty: its arena plus
+    /// the node id of the first fully refined word on `key`'s path —
+    /// the arena root itself for a solo subtree, or the member root
+    /// below the synthetic spine of a forest.
+    pub fn key_root(&self, key: usize) -> Option<(&TreeArena, NodeId)> {
+        let arena = self.root(key)?;
+        let segments = self.sax_config.segments;
+        let mut id = TreeArena::ROOT;
+        loop {
+            let word = arena.word(id);
+            if (0..segments).all(|s| word.bits(s) >= 1) {
+                return Some((arena, id));
+            }
+            // Synthetic spine nodes are always inner (a group has at
+            // least two members); route by the key's bit on the split
+            // segment.
+            let split = arena.split_segment(id);
+            let (left, right) = arena.children(id);
+            id = if (key >> (segments - 1 - split)) & 1 == 1 {
+                right
+            } else {
+                left
+            };
+        }
+    }
+
+    /// `key`'s subtree as standalone raw parts (rebased node records +
+    /// pool entry slice) — what [`crate::persist`] serializes, sliced
+    /// back out of the forest so the on-disk format stays per-key.
+    pub(crate) fn key_raw_parts(&self, key: usize) -> Option<(Vec<NodeRecord>, &[LeafEntry])> {
+        let (arena, root) = self.key_root(key)?;
+        Some(arena.key_subtree_raw(root))
     }
 
     /// Total leaves in the index.
@@ -151,6 +224,13 @@ impl MessiIndex {
     /// Height of the tallest root subtree.
     pub fn max_height(&self) -> usize {
         self.arenas.iter().map(TreeArena::height).max().unwrap_or(0)
+    }
+
+    /// Per-run shapes across every root subtree, in arena order:
+    /// `(member leaves, entries)`. Feeds `messi info`'s run-length
+    /// histogram and the layout probe.
+    pub fn run_shapes(&self) -> Vec<(usize, usize)> {
+        self.arenas.iter().flat_map(TreeArena::run_shapes).collect()
     }
 
     /// Bytes held by all node arenas (the flat per-subtree node arrays).
@@ -450,37 +530,50 @@ impl MessiIndex {
     /// modes scan exactly this slice (each with its own distance
     /// cascade).
     pub(crate) fn home_leaf_entries(&self, query_sax: &SaxWord, query_paa: &[f32]) -> &[LeafEntry] {
-        let key = root_key(query_sax, self.sax_config.segments);
-        let arena = match self.root(key) {
-            Some(a) => a,
-            None => {
-                // Empty home subtree: greedy-best entry point instead.
-                self.arenas
-                    .iter()
-                    .min_by(|a, b| {
-                        let da = mindist_sq_node(query_paa, &self.scales, a.word(TreeArena::ROOT));
-                        let db = mindist_sq_node(query_paa, &self.scales, b.word(TreeArena::ROOT));
-                        da.total_cmp(&db)
-                    })
-                    .expect("index is never empty")
-            }
-        };
         let segments = self.sax_config.segments;
+        let key = root_key(query_sax, segments);
+        if let Some(arena) = self.root(key) {
+            // The query's key is a member of this arena, so containment
+            // holds down the whole walk — through the synthetic spine
+            // (whose refined bits are bits all member keys share) and
+            // the per-key subtree alike.
+            let id = arena.descend_by_sax(TreeArena::ROOT, query_sax, segments);
+            return arena.leaf_entries(id);
+        }
+        // Empty home subtree: greedy-best entry point instead.
+        let arena = self
+            .arenas
+            .iter()
+            .min_by(|a, b| {
+                let da = mindist_sq_node(query_paa, &self.scales, a.word(TreeArena::ROOT));
+                let db = mindist_sq_node(query_paa, &self.scales, b.word(TreeArena::ROOT));
+                da.total_cmp(&db)
+            })
+            .expect("index is never empty");
         let mut id = TreeArena::ROOT;
         while !arena.is_leaf(id) {
-            if arena.word(id).contains(query_sax, segments) {
-                // On the query's own path: containment is preserved by
-                // every refined-bit step, so the shared home-leaf walk
-                // finishes the descent.
-                id = arena.descend_by_sax(id, query_sax, segments);
-                break;
-            }
-            // Off the query's own path (fallback entry): pick the closer
-            // child by node mindist.
             let (left, right) = arena.children(id);
-            let dl = mindist_sq_node(query_paa, &self.scales, arena.word(left));
-            let dr = mindist_sq_node(query_paa, &self.scales, arena.word(right));
-            id = if dl <= dr { left } else { right };
+            id = if arena.word(id).contains(query_sax, segments) {
+                // On the query's path at this node: follow its summary
+                // bit. The step is re-checked every iteration because a
+                // path-compressed forest child can refine bits the query
+                // disagrees on — the walk then degrades to mindist.
+                if arena.word(id).child_of(query_sax, arena.split_segment(id)) {
+                    right
+                } else {
+                    left
+                }
+            } else {
+                // Off the query's own path (fallback entry): pick the
+                // closer child by node mindist.
+                let dl = mindist_sq_node(query_paa, &self.scales, arena.word(left));
+                let dr = mindist_sq_node(query_paa, &self.scales, arena.word(right));
+                if dl <= dr {
+                    left
+                } else {
+                    right
+                }
+            };
         }
         arena.leaf_entries(id)
     }

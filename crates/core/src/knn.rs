@@ -220,6 +220,7 @@ pub(crate) fn exact_knn_shared<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,
@@ -334,6 +335,7 @@ pub(crate) fn exact_knn_dtw_shared<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,

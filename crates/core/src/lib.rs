@@ -100,7 +100,10 @@ pub mod shard;
 pub mod stats;
 pub mod validate;
 
-pub use config::{BsfPolicy, BuildVariant, IndexConfig, QueryConfig, QueuePolicy};
+pub use config::{
+    auto_leaf_capacity, BsfPolicy, BuildVariant, IndexConfig, QueryConfig, QueuePolicy,
+    RunBatchPolicy,
+};
 pub use engine::QueryContext;
 pub use exact::QueryAnswer;
 pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};

@@ -14,14 +14,24 @@
 //! whole root subtree lives in a [`TreeArena`] — one contiguous node
 //! array in preorder (parent before children, left subtree before right)
 //! plus one packed [`LeafEntry`] pool in the same leaf order, plus a
-//! struct-of-arrays transposition of the pool's SAX symbols (16
-//! contiguous segment-columns per leaf) that the batched mindist cascade
-//! streams cache-line by cache-line. A subtree is **three** allocations
-//! instead of thousands; inner-node traversal walks an index-linked flat
-//! array, leaf scans walk flat slices, and `for_each_leaf` is a linear
-//! sweep of the node array. The flat layout is also what makes the index
-//! serializable ([`crate::persist`]) — the SoA pool is derived data,
-//! rebuilt rather than stored.
+//! struct-of-arrays transposition of the pool's SAX symbols that the
+//! batched mindist cascade streams cache-line by cache-line. Inner-node
+//! traversal walks an index-linked flat array, leaf scans walk flat
+//! slices, and `for_each_leaf` is a linear sweep of the node array. The
+//! flat layout is also what makes the index serializable
+//! ([`crate::persist`]) — the SoA pool and all run metadata are derived
+//! data, rebuilt rather than stored.
+//!
+//! The SoA transposition is grouped into **leaf runs**: maximal groups
+//! of consecutive leaves (in pool order — siblings and cousins alike)
+//! whose combined entry count stays within `RUN_TARGET_ENTRIES`. Each
+//! run owns one segment-major symbol block, so the batched mindist
+//! kernel can scan *several* small leaves as one contiguous 8-wide
+//! stream instead of falling into the partial-chunk tail on every
+//! ~6-entry paper-default leaf. Runs are derived deterministically from
+//! the node/entry layout alone (no configuration input), so a
+//! deserialized arena rebuilds byte-identical run metadata — the
+//! snapshot format is unchanged.
 //!
 //! Construction still follows the paper's incremental protocol (Alg. 4:
 //! insert, split overflowing leaves): [`SubtreeBuilder`] runs exactly the
@@ -29,6 +39,28 @@
 //! flattens into the arena with exact-capacity allocations. One builder
 //! serves many subtrees back to back, so its own scratch amortizes to
 //! zero.
+//!
+//! ## Forest arenas
+//!
+//! Paper-default trees are *sparse at the root*: with 2^w root keys and
+//! ~6 entries per key, almost every root subtree is a single leaf, so
+//! within-subtree runs would never span more than one leaf and the
+//! run-batched mindist tier would see only partial chunks. The index
+//! therefore groups runs of consecutive sparse root subtrees into one
+//! **forest arena**: a single-rooted arena whose top is a *synthetic
+//! iSAX trie* over the member keys. Synthetic inner nodes carry coarser
+//! node words — every segment on which all member keys agree is refined
+//! to that shared first bit, the rest stay unrefined — and split on the
+//! first disagreeing segment, so containment, `child_of` routing, and
+//! mindist admissibility all hold exactly as for built splits (a coarser
+//! word can only *loosen* a lower bound). The first fully refined node
+//! on any root-to-leaf path is a **per-key root**: the original subtree,
+//! spliced in verbatim (preorder preserved, ids and pool offsets
+//! rebased). Grouping is derived deterministically from the per-key
+//! entry counts alone (`forest_groups`), so builds, baselines, and the
+//! snapshot loader regroup identically — and snapshots still serialize
+//! per key by slicing each per-key subtree back out of its forest
+//! (`TreeArena::key_subtree_raw`), keeping the format byte-identical.
 
 use messi_sax::split::choose_split;
 use messi_sax::word::{NodeWord, SaxWord};
@@ -54,13 +86,147 @@ const LEAF_TAG: u8 = u8::MAX;
 /// Linked-list terminator / "empty slot" sentinel in builder scratch.
 const NIL: u32 = u32::MAX;
 
+/// Greedy cap on the entries a leaf run may span. 64 entries is eight
+/// full 8-wide mindist chunks — enough to amortize the SIMD ramp on
+/// paper-default (~6-entry) leaves while keeping a queued run's scan
+/// granularity close to one dense leaf. A single leaf larger than the
+/// cap gets a run of its own.
+pub(crate) const RUN_TARGET_ENTRIES: usize = 64;
+
+/// Entry target when grouping consecutive sparse root subtrees into one
+/// forest arena — the run target, so a grouped forest's many one-leaf
+/// subtrees coalesce into full batched runs. Like the run partition,
+/// the grouping takes no configuration input: build, baselines, and the
+/// snapshot loader must regroup identically.
+pub(crate) const FOREST_TARGET_ENTRIES: usize = RUN_TARGET_ENTRIES;
+
+/// The deterministic greedy grouping of per-key subtrees into forest
+/// arenas: over ascending keys, a group closes when admitting the next
+/// subtree's `counts` entry would push it past
+/// [`FOREST_TARGET_ENTRIES`] (a subtree at or above the target is a
+/// group of its own). Returns index ranges over `counts`.
+pub(crate) fn forest_groups(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, &n) in counts.iter().enumerate() {
+        if i > start && acc + n > FOREST_TARGET_ENTRIES {
+            groups.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc += n;
+    }
+    if start < counts.len() {
+        groups.push(start..counts.len());
+    }
+    groups
+}
+
+/// Assembles one arena from one or more per-key subtrees given as raw
+/// parts `(key, preorder node records, pool entries)` with ascending
+/// keys and subtree-local ids/offsets. A single part becomes a plain
+/// per-key arena; several parts are joined under the synthetic iSAX
+/// trie described in the module docs.
+pub(crate) fn assemble_forest(
+    parts: Vec<(usize, Vec<NodeRecord>, Vec<LeafEntry>)>,
+    segments: usize,
+) -> TreeArena {
+    debug_assert!(parts.windows(2).all(|w| w[0].0 < w[1].0));
+    if parts.len() == 1 {
+        let (_, nodes, entries) = parts.into_iter().next().expect("one part");
+        return TreeArena::assemble(nodes, entries);
+    }
+    // A path-compressed binary trie over k distinct keys has exactly
+    // k - 1 internal nodes.
+    let total_nodes = parts.iter().map(|p| p.1.len()).sum::<usize>() + (parts.len() - 1);
+    let total_entries = parts.iter().map(|p| p.2.len()).sum::<usize>();
+    let mut nodes = Vec::with_capacity(total_nodes);
+    let mut pool = Vec::with_capacity(total_entries);
+    splice_forest(&parts, 0, parts.len(), segments, &mut nodes, &mut pool);
+    debug_assert_eq!(nodes.len(), total_nodes);
+    debug_assert_eq!(pool.len(), total_entries);
+    TreeArena::assemble(nodes, pool)
+}
+
+/// Recursive splice step of [`assemble_forest`] over `parts[lo..hi]`:
+/// emits (in preorder) either the lone per-key subtree rebased to the
+/// current output position, or a synthetic inner node splitting the key
+/// range on its first disagreeing segment. Returns the emitted root id.
+fn splice_forest(
+    parts: &[(usize, Vec<NodeRecord>, Vec<LeafEntry>)],
+    lo: usize,
+    hi: usize,
+    segments: usize,
+    nodes: &mut Vec<NodeRecord>,
+    pool: &mut Vec<LeafEntry>,
+) -> NodeId {
+    if hi - lo == 1 {
+        let base = nodes.len() as u32;
+        let pool_base = pool.len() as u32;
+        let (_, part_nodes, part_entries) = &parts[lo];
+        nodes.extend(part_nodes.iter().map(|n| {
+            let mut rec = *n;
+            if rec.tag == LEAF_TAG {
+                rec.lo += pool_base;
+                rec.hi += pool_base;
+            } else {
+                rec.lo += base;
+                rec.hi += base;
+            }
+            rec
+        }));
+        pool.extend_from_slice(part_entries);
+        return base;
+    }
+    // Which key bits all members of the range share. Segment i's key bit
+    // sits at position `segments - 1 - i` (segment 0 is the key's MSB).
+    let mut all_or = 0usize;
+    let mut all_and = usize::MAX;
+    for p in &parts[lo..hi] {
+        all_or |= p.0;
+        all_and &= p.0;
+    }
+    let disagree = all_or & !all_and;
+    debug_assert_ne!(disagree, 0, "duplicate keys in a forest group");
+    let mut symbols = [0u16; MAX_SEGMENTS];
+    let mut bits = [0u8; MAX_SEGMENTS];
+    for (i, (sym, bit)) in symbols.iter_mut().zip(&mut bits).enumerate().take(segments) {
+        let at = segments - 1 - i;
+        if (disagree >> at) & 1 == 0 {
+            *bit = 1;
+            *sym = ((all_and >> at) & 1) as u16;
+        }
+    }
+    let word = NodeWord::new(&symbols, &bits);
+    // Split on the first disagreeing segment (= highest disagreeing key
+    // bit). Keys ascend and agree above it, so the bit flips 0 → 1 at
+    // exactly one boundary.
+    let at = usize::BITS as usize - 1 - disagree.leading_zeros() as usize;
+    let split = segments - 1 - at;
+    let mid = lo + parts[lo..hi].partition_point(|p| (p.0 >> at) & 1 == 0);
+    debug_assert!(lo < mid && mid < hi);
+    let my = nodes.len();
+    nodes.push(NodeRecord {
+        word,
+        tag: split as u8,
+        lo: 0,
+        hi: 0,
+    });
+    let left = splice_forest(parts, lo, mid, segments, nodes, pool);
+    let right = splice_forest(parts, mid, hi, segments, nodes, pool);
+    nodes[my].lo = left;
+    nodes[my].hi = right;
+    my as NodeId
+}
+
 /// One node record of a [`TreeArena`].
 ///
 /// `tag` discriminates the two kinds: [`LEAF_TAG`] for leaves, the split
 /// segment (`< MAX_SEGMENTS`) for inner nodes. `lo`/`hi` are the left and
 /// right child ids of an inner node, or the `[lo, hi)` range of the leaf
 /// in the arena's entry pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct NodeRecord {
     pub(crate) word: NodeWord,
     pub(crate) tag: u8,
@@ -68,82 +234,214 @@ pub(crate) struct NodeRecord {
     pub(crate) hi: u32,
 }
 
-/// Borrowed view of one leaf: its covering word and its packed entries.
+/// The `[lo, hi)` entry-pool span of one leaf run. Runs partition the
+/// pool left to right, exactly like the leaves they group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RunSpan {
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// Borrowed view of one leaf: its covering word, its packed entries, and
+/// its position inside its run's segment-major symbol block.
 #[derive(Debug, Clone, Copy)]
 pub struct LeafRef<'a> {
     /// Variable-cardinality summary covering everything in this leaf.
     pub word: &'a NodeWord,
     /// The stored `(summary, position)` pairs, contiguous in the pool.
     pub entries: &'a [LeafEntry],
-    /// The leaf's struct-of-arrays symbol block: `MAX_SEGMENTS` columns of
-    /// `entries.len()` bytes each, column `s` starting at
-    /// `s * entries.len()`. `cols[s * n + j] == entries[j].sax.symbol(s)`
-    /// — the transposed copy the mindist cascade streams instead of
-    /// striding over interleaved [`SaxWord`]s.
+    /// The segment-major symbol block of the leaf's *run*: `MAX_SEGMENTS`
+    /// columns of `stride` bytes each. This leaf's symbols sit at
+    /// `cols[s * stride + base + j] == entries[j].sax.symbol(s)` — the
+    /// transposed copy the mindist cascade streams instead of striding
+    /// over interleaved [`SaxWord`]s.
     pub cols: &'a [u8],
+    /// Entry count of the whole run (the column stride of `cols`).
+    pub stride: usize,
+    /// Offset of this leaf's first entry within the run.
+    pub base: usize,
 }
 
-/// The slice of one leaf a search worker scans: packed entries plus the
-/// matching SoA symbol block (what the priority queues carry).
+/// The unit a search worker scans: one or more *consecutive* leaves of
+/// the same run, viewed through the run's segment-major symbol block
+/// (what the priority queues carry — the multi-leaf generalization of
+/// the old per-leaf `LeafSlice`).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct LeafSlice<'a> {
-    /// The leaf's `(summary, position)` pairs.
+pub(crate) struct LeafRun<'a> {
+    /// The spanned leaves' `(summary, position)` pairs, contiguous.
     pub(crate) entries: &'a [LeafEntry],
-    /// The leaf's transposed symbol columns (see [`LeafRef::cols`]).
+    /// The whole run's symbol block (see [`LeafRef::cols`]).
     pub(crate) cols: &'a [u8],
+    /// Entry count of the whole run (column stride of `cols`).
+    pub(crate) stride: u32,
+    /// Offset of `entries[0]` within the run.
+    pub(crate) base: u32,
+    /// Pool-absolute entry boundaries of the member leaves:
+    /// `leaf_count() + 1` cumulative offsets, so member leaf `i` holds
+    /// entries `starts[i] - starts[0] .. starts[i+1] - starts[0]` of
+    /// `entries`.
+    pub(crate) starts: &'a [u32],
+}
+
+impl<'a> LeafRun<'a> {
+    /// Number of member leaves spanned by this run view.
+    #[inline]
+    pub(crate) fn leaf_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The view truncated to its first `k` member leaves (budgeted
+    /// objectives admit leaves one at a time; a veto mid-run scans only
+    /// the admitted prefix).
+    #[inline]
+    pub(crate) fn prefix(&self, k: usize) -> LeafRun<'a> {
+        debug_assert!(k <= self.leaf_count());
+        let cut = (self.starts[k] - self.starts[0]) as usize;
+        LeafRun {
+            entries: &self.entries[..cut],
+            starts: &self.starts[..=k],
+            ..*self
+        }
+    }
+}
+
+/// All derived (never serialized) per-arena layout: the SoA symbol pool
+/// plus the leaf-run metadata. Rebuilt identically at build time and at
+/// load time by [`derive_layout`].
+#[derive(Debug)]
+struct DerivedLayout {
+    cols: Vec<u8>,
+    leaf_starts: Vec<u32>,
+    leaf_ordinals: Vec<u32>,
+    runs: Vec<RunSpan>,
+    run_of: Vec<u32>,
+}
+
+/// Derives the run partition and SoA symbol pool for a finished
+/// node/entry layout. Deterministic and configuration-free: the greedy
+/// partition walks leaves in pool order, opening a new run whenever
+/// adding the next non-empty leaf would push the current run past
+/// [`RUN_TARGET_ENTRIES`] (empty leaves always join the current run; an
+/// oversized leaf gets a run of its own). Shared by
+/// [`SubtreeBuilder::finish`] and [`TreeArena::from_raw`], so snapshots
+/// round-trip to byte-identical metadata; every vector is allocated once
+/// at exact capacity.
+fn derive_layout(nodes: &[NodeRecord], entries: &[LeafEntry]) -> DerivedLayout {
+    let num_leaves = nodes.iter().filter(|n| n.tag == LEAF_TAG).count();
+    let mut leaf_starts = Vec::with_capacity(num_leaves + 1);
+    let mut leaf_ordinals = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        if n.tag == LEAF_TAG {
+            leaf_ordinals.push(leaf_starts.len() as u32);
+            leaf_starts.push(n.lo);
+        } else {
+            leaf_ordinals.push(NIL);
+        }
+    }
+    leaf_starts.push(entries.len() as u32);
+
+    // Greedy partition, run twice — once to count runs, once to fill the
+    // exact-capacity vectors (the decision depends only on leaf lengths,
+    // so both passes agree).
+    let sweep = |emit: &mut dyn FnMut(usize, bool)| {
+        let mut run_entries = 0usize;
+        for ord in 0..num_leaves {
+            let len = (leaf_starts[ord + 1] - leaf_starts[ord]) as usize;
+            let opens = ord == 0 || (len > 0 && run_entries + len > RUN_TARGET_ENTRIES);
+            run_entries = if opens { len } else { run_entries + len };
+            emit(ord, opens);
+        }
+    };
+    let mut num_runs = 0usize;
+    sweep(&mut |_, opens| num_runs += usize::from(opens));
+    let mut runs: Vec<RunSpan> = Vec::with_capacity(num_runs);
+    let mut run_of = Vec::with_capacity(num_leaves);
+    sweep(&mut |ord, opens| {
+        let (lo, hi) = (leaf_starts[ord], leaf_starts[ord + 1]);
+        if opens {
+            runs.push(RunSpan { lo, hi });
+        } else {
+            runs.last_mut().expect("first leaf opens a run").hi = hi;
+        }
+        run_of.push(runs.len() as u32 - 1);
+    });
+
+    // One segment-major symbol block per run: inside run `[lo, hi)`
+    // (n = hi − lo entries), column `s` occupies
+    // `[lo·16 + s·n, lo·16 + (s+1)·n)`. All MAX_SEGMENTS columns are
+    // materialized regardless of the configured segment count, so the
+    // layout needs no config to decode.
+    let mut cols = vec![0u8; entries.len() * MAX_SEGMENTS];
+    for r in &runs {
+        let (lo, hi) = (r.lo as usize, r.hi as usize);
+        let n = hi - lo;
+        let block = &mut cols[lo * MAX_SEGMENTS..hi * MAX_SEGMENTS];
+        for (j, e) in entries[lo..hi].iter().enumerate() {
+            for (s, &sym) in e.sax.symbols().iter().enumerate() {
+                block[s * n + j] = sym;
+            }
+        }
+    }
+
+    DerivedLayout {
+        cols,
+        leaf_starts,
+        leaf_ordinals,
+        runs,
+        run_of,
+    }
 }
 
 /// A root subtree flattened into contiguous storage: node records in
-/// preorder, one packed leaf-entry pool, and the pool's struct-of-arrays
-/// symbol transposition — three allocations total.
+/// preorder, one packed leaf-entry pool, and the pool's run-grouped
+/// struct-of-arrays symbol transposition plus run metadata.
 ///
 /// Node accessors take a [`NodeId`]; traversal starts at
 /// [`TreeArena::ROOT`] and follows [`TreeArena::children`]. Leaves are in
 /// depth-first (left-to-right) order both in the node array and in the
 /// pool, so [`TreeArena::for_each_leaf`] is a linear sweep.
 ///
-/// The `cols` pool mirrors `entries` segment-major *per leaf*: the leaf
-/// with pool range `[lo, hi)` (n = hi − lo entries) owns the byte block
-/// `[lo·16, hi·16)`, inside which column `s` occupies
-/// `[lo·16 + s·n, lo·16 + (s+1)·n)`. The batched mindist kernel thus
-/// reads each segment's symbols as one sequential run of cache lines
-/// instead of striding 20 bytes per entry through interleaved
-/// [`SaxWord`]s. `cols` is derived data — rebuilt on load, never
-/// serialized — and always uses all [`MAX_SEGMENTS`] columns regardless
-/// of the configured segment count, so the layout needs no config to
-/// decode.
+/// The `cols` pool mirrors `entries` segment-major *per leaf run* (see
+/// the module docs and `derive_layout`): the run with pool span
+/// `[lo, hi)` (n = hi − lo entries) owns the byte block `[lo·16, hi·16)`,
+/// inside which column `s` occupies `[lo·16 + s·n, lo·16 + (s+1)·n)`.
+/// The batched mindist kernel thus reads each segment's symbols across a
+/// whole run of small leaves as one sequential stretch of cache lines.
+/// `cols` and all run metadata are derived data — rebuilt on load, never
+/// serialized.
 #[derive(Debug)]
 pub struct TreeArena {
     nodes: Vec<NodeRecord>,
     entries: Vec<LeafEntry>,
     cols: Vec<u8>,
-}
-
-/// Builds the SoA symbol pool for a finished node/entry layout (see
-/// [`TreeArena`] docs for the block layout). Shared by
-/// [`SubtreeBuilder::finish`] and [`TreeArena::from_raw`]; exactly one
-/// exact-sized allocation.
-fn transpose_cols(nodes: &[NodeRecord], entries: &[LeafEntry]) -> Vec<u8> {
-    let mut cols = vec![0u8; entries.len() * MAX_SEGMENTS];
-    for n in nodes {
-        if n.tag != LEAF_TAG {
-            continue;
-        }
-        let (lo, hi) = (n.lo as usize, n.hi as usize);
-        let len = hi - lo;
-        let block = &mut cols[lo * MAX_SEGMENTS..hi * MAX_SEGMENTS];
-        for (j, e) in entries[lo..hi].iter().enumerate() {
-            for (s, &sym) in e.sax.symbols().iter().enumerate() {
-                block[s * len + j] = sym;
-            }
-        }
-    }
-    cols
+    /// Pool-absolute entry offset of each leaf in ordinal (pool) order,
+    /// plus a trailing `num_entries` sentinel.
+    leaf_starts: Vec<u32>,
+    /// Parallel to `nodes`: the leaf's ordinal, or `u32::MAX` for inner
+    /// nodes.
+    leaf_ordinals: Vec<u32>,
+    /// Entry span of each leaf run, in pool order.
+    runs: Vec<RunSpan>,
+    /// Run id of each leaf, by ordinal (non-decreasing).
+    run_of: Vec<u32>,
 }
 
 impl TreeArena {
     /// The root node's id (arenas are built root-first).
     pub const ROOT: NodeId = 0;
+
+    fn assemble(nodes: Vec<NodeRecord>, entries: Vec<LeafEntry>) -> Self {
+        let layout = derive_layout(&nodes, &entries);
+        Self {
+            nodes,
+            entries,
+            cols: layout.cols,
+            leaf_starts: layout.leaf_starts,
+            leaf_ordinals: layout.leaf_ordinals,
+            runs: layout.runs,
+            run_of: layout.run_of,
+        }
+    }
 
     /// Number of nodes (inner + leaf) in the subtree.
     pub fn num_nodes(&self) -> usize {
@@ -157,7 +455,25 @@ impl TreeArena {
 
     /// Number of leaves in the subtree.
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| n.tag == LEAF_TAG).count()
+        self.leaf_starts.len() - 1
+    }
+
+    /// Number of leaf runs in the subtree (see the module docs).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Per-run shape, in run order: `(member leaves, entries)`. What
+    /// `messi info`'s run-length histogram and the layout probe
+    /// aggregate.
+    pub fn run_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = vec![(0usize, 0usize); self.runs.len()];
+        for (ord, &r) in self.run_of.iter().enumerate() {
+            let s = &mut shapes[r as usize];
+            s.0 += 1;
+            s.1 += (self.leaf_starts[ord + 1] - self.leaf_starts[ord]) as usize;
+        }
+        shapes
     }
 
     /// Height of the subtree (a lone leaf has height 1).
@@ -223,17 +539,23 @@ impl TreeArena {
         &self.entries[n.lo as usize..n.hi as usize]
     }
 
-    /// A leaf's SoA symbol block (`MAX_SEGMENTS` columns of
-    /// `entries.len()` bytes; see [`LeafRef::cols`] for the layout).
+    /// A leaf's ordinal: its zero-based position among the arena's
+    /// leaves in pool order.
     ///
     /// # Panics
     ///
     /// Debug-panics when `id` is an inner node.
     #[inline]
-    pub fn leaf_cols(&self, id: NodeId) -> &[u8] {
-        let n = &self.nodes[id as usize];
-        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_cols of an inner node");
-        &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS]
+    pub(crate) fn leaf_ordinal(&self, id: NodeId) -> u32 {
+        let ord = self.leaf_ordinals[id as usize];
+        debug_assert_ne!(ord, NIL, "leaf_ordinal of an inner node");
+        ord
+    }
+
+    /// The id of the run containing the leaf with ordinal `ord`.
+    #[inline]
+    pub(crate) fn run_of(&self, ord: u32) -> u32 {
+        self.run_of[ord as usize]
     }
 
     /// Borrowed view of the leaf at `id`.
@@ -243,26 +565,45 @@ impl TreeArena {
     /// Debug-panics when `id` is an inner node.
     #[inline]
     pub fn leaf(&self, id: NodeId) -> LeafRef<'_> {
+        let n = &self.nodes[id as usize];
+        debug_assert_eq!(n.tag, LEAF_TAG, "leaf of an inner node");
+        let run = self.runs[self.run_of[self.leaf_ordinals[id as usize] as usize] as usize];
         LeafRef {
-            word: self.word(id),
-            entries: self.leaf_entries(id),
-            cols: self.leaf_cols(id),
+            word: &n.word,
+            entries: &self.entries[n.lo as usize..n.hi as usize],
+            cols: &self.cols[run.lo as usize * MAX_SEGMENTS..run.hi as usize * MAX_SEGMENTS],
+            stride: (run.hi - run.lo) as usize,
+            base: (n.lo - run.lo) as usize,
         }
     }
 
-    /// The scannable slice of the leaf at `id` — what gets pushed onto
-    /// the search priority queues.
-    ///
-    /// # Panics
-    ///
-    /// Debug-panics when `id` is an inner node.
+    /// The scannable view of the member leaves `[ord_lo, ord_hi)` of one
+    /// run — what gets pushed onto the search priority queues. The span
+    /// must be non-empty and must not cross a run boundary
+    /// (debug-asserted).
     #[inline]
-    pub(crate) fn leaf_slice(&self, id: NodeId) -> LeafSlice<'_> {
-        let n = &self.nodes[id as usize];
-        debug_assert_eq!(n.tag, LEAF_TAG, "leaf_slice of an inner node");
-        LeafSlice {
-            entries: &self.entries[n.lo as usize..n.hi as usize],
-            cols: &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS],
+    pub(crate) fn leaf_run(&self, ord_lo: u32, ord_hi: u32) -> LeafRun<'_> {
+        debug_assert!(ord_lo < ord_hi, "empty run span");
+        debug_assert!(
+            (ord_hi as usize) < self.leaf_starts.len(),
+            "span out of bounds"
+        );
+        debug_assert_eq!(
+            self.run_of[ord_lo as usize],
+            self.run_of[ord_hi as usize - 1],
+            "span crosses a run boundary"
+        );
+        let run = self.runs[self.run_of[ord_lo as usize] as usize];
+        let (elo, ehi) = (
+            self.leaf_starts[ord_lo as usize],
+            self.leaf_starts[ord_hi as usize],
+        );
+        LeafRun {
+            entries: &self.entries[elo as usize..ehi as usize],
+            cols: &self.cols[run.lo as usize * MAX_SEGMENTS..run.hi as usize * MAX_SEGMENTS],
+            stride: run.hi - run.lo,
+            base: elo - run.lo,
+            starts: &self.leaf_starts[ord_lo as usize..=ord_hi as usize],
         }
     }
 
@@ -270,14 +611,35 @@ impl TreeArena {
     /// layout this is a linear sweep of the node array, not a pointer
     /// chase.
     pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(LeafRef<'a>)) {
+        let mut ord = 0usize;
         for n in &self.nodes {
             if n.tag == LEAF_TAG {
+                let run = self.runs[self.run_of[ord] as usize];
                 f(LeafRef {
                     word: &n.word,
                     entries: &self.entries[n.lo as usize..n.hi as usize],
-                    cols: &self.cols[n.lo as usize * MAX_SEGMENTS..n.hi as usize * MAX_SEGMENTS],
+                    cols: &self.cols
+                        [run.lo as usize * MAX_SEGMENTS..run.hi as usize * MAX_SEGMENTS],
+                    stride: (run.hi - run.lo) as usize,
+                    base: (n.lo - run.lo) as usize,
                 });
+                ord += 1;
             }
+        }
+    }
+
+    /// Visits every leaf run in pool order as `f(entries, cols, stride)`
+    /// where `cols[s * stride + j] == entries[j].sax.symbol(s)` — the
+    /// whole-run analog of [`TreeArena::for_each_leaf`], for probes that
+    /// stream full runs through the batched mindist kernel.
+    pub fn for_each_run<'a>(&'a self, f: &mut impl FnMut(&'a [LeafEntry], &'a [u8], usize)) {
+        for r in &self.runs {
+            let (lo, hi) = (r.lo as usize, r.hi as usize);
+            f(
+                &self.entries[lo..hi],
+                &self.cols[lo * MAX_SEGMENTS..hi * MAX_SEGMENTS],
+                hi - lo,
+            );
         }
     }
 
@@ -301,8 +663,8 @@ impl TreeArena {
         id
     }
 
-    /// Whether all three backing allocations are capacity-tight (length
-    /// == capacity) — true for every arena produced by
+    /// Whether all backing allocations are capacity-tight (length ==
+    /// capacity) — true for every arena produced by
     /// [`SubtreeBuilder::finish`], which allocates each exactly once at
     /// its final size. The build tests assert this "allocation-flat"
     /// invariant on whole indexes.
@@ -310,6 +672,10 @@ impl TreeArena {
         self.nodes.capacity() == self.nodes.len()
             && self.entries.capacity() == self.entries.len()
             && self.cols.capacity() == self.cols.len()
+            && self.leaf_starts.capacity() == self.leaf_starts.len()
+            && self.leaf_ordinals.capacity() == self.leaf_ordinals.len()
+            && self.runs.capacity() == self.runs.len()
+            && self.run_of.capacity() == self.run_of.len()
     }
 
     /// Bytes held by the node array (capacity, i.e. the allocation).
@@ -322,9 +688,13 @@ impl TreeArena {
         self.entries.capacity() * std::mem::size_of::<LeafEntry>()
     }
 
-    /// Bytes held by the SoA symbol pool (capacity).
+    /// Bytes held by the SoA symbol pool plus the derived run metadata
+    /// (capacities).
     pub fn col_bytes(&self) -> usize {
         self.cols.capacity()
+            + (self.leaf_starts.capacity() + self.leaf_ordinals.capacity() + self.run_of.capacity())
+                * std::mem::size_of::<u32>()
+            + self.runs.capacity() * std::mem::size_of::<RunSpan>()
     }
 
     /// A leaf's `[start, end)` range in the entry pool (validation and
@@ -339,14 +709,95 @@ impl TreeArena {
         (n.lo, n.hi)
     }
 
-    /// Raw node records, for serialization ([`crate::persist`]).
+    /// Raw node records (test-only: the snapshot writer slices per-key
+    /// subtrees out via [`TreeArena::key_subtree_raw`] instead).
+    #[cfg(test)]
     pub(crate) fn raw_nodes(&self) -> &[NodeRecord] {
         &self.nodes
     }
 
-    /// Raw pool entries, for serialization ([`crate::persist`]).
+    /// Raw pool entries (test-only; see [`TreeArena::raw_nodes`]).
+    #[cfg(test)]
     pub(crate) fn raw_entries(&self) -> &[LeafEntry] {
         &self.entries
+    }
+
+    /// Consumes the arena back into its raw parts (the forest regrouping
+    /// path of [`crate::index::MessiIndex::from_parts`]); the derived
+    /// layout is dropped and rebuilt by the receiving assembly.
+    pub(crate) fn into_raw(self) -> (Vec<NodeRecord>, Vec<LeafEntry>) {
+        (self.nodes, self.entries)
+    }
+
+    /// Preorder extent of the subtree rooted at `id`: `(one past the
+    /// last node id, pool start, pool end)`. Both ranges are contiguous
+    /// because nodes are in preorder and leaves partition the pool in
+    /// the same order.
+    pub(crate) fn subtree_extent(&self, id: NodeId) -> (NodeId, u32, u32) {
+        let mut leftmost = id;
+        while !self.is_leaf(leftmost) {
+            leftmost = self.children(leftmost).0;
+        }
+        let mut rightmost = id;
+        while !self.is_leaf(rightmost) {
+            rightmost = self.children(rightmost).1;
+        }
+        let (pool_lo, _) = self.leaf_range(leftmost);
+        let (_, pool_hi) = self.leaf_range(rightmost);
+        (rightmost + 1, pool_lo, pool_hi)
+    }
+
+    /// The subtree rooted at `id` as standalone raw parts: node records
+    /// rebased to ids `0..n` and pool offsets `0..m`, plus the entry
+    /// slice. Inverse of the [`assemble_forest`] splice — serializing a
+    /// forest member this way reproduces the exact bytes the per-key
+    /// subtree would have written on its own, which is what keeps the
+    /// snapshot format unchanged.
+    pub(crate) fn key_subtree_raw(&self, id: NodeId) -> (Vec<NodeRecord>, &[LeafEntry]) {
+        let (node_end, pool_lo, pool_hi) = self.subtree_extent(id);
+        let nodes = self.nodes[id as usize..node_end as usize]
+            .iter()
+            .map(|n| {
+                let mut rec = *n;
+                if rec.tag == LEAF_TAG {
+                    rec.lo -= pool_lo;
+                    rec.hi -= pool_lo;
+                } else {
+                    rec.lo -= id;
+                    rec.hi -= id;
+                }
+                rec
+            })
+            .collect();
+        (nodes, &self.entries[pool_lo as usize..pool_hi as usize])
+    }
+
+    /// Verifies that the stored derived layout (SoA pool + run metadata)
+    /// equals a fresh recomputation from the raw node/entry records —
+    /// the run-metadata invariant [`crate::validate`] audits on every
+    /// arena, built or loaded.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatching vector.
+    pub(crate) fn check_derived_layout(&self) -> Result<(), String> {
+        let fresh = derive_layout(&self.nodes, &self.entries);
+        if fresh.leaf_starts != self.leaf_starts {
+            return Err("leaf_starts differ from per-leaf recomputation".into());
+        }
+        if fresh.leaf_ordinals != self.leaf_ordinals {
+            return Err("leaf_ordinals differ from per-leaf recomputation".into());
+        }
+        if fresh.runs != self.runs {
+            return Err("run spans differ from per-leaf recomputation".into());
+        }
+        if fresh.run_of != self.run_of {
+            return Err("run membership differs from per-leaf recomputation".into());
+        }
+        if fresh.cols != self.cols {
+            return Err("SoA symbol pool differs from per-leaf recomputation".into());
+        }
+        Ok(())
     }
 
     /// Deepest tree a legitimate build can produce: every inner→child
@@ -443,14 +894,11 @@ impl TreeArena {
                 nn - expect
             ));
         }
-        // The SoA symbol pool is derived data: rebuild it from the (now
-        // validated) records instead of trusting serialized bytes.
-        let cols = transpose_cols(&nodes, &entries);
-        Ok(Self {
-            nodes,
-            entries,
-            cols,
-        })
+        // The SoA symbol pool and run metadata are derived data: rebuild
+        // them from the (now validated) records instead of trusting
+        // serialized bytes. Same derivation as the build path, so a
+        // round-trip is byte-identical.
+        Ok(Self::assemble(nodes, entries))
     }
 }
 
@@ -502,10 +950,10 @@ impl<'a> Iterator for SaxLinkIter<'a> {
 ///
 /// The builder's scratch (index-linked entry lists, a flat scratch-node
 /// array) is retained across subtrees: `begin` → `insert`* → `finish`
-/// cycles reuse the same buffers, and `finish` performs **exactly three**
-/// exact-capacity allocations — the arena's node array, entry pool, and
-/// SoA symbol pool — regardless of how many nodes the subtree has
-/// (debug-asserted).
+/// cycles reuse the same buffers, and `finish` performs a fixed handful
+/// of exact-capacity allocations — the arena's node array, entry pool,
+/// SoA symbol pool, and run metadata — regardless of how many nodes the
+/// subtree has (the "allocation-flat" invariant, debug-asserted).
 #[derive(Debug)]
 pub struct SubtreeBuilder {
     /// Number of PAA segments (the paper's w).
@@ -689,13 +1137,13 @@ impl SubtreeBuilder {
     }
 
     /// Flattens the finished subtree into a [`TreeArena`] (preorder node
-    /// array + packed leaf pool + SoA symbol pool) and resets the scratch
-    /// for the next subtree.
+    /// array + packed leaf pool + derived SoA/run layout) and resets the
+    /// scratch for the next subtree.
     ///
-    /// The arena is built with exactly three exact-capacity allocations —
-    /// the node-count and entry-count are known, and the SoA transposition
-    /// is a post-pass over the emitted leaves — which debug assertions
-    /// verify (the "allocation-flat subtree" invariant).
+    /// The arena is built with a fixed handful of exact-capacity
+    /// allocations — the node-count and entry-count are known, and the
+    /// derived layout is a post-pass over the emitted leaves — which
+    /// debug assertions verify (the "allocation-flat subtree" invariant).
     ///
     /// # Panics
     ///
@@ -713,12 +1161,9 @@ impl SubtreeBuilder {
         self.nodes.clear();
         self.entries.clear();
         self.next.clear();
-        let cols = transpose_cols(&nodes, &pool);
-        TreeArena {
-            nodes,
-            entries: pool,
-            cols,
-        }
+        let arena = TreeArena::assemble(nodes, pool);
+        debug_assert!(arena.allocation_flat(), "derived layout reallocated");
+        arena
     }
 
     /// Emits the scratch node `sid` (and its subtree) in preorder,
@@ -880,6 +1325,9 @@ mod tests {
         assert_eq!(arena.height(), 1);
         assert!(arena.node_bytes() > 0 || arena.num_nodes() == 1);
         assert_eq!(arena.leaf(TreeArena::ROOT).entries.len(), 0);
+        // Even an empty arena has one (empty) run covering its one leaf.
+        assert_eq!(arena.num_runs(), 1);
+        assert_eq!(arena.run_shapes(), vec![(1, 0)]);
     }
 
     #[test]
@@ -954,15 +1402,16 @@ mod tests {
             let arena =
                 builder.build_subtree(node_word_for_root_key(key, 4), entries.iter().copied());
             assert!(arena.allocation_flat());
-            assert_eq!(arena.col_bytes(), arena.num_entries() * MAX_SEGMENTS);
+            assert!(arena.col_bytes() >= arena.num_entries() * MAX_SEGMENTS);
             let mut total = 0usize;
             arena.for_each_leaf(&mut |leaf| {
                 let n = leaf.entries.len();
-                assert_eq!(leaf.cols.len(), n * MAX_SEGMENTS);
+                assert!(leaf.base + n <= leaf.stride);
+                assert_eq!(leaf.cols.len(), leaf.stride * MAX_SEGMENTS);
                 for (j, e) in leaf.entries.iter().enumerate() {
                     for s in 0..MAX_SEGMENTS {
                         assert_eq!(
-                            leaf.cols[s * n + j],
+                            leaf.cols[s * leaf.stride + leaf.base + j],
                             e.sax.symbol(s),
                             "key {key} entry {j} segment {s}"
                         );
@@ -971,14 +1420,76 @@ mod tests {
                 total += n;
             });
             assert_eq!(total, arena.num_entries());
-            // The round-tripped arena rebuilds an identical SoA pool.
+            // The round-tripped arena rebuilds identical derived layout.
             let back =
                 TreeArena::from_raw(arena.raw_nodes().to_vec(), arena.raw_entries().to_vec())
                     .expect("valid arena");
+            assert_eq!(back.cols, arena.cols);
+            assert_eq!(back.leaf_starts, arena.leaf_starts);
+            assert_eq!(back.runs, arena.runs);
+            assert_eq!(back.run_of, arena.run_of);
+            arena.check_derived_layout().expect("derived layout intact");
+        }
+    }
+
+    #[test]
+    fn runs_partition_leaves_and_respect_the_target() {
+        let config = SaxConfig::new(4, 32);
+        let mut groups: std::collections::HashMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..500u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups.entry(root_key(&e.sax, 4)).or_default().push(e);
+        }
+        let mut builder = SubtreeBuilder::new(4, 4); // tiny leaves → multi-leaf runs
+        for (key, entries) in groups {
+            let arena =
+                builder.build_subtree(node_word_for_root_key(key, 4), entries.iter().copied());
+            let shapes = arena.run_shapes();
+            assert_eq!(shapes.len(), arena.num_runs(), "key {key}");
+            let leaves: usize = shapes.iter().map(|s| s.0).sum();
+            let spanned: usize = shapes.iter().map(|s| s.1).sum();
+            assert_eq!(leaves, arena.num_leaves(), "runs partition the leaves");
+            assert_eq!(spanned, arena.num_entries(), "runs partition the pool");
+            for (i, &(leaf_count, entry_count)) in shapes.iter().enumerate() {
+                assert!(leaf_count >= 1, "key {key} run {i} spans no leaf");
+                // A run only exceeds the target when a single oversized
+                // leaf forces it.
+                assert!(
+                    entry_count <= RUN_TARGET_ENTRIES || leaf_count == 1,
+                    "key {key} run {i}: {entry_count} entries over {leaf_count} leaves"
+                );
+            }
+            // leaf_run views agree with per-leaf views entry for entry.
+            let mut ord = 0u32;
             for id in 0..arena.num_nodes() as NodeId {
-                if arena.is_leaf(id) {
-                    assert_eq!(arena.leaf_cols(id), back.leaf_cols(id));
+                if !arena.is_leaf(id) {
+                    continue;
                 }
+                assert_eq!(arena.leaf_ordinal(id), ord);
+                let run = arena.leaf_run(ord, ord + 1);
+                assert_eq!(run.leaf_count(), 1);
+                assert_eq!(run.entries, arena.leaf_entries(id));
+                let l = arena.leaf(id);
+                assert_eq!(run.stride as usize, l.stride);
+                assert_eq!(run.base as usize, l.base);
+                ord += 1;
+            }
+            // Whole-run views span all member leaves contiguously.
+            let mut lo = 0u32;
+            for &(leaf_count, entry_count) in &shapes {
+                let hi = lo + leaf_count as u32;
+                let run = arena.leaf_run(lo, hi);
+                assert_eq!(run.leaf_count(), leaf_count);
+                assert_eq!(run.entries.len(), entry_count);
+                assert_eq!(run.base, 0, "whole run starts at its block base");
+                assert_eq!(run.stride as usize, entry_count);
+                // Prefix views truncate on member-leaf boundaries.
+                for k in 1..=leaf_count {
+                    let p = run.prefix(k);
+                    assert_eq!(p.leaf_count(), k);
+                    assert_eq!(p.entries.len(), (run.starts[k] - run.starts[0]) as usize);
+                }
+                lo = hi;
             }
         }
     }
@@ -1029,5 +1540,104 @@ mod tests {
         }
         let err = TreeArena::from_raw(spine, entries(0)).unwrap_err();
         assert!(err.contains("deeper"), "{err}");
+    }
+
+    #[test]
+    fn forest_groups_pack_greedily_to_the_target() {
+        let t = FOREST_TARGET_ENTRIES;
+        assert_eq!(forest_groups(&[]), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(forest_groups(&[1]), vec![0..1]);
+        // An oversized subtree gets its own group but is never split.
+        assert_eq!(forest_groups(&[t * 10]), vec![0..1]);
+        // Greedy: a group closes exactly when the next count would
+        // overflow the target.
+        assert_eq!(forest_groups(&[t / 2, t / 2, 1]), vec![0..2, 2..3]);
+        // Sparse singleton subtrees coalesce many-to-one, and the groups
+        // tile the input without gaps.
+        let counts = vec![1usize; 3 * t + 5];
+        let groups = forest_groups(&counts);
+        assert!(groups.iter().all(|g| g.len() <= t));
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), counts.len());
+        assert_eq!(groups[0].start, 0);
+        assert!(groups.windows(2).all(|w| w[0].end == w[1].start));
+        assert_eq!(groups.last().expect("nonempty").end, counts.len());
+    }
+
+    #[test]
+    fn forest_assembly_preserves_per_key_subtrees() {
+        let segments = 4usize;
+        let config = SaxConfig::new(4, 32);
+        let mut groups: std::collections::BTreeMap<usize, Vec<LeafEntry>> = Default::default();
+        for i in 0..400u32 {
+            let e = entry_for(&series(i, 32), i, config);
+            groups
+                .entry(root_key(&e.sax, segments))
+                .or_default()
+                .push(e);
+        }
+        let mut builder = SubtreeBuilder::new(segments, 4);
+        let built: Vec<(usize, TreeArena)> = groups
+            .into_iter()
+            .map(|(key, entries)| {
+                let word = node_word_for_root_key(key, segments);
+                (key, builder.build_subtree(word, entries.iter().copied()))
+            })
+            .collect();
+        assert!(built.len() >= 2, "need several keys to form a forest");
+        let originals: Vec<(usize, Vec<NodeRecord>, Vec<LeafEntry>)> = built
+            .iter()
+            .map(|(k, a)| (*k, a.raw_nodes().to_vec(), a.raw_entries().to_vec()))
+            .collect();
+        let forest = assemble_forest(
+            built
+                .into_iter()
+                .map(|(k, a)| {
+                    let (n, e) = a.into_raw();
+                    (k, n, e)
+                })
+                .collect(),
+            segments,
+        );
+        // k member subtrees need exactly k−1 synthetic spine nodes, and
+        // the spliced storage stays capacity-tight with a clean derived
+        // layout.
+        assert!(forest.allocation_flat());
+        forest.check_derived_layout().expect("derived layout");
+        assert_eq!(
+            forest.num_nodes(),
+            originals.iter().map(|o| o.1.len()).sum::<usize>() + originals.len() - 1
+        );
+        assert_eq!(
+            forest.num_entries(),
+            originals.iter().map(|o| o.2.len()).sum::<usize>()
+        );
+        // Every member subtree slices back out byte-identical through
+        // the spine (descending by the key's bits at each synthetic
+        // split, which must land on an unrefined segment).
+        for (key, nodes, entries) in &originals {
+            let mut id = TreeArena::ROOT;
+            loop {
+                let word = forest.word(id);
+                if (0..segments).all(|s| word.bits(s) >= 1) {
+                    break;
+                }
+                let split = forest.split_segment(id);
+                assert_eq!(word.bits(split), 0, "key {key}: split on refined segment");
+                let (l, r) = forest.children(id);
+                id = if (*key >> (segments - 1 - split)) & 1 == 0 {
+                    l
+                } else {
+                    r
+                };
+            }
+            assert_eq!(forest.word(id), &node_word_for_root_key(*key, segments));
+            let (got_nodes, got_entries) = forest.key_subtree_raw(id);
+            assert_eq!(&got_nodes, nodes, "key {key}: sliced nodes differ");
+            assert_eq!(
+                got_entries,
+                &entries[..],
+                "key {key}: sliced entries differ"
+            );
+        }
     }
 }

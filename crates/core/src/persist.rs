@@ -211,19 +211,19 @@ pub fn load_index(path: &Path, dataset: Arc<Dataset>) -> Result<MessiIndex, Pers
 
 /// Load-time semantic validation — the parallel counterpart of
 /// [`crate::validate::validate`] for the snapshot trust boundary, built
-/// on the *same* per-subtree checker
-/// ([`crate::validate::check_subtree_semantics`]), so an invariant
-/// added there automatically guards loaded snapshots. Subtrees are
+/// on the *same* per-arena checker
+/// ([`crate::validate::check_arena_semantics`]), so an invariant
+/// added there automatically guards loaded snapshots. Arenas are
 /// independent, so workers claim them via Fetch&Inc; position
 /// completeness is folded through a shared atomic seen-array (the
 /// `record` hook rejects duplicates on the spot).
 fn validate_loaded(index: &MessiIndex) -> Result<(), String> {
     use std::sync::atomic::{AtomicU8, Ordering};
-    let touched = index.touched_keys();
+    let arenas = index.arenas();
     let seen: Vec<AtomicU8> = (0..index.num_series()).map(|_| AtomicU8::new(0)).collect();
     let first_error: Mutex<Option<String>> = Mutex::new(None);
-    let dispenser = messi_sync::Dispenser::new(touched.len());
-    let workers = index.config().num_workers.min(touched.len().max(1));
+    let dispenser = messi_sync::Dispenser::new(arenas.len());
+    let workers = index.config().num_workers.min(arenas.len().max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             let seen = &seen;
@@ -235,8 +235,7 @@ fn validate_loaded(index: &MessiIndex) -> Result<(), String> {
                     if first_error.lock().is_some() {
                         return; // someone already failed: stop early
                     }
-                    let key = touched[i];
-                    let arena = index.root(key).expect("touched ⇒ present");
+                    let arena = &arenas[i];
                     let mut record = |pos: usize| -> Result<(), String> {
                         match seen.get(pos) {
                             Some(count) if count.fetch_add(1, Ordering::Relaxed) == 0 => Ok(()),
@@ -244,10 +243,10 @@ fn validate_loaded(index: &MessiIndex) -> Result<(), String> {
                             None => Err(format!("position {pos} out of range")),
                         }
                     };
-                    if let Err(e) = crate::validate::check_subtree_semantics(
+                    if let Err(e) = crate::validate::check_arena_semantics(
                         index,
                         arena,
-                        key,
+                        i,
                         &mut conv,
                         &mut record,
                     ) {
@@ -295,17 +294,22 @@ fn encode_payload(index: &MessiIndex) -> Vec<u8> {
 
     w.put_u32(index.touched_keys().len() as u32);
     for &key in index.touched_keys() {
-        let arena = index.root(key).expect("touched ⇒ present");
+        // Slice the per-key subtree back out of its (possibly shared)
+        // forest arena, rebased to standalone ids/offsets — the exact
+        // bytes a solo per-key arena would have written, so the format
+        // is unchanged by forest grouping and old snapshots stay
+        // readable (and re-writable) bit for bit.
+        let (nodes, entries) = index.key_raw_parts(key).expect("touched ⇒ present");
         w.put_u32(key as u32);
-        w.put_u32(arena.num_nodes() as u32);
-        w.put_u32(arena.num_entries() as u32);
-        for rec in arena.raw_nodes() {
+        w.put_u32(nodes.len() as u32);
+        w.put_u32(entries.len() as u32);
+        for rec in &nodes {
             put_node_word(&mut w, &rec.word);
             w.put_u8(rec.tag);
             w.put_u32(rec.lo);
             w.put_u32(rec.hi);
         }
-        for e in arena.raw_entries() {
+        for e in entries {
             w.put_bytes(e.sax.symbols());
             w.put_u32(e.pos);
         }
@@ -696,11 +700,14 @@ mod tests {
         // summaries / containment — can catch this; without it the
         // forged summary corrupts pruning bounds and exact answers.
         let first_key = index.touched_keys()[0];
-        let first_arena = index.root(first_key).expect("touched");
+        // The snapshot stores per-key subtrees (sliced back out of any
+        // forest grouping), so the first subtree's node count comes from
+        // the same slicing the writer uses — not the arena's total.
+        let (first_nodes, _) = index.key_raw_parts(first_key).expect("touched");
         let first_entry_sax_at = num_subtrees_at
             + 4 // num_subtrees
             + SUBTREE_HEADER_BYTES
-            + first_arena.num_nodes() * NODE_WIRE_BYTES;
+            + first_nodes.len() * NODE_WIRE_BYTES;
         let forged_sax = [original[20 + first_entry_sax_at] ^ 0xFF];
         let forged = reseal(&original, first_entry_sax_at, &forged_sax);
         std::fs::write(&path, &forged).unwrap();

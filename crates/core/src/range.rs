@@ -101,6 +101,7 @@ pub(crate) fn range_search_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,
@@ -207,6 +208,7 @@ pub(crate) fn range_search_dtw_sharded<'a>(
             queue_policy: config.queue_policy,
             num_workers: config.num_workers,
             collect_breakdown: config.collect_breakdown,
+            coalesce: config.run_batching(),
         },
         &metric,
         &objective,

@@ -167,6 +167,7 @@ pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: 
     // The executor aggregate, destructured exhaustively: a new stats
     // field fails this function (and the covering unit test) at compile
     // time until it is exported below.
+    let agg = metrics.aggregate();
     let QueryStatsAggregate {
         queries,
         lb_distance_calcs,
@@ -176,7 +177,8 @@ pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: 
         budget_stops,
         total_time,
         breakdown,
-    } = metrics.aggregate();
+        latencies_us: _, // exported below as quantile gauges via `agg`
+    } = agg.clone();
     family(
         &mut out,
         "messi_queries_total",
@@ -226,6 +228,17 @@ pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: 
         "Summed query wall time in seconds.",
         format_args!("{:.6}", total_time.as_secs_f64()),
     );
+    out.push_str(
+        "# HELP messi_query_latency_us Per-query latency quantiles in microseconds \
+         (nearest-rank over the daemon's lifetime).\n\
+         # TYPE messi_query_latency_us gauge\n",
+    );
+    for (label, p) in [("0.5", 50.0), ("0.99", 99.0), ("1.0", 100.0)] {
+        out.push_str(&format!(
+            "messi_query_latency_us{{quantile=\"{label}\"}} {}\n",
+            agg.latency_percentile_us(p).unwrap_or(0)
+        ));
+    }
 
     // The Fig. 13 per-phase breakdown, likewise exhaustively
     // destructured. Absent (no query ran with collect_breakdown) it
@@ -357,6 +370,7 @@ mod tests {
             budget_stops,
             total_time: _,
             breakdown,
+            latencies_us: _,
         } = metrics.aggregate();
         let TimeBreakdown {
             init_ns,
@@ -383,6 +397,12 @@ mod tests {
         ));
         expect_exactly_once(format!("\nmessi_query_budget_stops_total {budget_stops}\n"));
         expect_exactly_once("\nmessi_query_seconds_total 0.005000\n".to_string());
+        // One query of 5 ms: every latency quantile is 5000 µs.
+        for label in ["0.5", "0.99", "1.0"] {
+            expect_exactly_once(format!(
+                "messi_query_latency_us{{quantile=\"{label}\"}} 5000\n"
+            ));
+        }
         for (label, ns) in [
             ("init", init_ns),
             ("tree_pass", tree_pass_ns),
@@ -428,10 +448,11 @@ mod tests {
         let types = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
         let helps = text.lines().filter(|l| l.starts_with("# HELP ")).count();
         assert_eq!(types, helps);
-        // The phase family contributes 5 samples under one TYPE; each of
-        // the 4 per-shard families contributes one sample per shard (2
-        // shards here).
-        assert_eq!(samples, types + 4 + 4);
+        // The phase family contributes 5 samples under one TYPE, the
+        // latency family 3 quantiles under one TYPE; each of the 4
+        // per-shard families contributes one sample per shard (2 shards
+        // here).
+        assert_eq!(samples, types + 4 + 2 + 4);
     }
 
     #[test]

@@ -268,6 +268,11 @@ pub struct QueryStatsAggregate {
     /// when at least one aggregated query collected one (i.e. ran with
     /// `QueryConfig::collect_breakdown`).
     pub breakdown: Option<TimeBreakdown>,
+    /// Per-query wall times in microseconds (saturating; one entry per
+    /// aggregated query, unordered) — what the latency percentiles are
+    /// computed from. Four bytes per query keeps thousand-query batches
+    /// cheap to carry and merge.
+    pub latencies_us: Vec<u32>,
 }
 
 impl QueryStatsAggregate {
@@ -285,6 +290,7 @@ impl QueryStatsAggregate {
             budget_stops: (s.stop_reason == Some(StopReason::BudgetExhausted)) as u64,
             total_time: s.total_time,
             breakdown: s.breakdown,
+            latencies_us: vec![s.total_time.as_micros().min(u128::from(u32::MAX)) as u32],
         }
     }
 
@@ -307,6 +313,7 @@ impl QueryStatsAggregate {
             budget_stops,
             total_time,
             breakdown,
+            latencies_us,
         } = other;
         self.queries += queries;
         self.lb_distance_calcs += lb_distance_calcs;
@@ -319,6 +326,7 @@ impl QueryStatsAggregate {
             (Some(a), Some(b)) => Some(a + b),
             (a, b) => a.or(b),
         };
+        self.latencies_us.extend_from_slice(latencies_us);
     }
 
     /// Mean query time.
@@ -351,6 +359,19 @@ impl QueryStatsAggregate {
     /// Mean per-query Fig. 13 breakdown, when any query collected one.
     pub fn mean_breakdown(&self) -> Option<TimeBreakdown> {
         self.breakdown.map(|b| b.div(self.queries))
+    }
+
+    /// Nearest-rank latency percentile over the recorded per-query wall
+    /// times, in microseconds (`p` in 0..=100); `None` before any query
+    /// is aggregated. `p = 100` is the maximum.
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u32> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
     }
 }
 
@@ -412,6 +433,7 @@ mod tests {
         assert_eq!(a.real_distance_calcs, 10);
         assert_eq!(a.bsf_updates, 5);
         assert_eq!(a.total_time, Duration::from_millis(5));
+        assert_eq!(a.latencies_us, vec![3_000, 1_000, 1_000]);
         // Merging an empty aggregate is the identity.
         let snapshot = a.clone();
         a.merge(&QueryStatsAggregate::default());
@@ -469,6 +491,23 @@ mod tests {
         total.merge(&agg);
         assert_eq!(total.approx_inflation_prunes, 10);
         assert_eq!(total.budget_stops, 2);
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let mut agg = QueryStatsAggregate::default();
+        assert_eq!(agg.latency_percentile_us(99.0), None);
+        // 1..=100 ms, added out of order (percentiles sort internally).
+        for i in (1..=100u64).rev() {
+            agg.add(&QueryStats {
+                total_time: Duration::from_micros(i),
+                ..Default::default()
+            });
+        }
+        assert_eq!(agg.latency_percentile_us(50.0), Some(50));
+        assert_eq!(agg.latency_percentile_us(99.0), Some(99));
+        assert_eq!(agg.latency_percentile_us(100.0), Some(100));
+        assert_eq!(agg.latency_percentile_us(0.0), Some(1));
     }
 
     #[test]

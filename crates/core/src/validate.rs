@@ -3,7 +3,7 @@
 //! Used by the test suite (including the cross-crate property tests) to
 //! assert that a built index is structurally sound, and by the snapshot
 //! loader ([`crate::persist`]) as its semantic trust boundary — both
-//! call the same per-subtree checker, so an invariant added here
+//! call the same per-arena checker, so an invariant added here
 //! automatically guards loaded snapshots too. Every invariant is one
 //! the search algorithms silently rely on; a violation would make
 //! "exact" answers wrong rather than slow.
@@ -35,9 +35,22 @@ use messi_sax::root_key::{node_word_for_root_key, root_key};
 ///    depth-first order, so leaf scans and `for_each_leaf` walk flat,
 ///    gapless slices.
 /// 8. **SoA mirror**: each leaf's struct-of-arrays symbol columns agree
-///    byte-for-byte with the interleaved entry words — the batched
-///    mindist kernels read the columns, so a divergence would silently
-///    change pruning bounds.
+///    byte-for-byte with the interleaved entry words (through the run
+///    block's stride/base indexing) — the batched mindist kernels read
+///    the columns, so a divergence would silently change pruning bounds.
+/// 9. **Run metadata**: every arena's derived leaf-run metadata (cols,
+///    leaf starts, ordinals, run spans, run ids) equals a from-scratch
+///    recomputation — what the queue coalescing and the snapshot loader
+///    both rely on being deterministic.
+/// 10. **Forest spine**: in a grouped arena, every synthetic node splits
+///     an unrefined segment, its children's words extend its own, and
+///     each walk bottoms out at a per-key root whose word refines exactly
+///     its key — so coarse spine words only ever *loosen* mindist (the
+///     pruning-admissibility requirement) and per-key slicing for the
+///     snapshot writer is well defined.
+/// 11. **Grouping determinism**: the arena membership equals the greedy
+///     regrouping of the touched keys' per-key entry counts — what lets
+///     the loader (and any rebuild) reproduce the same forests.
 pub fn validate(index: &MessiIndex) -> Vec<String> {
     let mut errors = Vec::new();
     let mut conv = SaxConverter::new(index.sax_config());
@@ -60,23 +73,20 @@ pub fn validate(index: &MessiIndex) -> Vec<String> {
         }
     }
 
-    // Per-subtree semantics (2, 3, 4, 5, 7), shared with the snapshot
-    // loader. Position tallies feed the completeness check below.
-    for &key in &index.touched {
-        let arena = match index.root(key) {
-            Some(a) => a,
-            None => continue, // already reported
-        };
+    // Per-arena semantics (2, 3, 4, 5, 7, 8, 9, 10), shared with the
+    // snapshot loader. Position tallies feed the completeness check
+    // below.
+    for (arena_idx, arena) in index.arenas.iter().enumerate() {
         let mut record = |pos: usize| -> Result<(), String> {
             match seen.get_mut(pos) {
                 Some(count) => {
                     *count += 1;
                     Ok(())
                 }
-                None => Err(format!("key {key}: position {pos} out of range")),
+                None => Err(format!("arena {arena_idx}: position {pos} out of range")),
             }
         };
-        if let Err(e) = check_subtree_semantics(index, arena, key, &mut conv, &mut record) {
+        if let Err(e) = check_arena_semantics(index, arena, arena_idx, &mut conv, &mut record) {
             errors.push(e);
         }
     }
@@ -91,34 +101,175 @@ pub fn validate(index: &MessiIndex) -> Vec<String> {
             }
         }
     }
+
+    // Grouping determinism (11).
+    let counts: Vec<usize> = index
+        .touched
+        .iter()
+        .map(|&key| {
+            index
+                .key_root(key)
+                .map(|(arena, root)| {
+                    let (_, pool_lo, pool_hi) = arena.subtree_extent(root);
+                    (pool_hi - pool_lo) as usize
+                })
+                .unwrap_or(0)
+        })
+        .collect();
+    let groups = crate::node::forest_groups(&counts);
+    if groups.len() != index.arenas.len() {
+        errors.push(format!(
+            "{} arenas stored, deterministic regrouping yields {}",
+            index.arenas.len(),
+            groups.len()
+        ));
+    }
+    for (g, range) in groups.into_iter().enumerate() {
+        for i in range {
+            let key = index.touched[i];
+            if index.slots.get(key).copied() != Some(g as u32) {
+                errors.push(format!(
+                    "key {key}: filed in arena {:?}, regrouping places it in {g}",
+                    index.slots.get(key)
+                ));
+            }
+        }
+    }
     errors
 }
 
-/// Fail-fast semantic check of one subtree — the single implementation
+/// Fail-fast semantic check of one arena — the single implementation
 /// behind both [`validate`] and the snapshot loader's parallel sweep
-/// ([`crate::persist`]): root word vs key, refinement chains, arena pool
-/// layout, leaf capacity, containment, key filing, and recomputed
-/// summary correctness against the dataset. `record` tallies every
-/// stored position (and may reject duplicates or out-of-range values —
-/// how duplicates are detected differs between the two callers).
-pub(crate) fn check_subtree_semantics(
+/// ([`crate::persist`]). Verifies the forest spine (invariant 10), then
+/// every member subtree's per-key semantics, then the arena-wide derived
+/// run metadata (invariant 9).
+pub(crate) fn check_arena_semantics(
+    index: &MessiIndex,
+    arena: &TreeArena,
+    arena_idx: usize,
+    conv: &mut SaxConverter,
+    record: &mut dyn FnMut(usize) -> Result<(), String>,
+) -> Result<(), String> {
+    let members = check_forest_spine(index, arena, arena_idx)?;
+    for &(key, root) in &members {
+        check_subtree_semantics(index, arena, key, root, conv, record)?;
+    }
+    // Run metadata (9): the derived layout must equal a from-scratch
+    // recomputation.
+    if let Err(e) = arena.check_derived_layout() {
+        return Err(format!("arena {arena_idx}: {e}"));
+    }
+    Ok(())
+}
+
+/// Walks an arena's synthetic spine (empty for a solo per-key arena),
+/// verifying invariant 10, and returns the member `(key, per-key root)`
+/// pairs in ascending key order.
+fn check_forest_spine(
+    index: &MessiIndex,
+    arena: &TreeArena,
+    arena_idx: usize,
+) -> Result<Vec<(usize, NodeId)>, String> {
+    let segments = index.sax_config().segments;
+    let mut members = Vec::new();
+    let mut stack = vec![TreeArena::ROOT];
+    while let Some(id) = stack.pop() {
+        let word = arena.word(id);
+        if (0..segments).all(|s| word.bits(s) >= 1) {
+            // First fully refined node on this path: a per-key root.
+            // Its word must refine *exactly* the key bits (one bit per
+            // segment), pinning the spine boundary to original roots.
+            let mut key = 0usize;
+            for s in 0..segments {
+                key = (key << 1) | usize::from(word.symbol(s) >> (word.bits(s) - 1));
+            }
+            if word != &node_word_for_root_key(key, segments) {
+                return Err(format!(
+                    "arena {arena_idx}: per-key root {id} word {} over-refines key {key}",
+                    word.display(segments)
+                ));
+            }
+            if index.slots.get(key).copied() != Some(arena_idx as u32) {
+                return Err(format!(
+                    "arena {arena_idx}: member key {key} filed in arena {:?}",
+                    index.slots.get(key)
+                ));
+            }
+            members.push((key, id));
+            continue;
+        }
+        if arena.is_leaf(id) {
+            return Err(format!(
+                "arena {arena_idx}: leaf {id} above full key refinement"
+            ));
+        }
+        let split = arena.split_segment(id);
+        if word.bits(split) != 0 {
+            return Err(format!(
+                "arena {arena_idx}: synthetic node {id} splits refined segment {split}"
+            ));
+        }
+        let (left, right) = arena.children(id);
+        for (child, side_bit) in [(left, 0u16), (right, 1)] {
+            let child_word = arena.word(child);
+            for s in 0..segments {
+                let (pb, cb) = (word.bits(s), child_word.bits(s));
+                if cb < pb || (child_word.symbol(s) >> (cb - pb)) != word.symbol(s) {
+                    return Err(format!(
+                        "arena {arena_idx}: node {child} word {} does not extend its \
+                         spine parent {}",
+                        child_word.display(segments),
+                        word.display(segments)
+                    ));
+                }
+            }
+            let cb = child_word.bits(split);
+            if cb == 0 || (child_word.symbol(split) >> (cb - 1)) != side_bit {
+                return Err(format!(
+                    "arena {arena_idx}: node {child} sits on the wrong side of the \
+                     synthetic split on segment {split}"
+                ));
+            }
+        }
+        stack.push(right);
+        stack.push(left);
+    }
+    if !members.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(format!(
+            "arena {arena_idx}: member keys out of ascending order"
+        ));
+    }
+    Ok(members)
+}
+
+/// Fail-fast semantic check of one member subtree rooted at `root`:
+/// root word vs key, refinement chains, arena pool layout, leaf
+/// capacity, containment, key filing, and recomputed summary
+/// correctness against the dataset. `record` tallies every stored
+/// position (and may reject duplicates or out-of-range values — how
+/// duplicates are detected differs between the two callers).
+fn check_subtree_semantics(
     index: &MessiIndex,
     arena: &TreeArena,
     key: usize,
+    root: NodeId,
     conv: &mut SaxConverter,
     record: &mut dyn FnMut(usize) -> Result<(), String>,
 ) -> Result<(), String> {
     let segments = index.sax_config().segments;
     // Refinement (4), at the root: the subtree must cover exactly its key.
-    if arena.word(TreeArena::ROOT) != &node_word_for_root_key(key, segments) {
+    if arena.word(root) != &node_word_for_root_key(key, segments) {
         return Err(format!("key {key}: root word does not match the key"));
     }
     // The node array is in preorder (guaranteed by the builder and
-    // re-verified for loaded snapshots), so a linear sweep visits leaves
-    // in depth-first order and the pool cursor check below is exactly
-    // the arena-layout invariant (7).
-    let mut cursor = 0u32;
-    for id in 0..arena.num_nodes() as NodeId {
+    // re-verified for loaded snapshots), so a linear sweep over the
+    // subtree's contiguous node range visits its leaves in depth-first
+    // order, and the pool cursor check below — starting at the
+    // subtree's contiguous pool slice — is exactly the arena-layout
+    // invariant (7) restricted to this member.
+    let (node_end, pool_lo, pool_hi) = arena.subtree_extent(root);
+    let mut cursor = pool_lo;
+    for id in root..node_end {
         if !arena.is_leaf(id) {
             // Refinement (4).
             let (left, right) = arena.children(id);
@@ -159,17 +310,16 @@ pub(crate) fn check_subtree_semantics(
                 ));
             }
         }
-        let len = leaf.entries.len();
         for (j, e) in leaf.entries.iter().enumerate() {
             let pos = e.pos as usize;
             record(pos)?;
-            // SoA mirror (8).
+            // SoA mirror (8), through the run block's stride/base.
             for (s, &sym) in e.sax.symbols().iter().enumerate() {
-                if leaf.cols[s * len + j] != sym {
+                let byte = leaf.cols[s * leaf.stride + leaf.base + j];
+                if byte != sym {
                     return Err(format!(
-                        "key {key}: entry {pos} segment {s}: SoA column byte {} \
-                         disagrees with AoS symbol {sym}",
-                        leaf.cols[s * len + j]
+                        "key {key}: entry {pos} segment {s}: SoA column byte {byte} \
+                         disagrees with AoS symbol {sym}"
                     ));
                 }
             }
@@ -188,10 +338,10 @@ pub(crate) fn check_subtree_semantics(
             }
         }
     }
-    if cursor as usize != arena.num_entries() {
+    if cursor != pool_hi {
         return Err(format!(
-            "key {key}: depth-first leaves cover {cursor} of {} pool entries",
-            arena.num_entries()
+            "key {key}: depth-first leaves cover up to {cursor} of the subtree pool \
+             slice ending at {pool_hi}"
         ));
     }
     Ok(())

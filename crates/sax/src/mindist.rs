@@ -320,12 +320,18 @@ impl MindistTable {
     }
 
     /// Lower bounds for a chunk of up to 8 entries of a struct-of-arrays
-    /// leaf.
+    /// symbol block.
     ///
-    /// `cols` is the leaf's transposed symbol block — column `s` starts at
-    /// `s * n` and holds one byte per entry — `n` is the leaf's entry
+    /// `cols` is a transposed symbol block — column `s` starts at
+    /// `s * n` and holds one byte per entry — `n` is the block's entry
     /// count, `base` the chunk's first entry, and `len <= 8` the chunk
-    /// size. One bound per entry is written into `out[..len]`.
+    /// size. One bound per entry is written into `out[..len]`. The block
+    /// is typically a whole *leaf run* (several adjacent small leaves
+    /// sharing one transposition), with the caller chunking `[base,
+    /// base + len)` windows across it; because every lane accumulates
+    /// its own segment contributions independently, the per-entry
+    /// results are bit-identical however the block is re-chunked — a
+    /// run-batched sweep equals a per-leaf sweep bit for bit.
     ///
     /// The SIMD variants map *entries* to vector lanes and walk the
     /// segment columns sequentially, so each lane accumulates its segment
@@ -674,6 +680,43 @@ mod tests {
                         expected.to_bits(),
                         "use_simd={use_simd} len={len} lane={lane}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rechunking_a_run_block_never_changes_a_bit() {
+        // The engine scans one column block under two chunk grids: the
+        // per-leaf grid restarts `base` at every leaf boundary, the
+        // run-batched grid walks the whole block in aligned chunks of 8.
+        // Per-entry results must be bit-identical under *any* chunking —
+        // here every window `[base, base + len)` of a 21-entry block, in
+        // both dispatch modes.
+        let config = SaxConfig::new(16, 256);
+        let q = mk_series(256, 77);
+        let table = MindistTable::new(&paa(&q, 16), config);
+        let n = 21usize;
+        let words: Vec<SaxWord> = (0..n as u32)
+            .map(|cs| sax_word(&mk_series(256, cs + 300), config))
+            .collect();
+        let cols = transpose(&words, 16);
+        let expected: Vec<u32> = words
+            .iter()
+            .map(|w| table.mindist_sq_scalar(w).to_bits())
+            .collect();
+        for use_simd in [false, messi_series::distance::simd::simd_available()] {
+            for base in 0..n {
+                for len in 1..=(n - base).min(8) {
+                    let mut out = [0.0f32; 8];
+                    table.mindist_sq_soa(&cols, n, base, len, use_simd, &mut out);
+                    for lane in 0..len {
+                        assert_eq!(
+                            out[lane].to_bits(),
+                            expected[base + lane],
+                            "use_simd={use_simd} base={base} len={len} lane={lane}"
+                        );
+                    }
                 }
             }
         }

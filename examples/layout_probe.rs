@@ -1,11 +1,18 @@
 //! Ad-hoc layout throughput probe: times the leaf-scan-heavy paths the
 //! storage layouts target, over a shallow paper-default index and a
-//! deep split-heavy one. Since the struct-of-arrays transpose the probe
-//! contrasts the two leaf layouts directly: the same per-query mindist
-//! table swept over every leaf through the interleaved AoS entry
-//! records versus the packed SoA symbol columns, next to the footprint
-//! each layout pays per entry. Used to record the numbers in README's
-//! bench notes.
+//! deep split-heavy one. Since the run-grouped struct-of-arrays
+//! transpose the probe contrasts three sweeps directly: the interleaved
+//! AoS entry records, the packed SoA symbol columns chunked *per leaf*
+//! (the pre-run-batching engine path), and the SoA columns streamed
+//! over whole *leaf runs* — next to the run-length distribution the
+//! greedy partition produced and the footprint each layout pays per
+//! entry. Used to record the numbers in README's bench notes.
+//!
+//! `--leaf-target <N|auto>` overrides the paper-default split threshold
+//! (auto = `messi::index::auto_leaf_capacity`). Every sweep prints an
+//! order-independent per-entry bit checksum, so CI can sweep thresholds
+//! and assert the lower-bound tier computes identical values on every
+//! tree shape.
 
 use messi::index::node::LeafEntry;
 use messi::prelude::*;
@@ -16,7 +23,14 @@ use std::time::Instant;
 
 const CACHE_LINE: usize = 64;
 
-fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
+/// Order-independent checksum of per-entry lower bounds: wrapping sum of
+/// the `f32` bit patterns. Exactly equal across chunkings and across
+/// tree shapes whenever every entry's bound is bit-identical.
+fn bit_checksum(acc: &mut u64, v: f32) {
+    *acc = acc.wrapping_add(u64::from(v.to_bits()));
+}
+
+fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) -> u64 {
     let t = Instant::now();
     let (index, _) = MessiIndex::build(Arc::clone(data), config);
     let build = t.elapsed();
@@ -32,17 +46,9 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
     // SAX word with the result payload (pos); the SoA pool stores the
     // bound-relevant symbols alone, so one cache line of column bytes
     // covers 64 entries' segment-s symbols instead of 4 whole records.
-    let entries: usize = index
-        .touched_keys()
-        .iter()
-        .map(|&k| index.root(k).unwrap().num_entries())
-        .sum();
+    let entries: usize = index.arenas().iter().map(|a| a.num_entries()).sum();
     let aos_bytes = std::mem::size_of::<LeafEntry>();
-    let col_bytes: usize = index
-        .touched_keys()
-        .iter()
-        .map(|&k| index.root(k).unwrap().col_bytes())
-        .sum();
+    let col_bytes: usize = index.arenas().iter().map(|a| a.col_bytes()).sum();
     println!(
         "{label}: {entries} entries · AoS {aos_bytes} B/entry \
          ({:.1} entries/cache-line) · SoA {} B/entry \
@@ -51,9 +57,38 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
         col_bytes / entries.max(1),
     );
 
-    // The mindist sweep both layouts exist to serve: one table, every
+    // The run partition the greedy grouping produced: how many member
+    // leaves and entries each run carries decides how often the batched
+    // kernel sees full 8-wide chunks.
+    let shapes: Vec<(usize, usize)> = index.arenas().iter().flat_map(|a| a.run_shapes()).collect();
+    let runs = shapes.len().max(1);
+    let (leaves, run_entries): (usize, usize) =
+        shapes.iter().fold((0, 0), |(l, e), s| (l + s.0, e + s.1));
+    let mut hist = [0usize; 4]; // 1, 2-4, 5-8, 9+ member leaves
+    for s in &shapes {
+        hist[match s.0 {
+            0..=1 => 0,
+            2..=4 => 1,
+            5..=8 => 2,
+            _ => 3,
+        }] += 1;
+    }
+    println!(
+        "  runs {runs} · {:.2} leaves/run · {:.1} entries/run · \
+         leaves-per-run histogram 1:{} 2-4:{} 5-8:{} 9+:{}",
+        leaves as f64 / runs as f64,
+        run_entries as f64 / runs as f64,
+        hist[0],
+        hist[1],
+        hist[2],
+        hist[3],
+    );
+
+    // The mindist sweep all layouts exist to serve: one table, every
     // leaf, lower bounds for all entries. AoS walks the records one by
-    // one; SoA batches 8 per kernel call over the symbol columns.
+    // one; per-leaf SoA restarts its 8-wide chunking at each leaf (so a
+    // 6-entry leaf is one partial chunk); run-batched SoA chunks across
+    // the whole run and only the final chunk can be partial.
     let segments = index.sax_config().segments;
     let table = MindistTable::new(&paa(q, segments), index.sax_config());
     let iters = 200u32;
@@ -61,8 +96,8 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
     let t = Instant::now();
     for _ in 0..iters {
         let mut acc = 0.0f32;
-        for &key in index.touched_keys() {
-            index.root(key).unwrap().for_each_leaf(&mut |l| {
+        for arena in index.arenas() {
+            arena.for_each_leaf(&mut |l| {
                 for e in l.entries {
                     acc += table.mindist_sq(&e.sax);
                 }
@@ -72,19 +107,26 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
     }
     let aos_sweep = t.elapsed() / iters;
 
-    let mut soa_times = Vec::new();
+    let mut leaf_times = Vec::new();
     for use_simd in [true, false] {
         let t = Instant::now();
         for _ in 0..iters {
             let mut acc = 0.0f32;
             let mut out = [0.0f32; 8];
-            for &key in index.touched_keys() {
-                index.root(key).unwrap().for_each_leaf(&mut |l| {
+            for arena in index.arenas() {
+                arena.for_each_leaf(&mut |l| {
                     let n = l.entries.len();
                     let mut base = 0;
                     while base < n {
                         let len = (n - base).min(8);
-                        table.mindist_sq_soa(l.cols, n, base, len, use_simd, &mut out);
+                        table.mindist_sq_soa(
+                            l.cols,
+                            l.stride,
+                            l.base + base,
+                            len,
+                            use_simd,
+                            &mut out,
+                        );
                         acc += out[..len].iter().sum::<f32>();
                         base += len;
                     }
@@ -92,30 +134,78 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
             }
             std::hint::black_box(acc);
         }
-        soa_times.push(t.elapsed() / iters);
+        leaf_times.push(t.elapsed() / iters);
     }
 
-    // Sanity: both layouts produce the same bounds (f64 accumulation so
-    // the check isn't at the mercy of 50k-term f32 summation order).
+    let mut run_times = Vec::new();
+    for use_simd in [true, false] {
+        let t = Instant::now();
+        for _ in 0..iters {
+            let mut acc = 0.0f32;
+            let mut out = [0.0f32; 8];
+            for arena in index.arenas() {
+                arena.for_each_run(&mut |es, cols, stride| {
+                    let n = es.len();
+                    let mut base = 0;
+                    while base < n {
+                        let len = (n - base).min(8);
+                        table.mindist_sq_soa(cols, stride, base, len, use_simd, &mut out);
+                        acc += out[..len].iter().sum::<f32>();
+                        base += len;
+                    }
+                });
+            }
+            std::hint::black_box(acc);
+        }
+        run_times.push(t.elapsed() / iters);
+    }
+
+    // Sanity, two tiers. Bit tier: per-leaf and run-batched chunkings of
+    // the SoA kernel must produce bit-identical per-entry bounds, so
+    // their order-independent bit checksums must be *equal* — this is
+    // the value CI sweeps across leaf thresholds. Value tier: AoS agrees
+    // with SoA (f64 accumulation so the check isn't at the mercy of
+    // 50k-term f32 summation order).
     let mut aos_sum = 0.0f64;
     let mut soa_sum = 0.0f64;
+    let mut leaf_bits = 0u64;
+    let mut run_bits = 0u64;
     let mut out = [0.0f32; 8];
-    for &key in index.touched_keys() {
-        index.root(key).unwrap().for_each_leaf(&mut |l| {
-            let n = l.entries.len();
+    for arena in index.arenas() {
+        arena.for_each_leaf(&mut |l| {
             for e in l.entries {
                 aos_sum += f64::from(table.mindist_sq(&e.sax));
             }
+            let n = l.entries.len();
             let mut base = 0;
             while base < n {
                 let len = (n - base).min(8);
-                table.mindist_sq_soa(l.cols, n, base, len, true, &mut out);
-                soa_sum += out[..len].iter().map(|&v| f64::from(v)).sum::<f64>();
+                table.mindist_sq_soa(l.cols, l.stride, l.base + base, len, true, &mut out);
+                for &v in &out[..len] {
+                    soa_sum += f64::from(v);
+                    bit_checksum(&mut leaf_bits, v);
+                }
+                base += len;
+            }
+        });
+        arena.for_each_run(&mut |es, cols, stride| {
+            let n = es.len();
+            let mut base = 0;
+            while base < n {
+                let len = (n - base).min(8);
+                table.mindist_sq_soa(cols, stride, base, len, true, &mut out);
+                for &v in &out[..len] {
+                    bit_checksum(&mut run_bits, v);
+                }
                 base += len;
             }
         });
     }
     assert!((aos_sum - soa_sum).abs() <= 1e-3 * aos_sum.abs() + 1e-3);
+    assert_eq!(
+        leaf_bits, run_bits,
+        "run-batched chunking changed a lower bound bit"
+    );
 
     let t = Instant::now();
     let iters = 50u32;
@@ -126,19 +216,48 @@ fn probe(label: &str, data: &Arc<Dataset>, config: &IndexConfig) {
 
     println!(
         "  build {build:.2?} · leaves {} · height {} · mindist sweep: \
-         aos {aos_sweep:.3?} · soa_simd {:.3?} · soa_scalar {:.3?} · \
-         exact_1w {exact:.3?}",
+         aos {aos_sweep:.3?} · per-leaf simd {:.3?} / scalar {:.3?} · \
+         run-batched simd {:.3?} / scalar {:.3?} · exact_1w {exact:.3?}",
         index.num_leaves(),
         index.max_height(),
-        soa_times[0],
-        soa_times[1],
+        leaf_times[0],
+        leaf_times[1],
+        run_times[0],
+        run_times[1],
     );
+    println!("  checksum {run_bits:#018x}");
+    run_bits
 }
 
 fn main() {
     let n = 50_000;
+    let mut leaf_target: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--leaf-target" => {
+                let v = args.next().expect("--leaf-target needs a value");
+                leaf_target = Some(if v == "auto" {
+                    messi::index::auto_leaf_capacity(n)
+                } else {
+                    v.parse()
+                        .expect("--leaf-target: expected a number or 'auto'")
+                });
+            }
+            other => panic!("unknown argument {other:?} (expected --leaf-target <N|auto>)"),
+        }
+    }
+
     let data = Arc::new(messi::series::gen::generate(DatasetKind::RandomWalk, n, 12));
-    probe("shallow(paper-default)", &data, &IndexConfig::default());
+    let sparse = IndexConfig {
+        leaf_capacity: leaf_target.unwrap_or(IndexConfig::default().leaf_capacity),
+        ..IndexConfig::default()
+    };
+    let label = match leaf_target {
+        Some(t) => format!("shallow(leaf-target={t})"),
+        None => "shallow(paper-default)".to_string(),
+    };
+    probe(&label, &data, &sparse);
     probe(
         "deep(seg8/leaf64)",
         &data,

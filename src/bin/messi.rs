@@ -74,11 +74,11 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
             cmd_generate(&opts)
         }
         "build" => {
-            opts.expect_keys(command, &["data", "save", "shards"])?;
+            opts.expect_keys(command, &["data", "save", "shards", "leaf-target"])?;
             cmd_build(&opts)
         }
         "info" => {
-            opts.expect_keys(command, &["data", "load", "shards"])?;
+            opts.expect_keys(command, &["data", "load", "shards", "leaf-target"])?;
             cmd_info(&opts)
         }
         "query" => {
@@ -94,6 +94,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "load",
                     "kernel",
                     "shards",
+                    "leaf-target",
                 ],
             )?;
             cmd_query(&opts)
@@ -110,6 +111,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "seed",
                     "load",
                     "shards",
+                    "leaf-target",
                 ],
             )?;
             cmd_range(&opts)
@@ -135,6 +137,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "json",
                     "kernel",
                     "shards",
+                    "leaf-target",
                 ],
             )?;
             cmd_bench_query(&opts)
@@ -152,6 +155,7 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "breakdown",
                     "kernel",
                     "shards",
+                    "leaf-target",
                 ],
             )?;
             cmd_serve(&opts)
@@ -189,20 +193,23 @@ USAGE:
   messi generate    --kind <random|seismic|sald> --count <N> --out <file.mds>
                     [--len <points>] [--seed <u64>]
   messi build       --data <file.mds> --save <file.msx|dir> [--shards <N>]
+                    [--leaf-target <N|auto>]
   messi info        --data <file.mds> [--load <file.msx|dir>] [--shards <N>]
+                    [--leaf-target <N|auto>]
   messi query       --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--k <K>] [--dtw] [--seed <u64>] [--load <file.msx|dir>]
-                    [--kernel <auto|simd|scalar>] [--shards <N>]
+                    [--kernel <auto|simd|scalar>] [--shards <N>] [--leaf-target <N|auto>]
   messi range       --data <file.mds> --epsilon <dist> [--num-queries <N>] [--dtw] [--seed <u64>]
-                    [--load <file.msx|dir>] [--shards <N>]
+                    [--load <file.msx|dir>] [--shards <N>] [--leaf-target <N|auto>]
   messi bench-query --data <file.mds> [--queries <file.mds>] [--num-queries <N>]
                     [--objective <exact|knn|range|approx>] [--k <K>] [--epsilon <dist|ratio>]
                     [--delta <0..=1>] [--schedule <intra|inter>] [--parallelism <P>]
                     [--workers <Ns>] [--dtw] [--breakdown] [--seed <u64>] [--load <file.msx|dir>]
                     [--json <out.json>] [--kernel <auto|simd|scalar>] [--shards <N>]
+                    [--leaf-target <N|auto>]
   messi serve       --data <file.mds> [--load <file.msx|dir>] [--addr <host:port>]
                     [--threads <N>] [--admission <N>] [--query-workers <N>] [--breakdown]
-                    [--kernel <auto|simd|scalar>] [--shards <N>]
+                    [--kernel <auto|simd|scalar>] [--shards <N>] [--leaf-target <N|auto>]
   messi load-smoke  --addr <host:port> --data <file.mds> [--clients <N>] [--per-client <M>]
                     [--num-queries <N>] [--objective <exact|knn|range|approx>] [--k <K>]
                     [--epsilon <dist|ratio>] [--delta <0..=1>] [--dtw] [--no-retry]
@@ -243,6 +250,16 @@ query sheds with 503 + Retry-After). `load-smoke` floods a running
 daemon with concurrent clients and reports ok/shed/error counts and
 p50/p99 latency; it exits non-zero on any client/server error, or when
 fewer than --min-shed sheds were observed.
+
+`--leaf-target` sets the build-time leaf split threshold (the paper's
+default is 2000); `auto` derives it from the dataset size (one leaf per
+~512 series, clamped to [64, 2000]) so small collections still fan out.
+Smaller leaves sharpen per-leaf pruning bounds; the derived leaf-run
+metadata keeps SIMD utilization high by batching adjacent small leaves
+into contiguous scans (`messi info` prints the run-length histogram,
+`MESSI_NO_RUN_BATCH=1` disables the batching for ablations). Like
+--shards, --leaf-target applies at build time only and does not combine
+with --load.
 
 `--kernel` forces the distance-kernel dispatch on query, bench-query and
 serve: `auto` (default) uses AVX2+FMA when the CPU has it, `simd` asks
@@ -405,6 +422,25 @@ fn shards_from(opts: &Opts, data: &Arc<Dataset>) -> Result<usize, CliError> {
     Ok(shards)
 }
 
+/// Parses `--leaf-target` (a split threshold, or `auto` to derive one
+/// from the dataset size) into the build configuration. Absent, the
+/// paper default (2000) applies.
+fn index_config_from(opts: &Opts, data: &Arc<Dataset>) -> Result<IndexConfig, CliError> {
+    let mut config = IndexConfig::default();
+    match opts.get("leaf-target") {
+        None => {}
+        Some("auto") => config.leaf_capacity = messi::index::auto_leaf_capacity(data.len()),
+        Some(v) => {
+            config.leaf_capacity = v.parse().ok().filter(|&c: &usize| c > 0).ok_or_else(|| {
+                usage(format!(
+                    "invalid --leaf-target: `{v}` (expected a positive number or `auto`)"
+                ))
+            })?;
+        }
+    }
+    Ok(config)
+}
+
 /// Builds the (possibly sharded) index or loads it from a `--load`
 /// snapshot — a single `.msx` file becomes the one-shard case, a
 /// snapshot directory restores the recorded partition. Build stats are
@@ -418,6 +454,12 @@ fn obtain_index(
             return Err(usage(
                 "--shards does not combine with --load \
                  (a snapshot's manifest fixes its shard count)",
+            ));
+        }
+        if opts.get("leaf-target").is_some() {
+            return Err(usage(
+                "--leaf-target does not combine with --load \
+                 (a snapshot fixes its tree shape at build time)",
             ));
         }
         let t = std::time::Instant::now();
@@ -440,7 +482,8 @@ fn obtain_index(
         Ok((index, None))
     } else {
         let shards = shards_from(opts, data)?;
-        let (index, stats) = ShardedIndex::build(Arc::clone(data), shards, &IndexConfig::default());
+        let config = index_config_from(opts, data)?;
+        let (index, stats) = ShardedIndex::build(Arc::clone(data), shards, &config);
         Ok((index, Some(stats)))
     }
 }
@@ -456,7 +499,8 @@ fn cmd_build(opts: &Opts) -> Result<(), CliError> {
     }
     let sharded = opts.get("shards").is_some();
     let shards = shards_from(opts, &data)?;
-    let (index, stats) = ShardedIndex::build(Arc::clone(&data), shards, &IndexConfig::default());
+    let config = index_config_from(opts, &data)?;
+    let (index, stats) = ShardedIndex::build(Arc::clone(&data), shards, &config);
     println!(
         "index: {} series built in {:.2?} across {} shard{} (summaries {:.2?} + tree {:.2?})",
         stats.num_series,
@@ -548,6 +592,30 @@ fn cmd_info(opts: &Opts) -> Result<(), CliError> {
         100.0 * index.leaf_fill_factor(),
         index.shard(0).config().leaf_capacity,
         index.num_entries()
+    );
+    let shapes: Vec<(usize, usize)> = index.shards().iter().flat_map(|s| s.run_shapes()).collect();
+    let runs = shapes.len().max(1);
+    let (run_leaves, run_entries) = shapes
+        .iter()
+        .fold((0usize, 0usize), |(l, e), s| (l + s.0, e + s.1));
+    let mut hist = [0usize; 4];
+    for s in &shapes {
+        hist[match s.0 {
+            0..=1 => 0,
+            2..=4 => 1,
+            5..=8 => 2,
+            _ => 3,
+        }] += 1;
+    }
+    println!(
+        "         leaf runs {runs} ({:.2} leaves/run, {:.1} entries/run); \
+         leaves-per-run histogram: 1:{} 2-4:{} 5-8:{} 9+:{}",
+        run_leaves as f64 / runs as f64,
+        run_entries as f64 / runs as f64,
+        hist[0],
+        hist[1],
+        hist[2],
+        hist[3],
     );
     println!(
         "storage: node arenas {:.2} MB + leaf pools {:.2} MB (flat, 2 allocations/subtree)",
@@ -857,6 +925,12 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
         total_answers
     );
     println!(
+        "latency: p50 {} µs · p99 {} µs · max {} µs",
+        agg.latency_percentile_us(50.0).unwrap_or(0),
+        agg.latency_percentile_us(99.0).unwrap_or(0),
+        agg.latency_percentile_us(100.0).unwrap_or(0),
+    );
+    println!(
         "pruning: {:.1} lb calcs/query · {:.1} real calcs/query · {:.1} bsf updates/query",
         agg.mean_lb_calcs(),
         agg.mean_real_calcs(),
@@ -938,8 +1012,9 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
             .unwrap_or_default();
         let line = format!(
             "{{\"objective\":\"{}\",\"metric\":\"{}\",\"schedule\":\"{}\",\"kernel\":\"{}\",\
-             \"shards\":{},\"queries\":{},\
-             \"wall_us\":{},\"qps\":{:.3},\"mean_query_us\":{},\"lb_calcs_per_query\":{:.3},\
+             \"shards\":{},\"available_cores\":{},\"run_batch\":{},\"queries\":{},\
+             \"wall_us\":{},\"qps\":{:.3},\"mean_query_us\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"max_us\":{},\"lb_calcs_per_query\":{:.3},\
              \"real_calcs_per_query\":{:.3},\"bsf_updates\":{},\"budget_stops\":{},\
              \"total_answers\":{}{}{}}}",
             match objective {
@@ -960,10 +1035,15 @@ fn cmd_bench_query(opts: &Opts) -> Result<(), CliError> {
                 Kernel::Scalar => "scalar",
             },
             index.num_shards(),
+            cores,
+            config.run_batching(),
             agg.queries,
             wall.as_micros(),
             n / wall.as_secs_f64(),
             agg.mean_time().as_micros(),
+            agg.latency_percentile_us(50.0).unwrap_or(0),
+            agg.latency_percentile_us(99.0).unwrap_or(0),
+            agg.latency_percentile_us(100.0).unwrap_or(0),
             agg.mean_lb_calcs(),
             agg.mean_real_calcs(),
             agg.bsf_updates,
