@@ -1,11 +1,13 @@
 //! The [`MessiIndex`] handle: the finished tree plus approximate search.
 
 use crate::config::IndexConfig;
-use crate::node::{assemble_forest, forest_groups, LeafEntry, NodeId, NodeRecord, TreeArena};
+use crate::node::{
+    assemble_forest, forest_groups, LeafEntry, NodeId, NodeRecord, SubtreeBuilder, TreeArena,
+};
 use crate::stats::BuildStats;
 use messi_sax::convert::{SaxConfig, SaxConverter};
 use messi_sax::mindist::mindist_sq_node;
-use messi_sax::root_key::root_key;
+use messi_sax::root_key::{node_word_for_root_key, root_key};
 use messi_sax::word::SaxWord;
 use messi_series::distance::euclidean::ed_sq_early_abandon_with;
 use messi_series::distance::Kernel;
@@ -126,6 +128,102 @@ impl MessiIndex {
             slots,
             touched,
         }
+    }
+
+    /// A grown copy of this index over `grown`: the same collection with
+    /// `grown.len() - start` new series appended at local positions
+    /// `start..grown.len()`, where `start` is the number of series this
+    /// index already covers.
+    ///
+    /// Only root subtrees that receive new entries are rebuilt (through
+    /// a [`SubtreeBuilder`], exactly as at build time); every untouched
+    /// subtree's nodes and packed entries are carried over verbatim, and
+    /// the result is reassembled by [`MessiIndex::from_parts`] so forest
+    /// grouping, leaf runs, and SoA columns keep working identically to
+    /// a fresh build over the grown collection.
+    ///
+    /// ## Append-safety invariant (audited for live ingest)
+    ///
+    /// `grown` must be a **new** `Dataset` whose backing buffer starts
+    /// with this index's series bit-for-bit — growth is always
+    /// copy-on-grow (see [`Dataset::concat`]). Existing leaf entries
+    /// keep their `u32` local positions and simply re-resolve against
+    /// `grown`; the old dataset's buffer, and every outstanding query
+    /// view pinned to it, stays untouched and valid until its last
+    /// `Arc` drops. No code path in this crate grows a `Dataset` buffer
+    /// in place, so an in-flight query on the old epoch can never
+    /// observe a reallocation.
+    ///
+    /// Returns [`IngestError::PositionOverflow`] when the grown
+    /// collection would exceed the per-index `u32` local-position
+    /// ceiling — the runtime (typed) counterpart of the build-time
+    /// `assert_positions_fit` panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grown` changes the series length or holds fewer than
+    /// `start` series.
+    ///
+    /// [`IngestError::PositionOverflow`]: crate::ingest::IngestError::PositionOverflow
+    pub fn insert_batch(
+        &self,
+        grown: Arc<Dataset>,
+        start: usize,
+    ) -> Result<Self, crate::ingest::IngestError> {
+        use crate::ingest::IngestError;
+        assert_eq!(
+            grown.series_len(),
+            self.dataset.series_len(),
+            "grown dataset changes series_len"
+        );
+        assert!(
+            start <= grown.len(),
+            "start {start} beyond grown dataset ({})",
+            grown.len()
+        );
+        crate::ingest::check_position_ceiling(start as u64, (grown.len() - start) as u64)?;
+
+        let segments = self.sax_config.segments;
+        let mut conv = SaxConverter::new(self.sax_config);
+        let mut fresh: std::collections::BTreeMap<usize, Vec<LeafEntry>> =
+            std::collections::BTreeMap::new();
+        for pos in start..grown.len() {
+            let sax = conv.convert(grown.series(pos));
+            let key = root_key(&sax, segments);
+            fresh.entry(key).or_default().push(LeafEntry {
+                sax,
+                pos: pos as u32,
+            });
+        }
+
+        let mut builder = SubtreeBuilder::new(segments, self.config.leaf_capacity);
+        let mut subtrees: Vec<(usize, TreeArena)> =
+            Vec::with_capacity(self.touched.len() + fresh.len());
+        for &key in &self.touched {
+            let (nodes, entries) = self.key_raw_parts(key).expect("touched key has a subtree");
+            match fresh.remove(&key) {
+                // Untouched subtree: re-wrap the existing records and
+                // entries verbatim.
+                None => {
+                    let arena = TreeArena::from_raw(nodes, entries.to_vec())
+                        .map_err(IngestError::Corrupt)?;
+                    subtrees.push((key, arena));
+                }
+                // Touched subtree: rebuild from old + new entries.
+                Some(new_entries) => {
+                    let arena = builder.build_subtree(
+                        node_word_for_root_key(key, segments),
+                        entries.iter().copied().chain(new_entries),
+                    );
+                    subtrees.push((key, arena));
+                }
+            }
+        }
+        for (key, entries) in fresh {
+            let arena = builder.build_subtree(node_word_for_root_key(key, segments), entries);
+            subtrees.push((key, arena));
+        }
+        Ok(Self::from_parts(grown, self.config.clone(), subtrees))
     }
 
     /// The indexed dataset.

@@ -1,0 +1,429 @@
+//! The framed, checksummed delta log: ingest durability.
+//!
+//! Every accepted ingest batch is appended as one self-checking frame
+//! and `fsync`ed before the batch becomes visible to queries, so a
+//! crash can lose at most the batch whose acknowledgement never went
+//! out. The file layout (all integers little-endian, via the
+//! [`messi_series::io`] codec):
+//!
+//! ```text
+//! header:  "MESSILOG" | version u16 | series_len u32
+//!          | base_len u64 | fnv1a64(base values) u64
+//! frame:   payload_len u32 | payload | fnv1a64(payload) u64
+//! payload: count u32 | count × series_len × f32
+//! ```
+//!
+//! The header pins the log to the exact dataset it extends (length *and*
+//! content fingerprint), so replaying someone else's log over the wrong
+//! snapshot fails loudly instead of silently corrupting answers. A torn
+//! tail — a frame cut short by a crash mid-append, or one whose
+//! checksum no longer matches — is detected during [`DeltaLog::open`],
+//! reported on stderr, and truncated away so the next append starts
+//! from the last durable frame.
+
+use messi_series::io::{fnv1a64, fnv1a64_f32, PayloadReader, PayloadWriter};
+use messi_series::Dataset;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes opening every delta log.
+const LOG_MAGIC: &[u8; 8] = b"MESSILOG";
+/// Current log format version.
+const LOG_VERSION: u16 = 1;
+/// Serialized header size in bytes (magic + version + series_len +
+/// base_len + base fingerprint).
+const HEADER_LEN: u64 = 8 + 2 + 4 + 8 + 8;
+
+/// Why a delta log could not be opened or replayed.
+#[derive(Debug)]
+pub enum LogError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The header or a non-tail frame violates the format.
+    Corrupt(String),
+    /// The log belongs to a different dataset than the one loaded.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "delta log I/O error: {e}"),
+            LogError::Corrupt(msg) => write!(f, "delta log corrupt: {msg}"),
+            LogError::Mismatch(msg) => write!(f, "delta log mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// What [`DeltaLog::open`] recovered from an existing log file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Whole frames recovered and replayed.
+    pub batches: usize,
+    /// Total series across those frames.
+    pub series: usize,
+    /// Whether a torn/corrupt tail was detected (and truncated away).
+    pub torn: bool,
+    /// Bytes of tail dropped by the truncation.
+    pub dropped_bytes: u64,
+}
+
+/// An open, append-position delta log.
+///
+/// Created by [`DeltaLog::open`], which also replays whatever frames the
+/// file already holds. Appends go through [`DeltaLog::append`], which
+/// flushes and `fsync`s before returning.
+#[derive(Debug)]
+pub struct DeltaLog {
+    file: File,
+    /// Valid byte length (header + whole frames).
+    bytes: u64,
+}
+
+impl DeltaLog {
+    /// Opens (or creates) the delta log at `path` for the dataset with
+    /// the given shape and content fingerprint, replaying any frames
+    /// already present.
+    ///
+    /// A fresh/empty file gets a header and replays nothing. An existing
+    /// file must carry a matching header; its frames are decoded into
+    /// batches (returned in append order for the caller to re-ingest),
+    /// and a torn tail is reported loudly on stderr and truncated so the
+    /// log ends on its last whole frame.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Mismatch`] when the header pins a different dataset,
+    /// [`LogError::Corrupt`] when the header itself is damaged, and
+    /// [`LogError::Io`] for filesystem failures.
+    pub fn open(
+        path: &Path,
+        series_len: usize,
+        base_len: u64,
+        base_fingerprint: u64,
+    ) -> Result<(Self, Vec<Dataset>, ReplayReport), LogError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            let mut log = Self { file, bytes: 0 };
+            log.write_header(series_len, base_len, base_fingerprint)?;
+            return Ok((log, Vec::new(), ReplayReport::default()));
+        }
+
+        let mut raw = Vec::with_capacity(file_len as usize);
+        file.read_to_end(&mut raw)?;
+        let (batches, report) = decode_log(&raw, path, series_len, base_len, base_fingerprint)?;
+        let good = file_len - report.dropped_bytes;
+        if report.torn {
+            file.set_len(good)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good))?;
+        Ok((Self { file, bytes: good }, batches, report))
+    }
+
+    /// (Re)writes the header and truncates every frame — the compaction
+    /// tail step, after the grown dataset and snapshot have been saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn reset(
+        &mut self,
+        series_len: usize,
+        base_len: u64,
+        base_fingerprint: u64,
+    ) -> Result<(), LogError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.bytes = 0;
+        self.write_header(series_len, base_len, base_fingerprint)
+    }
+
+    fn write_header(
+        &mut self,
+        series_len: usize,
+        base_len: u64,
+        base_fingerprint: u64,
+    ) -> Result<(), LogError> {
+        let mut w = PayloadWriter::new();
+        w.put_bytes(LOG_MAGIC);
+        w.put_u16(LOG_VERSION);
+        w.put_u32(series_len as u32);
+        w.put_u64(base_len);
+        w.put_u64(base_fingerprint);
+        let bytes = w.into_bytes();
+        debug_assert_eq!(bytes.len() as u64, HEADER_LEN);
+        self.file.write_all(&bytes)?;
+        self.file.sync_data()?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one batch as a checksummed frame, flushing and
+    /// `fsync`ing before returning — the durability point of an ingest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn append(&mut self, batch: &Dataset) -> Result<(), LogError> {
+        let mut w = PayloadWriter::new();
+        w.put_u32(batch.len() as u32);
+        for v in batch.as_flat() {
+            w.put_f32(*v);
+        }
+        let payload = w.into_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Current valid length of the log in bytes (header + whole frames).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Decodes a whole log image: validated header, then frames until the
+/// buffer runs dry or the tail tears.
+fn decode_log(
+    raw: &[u8],
+    path: &Path,
+    series_len: usize,
+    base_len: u64,
+    base_fingerprint: u64,
+) -> Result<(Vec<Dataset>, ReplayReport), LogError> {
+    let corrupt = |msg: String| LogError::Corrupt(msg);
+    if (raw.len() as u64) < HEADER_LEN {
+        return Err(corrupt(format!(
+            "{} bytes is shorter than the {HEADER_LEN}-byte header",
+            raw.len()
+        )));
+    }
+    let mut r = PayloadReader::new(&raw[..HEADER_LEN as usize]);
+    let magic = r.take_bytes(8).map_err(|e| corrupt(e.into()))?;
+    if magic != LOG_MAGIC {
+        return Err(corrupt("bad magic (not a MESSI delta log)".into()));
+    }
+    let version = r.take_u16().map_err(|e| corrupt(e.into()))?;
+    if version != LOG_VERSION {
+        return Err(corrupt(format!(
+            "unsupported log version {version} (this build reads {LOG_VERSION})"
+        )));
+    }
+    let log_series_len = r.take_u32().map_err(|e| corrupt(e.into()))?;
+    let log_base_len = r.take_u64().map_err(|e| corrupt(e.into()))?;
+    let log_fp = r.take_u64().map_err(|e| corrupt(e.into()))?;
+    if log_series_len as usize != series_len {
+        return Err(LogError::Mismatch(format!(
+            "log is for series of length {log_series_len}, dataset has {series_len}"
+        )));
+    }
+    if log_base_len != base_len {
+        return Err(LogError::Mismatch(format!(
+            "log extends a base of {log_base_len} series, dataset has {base_len} \
+             (was the dataset rebuilt without compacting the log?)"
+        )));
+    }
+    if log_fp != base_fingerprint {
+        return Err(LogError::Mismatch(format!(
+            "log base fingerprint {log_fp:#018x} does not match the dataset's \
+             {base_fingerprint:#018x} — this log belongs to a different dataset"
+        )));
+    }
+
+    let mut batches = Vec::new();
+    let mut report = ReplayReport::default();
+    let mut off = HEADER_LEN as usize;
+    while off < raw.len() {
+        match decode_frame(&raw[off..], series_len) {
+            Some(batch) => {
+                let frame_len = 12 + 4 + batch.len() * series_len * 4;
+                off += frame_len;
+                report.batches += 1;
+                report.series += batch.len();
+                batches.push(batch);
+            }
+            None => {
+                report.torn = true;
+                report.dropped_bytes = (raw.len() - off) as u64;
+                eprintln!(
+                    "messi: delta log {}: torn tail detected at byte {off} — \
+                     dropping {} trailing byte(s); {} whole batch(es) \
+                     ({} series) recovered",
+                    path.display(),
+                    report.dropped_bytes,
+                    report.batches,
+                    report.series
+                );
+                break;
+            }
+        }
+    }
+    Ok((batches, report))
+}
+
+/// Decodes one frame from the front of `buf`, or `None` if the bytes do
+/// not form a whole, checksum-valid, well-shaped frame (= torn tail).
+fn decode_frame(buf: &[u8], series_len: usize) -> Option<Dataset> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let frame_len = 4usize.checked_add(payload_len)?.checked_add(8)?;
+    if buf.len() < frame_len {
+        return None;
+    }
+    let payload = &buf[4..4 + payload_len];
+    let stored = u64::from_le_bytes(buf[4 + payload_len..frame_len].try_into().unwrap());
+    if fnv1a64(payload) != stored {
+        return None;
+    }
+    let mut r = PayloadReader::new(payload);
+    let count = r.take_u32().ok()? as usize;
+    if count == 0 || r.remaining() != count * series_len * 4 {
+        return None;
+    }
+    let mut values = Vec::with_capacity(count * series_len);
+    for _ in 0..count * series_len {
+        values.push(r.take_f32().ok()?);
+    }
+    Dataset::from_flat(values, series_len).ok()
+}
+
+/// Content fingerprint of a dataset's visible values — what the log
+/// header pins its base to.
+pub(crate) fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    fnv1a64_f32(dataset.as_flat())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("messi-log-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn batch(seed: f32, count: usize, series_len: usize) -> Dataset {
+        let values: Vec<f32> = (0..count * series_len)
+            .map(|i| (i as f32 * 0.25 + seed).sin())
+            .collect();
+        Dataset::from_flat(values, series_len).unwrap()
+    }
+
+    #[test]
+    fn round_trips_batches_across_reopen() {
+        let path = tmp("roundtrip");
+        let (mut log, replayed, report) = DeltaLog::open(&path, 8, 100, 42).unwrap();
+        assert!(replayed.is_empty() && !report.torn);
+        let b1 = batch(1.0, 3, 8);
+        let b2 = batch(2.0, 5, 8);
+        log.append(&b1).unwrap();
+        log.append(&b2).unwrap();
+        let bytes = log.bytes();
+        drop(log);
+
+        let (log, replayed, report) = DeltaLog::open(&path, 8, 100, 42).unwrap();
+        assert_eq!(log.bytes(), bytes);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.series, 8);
+        assert!(!report.torn);
+        assert_eq!(replayed, vec![b1, b2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_logs_for_other_datasets() {
+        let path = tmp("mismatch");
+        let (log, _, _) = DeltaLog::open(&path, 8, 100, 42).unwrap();
+        drop(log);
+        assert!(matches!(
+            DeltaLog::open(&path, 16, 100, 42),
+            Err(LogError::Mismatch(_))
+        ));
+        assert!(matches!(
+            DeltaLog::open(&path, 8, 99, 42),
+            Err(LogError::Mismatch(_))
+        ));
+        assert!(matches!(
+            DeltaLog::open(&path, 8, 100, 43),
+            Err(LogError::Mismatch(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_recovered() {
+        let path = tmp("torn");
+        let (mut log, _, _) = DeltaLog::open(&path, 4, 10, 7).unwrap();
+        let b1 = batch(3.0, 2, 4);
+        let b2 = batch(4.0, 3, 4);
+        log.append(&b1).unwrap();
+        log.append(&b2).unwrap();
+        let good = log.bytes();
+        drop(log);
+
+        // Simulate a crash mid-append: a third frame cut short.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&100u32.to_le_bytes());
+        raw.extend_from_slice(&[0xAB; 17]);
+        std::fs::write(&path, &raw).unwrap();
+
+        let (log, replayed, report) = DeltaLog::open(&path, 4, 10, 7).unwrap();
+        assert!(report.torn);
+        assert_eq!(report.dropped_bytes, 21);
+        assert_eq!(report.batches, 2);
+        assert_eq!(replayed, vec![b1.clone(), b2.clone()]);
+        assert_eq!(log.bytes(), good, "file truncated back to last frame");
+        drop(log);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+
+        // A flipped payload byte (checksum mismatch) also tears the tail.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 10;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, replayed, report) = DeltaLog::open(&path, 4, 10, 7).unwrap();
+        assert!(report.torn);
+        assert_eq!(report.batches, 1, "only the first frame survives");
+        assert_eq!(replayed, vec![b1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_truncates_to_a_fresh_header() {
+        let path = tmp("reset");
+        let (mut log, _, _) = DeltaLog::open(&path, 4, 10, 7).unwrap();
+        log.append(&batch(1.0, 2, 4)).unwrap();
+        log.reset(4, 12, 99).unwrap();
+        assert_eq!(log.bytes(), HEADER_LEN);
+        drop(log);
+        let (log, replayed, report) = DeltaLog::open(&path, 4, 12, 99).unwrap();
+        assert!(replayed.is_empty() && !report.torn);
+        assert_eq!(log.bytes(), HEADER_LEN);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

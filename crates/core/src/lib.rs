@@ -68,9 +68,15 @@
 //!   uniformly by every objective.
 //! * [`serve`] — the index service daemon: a hand-rolled HTTP/1.1
 //!   frontend over one prewarmed sharded executor with readiness
-//!   gating, a bounded load-shedding admission gate, Prometheus metrics
-//!   (including per-shard counter families), graceful drain, and the
-//!   matching load-smoke client.
+//!   gating, a bounded load-shedding admission gate, live ingest
+//!   (`POST /ingest`), Prometheus metrics (including per-shard counter
+//!   families), graceful drain, and the matching load-smoke client.
+//! * [`ingest`] — live ingest: the [`DeltaIndex`] epoch/RCU seam that
+//!   absorbs appended series while queries keep reading immutable
+//!   published arenas plus a sealed-delta overlay, republishing fresh
+//!   arenas on size/cadence triggers, with a framed checksummed delta
+//!   log for durability (replayed by `--load`, truncated by
+//!   `messi compact`).
 //! * [`shard`] — sharded multi-index scatter-gather: a [`ShardedIndex`]
 //!   of N independent [`MessiIndex`] shards over contiguous position
 //!   ranges, built in parallel, queried by fanning each query out to
@@ -91,6 +97,7 @@ pub mod engine;
 pub mod exact;
 pub mod exec;
 pub mod index;
+pub mod ingest;
 pub mod knn;
 pub mod node;
 pub mod persist;
@@ -108,6 +115,9 @@ pub use engine::QueryContext;
 pub use exact::QueryAnswer;
 pub use exec::{MetricSpec, Objective, QueryExecutor, QuerySpec, Schedule};
 pub use index::MessiIndex;
+pub use ingest::{
+    DeltaIndex, IngestError, IngestOptions, IngestReport, IngestStats, LogError, ReplayReport,
+};
 pub use persist::{load_index, save_index, PersistError};
 pub use serve::{IndexServer, ServeConfig, ServeSummary};
 pub use shard::{global_pos, load_sharded, save_sharded, ShardedExecutor, ShardedIndex};

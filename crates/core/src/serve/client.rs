@@ -279,6 +279,22 @@ pub fn run_load_smoke(addr: &str, bodies: &[Vec<u8>], config: &SmokeConfig) -> S
     report
 }
 
+/// Milliseconds to sleep before retrying a shed (503) query.
+///
+/// The linear per-attempt ramp (`5 ms × attempt`) is the floor: a
+/// `Retry-After: 0` hint must never collapse into a hot-spin loop. The
+/// hint itself is in whole seconds — far coarser than these
+/// sub-millisecond queries — so it is scaled down (20 ms per hinted
+/// second) and capped at [`MAX_BACKOFF_MS`], well below a full second,
+/// so a large hint cannot stall the smoke run either.
+const MAX_BACKOFF_MS: u64 = 250;
+
+fn backoff_ms(attempt: usize, retry_after: Option<u64>) -> u64 {
+    let base = (5 * attempt as u64).max(1);
+    let hinted = retry_after.map_or(base, |s| base.max(s.saturating_mul(20)));
+    hinted.clamp(1, MAX_BACKOFF_MS)
+}
+
 /// One connection's worth of the load-smoke run.
 fn smoke_thread(
     addr: &str,
@@ -323,12 +339,10 @@ fn smoke_thread(
                             if !config.retry {
                                 break;
                             }
-                            // The Retry-After hint is in whole seconds —
-                            // far coarser than these queries — so treat
-                            // it as a signal, not a literal sleep.
-                            let base = 5 * attempt as u64;
-                            let hinted = resp.retry_after.map_or(base, |s| base.max(s.min(1) * 20));
-                            std::thread::sleep(Duration::from_millis(hinted));
+                            std::thread::sleep(Duration::from_millis(backoff_ms(
+                                attempt,
+                                resp.retry_after,
+                            )));
                         }
                         400..=499 => {
                             tally.client_errors += 1;
@@ -379,6 +393,34 @@ mod tests {
         ] {
             assert!(read_response(&mut BufReader::new(raw)).is_err(), "{raw:?}");
         }
+    }
+
+    #[test]
+    fn backoff_zero_second_hint_never_hot_spins() {
+        // A `Retry-After: 0` hint must fall back to the per-attempt
+        // ramp, never to a 0 ms busy loop.
+        for attempt in 1..=10 {
+            let ms = backoff_ms(attempt, Some(0));
+            assert!(ms >= 1, "attempt {attempt}: zero-ms backoff");
+            assert_eq!(ms, backoff_ms(attempt, None), "0 s hint == no hint");
+        }
+        assert_eq!(backoff_ms(1, Some(0)), 5);
+    }
+
+    #[test]
+    fn backoff_large_hints_scale_but_stay_sub_second() {
+        // Hints are coarse whole seconds; they must raise the backoff
+        // monotonically but never stall the run for a full second.
+        assert!(backoff_ms(1, Some(1)) > backoff_ms(1, Some(0)));
+        assert_eq!(backoff_ms(1, Some(1)), 20, "20 ms per hinted second");
+        for hint in [1, 2, 30, 3600, u64::MAX] {
+            let ms = backoff_ms(1, Some(hint));
+            assert!(ms < 1000, "hint {hint}: backoff {ms} ms not sub-second");
+        }
+        assert_eq!(backoff_ms(1, Some(3600)), MAX_BACKOFF_MS);
+        assert_eq!(backoff_ms(1, Some(u64::MAX)), MAX_BACKOFF_MS, "no overflow");
+        // The ramp floor survives even at the attempt cap.
+        assert_eq!(backoff_ms(100, Some(0)), MAX_BACKOFF_MS);
     }
 
     #[test]

@@ -94,10 +94,18 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str, value: impl std:
 }
 
 /// Renders the Prometheus text exposition ([text format 0.0.4]) of the
-/// server's state.
+/// server's state, including the live-ingest families from `ingest`
+/// (a [`DeltaIndex::stats`](crate::ingest::DeltaIndex::stats) snapshot;
+/// a daemon without ingest enabled exports them as zeros so dashboards
+/// keep a stable series set).
 ///
 /// [text format 0.0.4]: https://prometheus.io/docs/instrumenting/exposition_formats/
-pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: bool) -> String {
+pub fn encode_prometheus(
+    metrics: &ServerMetrics,
+    admission: &Admission,
+    ready: bool,
+    ingest: &crate::ingest::IngestStats,
+) -> String {
     let mut out = String::with_capacity(4096);
 
     family(
@@ -162,6 +170,84 @@ pub fn encode_prometheus(metrics: &ServerMetrics, admission: &Admission, ready: 
         "counter",
         "Per-query scratch allocations observed after warm-up (should stay 0).",
         metrics.query_alloc_events.get(),
+    );
+
+    // Live-ingest families: destructured exhaustively like the query
+    // aggregate, so a new IngestStats field is a compile error here
+    // until it is exported.
+    let crate::ingest::IngestStats {
+        epoch,
+        epoch_age,
+        overlay_series,
+        total_series,
+        batches,
+        series_ingested,
+        republishes,
+        republish_time,
+        log_bytes,
+    } = *ingest;
+    family(
+        &mut out,
+        "messi_ingest_epoch",
+        "gauge",
+        "Published epoch id (bumps on every insert and republish).",
+        epoch,
+    );
+    family(
+        &mut out,
+        "messi_ingest_epoch_age_seconds",
+        "gauge",
+        "Age of the published index core (resets on republish).",
+        format_args!("{:.3}", epoch_age.as_secs_f64()),
+    );
+    family(
+        &mut out,
+        "messi_ingest_delta_series",
+        "gauge",
+        "Series in the sealed overlay, not yet flattened into arenas.",
+        overlay_series,
+    );
+    family(
+        &mut out,
+        "messi_ingest_live_series",
+        "gauge",
+        "Total live series (published base + overlay).",
+        total_series,
+    );
+    family(
+        &mut out,
+        "messi_ingest_batches_total",
+        "counter",
+        "Ingest batches accepted.",
+        batches,
+    );
+    family(
+        &mut out,
+        "messi_ingest_series_total",
+        "counter",
+        "Series ingested.",
+        series_ingested,
+    );
+    family(
+        &mut out,
+        "messi_ingest_republishes_total",
+        "counter",
+        "Overlay flattens (epoch republishes).",
+        republishes,
+    );
+    family(
+        &mut out,
+        "messi_ingest_republish_seconds_total",
+        "counter",
+        "Summed republish wall time in seconds.",
+        format_args!("{:.6}", republish_time.as_secs_f64()),
+    );
+    family(
+        &mut out,
+        "messi_ingest_log_bytes",
+        "gauge",
+        "Current delta-log size in bytes (0 without a log).",
+        log_bytes,
     );
 
     // The executor aggregate, destructured exhaustively: a new stats
@@ -359,7 +445,18 @@ mod tests {
     #[test]
     fn every_counter_is_exported_exactly_once() {
         let (metrics, admission) = sample_metrics();
-        let text = encode_prometheus(&metrics, &admission, true);
+        let ingest = crate::ingest::IngestStats {
+            epoch: 5,
+            epoch_age: Duration::from_millis(1500),
+            overlay_series: 12,
+            total_series: 1012,
+            batches: 4,
+            series_ingested: 17,
+            republishes: 2,
+            republish_time: Duration::from_millis(250),
+            log_bytes: 4096,
+        };
+        let text = encode_prometheus(&metrics, &admission, true, &ingest);
 
         let QueryStatsAggregate {
             queries,
@@ -426,6 +523,17 @@ mod tests {
         expect_exactly_once("\nmessi_admission_capacity 4\n".to_string());
         expect_exactly_once("\nmessi_query_alloc_events_total 0\n".to_string());
 
+        // Live-ingest families, one sample each.
+        expect_exactly_once("\nmessi_ingest_epoch 5\n".to_string());
+        expect_exactly_once("\nmessi_ingest_epoch_age_seconds 1.500\n".to_string());
+        expect_exactly_once("\nmessi_ingest_delta_series 12\n".to_string());
+        expect_exactly_once("\nmessi_ingest_live_series 1012\n".to_string());
+        expect_exactly_once("\nmessi_ingest_batches_total 4\n".to_string());
+        expect_exactly_once("\nmessi_ingest_series_total 17\n".to_string());
+        expect_exactly_once("\nmessi_ingest_republishes_total 2\n".to_string());
+        expect_exactly_once("\nmessi_ingest_republish_seconds_total 0.250000\n".to_string());
+        expect_exactly_once("\nmessi_ingest_log_bytes 4096\n".to_string());
+
         // Per-shard families: the scatter's per-shard stats land under
         // their own shard label, and both shards count the query.
         expect_exactly_once("\nmessi_shard_queries_total{shard=\"0\"} 1\n".to_string());
@@ -459,8 +567,14 @@ mod tests {
     fn missing_breakdown_exports_zeroed_phases() {
         let metrics = ServerMetrics::new(1);
         metrics.record_query(&QueryStats::default(), 0, &[QueryStats::default()]);
-        let text = encode_prometheus(&metrics, &Admission::new(1), false);
+        let text = encode_prometheus(
+            &metrics,
+            &Admission::new(1),
+            false,
+            &crate::ingest::IngestStats::default(),
+        );
         assert!(text.contains("messi_ready 0\n"));
+        assert!(text.contains("messi_ingest_batches_total 0\n"), "{text}");
         assert!(
             text.contains("messi_query_phase_seconds_total{phase=\"init\"} 0.000000\n"),
             "{text}"

@@ -9,15 +9,17 @@
 //! - [`http`] — minimal HTTP/1.1 framing (request parsing, fixed-length
 //!   responses), unit-tested byte-for-byte without sockets.
 //! - [`json`] — a small strict JSON parser for query bodies.
-//! - [`proto`] — the query wire protocol: JSON body ⇄
-//!   [`QuerySpec`](crate::exec::QuerySpec) + query series, and answer
-//!   encoding.
+//! - [`proto`] — the query/ingest wire protocol: JSON body ⇄
+//!   [`QuerySpec`](crate::exec::QuerySpec) + query series, ingest
+//!   batches, and answer encoding.
 //! - [`admission`] — the bounded admission gate with load-shedding
 //!   (503 + `Retry-After`) and drain mode.
 //! - [`metrics`] — frontend counters + Prometheus text exposition of
 //!   the executor's [`QueryStatsAggregate`](crate::stats::QueryStatsAggregate).
 //! - [`server`] — the daemon itself: acceptor + bounded handler pool
-//!   over a [`messi_sync::BoundedChannel`], readiness gating, graceful
+//!   over a [`messi_sync::BoundedChannel`], readiness gating, live
+//!   ingest (`POST /ingest` onto a [`DeltaIndex`](crate::ingest::DeltaIndex)
+//!   epoch seam, republish on the acceptor's idle ticks), graceful
 //!   drain on SIGTERM/SIGINT.
 //! - [`client`] — the matching blocking client and the `load-smoke`
 //!   driver (concurrent connections, p50/p99 latency, shed accounting).

@@ -193,6 +193,73 @@ pub fn decode_query(body: &[u8], series_len: usize) -> Result<(QuerySpec, Vec<f3
     Ok((QuerySpec { objective, metric }, series))
 }
 
+/// The fields a `/ingest` body may carry (anything else is rejected).
+const INGEST_FIELDS: &[&str] = &["series"];
+
+/// Decodes and validates a `POST /ingest` body — a batch of series to
+/// append, every one exactly `series_len` points:
+///
+/// ```json
+/// {"series": [[0.1, -0.2, ...], [1.3, 0.7, ...]]}
+/// ```
+///
+/// Shape is enforced here (400); value-level validation (non-finite
+/// points, position-ceiling overflow) is the ingest layer's job so the
+/// endpoint and the CLI reject identically.
+pub fn decode_ingest(body: &[u8], series_len: usize) -> Result<messi_series::Dataset, ProtoError> {
+    let text = std::str::from_utf8(body).map_err(|_| err("body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(err("empty body; expected a JSON ingest object"));
+    }
+    let doc = Json::parse(text).map_err(|e| err(e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(err("body must be a JSON object"));
+    }
+    for key in doc.keys() {
+        if !INGEST_FIELDS.contains(&key) {
+            return Err(err(format!(
+                "unknown field `{key}` (expected one of: {})",
+                INGEST_FIELDS.join(", ")
+            )));
+        }
+    }
+    let batch = doc
+        .get("series")
+        .ok_or_else(|| err("missing `series`"))?
+        .as_arr()
+        .ok_or_else(|| err("`series` must be an array of series"))?;
+    if batch.is_empty() {
+        return Err(err("`series` holds no series"));
+    }
+    let mut values = Vec::with_capacity(batch.len() * series_len);
+    for (i, row) in batch.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| err(format!("`series[{i}]` must be an array of numbers")))?;
+        if row.len() != series_len {
+            return Err(err(format!(
+                "`series[{i}]` has {} points, index expects {series_len}",
+                row.len()
+            )));
+        }
+        for (j, v) in row.iter().enumerate() {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| err(format!("`series[{i}][{j}]` is not a number")))?;
+            values.push(x as f32);
+        }
+    }
+    messi_series::Dataset::from_flat(values, series_len).map_err(|e| err(e.to_string()))
+}
+
+/// Encodes a successful ingest response.
+pub fn encode_ingest_report(report: &crate::ingest::IngestReport) -> String {
+    format!(
+        "{{\"accepted\":{},\"total_series\":{},\"epoch\":{},\"republished\":{}}}",
+        report.accepted, report.total_series, report.epoch, report.republished
+    )
+}
+
 /// Encodes a successful query response: the answers plus the per-query
 /// stats counters (times in microseconds).
 pub fn encode_answer(spec: &QuerySpec, answers: &[QueryAnswer], stats: &QueryStats) -> String {
@@ -341,6 +408,48 @@ mod tests {
                 String::from_utf8_lossy(&raw)
             );
         }
+    }
+
+    #[test]
+    fn decodes_and_rejects_ingest_bodies() {
+        let ds = decode_ingest(br#"{"series":[[1,2,3,4,5,6,7,8],[8,7,6,5,4,3,2,1]]}"#, LEN)
+            .expect("well-formed batch");
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.series(1)[0], 8.0);
+
+        for (raw, needle) in [
+            (&b""[..], "empty body"),
+            (br#"[1]"#, "must be a JSON object"),
+            (br#"{"series":[]}"#, "holds no series"),
+            (br#"{"series":[[1,2]]}"#, "points, index expects"),
+            (br#"{"batch":[[1]]}"#, "unknown field `batch`"),
+            (
+                br#"{"series":[[1,2,3,4,5,6,7,"x"]]}"#,
+                "`series[0][7]` is not a number",
+            ),
+            (
+                br#"{"series":[1,2]}"#,
+                "`series[0]` must be an array of numbers",
+            ),
+        ] {
+            let e = decode_ingest(raw, LEN).unwrap_err();
+            assert!(
+                e.0.contains(needle),
+                "{} → {e}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+
+        let text = encode_ingest_report(&crate::ingest::IngestReport {
+            accepted: 2,
+            total_series: 102,
+            epoch: 3,
+            republished: true,
+        });
+        let doc = Json::parse(&text).expect("report is valid JSON");
+        assert_eq!(doc.get("accepted").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("total_series").and_then(Json::as_f64), Some(102.0));
+        assert_eq!(doc.get("republished"), Some(&Json::Bool(true)));
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! The index service daemon: a long-running network frontend over one
-//! prewarmed [`ShardedExecutor`] (a single-index deployment is just the
-//! one-shard case, [`crate::shard::ShardedIndex::from_single`]).
+//! live [`DeltaIndex`] — a prewarmed [`crate::shard::ShardedExecutor`]
+//! behind an epoch seam that absorbs `/ingest` appends without blocking
+//! queries (a single-index deployment is just the one-shard case,
+//! [`crate::shard::ShardedIndex::from_single`]).
 //!
 //! One acceptor thread plus a bounded pool of connection handlers (both
 //! running on a dedicated [`messi_sync::WorkerPool`], handed connections
-//! through a [`messi_sync::BoundedChannel`]) serve three endpoints:
+//! through a [`messi_sync::BoundedChannel`]) serve four endpoints:
 //!
 //! | endpoint | behaviour |
 //! |---|---|
-//! | `POST /query` | decode a JSON query body into a [`QuerySpec`], answer from the warm context pool |
+//! | `POST /query` | decode a JSON query body into a [`crate::QuerySpec`], answer from the warm context pool |
+//! | `POST /ingest` | decode a JSON batch of series, append it to the live index (durable when a delta log is attached) |
 //! | `GET /healthz` | `200 ok` only after the index is loaded and the pool prewarmed, `503` before |
-//! | `GET /metrics` | Prometheus text exposition of the executor + frontend counters, including per-shard `messi_shard_*{shard="i"}` families |
+//! | `GET /metrics` | Prometheus text exposition of the executor + frontend + ingest counters, including per-shard `messi_shard_*{shard="i"}` families |
 //!
 //! Queries pass a bounded [`Admission`] gate: when `admission` permits
 //! are in flight, further queries get `503` + `Retry-After` instead of
@@ -38,8 +41,7 @@ use super::http::{self, Request, Response};
 use super::metrics::{encode_prometheus, ServerMetrics};
 use super::proto;
 use crate::config::QueryConfig;
-use crate::exec::QuerySpec;
-use crate::shard::{ShardedExecutor, ShardedIndex};
+use crate::ingest::{DeltaIndex, IngestError};
 use crate::stats::QueryStatsAggregate;
 use messi_series::distance::Kernel;
 
@@ -120,12 +122,15 @@ impl IndexServer {
     /// requests and returns the lifetime summary.
     ///
     /// Readiness (`/healthz` → 200) is reached after the executor pool
-    /// has been prewarmed against every shard of `index`, so a load
-    /// balancer polling health never routes to a cold daemon.
-    pub fn serve(self, index: &ShardedIndex, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
+    /// has been prewarmed against every shard of the live index, so a
+    /// load balancer polling health never routes to a cold daemon. The
+    /// acceptor's idle ticks drive [`DeltaIndex::maybe_republish`], so
+    /// overlay flattening happens off the query path on the ingest
+    /// cadence trigger.
+    pub fn serve(self, live: &DeltaIndex, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
         let threads = self.config.threads.max(1);
-        let state = ServeState::new(index, &self.config);
-        state.prewarm(index);
+        let state = ServeState::new(live, &self.config);
+        state.prewarm();
 
         self.listener.set_nonblocking(true)?;
         let conns: BoundedChannel<TcpStream> = BoundedChannel::new(2 * threads);
@@ -137,7 +142,7 @@ impl IndexServer {
         let listener_ref = &self.listener;
         pool.run(threads + 1, &|pid| {
             if pid == 0 {
-                accept_loop(listener_ref, conns_ref, shutdown);
+                accept_loop(listener_ref, conns_ref, live, shutdown);
                 conns_ref.close(); // acceptor done → handlers drain + exit
             } else {
                 while let Some(stream) = conns_ref.pop() {
@@ -151,7 +156,7 @@ impl IndexServer {
 
 /// Everything a request handler needs, shared across handler threads.
 struct ServeState<'a> {
-    executor: ShardedExecutor<'a>,
+    live: &'a DeltaIndex,
     series_len: usize,
     query_config: QueryConfig,
     metrics: ServerMetrics,
@@ -160,11 +165,11 @@ struct ServeState<'a> {
 }
 
 impl<'a> ServeState<'a> {
-    fn new(index: &'a ShardedIndex, config: &ServeConfig) -> Self {
+    fn new(live: &'a DeltaIndex, config: &ServeConfig) -> Self {
         let query_workers = config.query_workers.max(1);
         Self {
-            executor: ShardedExecutor::with_capacity(index, config.threads.max(1)),
-            series_len: index.dataset().series_len(),
+            live,
+            series_len: live.series_len(),
             query_config: QueryConfig {
                 num_workers: query_workers,
                 num_queues: query_workers,
@@ -172,7 +177,7 @@ impl<'a> ServeState<'a> {
                 kernel: config.kernel,
                 ..QueryConfig::default()
             },
-            metrics: ServerMetrics::new(index.num_shards()),
+            metrics: ServerMetrics::new(live.index().num_shards()),
             admission: Admission::new(config.admission),
             ready: AtomicBool::new(false),
         }
@@ -180,15 +185,10 @@ impl<'a> ServeState<'a> {
 
     /// Warms every pooled context of every shard so the first real query
     /// of every handler thread runs allocation-free, then flips
-    /// readiness.
-    fn prewarm(&self, index: &ShardedIndex) {
-        let warm_query: Vec<f32> = if index.num_series() > 0 {
-            index.dataset().series(0).to_vec()
-        } else {
-            vec![0.0; self.series_len]
-        };
-        self.executor
-            .prewarm(&warm_query, &QuerySpec::exact(), &self.query_config);
+    /// readiness. The live index remembers the configuration and
+    /// re-warms every republished epoch the same way before the swap.
+    fn prewarm(&self) {
+        self.live.prewarm(&self.query_config);
         self.ready.store(true, Ordering::Release);
     }
 
@@ -204,7 +204,14 @@ impl<'a> ServeState<'a> {
 }
 
 /// Accepts connections until shutdown, handing them to the handler pool.
-fn accept_loop(listener: &TcpListener, conns: &BoundedChannel<TcpStream>, shutdown: &AtomicBool) {
+/// Idle ticks double as the republish heartbeat: an aged epoch with a
+/// pending overlay is flattened here, off every request path.
+fn accept_loop(
+    listener: &TcpListener,
+    conns: &BoundedChannel<TcpStream>,
+    live: &DeltaIndex,
+    shutdown: &AtomicBool,
+) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -220,6 +227,11 @@ fn accept_loop(listener: &TcpListener, conns: &BoundedChannel<TcpStream>, shutdo
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Err(e) = live.maybe_republish() {
+                    // Republish failing is not fatal to serving — the
+                    // overlay keeps answering — but it must be loud.
+                    eprintln!("messi serve: republish failed: {e}");
+                }
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -313,10 +325,12 @@ fn route(state: &ServeState<'_>, req: &Request) -> Response {
                 &state.metrics,
                 &state.admission,
                 state.ready.load(Ordering::Acquire),
+                &state.live.stats(),
             ),
         ),
         ("POST", "/query") => answer_query(state, req),
-        ("GET" | "POST", "/healthz" | "/metrics" | "/query") => {
+        ("POST", "/ingest") => answer_ingest(state, req),
+        ("GET" | "POST", "/healthz" | "/metrics" | "/query" | "/ingest") => {
             Response::error(405, &format!("{} not allowed on {path}", req.method))
         }
         _ => Response::error(404, &format!("no route for {path}")),
@@ -340,9 +354,7 @@ fn answer_query(state: &ServeState<'_>, req: &Request) -> Response {
     // daemon down with it; the checked-out context is sacrificed and the
     // pool rebuilds a fresh one on the next checkout.
     match catch_unwind(AssertUnwindSafe(|| {
-        state
-            .executor
-            .run_one_traced(&series, &spec, &state.query_config)
+        state.live.query_traced(&series, &spec, &state.query_config)
     })) {
         Ok((answers, stats, alloc_delta, per_shard)) => {
             state.metrics.record_query(&stats, alloc_delta, &per_shard);
@@ -352,6 +364,31 @@ fn answer_query(state: &ServeState<'_>, req: &Request) -> Response {
             state.metrics.query_failures.inc();
             Response::error(500, "query execution failed")
         }
+    }
+}
+
+/// The `/ingest` endpoint: decode a batch → [`DeltaIndex::insert_batch`].
+///
+/// Not admission-gated: ingest is serialized by the writer lock inside
+/// the live index, so its concurrency is already bounded at one, and a
+/// full query gate must not be able to starve writers.
+fn answer_ingest(state: &ServeState<'_>, req: &Request) -> Response {
+    if !state.ready.load(Ordering::Acquire) {
+        return Response::error(503, "index not ready").with_retry_after(1);
+    }
+    let batch = match proto::decode_ingest(&req.body, state.series_len) {
+        Ok(batch) => batch,
+        Err(e) => return Response::error(400, &e.0),
+    };
+    match state.live.insert_batch(&batch) {
+        Ok(report) => Response::json(200, proto::encode_ingest_report(&report)),
+        Err(e @ IngestError::PositionOverflow { .. }) => Response::error(409, &e.to_string()),
+        Err(
+            e @ (IngestError::ShapeMismatch { .. }
+            | IngestError::NonFinite { .. }
+            | IngestError::EmptyBatch),
+        ) => Response::error(400, &e.to_string()),
+        Err(e) => Response::error(500, &e.to_string()),
     }
 }
 
@@ -387,12 +424,15 @@ pub fn shutdown_flag() -> &'static AtomicBool {
 mod tests {
     use super::*;
     use crate::config::IndexConfig;
+    use crate::ingest::IngestOptions;
+    use crate::shard::ShardedIndex;
     use messi_series::gen::{self, DatasetKind};
     use std::sync::Arc;
 
-    fn test_index() -> ShardedIndex {
+    fn test_live() -> DeltaIndex {
         let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 11));
-        ShardedIndex::build(data, 2, &IndexConfig::for_tests()).0
+        let index = ShardedIndex::build(data, 2, &IndexConfig::for_tests()).0;
+        DeltaIndex::new(index, IngestOptions::default())
     }
 
     fn get(path: &str) -> Request {
@@ -404,36 +444,42 @@ mod tests {
         }
     }
 
-    fn post_query(body: String) -> Request {
+    fn post(path: &str, body: String) -> Request {
         Request {
             method: "POST".into(),
-            path: "/query".into(),
+            path: path.into(),
             body: body.into_bytes(),
             close: false,
         }
     }
 
-    fn query_body(index: &ShardedIndex, fields: &str) -> String {
-        let series: Vec<String> = index
-            .dataset()
-            .series(0)
-            .iter()
-            .map(|x| format!("{x}"))
-            .collect();
-        format!("{{{fields}\"series\":[{}]}}", series.join(","))
+    fn post_query(body: String) -> Request {
+        post("/query", body)
+    }
+
+    fn series_json(series: &[f32]) -> String {
+        let vals: Vec<String> = series.iter().map(|x| format!("{x:?}")).collect();
+        format!("[{}]", vals.join(","))
+    }
+
+    fn query_body(live: &DeltaIndex, fields: &str) -> String {
+        let json = series_json(live.index().dataset().series(0));
+        format!("{{{fields}\"series\":{json}}}")
     }
 
     #[test]
     fn healthz_gates_on_readiness() {
-        let index = test_index();
-        let state = ServeState::new(&index, &ServeConfig::default());
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
         let resp = route(&state, &get("/healthz"));
         assert_eq!(resp.status, 503, "not ready before prewarm");
         assert_eq!(resp.retry_after, Some(1));
-        let resp = route(&state, &post_query(query_body(&index, "")));
+        let resp = route(&state, &post_query(query_body(&live, "")));
         assert_eq!(resp.status, 503, "queries are also gated on readiness");
+        let resp = route(&state, &post("/ingest", "{}".into()));
+        assert_eq!(resp.status, 503, "ingest is also gated on readiness");
 
-        state.prewarm(&index);
+        state.prewarm();
         let resp = route(&state, &get("/healthz"));
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"ok\n");
@@ -441,11 +487,11 @@ mod tests {
 
     #[test]
     fn query_route_answers_like_the_index() {
-        let index = test_index();
-        let state = ServeState::new(&index, &ServeConfig::default());
-        state.prewarm(&index);
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
+        state.prewarm();
 
-        let resp = route(&state, &post_query(query_body(&index, "")));
+        let resp = route(&state, &post_query(query_body(&live, "")));
         assert_eq!(
             resp.status,
             200,
@@ -462,7 +508,7 @@ mod tests {
 
         let resp = route(
             &state,
-            &post_query(query_body(&index, "\"objective\":\"knn\",\"k\":4,")),
+            &post_query(query_body(&live, "\"objective\":\"knn\",\"k\":4,")),
         );
         let doc =
             super::super::json::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
@@ -470,10 +516,68 @@ mod tests {
     }
 
     #[test]
+    fn ingest_route_appends_and_serves_the_new_series() {
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
+        state.prewarm();
+
+        // A fresh series far from the random walks: ingest it, then an
+        // exact query for it must come back at the appended position.
+        let fresh: Vec<f32> = (0..live.series_len())
+            .map(|i| (i as f32).sin() + 40.0)
+            .collect();
+        let body = format!("{{\"series\":[{}]}}", series_json(&fresh));
+        let resp = route(&state, &post("/ingest", body));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc =
+            super::super::json::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("accepted").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("total_series").unwrap().as_f64(), Some(301.0));
+
+        let query = format!("{{\"series\":{}}}", series_json(&fresh));
+        let resp = route(&state, &post_query(query));
+        let doc =
+            super::super::json::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let answers = doc.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers[0].get("pos").unwrap().as_f64(), Some(300.0));
+        assert_eq!(answers[0].get("distance").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn ingest_route_maps_typed_errors_to_statuses() {
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
+        state.prewarm();
+        assert_eq!(route(&state, &get("/ingest")).status, 405);
+        assert_eq!(
+            route(&state, &post("/ingest", "not json".into())).status,
+            400,
+            "malformed body"
+        );
+        assert_eq!(
+            route(&state, &post("/ingest", "{\"series\":[[1.0,2.0]]}".into())).status,
+            400,
+            "wrong series_len"
+        );
+        let nan = format!(
+            "{{\"series\":[{}]}}",
+            series_json(&vec![f32::NAN; live.series_len()])
+        );
+        // NaN never survives the JSON number grammar, so it is a decode
+        // error (400) before the index even sees the batch.
+        assert_eq!(route(&state, &post("/ingest", nan)).status, 400);
+    }
+
+    #[test]
     fn router_maps_errors_to_statuses() {
-        let index = test_index();
-        let state = ServeState::new(&index, &ServeConfig::default());
-        state.prewarm(&index);
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
+        state.prewarm();
         assert_eq!(route(&state, &get("/nope")).status, 404);
         assert_eq!(route(&state, &get("/query")).status, 405);
         let mut req = get("/healthz");
@@ -485,7 +589,7 @@ mod tests {
             "malformed body"
         );
         assert_eq!(
-            route(&state, &post_query(query_body(&index, "\"k\":3,"))).status,
+            route(&state, &post_query(query_body(&live, "\"k\":3,"))).status,
             400,
             "contradictory fields"
         );
@@ -493,16 +597,16 @@ mod tests {
 
     #[test]
     fn drain_mode_sheds_queries_with_retry_hint_but_serves_health() {
-        let index = test_index();
+        let live = test_live();
         let state = ServeState::new(
-            &index,
+            &live,
             &ServeConfig {
                 admission: 0,
                 ..ServeConfig::default()
             },
         );
-        state.prewarm(&index);
-        let resp = route(&state, &post_query(query_body(&index, "")));
+        state.prewarm();
+        let resp = route(&state, &post_query(query_body(&live, "")));
         assert_eq!(resp.status, 503);
         assert_eq!(resp.retry_after, Some(1));
         assert!(String::from_utf8_lossy(&resp.body).contains("overloaded"));
@@ -513,11 +617,14 @@ mod tests {
     }
 
     #[test]
-    fn metrics_expose_query_counters() {
-        let index = test_index();
-        let state = ServeState::new(&index, &ServeConfig::default());
-        state.prewarm(&index);
-        let _ = route(&state, &post_query(query_body(&index, "")));
+    fn metrics_expose_query_and_ingest_counters() {
+        let live = test_live();
+        let state = ServeState::new(&live, &ServeConfig::default());
+        state.prewarm();
+        let _ = route(&state, &post_query(query_body(&live, "")));
+        let fresh = vec![0.25_f32; live.series_len()];
+        let body = format!("{{\"series\":[{}]}}", series_json(&fresh));
+        assert_eq!(route(&state, &post("/ingest", body)).status, 200);
         let text = route(&state, &get("/metrics"));
         let body = String::from_utf8(text.body).unwrap();
         assert!(body.contains("messi_queries_total 1"), "{body}");
@@ -526,20 +633,23 @@ mod tests {
             body.contains("messi_query_real_distance_calcs_total"),
             "{body}"
         );
+        assert!(body.contains("messi_ingest_batches_total 1"), "{body}");
+        assert!(body.contains("messi_ingest_delta_series 1"), "{body}");
+        assert!(body.contains("messi_ingest_live_series 301"), "{body}");
     }
 
     #[test]
     fn summary_reflects_served_and_shed() {
-        let index = test_index();
+        let live = test_live();
         let state = ServeState::new(
-            &index,
+            &live,
             &ServeConfig {
                 admission: 0,
                 ..ServeConfig::default()
             },
         );
-        state.prewarm(&index);
-        let _ = route(&state, &post_query(query_body(&index, "")));
+        state.prewarm();
+        let _ = route(&state, &post_query(query_body(&live, "")));
         let summary = state.summary();
         assert_eq!(summary.served, 0);
         assert_eq!(summary.shed, 1);

@@ -49,7 +49,9 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct ShardedIndex {
-    shards: Vec<MessiIndex>,
+    /// Shards are `Arc`-shared so a grown copy ([`ShardedIndex::absorb`])
+    /// can reuse every untouched shard without rebuilding it.
+    shards: Vec<Arc<MessiIndex>>,
     /// First global position of each shard (ascending, `offsets[0] == 0`).
     offsets: Vec<u64>,
     /// The full collection (shards hold their own sub-dataset `Arc`s).
@@ -110,7 +112,7 @@ impl ShardedIndex {
             let (index, stats) = MessiIndex::build(Arc::clone(&dataset), config);
             return (
                 Self {
-                    shards: vec![index],
+                    shards: vec![Arc::new(index)],
                     offsets: vec![0],
                     dataset,
                 },
@@ -172,7 +174,7 @@ impl ShardedIndex {
             stats.num_leaves += s.num_leaves;
             stats.num_root_subtrees += s.num_root_subtrees;
             stats.max_height = stats.max_height.max(s.max_height);
-            shards.push(index);
+            shards.push(Arc::new(index));
         }
         let offsets = ranges.iter().map(|&(start, _)| start as u64).collect();
         (
@@ -192,7 +194,7 @@ impl ShardedIndex {
     pub fn from_single(index: MessiIndex) -> Self {
         let dataset = Arc::clone(index.dataset());
         Self {
-            shards: vec![index],
+            shards: vec![Arc::new(index)],
             offsets: vec![0],
             dataset,
         }
@@ -208,10 +210,52 @@ impl ShardedIndex {
     ) -> Self {
         debug_assert_eq!(shards.len(), offsets.len());
         Self {
-            shards,
+            shards: shards.into_iter().map(Arc::new).collect(),
             offsets,
             dataset,
         }
+    }
+
+    /// A grown copy of this index over `grown` — a dataset that starts
+    /// with this index's series and appends new ones at the tail.
+    ///
+    /// Only the **last** shard is rebuilt (via
+    /// [`MessiIndex::insert_batch`], which reuses every untouched root
+    /// subtree's arena verbatim); all earlier shards are shared with
+    /// `self` through their `Arc`s. The contiguous-partition invariant
+    /// is preserved — the last shard simply covers a longer tail — but
+    /// the split is no longer the canonical balanced one, so snapshot
+    /// loading validates the manifest's recorded partition rather than
+    /// recomputing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grown` is not a strict extension of this index's
+    /// dataset shape (same `series_len`, at least as many series).
+    pub fn absorb(&self, grown: Arc<Dataset>) -> Result<Self, crate::ingest::IngestError> {
+        assert_eq!(
+            grown.series_len(),
+            self.dataset.series_len(),
+            "grown dataset changes series_len"
+        );
+        assert!(
+            grown.len() >= self.dataset.len(),
+            "grown dataset shrank: {} -> {}",
+            self.dataset.len(),
+            grown.len()
+        );
+        let n = self.shards.len();
+        let last_start = self.offsets[n - 1] as usize;
+        let already_indexed = self.dataset.len() - last_start;
+        let sub = shard_dataset(&grown, last_start, grown.len());
+        let last = self.shards[n - 1].insert_batch(sub, already_indexed)?;
+        let mut shards: Vec<Arc<MessiIndex>> = self.shards[..n - 1].to_vec();
+        shards.push(Arc::new(last));
+        Ok(Self {
+            shards,
+            offsets: self.offsets.clone(),
+            dataset: grown,
+        })
     }
 
     /// The full collection this index covers.
@@ -230,7 +274,7 @@ impl ShardedIndex {
     }
 
     /// All shards, ascending by global position range.
-    pub fn shards(&self) -> &[MessiIndex] {
+    pub fn shards(&self) -> &[Arc<MessiIndex>] {
         &self.shards
     }
 
@@ -265,34 +309,31 @@ impl ShardedIndex {
 
     /// Total leaves across all shards.
     pub fn num_leaves(&self) -> usize {
-        self.shards.iter().map(MessiIndex::num_leaves).sum()
+        self.shards.iter().map(|s| s.num_leaves()).sum()
     }
 
     /// Total stored leaf entries across all shards.
     pub fn num_entries(&self) -> usize {
-        self.shards.iter().map(MessiIndex::num_entries).sum()
+        self.shards.iter().map(|s| s.num_entries()).sum()
     }
 
     /// Height of the tallest root subtree of any shard.
     pub fn max_height(&self) -> usize {
         self.shards
             .iter()
-            .map(MessiIndex::max_height)
+            .map(|s| s.max_height())
             .max()
             .unwrap_or(0)
     }
 
     /// Bytes held by all node arenas across all shards.
     pub fn node_storage_bytes(&self) -> usize {
-        self.shards.iter().map(MessiIndex::node_storage_bytes).sum()
+        self.shards.iter().map(|s| s.node_storage_bytes()).sum()
     }
 
     /// Bytes held by all leaf-entry pools across all shards.
     pub fn entry_storage_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(MessiIndex::entry_storage_bytes)
-            .sum()
+        self.shards.iter().map(|s| s.entry_storage_bytes()).sum()
     }
 
     /// Mean leaf fill factor across all shards (entry-weighted).

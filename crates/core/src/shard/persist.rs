@@ -17,7 +17,7 @@
 //! parallel. A corrupt, missing, or swapped shard file fails the load
 //! loudly with the offending path in the error.
 
-use super::index::{shard_dataset, shard_ranges, ShardedIndex};
+use super::index::{shard_dataset, ShardedIndex};
 use crate::persist::{load_index, save_index, PersistError};
 use messi_series::io::{fnv1a64, PayloadReader, PayloadWriter};
 use messi_series::Dataset;
@@ -117,20 +117,12 @@ pub fn load_sharded(dir: &Path, dataset: Arc<Dataset>) -> Result<ShardedIndex, P
             dataset.len()
         )));
     }
-    // The partition must be exactly what ShardedIndex::build produces
-    // for this (len, n): contiguous from zero, covering everything.
-    let expected: Vec<(u64, u64)> = shard_ranges(dataset.len(), manifest.shards.len())
-        .into_iter()
-        .map(|(start, end)| (start as u64, (end - start) as u64))
-        .collect();
-    if manifest.shards != expected {
-        return Err(PersistError::Corrupt(format!(
-            "manifest partition {:?} is not the canonical split of {} series into {} shards",
-            manifest.shards,
-            dataset.len(),
-            manifest.shards.len()
-        )));
-    }
+    // The manifest's partition table is authoritative: read_manifest
+    // already proved it contiguous from zero, gap-free, and covering
+    // exactly `total_series`. It need *not* be the canonical balanced
+    // split of ShardedIndex::build — a live-ingested index grows its
+    // last shard past the balanced size, and its snapshot records that
+    // partition verbatim (see ShardedIndex::absorb).
 
     let n = manifest.shards.len();
     let slots: Vec<Mutex<Option<Result<crate::MessiIndex, PersistError>>>> =
@@ -294,6 +286,32 @@ mod tests {
             assert_eq!(a[0].pos, b[0].pos);
             assert_eq!(a[0].dist_sq.to_bits(), b[0].dist_sq.to_bits());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grown_non_canonical_partition_round_trips() {
+        let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 300, 21));
+        let (built, _) = ShardedIndex::build(Arc::clone(&data), 3, &IndexConfig::for_tests());
+        // Grow past the canonical balanced split: the last shard
+        // absorbs 7 appended series (copy-on-grow, see Dataset::concat).
+        let extra = gen::generate(DatasetKind::RandomWalk, 7, 22);
+        let grown = Arc::new(data.concat([&extra]).expect("same shape"));
+        let absorbed = built.absorb(Arc::clone(&grown)).expect("absorb");
+        assert_eq!(absorbed.num_series(), 307);
+
+        let dir = tmp_dir("grown");
+        save_sharded(&absorbed, &dir).expect("save");
+        let loaded = load_sharded(&dir, Arc::clone(&grown)).expect("non-canonical load");
+        assert_eq!(loaded.num_series(), 307);
+
+        let config = QueryConfig::for_tests();
+        let q = extra.series(3);
+        let (a, _) = absorbed.executor().run_one(q, &QuerySpec::exact(), &config);
+        let (b, _) = loaded.executor().run_one(q, &QuerySpec::exact(), &config);
+        assert_eq!(a, b, "loaded grown snapshot answers identically");
+        assert_eq!(a[0].pos, 303, "appended series keeps its global position");
+        assert_eq!(a[0].dist_sq, 0.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

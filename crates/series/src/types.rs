@@ -20,6 +20,15 @@ use std::sync::Arc;
 /// series ([`Dataset::view`]) — sharded index builds partition millions
 /// of series without duplicating a single float. Equality compares the
 /// *visible* values, so a view equals an owned copy of the same range.
+///
+/// **Append-safety invariant:** a backing buffer is immutable for the
+/// lifetime of its `Arc` — no API grows or mutates `values` in place, so
+/// no append can ever reallocate a buffer out from under an outstanding
+/// view mid-query. Growth is always *copy-on-grow*: [`Dataset::concat`]
+/// builds a brand-new buffer and leaves every existing view pinning the
+/// old one alive. Live ingest relies on this: published shard views stay
+/// valid forever, and a republished index simply swaps to the new
+/// buffer.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     values: Arc<Vec<f32>>,
@@ -205,6 +214,41 @@ impl Dataset {
         None
     }
 
+    /// A new dataset holding this dataset's series followed by every
+    /// series of `tails`, in order — the *copy-on-grow* primitive live
+    /// ingest republishes through.
+    ///
+    /// The values are copied into a freshly allocated backing buffer;
+    /// `self` and `tails` (and any views of them) are left untouched and
+    /// remain valid, which is what keeps in-flight queries safe while an
+    /// index grows (see the type-level append-safety invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if any tail has a different
+    /// series length.
+    pub fn concat<'a, I>(&self, tails: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Dataset>,
+    {
+        let tails: Vec<&Dataset> = tails.into_iter().collect();
+        for t in &tails {
+            if t.series_len != self.series_len {
+                return Err(Error::LengthMismatch {
+                    expected: self.series_len,
+                    got: t.series_len,
+                });
+            }
+        }
+        let extra: usize = tails.iter().map(|t| t.len_values).sum();
+        let mut values = Vec::with_capacity(self.len_values + extra);
+        values.extend_from_slice(self.as_flat());
+        for t in &tails {
+            values.extend_from_slice(t.as_flat());
+        }
+        Self::from_flat(values, self.series_len)
+    }
+
     /// Brute-force scan: position and squared Euclidean distance of the
     /// nearest neighbor of `query`. The reference answer for every test.
     ///
@@ -378,6 +422,36 @@ mod tests {
         // Full-range and empty views are fine.
         assert_eq!(ds.view(0, 5), ds);
         assert!(ds.view(2, 2).is_empty());
+    }
+
+    #[test]
+    fn concat_copies_into_a_new_buffer() {
+        let base = Dataset::from_flat((0..8).map(|v| v as f32).collect(), 4).unwrap();
+        let view = base.view(1, 2); // outstanding window over the old buffer
+        let tail = Dataset::from_flat(vec![9.0; 4], 4).unwrap();
+        let grown = base.concat([&tail]).unwrap();
+        assert_eq!(grown.len(), 3);
+        assert_eq!(grown.series(0), base.series(0));
+        assert_eq!(grown.series(1), base.series(1));
+        assert_eq!(grown.series(2), tail.series(0));
+        // Copy-on-grow: the new dataset has its own allocation, and the
+        // outstanding view still points into the untouched old buffer.
+        assert!(!std::ptr::eq(
+            grown.series(0).as_ptr(),
+            base.series(0).as_ptr()
+        ));
+        assert!(std::ptr::eq(
+            view.series(0).as_ptr(),
+            base.series(1).as_ptr()
+        ));
+        assert_eq!(view.series(0), &[4.0, 5.0, 6.0, 7.0]);
+        // Empty tail list is a plain copy; mismatched shapes are refused.
+        assert_eq!(base.concat([]).unwrap(), base);
+        let odd = Dataset::from_flat(vec![0.0; 2], 2).unwrap();
+        assert!(matches!(
+            base.concat([&odd]),
+            Err(Error::LengthMismatch { .. })
+        ));
     }
 
     #[test]

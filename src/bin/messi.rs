@@ -7,7 +7,9 @@
 //! messi query       --data data.mds [--queries q.mds | --num-queries 10] [--k 5] [--dtw] [--load index.msx] [--shards N]
 //! messi range       --data data.mds --epsilon 5.0 [--num-queries 5] [--dtw] [--load index.msx] [--shards N]
 //! messi bench-query --data data.mds --objective {exact|knn|range|approx} --schedule {intra|inter} [--dtw] [--load index.msx] [--shards N] [--json out.json]
-//! messi serve       --data data.mds [--load index.msx] [--addr 127.0.0.1:7700] [--threads N] [--admission N] [--shards N]
+//! messi serve       --data data.mds [--load index.msx] [--addr 127.0.0.1:7700] [--threads N] [--admission N] [--shards N] [--ingest-log delta.log]
+//! messi ingest      --addr 127.0.0.1:7700 --data new.mds [--batch N]
+//! messi compact     --data data.mds --log delta.log [--load index.msx|dir] [--save index.msx|dir]
 //! messi load-smoke  --addr 127.0.0.1:7700 --data data.mds [--clients N] [--per-client M] [--objective …]
 //! ```
 //!
@@ -30,6 +32,12 @@
 //!
 //! `serve` turns the same executor into a long-running daemon (see the
 //! README's Serving section); `load-smoke` is its counterpart client.
+//! The daemon serves from a live [`messi::DeltaIndex`]: `POST /ingest`
+//! appends series behind an epoch seam without blocking queries, and
+//! `--ingest-log` makes those appends durable (replayed over the
+//! snapshot on restart). `messi ingest` streams a dataset file into a
+//! running daemon; `messi compact` folds a delta log back into the
+//! dataset (and optional snapshot) offline and truncates it.
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, bad data, smoke
 //! assertion), `2` usage error (unknown/contradictory/invalid flags).
@@ -37,7 +45,7 @@
 use messi::index::serve::{self, SmokeConfig};
 use messi::prelude::*;
 use messi::series::io::{read_dataset, write_dataset};
-use messi::{IndexServer, ServeConfig};
+use messi::{DeltaIndex, IndexServer, IngestOptions, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -156,9 +164,30 @@ fn run(command: &str, rest: &[String]) -> Result<(), CliError> {
                     "kernel",
                     "shards",
                     "leaf-target",
+                    "ingest-log",
+                    "republish-after",
                 ],
             )?;
             cmd_serve(&opts)
+        }
+        "ingest" => {
+            opts.expect_keys(command, &["addr", "data", "batch", "wait-ready"])?;
+            cmd_ingest(&opts)
+        }
+        "compact" => {
+            opts.expect_keys(
+                command,
+                &[
+                    "data",
+                    "log",
+                    "out",
+                    "load",
+                    "save",
+                    "shards",
+                    "leaf-target",
+                ],
+            )?;
+            cmd_compact(&opts)
         }
         "load-smoke" => {
             opts.expect_keys(
@@ -210,6 +239,12 @@ USAGE:
   messi serve       --data <file.mds> [--load <file.msx|dir>] [--addr <host:port>]
                     [--threads <N>] [--admission <N>] [--query-workers <N>] [--breakdown]
                     [--kernel <auto|simd|scalar>] [--shards <N>] [--leaf-target <N|auto>]
+                    [--ingest-log <file.log>] [--republish-after <N>]
+  messi ingest      --addr <host:port> --data <file.mds> [--batch <N>]
+                    [--wait-ready <seconds>]
+  messi compact     --data <file.mds> --log <file.log> [--out <file.mds>]
+                    [--load <file.msx|dir>] [--save <file.msx|dir>] [--shards <N>]
+                    [--leaf-target <N|auto>]
   messi load-smoke  --addr <host:port> --data <file.mds> [--clients <N>] [--per-client <M>]
                     [--num-queries <N>] [--objective <exact|knn|range|approx>] [--k <K>]
                     [--epsilon <dist|ratio>] [--delta <0..=1>] [--dtw] [--no-retry]
@@ -244,12 +279,29 @@ loading the shards in parallel (the shard count then comes from the
 manifest, so combining --load with --shards is rejected).
 
 `serve` answers queries over HTTP until SIGTERM/SIGINT, then drains:
-POST /query (JSON body), GET /healthz (ready only after prewarm),
-GET /metrics (Prometheus text). `--admission 0` is drain mode (every
-query sheds with 503 + Retry-After). `load-smoke` floods a running
-daemon with concurrent clients and reports ok/shed/error counts and
-p50/p99 latency; it exits non-zero on any client/server error, or when
-fewer than --min-shed sheds were observed.
+POST /query (JSON body), POST /ingest (JSON batch of series), GET
+/healthz (ready only after prewarm), GET /metrics (Prometheus text).
+`--admission 0` is drain mode (every query sheds with 503 +
+Retry-After). `load-smoke` floods a running daemon with concurrent
+clients and reports ok/shed/error counts and p50/p99 latency; it exits
+non-zero on any client/server error, or when fewer than --min-shed
+sheds were observed.
+
+Ingested series are absorbed behind an epoch seam: queries keep
+answering from the published index plus a small sealed overlay, and a
+background republish folds the overlay into fresh index arenas after
+--republish-after series (default 4096) or when the epoch outlives 5s.
+With --ingest-log every accepted batch is appended to a framed,
+checksummed, fsynced delta log *before* it becomes visible; restarting
+with the same --ingest-log (and the matching --data/--load) replays
+the log, so acknowledged series survive a crash. A torn tail (crash
+mid-append) is detected, reported and dropped. `messi ingest` streams
+the series of a .mds file into a running daemon in batches, retrying
+shed (503) batches. `messi compact` folds a delta log into its base
+collection offline: it replays the log, rewrites --data (or --out)
+with the grown collection (tmp + atomic rename), optionally re-saves
+the snapshot (--save), and truncates the log to a fresh header over
+the new base.
 
 `--leaf-target` sets the build-time leaf split threshold (the paper's
 default is 2000); `auto` derives it from the dataset size (one leaf per
@@ -1093,17 +1145,20 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
             build.total_time
         );
     }
+    let num_shards = index.num_shards();
+    let live = live_index_from(opts, index)?;
     let server = IndexServer::bind(addr.as_str(), config.clone())
         .map_err(|e| CliError::Runtime(format!("bind {addr}: {e}")))?;
     let bound = server
         .local_addr()
         .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
     println!(
-        "serve: listening on {bound} (threads={} admission={} query-workers={} shards={}{})",
+        "serve: listening on {bound} (threads={} admission={} query-workers={} shards={} series={}{})",
         config.threads,
         config.admission,
         config.query_workers,
-        index.num_shards(),
+        num_shards,
+        live.num_series(),
         if config.admission == 0 {
             ", DRAIN MODE"
         } else {
@@ -1116,7 +1171,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     let _ = std::io::stdout().flush();
 
     let summary = server
-        .serve(&index, shutdown)
+        .serve(&live, shutdown)
         .map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
     println!(
         "serve: drained cleanly — served={} shed={} failures={} \
@@ -1129,6 +1184,206 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         summary.aggregate.total_time.as_secs_f64(),
     );
     let _ = std::io::stdout().flush();
+    Ok(())
+}
+
+/// Wraps the built/loaded index as the daemon's live [`DeltaIndex`],
+/// attaching (and replaying) the `--ingest-log` when one is given.
+fn live_index_from(opts: &Opts, index: ShardedIndex) -> Result<DeltaIndex, CliError> {
+    let defaults = IngestOptions::default();
+    let options = IngestOptions {
+        republish_after: opts.parsed("republish-after", defaults.republish_after)?,
+        ..defaults
+    };
+    match opts.get("ingest-log") {
+        None => Ok(DeltaIndex::new(index, options)),
+        Some(path) => {
+            let (live, report) = DeltaIndex::with_log(index, options, std::path::Path::new(path))
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            println!(
+                "ingest-log: {path} replayed {} batches / {} series{}",
+                report.batches,
+                report.series,
+                if report.torn {
+                    format!(" (torn tail: dropped {} bytes)", report.dropped_bytes)
+                } else {
+                    String::new()
+                }
+            );
+            Ok(live)
+        }
+    }
+}
+
+/// One `/ingest` request body: `{"series":[[…],[…]]}` for the half-open
+/// series range `start..end`. `{:?}` prints the shortest decimal that
+/// round-trips the f32, so the daemon reconstructs the bytes exactly.
+fn ingest_body(data: &Dataset, start: usize, end: usize) -> Vec<u8> {
+    let rows: Vec<String> = (start..end)
+        .map(|pos| {
+            let vals: Vec<String> = data.series(pos).iter().map(|x| format!("{x:?}")).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    format!("{{\"series\":[{}]}}", rows.join(",")).into_bytes()
+}
+
+fn cmd_ingest(opts: &Opts) -> Result<(), CliError> {
+    let addr = opts.required("addr")?.to_string();
+    let data = load(opts)?;
+    if let Some((pos, idx)) = data.find_non_finite() {
+        return Err(CliError::Runtime(format!(
+            "series {pos} has a non-finite value at point {idx}; refusing to ingest"
+        )));
+    }
+    let batch: usize = opts.parsed("batch", 64usize)?;
+    if batch == 0 {
+        return Err(usage("--batch must be positive"));
+    }
+    let wait_ready_secs: u64 = opts.parsed("wait-ready", 0u64)?;
+    if wait_ready_secs > 0 {
+        let timeout = std::time::Duration::from_secs(wait_ready_secs);
+        if !serve::wait_ready(&addr, timeout) {
+            return Err(CliError::Runtime(format!(
+                "daemon at {addr} not ready within {wait_ready_secs}s"
+            )));
+        }
+    }
+
+    let connect =
+        || serve::Client::connect(&addr).map_err(|e| CliError::Runtime(format!("{addr}: {e}")));
+    let mut client = connect()?;
+    let t = std::time::Instant::now();
+    let mut last_body = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let end = (start + batch).min(data.len());
+        let body = ingest_body(&data, start, end);
+        let mut attempts = 0u32;
+        loop {
+            let resp = client
+                .request("POST", "/ingest", &body)
+                .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+            let reconnect = resp.close;
+            match resp.status {
+                200 => {
+                    last_body = resp.body;
+                    if reconnect {
+                        client = connect()?;
+                    }
+                    break;
+                }
+                503 => {
+                    // Not-ready / saturated: honour the Retry-After hint
+                    // (scaled down like load-smoke's backoff) and retry.
+                    attempts += 1;
+                    if attempts > 50 {
+                        return Err(CliError::Runtime(format!(
+                            "batch at series {start} still shed after {attempts} attempts"
+                        )));
+                    }
+                    let ms = resp
+                        .retry_after
+                        .map(|s| (s.max(1) * 20).min(250))
+                        .unwrap_or(20);
+                    if reconnect {
+                        client = connect()?;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                other => {
+                    return Err(CliError::Runtime(format!(
+                        "/ingest returned {other} for the batch at series {start}: {}",
+                        String::from_utf8_lossy(&resp.body)
+                    )));
+                }
+            }
+        }
+        start = end;
+    }
+
+    // The final report carries the daemon's running totals.
+    let report = std::str::from_utf8(&last_body)
+        .ok()
+        .and_then(|s| serve::json::Json::parse(s).ok());
+    let field = |name: &str| {
+        report
+            .as_ref()
+            .and_then(|doc| doc.get(name))
+            .and_then(serve::json::Json::as_f64)
+    };
+    println!(
+        "ingest: {} series in {} batches to {addr} in {:.2?} (daemon now at {} series, epoch {})",
+        data.len(),
+        data.len().div_ceil(batch),
+        t.elapsed(),
+        field("total_series").map_or("?".into(), |v| format!("{v}")),
+        field("epoch").map_or("?".into(), |v| format!("{v}")),
+    );
+    Ok(())
+}
+
+fn cmd_compact(opts: &Opts) -> Result<(), CliError> {
+    let data_path = PathBuf::from(opts.required("data")?);
+    let log_path = PathBuf::from(opts.required("log")?);
+    let data = load(opts)?;
+    let base_len = data.len();
+    let (index, _) = obtain_index(opts, &data)?;
+    let (live, report) = DeltaIndex::with_log(index, IngestOptions::default(), &log_path)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", log_path.display())))?;
+    println!(
+        "compact: replayed {} batches / {} series from {}{}",
+        report.batches,
+        report.series,
+        log_path.display(),
+        if report.torn {
+            format!(" (torn tail: dropped {} bytes)", report.dropped_bytes)
+        } else {
+            String::new()
+        }
+    );
+    live.republish()
+        .map_err(|e| CliError::Runtime(format!("republish: {e}")))?;
+
+    // Persist the grown collection *before* truncating the log: a crash
+    // in between leaves a stale log header that fails loudly on the next
+    // open (fingerprint mismatch) instead of silently losing series.
+    let out = opts.get("out").map(PathBuf::from).unwrap_or(data_path);
+    let index = live.index();
+    let tmp = out.with_extension("mds.tmp");
+    write_dataset(index.dataset(), &tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &out).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "compact: {} series ({} from the log) written to {}",
+        index.dataset().len(),
+        index.dataset().len() - base_len,
+        out.display()
+    );
+
+    if let Some(save) = opts.get("save") {
+        let save_path = PathBuf::from(save);
+        let t = std::time::Instant::now();
+        if index.num_shards() > 1 || save_path.is_dir() {
+            messi::index::shard::save_sharded(&index, &save_path)
+                .map_err(|e| format!("{save}: {e}"))?;
+        } else {
+            messi::index::persist::save_index(index.shard(0), &save_path)
+                .map_err(|e| format!("{save}: {e}"))?;
+        }
+        println!(
+            "compact: snapshot re-saved to {save} in {:.2?}",
+            t.elapsed()
+        );
+    }
+
+    let new_base = live
+        .checkpoint_log()
+        .map_err(|e| CliError::Runtime(format!("truncate {}: {e}", log_path.display())))?;
+    println!(
+        "compact: {} truncated to a fresh header over {} series",
+        log_path.display(),
+        new_base
+    );
     Ok(())
 }
 

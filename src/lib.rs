@@ -70,9 +70,10 @@ pub mod sync {
 }
 
 pub use messi_core::{
-    load_index, load_sharded, save_index, save_sharded, BuildStats, IndexConfig, IndexServer,
-    MessiIndex, MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext,
-    QueryExecutor, QuerySpec, QueryStats, Schedule, ServeConfig, ServeSummary, ShardedExecutor,
+    load_index, load_sharded, save_index, save_sharded, BuildStats, DeltaIndex, IndexConfig,
+    IndexServer, IngestError, IngestOptions, IngestReport, IngestStats, LogError, MessiIndex,
+    MetricSpec, Objective, PersistError, QueryAnswer, QueryConfig, QueryContext, QueryExecutor,
+    QuerySpec, QueryStats, ReplayReport, Schedule, ServeConfig, ServeSummary, ShardedExecutor,
     ShardedIndex, StopReason,
 };
 

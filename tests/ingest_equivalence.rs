@@ -1,0 +1,339 @@
+//! Live ingest is an execution detail, not a semantics change: a
+//! [`DeltaIndex`] that absorbed appended series behind its epoch seam
+//! must answer **bit-identically** to an index freshly built over the
+//! grown collection, for every cell of the Objective × Metric matrix,
+//! under both batch schedules, before *and* after the overlay is
+//! flattened by a republish, at shard counts exercising the single-index
+//! path (N = 1) and scatter-gather (N = 3).
+//!
+//! Approximate search participates at ε = 0, δ = 1 — the corner where
+//! the paper's guarantee makes it exact search bit for bit (see
+//! `sharded_equivalence.rs` for why other corners only promise the
+//! bound).
+//!
+//! The same suite proves the durability seam: a snapshot plus a delta-
+//! log replay reconstructs the in-memory state answer-for-answer, a
+//! torn log tail is dropped loudly with the intact prefix recovered,
+//! and queries keep running allocation-free (the warm-path discipline)
+//! while a writer ingests and republishes concurrently.
+
+use messi::prelude::*;
+use messi::series::gen::{self, DatasetKind};
+use messi::{DeltaIndex, IngestOptions};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 2] = [1, 3];
+
+fn deterministic() -> QueryConfig {
+    QueryConfig {
+        num_workers: 1,
+        num_queues: 1,
+        ..QueryConfig::default()
+    }
+}
+
+/// Never republish on its own: the size trigger is out of reach and the
+/// cadence trigger is disabled, so tests control the epoch explicitly.
+fn manual_republish() -> IngestOptions {
+    IngestOptions {
+        republish_after: usize::MAX,
+        max_epoch_age: None,
+    }
+}
+
+/// Splits one generated collection into a base prefix and append
+/// batches, so `full` itself is the bit-exact grown reference.
+fn split(full: &Dataset, cuts: &[usize]) -> Vec<Dataset> {
+    let len = full.series_len();
+    let mut out = Vec::new();
+    let mut start = 0;
+    for &end in cuts {
+        out.push(Dataset::from_flat(full.as_flat()[start * len..end * len].to_vec(), len).unwrap());
+        start = end;
+    }
+    out.push(Dataset::from_flat(full.as_flat()[start * len..].to_vec(), len).unwrap());
+    out
+}
+
+/// The full Objective × Metric matrix (approximate pinned at its exact
+/// corner).
+fn matrix(series_len: usize, range_eps_sq: f32) -> Vec<(String, QuerySpec)> {
+    let params = DtwParams::paper_default(series_len);
+    [
+        ("exact", QuerySpec::exact()),
+        ("knn", QuerySpec::knn(5)),
+        ("range", QuerySpec::range(range_eps_sq)),
+        ("approx(0,1)", QuerySpec::approximate(0.0, 1.0)),
+    ]
+    .iter()
+    .flat_map(|(tag, spec)| {
+        [
+            (format!("{tag}/ed"), *spec),
+            (format!("{tag}/dtw"), spec.with_dtw(params)),
+        ]
+    })
+    .collect()
+}
+
+fn assert_bit_identical(tag: &str, live: &[QueryAnswer], fresh: &[QueryAnswer]) {
+    assert_eq!(live.len(), fresh.len(), "{tag}: result-set size diverged");
+    for (i, (a, b)) in live.iter().zip(fresh).enumerate() {
+        assert_eq!(a.pos, b.pos, "{tag}[{i}]: position diverged");
+        assert_eq!(
+            a.dist_sq.to_bits(),
+            b.dist_sq.to_bits(),
+            "{tag}[{i}]: dist_sq bits diverged ({} vs {})",
+            a.dist_sq,
+            b.dist_sq
+        );
+    }
+}
+
+#[test]
+fn insert_then_query_matches_fresh_build_across_the_whole_matrix() {
+    // 240 base series + two append batches (7 then 5). `full` is the
+    // grown collection a from-scratch build sees.
+    let full = Arc::new(gen::generate(DatasetKind::RandomWalk, 252, 61));
+    let parts = split(&full, &[240, 247]);
+    let (base, batch1, batch2) = (&parts[0], &parts[1], &parts[2]);
+    let config = IndexConfig::for_tests();
+    let qconfig = deterministic();
+
+    // Queries: generated strangers plus ingested members, so overlay
+    // candidates both win and lose.
+    let strangers = gen::queries::generate_queries(DatasetKind::RandomWalk, 2, 61);
+    let mut queries: Vec<&[f32]> = strangers.iter().collect();
+    queries.push(batch1.series(0));
+    queries.push(batch2.series(batch2.len() - 1));
+
+    for n in SHARD_COUNTS {
+        let (fresh, _) = ShardedIndex::build(Arc::clone(&full), n, &config);
+        let reference = ShardedExecutor::new(&fresh);
+
+        let base_arc = Arc::new(base.clone());
+        let (built, _) = ShardedIndex::build(base_arc, n, &config);
+        let live = DeltaIndex::new(built, manual_republish());
+        live.insert_batch(batch1).expect("ingest batch 1");
+        live.insert_batch(batch2).expect("ingest batch 2");
+        assert_eq!(live.num_series(), 252);
+        assert_eq!(live.stats().overlay_series, 12);
+
+        let (nn, _) = reference.run_one(queries[0], &QuerySpec::exact(), &qconfig);
+        let specs = matrix(full.series_len(), nn[0].dist_sq * 4.0 + 1.0);
+
+        // Overlay state, then the flattened epoch after republish: both
+        // must be indistinguishable from the fresh build.
+        for phase in ["overlay", "republished"] {
+            for (tag, spec) in &specs {
+                for (qi, q) in queries.iter().enumerate() {
+                    let (a, _) = live.query(q, spec, &qconfig);
+                    let (b, _) = reference.run_one(q, spec, &qconfig);
+                    assert_bit_identical(&format!("N={n} {phase} {tag} q{qi}"), &a, &b);
+                }
+            }
+            if phase == "overlay" {
+                assert!(live.republish().expect("republish"), "overlay to flatten");
+                assert_eq!(live.stats().overlay_series, 0);
+            }
+        }
+
+        // Post-republish the absorbed index is a plain ShardedIndex:
+        // both batch schedules run over it bit-identically too.
+        let absorbed = live.index();
+        let exec = ShardedExecutor::new(&absorbed);
+        let spec = QuerySpec::knn(4);
+        for schedule in [
+            Schedule::IntraQuery,
+            Schedule::InterQuery { parallelism: 2 },
+        ] {
+            let (batch, _) = exec.run_batch(&strangers, &spec, schedule, &qconfig);
+            for (qi, a) in batch.iter().enumerate() {
+                let (b, _) = reference.run_one(strangers.series(qi), &spec, &qconfig);
+                assert_bit_identical(&format!("N={n} {schedule:?} q{qi}"), a, &b);
+            }
+        }
+    }
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "messi-ingest-equivalence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn snapshot_plus_log_replay_reconstructs_the_in_memory_state() {
+    let full = Arc::new(gen::generate(DatasetKind::RandomWalk, 212, 62));
+    let parts = split(&full, &[200, 206]);
+    let (base, batch1, batch2) = (&parts[0], &parts[1], &parts[2]);
+    let base = Arc::new(base.clone());
+    let config = IndexConfig::for_tests();
+    let qconfig = deterministic();
+
+    let dir = scratch_path("snapshot");
+    let log = scratch_path("replay.log");
+    let (built, _) = ShardedIndex::build(Arc::clone(&base), 3, &config);
+    save_sharded(&built, &dir).expect("save snapshot");
+
+    // First life: boot from the snapshot, ingest durably, remember the
+    // answers the live index gives.
+    let queries: Vec<&[f32]> = vec![base.series(7), batch1.series(0), batch2.series(1)];
+    let spec = QuerySpec::knn(6);
+    let before: Vec<Vec<QueryAnswer>> = {
+        let loaded = load_sharded(&dir, Arc::clone(&base)).expect("load snapshot");
+        let (live, report) =
+            DeltaIndex::with_log(loaded, manual_republish(), &log).expect("fresh log");
+        assert_eq!(report.batches, 0);
+        live.insert_batch(batch1).expect("ingest batch 1");
+        live.insert_batch(batch2).expect("ingest batch 2");
+        queries
+            .iter()
+            .map(|q| live.query(q, &spec, &qconfig).0)
+            .collect()
+    };
+
+    // Second life: same snapshot + same log. The replay must rebuild
+    // the acknowledged state answer-for-answer — nothing was re-sent.
+    let loaded = load_sharded(&dir, Arc::clone(&base)).expect("reload snapshot");
+    let (rebooted, report) =
+        DeltaIndex::with_log(loaded, manual_republish(), &log).expect("replay log");
+    assert_eq!((report.batches, report.series), (2, 12));
+    assert!(!report.torn);
+    assert_eq!(rebooted.num_series(), 212);
+    for (qi, q) in queries.iter().enumerate() {
+        let (a, _) = rebooted.query(q, &spec, &qconfig);
+        assert_bit_identical(&format!("replayed q{qi}"), &a, &before[qi]);
+    }
+
+    std::fs::remove_dir_all(&dir).expect("cleanup dir");
+    std::fs::remove_file(&log).expect("cleanup log");
+}
+
+#[test]
+fn torn_log_tail_is_dropped_loudly_and_the_prefix_recovered() {
+    let full = Arc::new(gen::generate(DatasetKind::RandomWalk, 158, 63));
+    let parts = split(&full, &[150, 154]);
+    let (base, batch1, batch2) = (&parts[0], &parts[1], &parts[2]);
+    let base = Arc::new(base.clone());
+    let config = IndexConfig::for_tests();
+    let qconfig = deterministic();
+    let log = scratch_path("torn.log");
+
+    let bytes_after_first = {
+        let (built, _) = ShardedIndex::build(Arc::clone(&base), 1, &config);
+        let (live, _) = DeltaIndex::with_log(built, manual_republish(), &log).expect("fresh log");
+        live.insert_batch(batch1).expect("ingest batch 1");
+        let after_first = std::fs::metadata(&log).expect("log exists").len();
+        live.insert_batch(batch2).expect("ingest batch 2");
+        after_first
+    };
+
+    // Crash mid-append: chop the second frame off mid-way.
+    let full_len = std::fs::metadata(&log).expect("log exists").len();
+    assert!(full_len > bytes_after_first);
+    let torn_len = bytes_after_first + (full_len - bytes_after_first) / 2;
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&log)
+        .expect("open log");
+    file.set_len(torn_len).expect("tear the tail");
+    drop(file);
+
+    let (built, _) = ShardedIndex::build(Arc::clone(&base), 1, &config);
+    let (recovered, report) =
+        DeltaIndex::with_log(built, manual_republish(), &log).expect("torn log still opens");
+    assert!(report.torn, "torn tail must be reported");
+    assert_eq!(
+        (report.batches, report.series),
+        (1, batch1.len()),
+        "the intact prefix is replayed"
+    );
+    assert_eq!(report.dropped_bytes, torn_len - bytes_after_first);
+    assert_eq!(recovered.num_series() as usize, base.len() + batch1.len());
+    // The recovered series answers; the torn batch is gone (its member
+    // no longer matches anything at distance zero).
+    let (hit, _) = recovered.query(batch1.series(0), &QuerySpec::exact(), &qconfig);
+    assert_eq!(hit[0].pos as usize, base.len());
+    assert_eq!(hit[0].dist_sq, 0.0);
+    let (miss, _) = recovered.query(batch2.series(0), &QuerySpec::exact(), &qconfig);
+    assert!(miss[0].dist_sq > 0.0, "torn batch must not answer");
+    // And the truncation is durable: the next append goes to the
+    // truncated offset, so a re-open sees a clean log.
+    recovered
+        .insert_batch(batch2)
+        .expect("re-ingest after tear");
+    drop(recovered);
+    let (built, _) = ShardedIndex::build(Arc::clone(&base), 1, &config);
+    let (_, report) = DeltaIndex::with_log(built, manual_republish(), &log).expect("clean reopen");
+    assert_eq!((report.batches, report.torn), (2, false));
+
+    std::fs::remove_file(&log).expect("cleanup log");
+}
+
+#[test]
+fn queries_stay_on_the_warm_path_while_a_writer_ingests_and_republishes() {
+    // The epoch seam's contract: readers never block on (or allocate
+    // because of) an in-flight ingest. After prewarm, every query's
+    // alloc-event delta must stay zero across epochs — including the
+    // epochs republish swaps in mid-flight, which are prewarmed before
+    // the pointer store makes them visible.
+    let data = Arc::new(gen::generate(DatasetKind::RandomWalk, 400, 64));
+    let tail = gen::generate(DatasetKind::RandomWalk, 60, 65);
+    let config = IndexConfig::for_tests();
+    let qconfig = deterministic();
+    let (built, _) = ShardedIndex::build(Arc::clone(&data), 2, &config);
+    let live = DeltaIndex::new(
+        built,
+        IngestOptions {
+            republish_after: 8, // several republishes over the run
+            max_epoch_age: None,
+        },
+    );
+    live.prewarm(&qconfig);
+
+    let queries = gen::queries::generate_queries(DatasetKind::RandomWalk, 4, 64);
+    let (live_ref, tail_ref, queries_ref, qconfig_ref) = (&live, &tail, &queries, &qconfig);
+    std::thread::scope(|s| {
+        let writer = s.spawn(move || {
+            for chunk in tail_ref.as_flat().chunks(3 * tail_ref.series_len()) {
+                let batch = Dataset::from_flat(chunk.to_vec(), tail_ref.series_len()).unwrap();
+                live_ref.insert_batch(&batch).expect("concurrent ingest");
+            }
+        });
+        for reader in 0..2u64 {
+            s.spawn(move || {
+                for round in 0..40 {
+                    let q = queries_ref.series(((reader + round) % 4) as usize);
+                    let (answers, _, alloc_delta, _) =
+                        live_ref.query_traced(q, &QuerySpec::exact(), qconfig_ref);
+                    assert_eq!(
+                        alloc_delta, 0,
+                        "reader {reader} round {round}: query left the warm path \
+                         during concurrent ingest"
+                    );
+                    assert!(answers[0].dist_sq.is_finite());
+                    assert!((answers[0].pos as usize) < 460);
+                }
+            });
+        }
+        writer.join().expect("writer");
+    });
+
+    assert_eq!(live.num_series(), 460);
+    let stats = live.stats();
+    assert!(stats.republishes >= 1, "size trigger must have fired");
+    // Quiesced: the final state still matches a fresh build bit for bit.
+    let grown = Arc::new(data.concat(std::iter::once(&tail)).unwrap());
+    live.republish().expect("final republish");
+    let (fresh, _) = ShardedIndex::build(grown, 2, &config);
+    let reference = ShardedExecutor::new(&fresh);
+    for q in queries.iter() {
+        let (a, _) = live.query(q, &QuerySpec::knn(3), &qconfig);
+        let (b, _) = reference.run_one(q, &QuerySpec::knn(3), &qconfig);
+        assert_bit_identical("quiesced", &a, &b);
+    }
+}

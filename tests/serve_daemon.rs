@@ -9,19 +9,26 @@
 
 use messi::index::serve::{self, Client, IndexServer, ServeConfig, ServeSummary, SmokeConfig};
 use messi::prelude::*;
+use messi::{DeltaIndex, IngestOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The daemon serves a sharded index (2 shards here), so these tests
-/// cover the scatter-gather path end to end; `ShardedIndex::from_single`
-/// deployments go through the same code with the scatter skipped.
-fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, ShardedIndex) {
+/// The daemon serves a sharded index (2 shards here) behind a live
+/// [`DeltaIndex`], so these tests cover the scatter-gather and the
+/// epoch-seam paths end to end; `ShardedIndex::from_single` deployments
+/// go through the same code with the scatter skipped.
+fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, DeltaIndex) {
     let data = Arc::new(messi::series::gen::generate(
         DatasetKind::RandomWalk,
         count,
         seed,
     ));
+    let index = build_sharded(&data);
+    (data, DeltaIndex::new(index, IngestOptions::default()))
+}
+
+fn build_sharded(data: &Arc<Dataset>) -> ShardedIndex {
     let config = IndexConfig {
         segments: 8,
         num_workers: 4,
@@ -29,22 +36,21 @@ fn build_index(count: usize, seed: u64) -> (Arc<Dataset>, ShardedIndex) {
         leaf_capacity: 32,
         ..IndexConfig::default()
     };
-    let (index, _) = ShardedIndex::build(Arc::clone(&data), 2, &config);
-    (data, index)
+    ShardedIndex::build(Arc::clone(data), 2, &config).0
 }
 
 /// Boots a daemon on an ephemeral port and runs `f` against it; shuts
 /// down afterwards and returns the serve summary.
 fn with_daemon<T>(
     config: ServeConfig,
-    index: &ShardedIndex,
+    live: &DeltaIndex,
     f: impl FnOnce(&str) -> T,
 ) -> (T, ServeSummary) {
     let server = IndexServer::bind("127.0.0.1:0", config).expect("bind ephemeral");
     let addr = server.local_addr().expect("local addr").to_string();
     let shutdown = AtomicBool::new(false);
     let (out, summary) = std::thread::scope(|s| {
-        let daemon = s.spawn(|| server.serve(index, &shutdown).expect("serve"));
+        let daemon = s.spawn(|| server.serve(live, &shutdown).expect("serve"));
         assert!(
             serve::wait_ready(&addr, Duration::from_secs(30)),
             "daemon never became ready"
@@ -276,6 +282,84 @@ fn readiness_gates_queries_until_prewarm_finishes() {
         assert_eq!(resp.status, 200, "wait_ready returned → health is green");
     });
     assert_eq!(summary.served, 0);
+}
+
+fn ingest_body(rows: &[Vec<f32>]) -> Vec<u8> {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|series| {
+            let vals: Vec<String> = series.iter().map(|x| format!("{x:?}")).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    format!("{{\"series\":[{}]}}", rows.join(",")).into_bytes()
+}
+
+#[test]
+fn ingest_endpoint_appends_durably_and_a_reboot_replays_the_log() {
+    let log = std::env::temp_dir().join(format!("messi-daemon-ingest-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+    let data = Arc::new(messi::series::gen::generate(
+        DatasetKind::RandomWalk,
+        200,
+        27,
+    ));
+    let len = data.series_len();
+    let fresh: Vec<Vec<f32>> = (0..2)
+        .map(|s| {
+            (0..len)
+                .map(|i| ((i * 13 + s * 7) as f32 * 0.01).cos() * 3.0 + s as f32)
+                .collect()
+        })
+        .collect();
+
+    let (live, report) = DeltaIndex::with_log(build_sharded(&data), IngestOptions::default(), &log)
+        .expect("fresh log");
+    assert_eq!((report.batches, report.series), (0, 0));
+    let ((), summary) = with_daemon(ServeConfig::default(), &live, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let resp = client
+            .request("POST", "/ingest", &ingest_body(&fresh))
+            .expect("ingest");
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = parse_json(&resp.body);
+        assert_eq!(doc.get("accepted").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("total_series").unwrap().as_f64(), Some(202.0));
+
+        // The appended series answers its own exact query at the global
+        // position right after the base collection, over real sockets.
+        let resp = client
+            .request("POST", "/query", &body_for("", &fresh[1]))
+            .expect("query ingested");
+        let doc = parse_json(&resp.body);
+        let answers = doc.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers[0].get("pos").unwrap().as_f64(), Some(201.0));
+        assert_eq!(answers[0].get("distance").unwrap().as_f64(), Some(0.0));
+
+        let metrics = client.request("GET", "/metrics", b"").expect("metrics");
+        let text = String::from_utf8(metrics.body).expect("utf-8 metrics");
+        assert!(text.contains("\nmessi_ingest_batches_total 1\n"), "{text}");
+        assert!(text.contains("\nmessi_ingest_live_series 202\n"), "{text}");
+    });
+    assert_eq!(summary.served, 1);
+    drop(live);
+
+    // Reboot: same base collection + same log ⇒ the acknowledged series
+    // are replayed and answer identically, without having been re-sent.
+    let (rebooted, report) =
+        DeltaIndex::with_log(build_sharded(&data), IngestOptions::default(), &log)
+            .expect("reopen log");
+    assert_eq!((report.batches, report.series), (1, 2));
+    assert!(!report.torn);
+    let (answers, _) = rebooted.query(&fresh[1], &QuerySpec::exact(), &QueryConfig::default());
+    assert_eq!(answers[0].pos, 201);
+    assert_eq!(answers[0].dist_sq, 0.0);
+    let _ = std::fs::remove_file(&log);
 }
 
 #[test]
